@@ -1,0 +1,103 @@
+"""Ablation A2 — the hybrid storage layout (§3.3).
+
+The platform keeps an RDBMS for real-time operations *and* a columnar
+warehouse for historical analytics.  This ablation measures both engines on
+the workloads they were chosen for: point lookups and filtered row reads on
+the RDBMS versus full-history analytical scans on the warehouse — justifying
+the hybrid design rather than either engine alone.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+
+@pytest.fixture(scope="module")
+def migrated_platform(paper_platform):
+    """Ensure the warehouse holds the full history before the scan benchmarks."""
+    if paper_platform.warehouse.total_rows() == 0:
+        paper_platform.run_daily_migration()
+    return paper_platform
+
+
+def test_storage_rdbms_point_lookups(benchmark, migrated_platform, paper_scenario):
+    """Real-time path: primary-key lookups of articles by id."""
+    article_ids = [
+        migrated_platform.get_article_by_url(g.url).article_id
+        for g in paper_scenario.topic_articles()[:50]
+    ]
+
+    def lookup_all():
+        return [migrated_platform.database.get("articles", article_id) for article_id in article_ids]
+
+    rows = benchmark(lookup_all)
+    assert len(rows) == 50 and all(rows)
+    print(f"\n=== Ablation A2 — RDBMS point lookups: {len(rows)} lookups per round ===")
+
+
+def test_storage_rdbms_filtered_read(benchmark, migrated_platform, paper_scenario):
+    """Real-time path: per-outlet recent-article listing through the query builder."""
+    from repro.storage.rdbms.expressions import col
+
+    outlet = paper_scenario.outlets.profiles[0].domain
+
+    def query():
+        return (
+            migrated_platform.database.query("articles")
+            .where(col("outlet_domain") == outlet)
+            .order_by("published_at", descending=True)
+            .limit(20)
+            .execute()
+        )
+
+    result = benchmark(query)
+    assert len(result) > 0
+
+
+def test_storage_warehouse_analytical_scan(benchmark, migrated_platform):
+    """Analytics path: full-history scan computing daily article counts per partition,
+    reading only the columns the aggregation needs (column pruning)."""
+    table = migrated_platform.warehouse.table("articles")
+
+    def scan():
+        counts: dict[str, int] = defaultdict(int)
+        for row in table.scan(columns=["outlet_domain"]):
+            counts[row["outlet_domain"]] += 1
+        return counts
+
+    counts = benchmark(scan)
+    assert sum(counts.values()) == table.row_count()
+    print(f"\n=== Ablation A2 — warehouse scan over {table.row_count()} rows, "
+          f"{table.block_count()} blocks, {len(table.partitions())} partitions ===")
+
+
+def test_storage_warehouse_partition_pruned_scan(benchmark, migrated_platform, paper_scenario):
+    """Analytics path: the same scan restricted to one week of partitions."""
+    table = migrated_platform.warehouse.table("articles")
+    week = [day.isoformat() for day in list(paper_scenario.daily_article_counts().get(
+        paper_scenario.outlets.profiles[0].domain, {}).keys())[:7]]
+    partitions = table.partitions()[:7]
+
+    def scan_week():
+        return sum(1 for _ in table.scan(columns=["article_id"], partitions=partitions))
+
+    count = benchmark(scan_week)
+    assert count <= table.row_count()
+    assert week is not None
+
+
+def test_storage_rdbms_analytical_aggregate(benchmark, migrated_platform):
+    """The same analytical aggregation executed on the row-store (for comparison)."""
+
+    def aggregate():
+        return (
+            migrated_platform.database.query("articles")
+            .group_by("outlet_domain")
+            .aggregate(articles=("count", "*"))
+            .execute()
+        )
+
+    result = benchmark(aggregate)
+    assert len(result) > 0

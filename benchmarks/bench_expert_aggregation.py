@@ -1,0 +1,93 @@
+"""Experiment E6 — §3.2: weighted, time-sensitive expert-review aggregation.
+
+Measures the cost and behaviour of the review-aggregation maths: for a stream
+of reviews arriving over the 60-day window, the aggregate must stay on the
+Likert scale, weigh recent reviews more heavily, and remain cheap enough to be
+recomputed on every page view.
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+from repro.experts.aggregation import ReviewAggregator
+from repro.experts.consensus import consensus_report
+from repro.experts.reviewers import ReviewerPool
+from repro.models import LIKERT_MAX, LIKERT_MIN
+
+
+def test_expert_aggregation_scales_with_review_volume(benchmark, paper_scenario):
+    """Aggregate 500 reviews spread over the window for one article."""
+    pool = ReviewerPool(n_reviewers=25, random_seed=17)
+    article_id = "art-benchmark-expert"
+    reviews = []
+    for day in range(50):
+        created_at = paper_scenario.window_start + timedelta(days=day, hours=12)
+        reviews.extend(pool.review_article(article_id, 0.72, created_at, n_reviews=10))
+    as_of = paper_scenario.window_end
+    aggregator = ReviewAggregator(half_life_days=30.0)
+
+    summary = benchmark(lambda: aggregator.summarize(article_id, reviews, as_of=as_of))
+
+    print("\n=== §3.2 — weighted, time-sensitive expert aggregation ===")
+    print(f"reviews aggregated : {summary.n_reviews}")
+    for criterion, score in sorted(summary.criterion_scores.items()):
+        print(f"  {criterion:<26}{score:6.2f}")
+    print(f"overall quality    : {summary.overall_quality:.3f}")
+
+    benchmark.extra_info.update(
+        {"n_reviews": summary.n_reviews, "overall_quality": round(summary.overall_quality, 3)}
+    )
+    assert summary.n_reviews == len(reviews)
+    assert all(LIKERT_MIN <= v <= LIKERT_MAX for v in summary.criterion_scores.values())
+    # The latent quality of 0.72 should be recovered within a reasonable band.
+    assert 0.55 <= summary.overall_quality <= 0.9
+
+
+def test_expert_time_decay_tracks_quality_drift(benchmark, paper_scenario):
+    """Recent reviews dominate: if quality drifts, the aggregate follows it."""
+    pool = ReviewerPool(n_reviewers=10, random_seed=23)
+    article_id = "art-benchmark-drift"
+    early = []
+    late = []
+    for day in range(10):
+        early.extend(pool.review_article(article_id, 0.2,
+                                         paper_scenario.window_start + timedelta(days=day), n_reviews=3))
+    for day in range(50, 60):
+        late.extend(pool.review_article(article_id, 0.9,
+                                        paper_scenario.window_start + timedelta(days=day), n_reviews=3))
+    aggregator = ReviewAggregator(half_life_days=14.0)
+    as_of = paper_scenario.window_end
+
+    summary = benchmark(lambda: aggregator.summarize(article_id, early + late, as_of=as_of))
+
+    unweighted_mean = 0.5 * (0.2 + 0.9)
+    print("\n=== §3.2 — time sensitivity of the expert aggregate ===")
+    print(f"early latent quality 0.2 (days 0-9), late latent quality 0.9 (days 50-59)")
+    print(f"time-sensitive aggregate : {summary.overall_quality:.3f}")
+    print(f"naive (unweighted) value : ~{unweighted_mean:.3f}")
+
+    benchmark.extra_info["aggregate"] = round(summary.overall_quality, 3)
+    # The time-sensitive average leans clearly towards the recent assessments.
+    assert summary.overall_quality > unweighted_mean + 0.1
+
+
+def test_indicator_augmentation_improves_consensus(benchmark):
+    """The paper claims the augmented view gives users better consensus; the
+    consensus metrics must report that improvement for assessments whose
+    spread shrinks once indicators are available."""
+    import numpy as np
+
+    rng = np.random.default_rng(41)
+    articles = [f"a{i}" for i in range(100)]
+    true_quality = {a: rng.uniform(1, 5) for a in articles}
+    without = {a: list(np.clip(rng.normal(true_quality[a], 1.4, size=5), 1, 5)) for a in articles}
+    with_ind = {a: list(np.clip(rng.normal(true_quality[a], 0.6, size=5), 1, 5)) for a in articles}
+
+    report = benchmark(lambda: consensus_report(without, with_ind))
+
+    print("\n=== §1 claim — consensus with vs without indicators ===")
+    for key, value in report.items():
+        print(f"  {key:<32}{value:8.3f}")
+    assert report["agreement_improvement"] > 0
+    assert report["variance_reduction"] > 0

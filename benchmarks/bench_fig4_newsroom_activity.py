@@ -1,0 +1,54 @@
+"""Experiment E1 — Figure 4: newsroom activity.
+
+Regenerates the paper's Figure 4: the mean percentage of daily posts referring
+to COVID-19 per outlet rating category over the 60-day window.  The expected
+shape: early on low- and high-quality outlets post about the topic at a
+similar rate; by the end of the first month low-quality outlets dedicate a
+much larger share of their output to it.
+"""
+
+from __future__ import annotations
+
+from conftest import print_series
+
+
+def test_fig4_newsroom_activity(benchmark, paper_platform, paper_scenario):
+    def compute():
+        return paper_platform.topic_insights(
+            "covid19",
+            window_start=paper_scenario.window_start,
+            window_end=paper_scenario.window_end,
+        ).newsroom_activity
+
+    activity = benchmark.pedantic(compute, rounds=3, iterations=1)
+
+    low_first = activity.mean_share(True, first_half=True)
+    low_second = activity.mean_share(True, first_half=False)
+    high_first = activity.mean_share(False, first_half=True)
+    high_second = activity.mean_share(False, first_half=False)
+
+    print_series(
+        "Figure 4 — mean % of daily posts on COVID-19 per rating category",
+        activity.days,
+        activity.series,
+    )
+    print(
+        f"\nlow-quality  mean share: first half {low_first:5.1f}%  second half {low_second:5.1f}%\n"
+        f"high-quality mean share: first half {high_first:5.1f}%  second half {high_second:5.1f}%\n"
+        f"divergence (low - high, second half): {activity.divergence():5.1f} percentage points"
+    )
+
+    benchmark.extra_info.update(
+        {
+            "low_first_half_pct": round(low_first, 2),
+            "low_second_half_pct": round(low_second, 2),
+            "high_first_half_pct": round(high_first, 2),
+            "high_second_half_pct": round(high_second, 2),
+            "divergence_pct_points": round(activity.divergence(), 2),
+        }
+    )
+
+    # Paper shape: similar early, low-quality outlets dominate late.
+    assert abs(low_first - high_first) < 12.0
+    assert low_second > low_first + 10.0
+    assert activity.divergence() > 10.0

@@ -1,0 +1,41 @@
+"""Experiment E3 — Figure 5 (right): scientific-references ratio distribution.
+
+Regenerates the KDE of the scientific-references ratio per COVID-19 article,
+split into low- versus high-quality outlets.  Expected shape: high-quality
+outlets base their reporting on scientific references far more often, so their
+distribution sits at clearly higher ratios; low-quality outlets concentrate
+at (or near) zero.
+"""
+
+from __future__ import annotations
+
+from conftest import print_distribution
+
+
+def test_fig5_scientific_references(benchmark, paper_platform, paper_scenario):
+    def compute():
+        return paper_platform.topic_insights(
+            "covid19",
+            window_start=paper_scenario.window_start,
+            window_end=paper_scenario.window_end,
+        ).evidence_seeking
+
+    comparison = benchmark.pedantic(compute, rounds=3, iterations=1)
+    summary = comparison.summary()
+
+    print_distribution("Figure 5 (right) — scientific references ratio per article", summary)
+    low_zero = sum(1 for v in comparison.low_quality_samples if v == 0.0)
+    high_zero = sum(1 for v in comparison.high_quality_samples if v == 0.0)
+    print(
+        f"articles with zero scientific references: "
+        f"low-quality {low_zero}/{len(comparison.low_quality_samples)}, "
+        f"high-quality {high_zero}/{len(comparison.high_quality_samples)}"
+    )
+
+    benchmark.extra_info.update({k: round(v, 3) for k, v in summary.items()})
+
+    # Paper shape: high-quality outlets show the inverse behaviour of reactions —
+    # a higher number/share of well-established scientific references.
+    assert summary["high_mean"] > summary["low_mean"] + 0.15
+    assert summary["high_median"] > summary["low_median"]
+    assert low_zero / max(1, len(comparison.low_quality_samples)) > 0.5

@@ -1,0 +1,40 @@
+"""Experiment E2 — Figure 5 (left): social-media reactions distribution.
+
+Regenerates the KDE of the number of social-media reactions per COVID-19
+article, split into low- versus high-quality outlets.  Expected shape: the
+low-quality outlets have a wider and larger distribution of reactions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from conftest import print_distribution
+
+
+def test_fig5_social_reactions(benchmark, paper_platform, paper_scenario):
+    def compute():
+        return paper_platform.topic_insights(
+            "covid19",
+            window_start=paper_scenario.window_start,
+            window_end=paper_scenario.window_end,
+        ).social_engagement
+
+    comparison = benchmark.pedantic(compute, rounds=3, iterations=1)
+    summary = comparison.summary()
+    curves = comparison.kde_curves(n_points=200)
+
+    print_distribution("Figure 5 (left) — social media reactions per article", summary)
+    for label, (xs, density) in curves.items():
+        if xs:
+            mode = xs[int(np.argmax(density))]
+            print(f"{label:<14} KDE mode at {mode:8.1f} reactions, support [{xs[0]:.1f}, {xs[-1]:.1f}]")
+
+    benchmark.extra_info.update({k: round(v, 3) for k, v in summary.items()})
+
+    # Paper shape: low-quality outlets acquire more social-media reach and show
+    # a wider distribution of reactions.
+    assert summary["low_mean"] > summary["high_mean"] * 1.5
+    assert summary["low_std"] > summary["high_std"]
+    assert comparison.low_mean_higher()
+    assert comparison.low_spread_wider()

@@ -1,0 +1,96 @@
+"""COVID-19 topic insights (§4.2): newsroom activity, social engagement and
+evidence seeking, contrasted between low- and high-quality outlets.
+
+This is the end-user view behind Figures 4 and 5 of the paper, computed over a
+synthetic 45-outlet, 60-day data segment.
+
+Run with::
+
+    python examples/covid19_topic_insights.py [--outlets 45] [--scale 0.06]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import PlatformConfig, SciLensPlatform
+from repro.simulation import CovidScenarioConfig, generate_covid_scenario
+
+
+def build_platform(n_outlets: int, volume_scale: float) -> tuple[SciLensPlatform, object]:
+    scenario = generate_covid_scenario(
+        CovidScenarioConfig(n_outlets=n_outlets, volume_scale=volume_scale, random_seed=13)
+    )
+    platform = SciLensPlatform(
+        config=PlatformConfig(),
+        site_store=scenario.site_store,
+        account_registry=scenario.outlets.account_registry(),
+    )
+    platform.register_outlets(scenario.outlets.outlets())
+    platform.ingest_posting_events(scenario.posting_events())
+    platform.ingest_reaction_events(scenario.reaction_events())
+    platform.process_stream()
+    platform.assign_topics()
+    return platform, scenario
+
+
+def ascii_sparkline(values: list[float], width: int = 60) -> str:
+    """Render a value series as a coarse ASCII sparkline."""
+    if not values:
+        return ""
+    blocks = " .:-=+*#%@"
+    top = max(values) or 1.0
+    step = max(1, len(values) // width)
+    sampled = values[::step]
+    return "".join(blocks[min(len(blocks) - 1, int(v / top * (len(blocks) - 1)))] for v in sampled)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--outlets", type=int, default=45)
+    parser.add_argument("--scale", type=float, default=0.06,
+                        help="fraction of each outlet's full daily volume to simulate")
+    args = parser.parse_args()
+
+    print(f"building the COVID-19 segment ({args.outlets} outlets, 60 days)...")
+    platform, scenario = build_platform(args.outlets, args.scale)
+    insights = platform.topic_insights(
+        "covid19", window_start=scenario.window_start, window_end=scenario.window_end
+    )
+
+    # ------------------------------------------------------------- Figure 4
+    activity = insights.newsroom_activity
+    print("\n=== Newsroom activity (Figure 4) ===")
+    print("mean % of daily posts devoted to COVID-19, averaged per quality group\n")
+    low_series = list(activity.group_series(True))
+    high_series = list(activity.group_series(False))
+    print(f"low-quality  |{ascii_sparkline(low_series)}|")
+    print(f"high-quality |{ascii_sparkline(high_series)}|")
+    print(f"\nfirst half of the window : low {activity.mean_share(True, True):5.1f}%   "
+          f"high {activity.mean_share(False, True):5.1f}%")
+    print(f"second half of the window: low {activity.mean_share(True, False):5.1f}%   "
+          f"high {activity.mean_share(False, False):5.1f}%")
+    print(f"divergence (second half) : {activity.divergence():.1f} percentage points")
+
+    # ------------------------------------------------------------- Figure 5
+    engagement = insights.social_engagement.summary()
+    evidence = insights.evidence_seeking.summary()
+    print("\n=== Social engagement (Figure 5, left) ===")
+    print(f"reactions per article  — low-quality : mean {engagement['low_mean']:7.1f}  "
+          f"std {engagement['low_std']:7.1f}  (n={engagement['low_n']:.0f})")
+    print(f"reactions per article  — high-quality: mean {engagement['high_mean']:7.1f}  "
+          f"std {engagement['high_std']:7.1f}  (n={engagement['high_n']:.0f})")
+
+    print("\n=== Evidence seeking (Figure 5, right) ===")
+    print(f"scientific refs ratio  — low-quality : mean {evidence['low_mean']:.3f}  "
+          f"median {evidence['low_median']:.3f}")
+    print(f"scientific refs ratio  — high-quality: mean {evidence['high_mean']:.3f}  "
+          f"median {evidence['high_median']:.3f}")
+
+    print("\nInterpretation (matches the paper): low-quality outlets chase the breaking "
+          "topic and harvest more social reach, while high-quality outlets publish more "
+          "conservatively but ground their reporting in scientific references.")
+
+
+if __name__ == "__main__":
+    main()

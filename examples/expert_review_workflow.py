@@ -1,0 +1,106 @@
+"""Expert-review workflow through the Indicators API (§3.2).
+
+Domain experts annotate articles on the seven Likert criteria through the
+reviews micro-service; the platform combines their annotations into a
+weighted, time-sensitive average, fuses it with the automated indicators, and
+the example finally quantifies how much the augmented view improves consensus
+among simulated non-expert assessors (the claim of §1).
+
+Run with::
+
+    python examples/expert_review_workflow.py
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+import numpy as np
+
+from repro import PlatformConfig, SciLensPlatform, build_gateway
+from repro.experts.consensus import consensus_report
+from repro.experts.criteria import CRITERIA
+from repro.simulation import CovidScenarioConfig, generate_covid_scenario
+
+
+def main() -> None:
+    scenario = generate_covid_scenario(CovidScenarioConfig.small(n_outlets=8, n_days=20, random_seed=21))
+    platform = SciLensPlatform(
+        config=PlatformConfig(),
+        site_store=scenario.site_store,
+        account_registry=scenario.outlets.account_registry(),
+    )
+    platform.register_outlets(scenario.outlets.outlets())
+    platform.ingest_posting_events(scenario.posting_events())
+    platform.ingest_reaction_events(scenario.reaction_events())
+    platform.process_stream()
+    platform.assign_topics()
+
+    gateway = build_gateway(platform)
+    rng = np.random.default_rng(4)
+
+    # ----------------------------------------------------------------- reviews
+    covid_articles = scenario.topic_articles()[:5]
+    print("submitting expert reviews through the reviews micro-service...")
+    for generated in covid_articles:
+        article = platform.get_article_by_url(generated.url)
+        quality = generated.true_quality
+        for reviewer_index in range(3):
+            likert = int(np.clip(round(1 + quality * 4 + rng.normal(0, 0.5)), 1, 5))
+            scores = {criterion: likert for criterion in CRITERIA}
+            scores["clickbaitness"] = 6 - likert
+            created_at = generated.article.published_at + timedelta(days=1 + reviewer_index)
+            response = gateway.handle(
+                "reviews.submit",
+                {
+                    "article_id": article.article_id,
+                    "reviewer_id": f"expert-{reviewer_index:02d}",
+                    "scores": scores,
+                    "comment": "Thorough reporting." if quality > 0.5 else "Overstated claims.",
+                    "created_at": created_at.isoformat(),
+                },
+            )
+            assert response.ok, response.error
+
+    # -------------------------------------------------------- combined scoring
+    print(f"\n{'article':<46}{'outlet class':<12}{'auto':>7}{'expert':>8}{'final':>8}")
+    for generated in covid_articles:
+        article = platform.get_article_by_url(generated.url)
+        payload = gateway.handle("indicators.evaluate", {"article_id": article.article_id}).payload
+        expert = payload["expert"]["expert_overall_quality"] if payload["expert"] else float("nan")
+        print(
+            f"{payload['title'][:44]:<46}"
+            f"{payload['outlet_rating']:<12}"
+            f"{payload['indicators']['automated_score']:>7.3f}"
+            f"{expert:>8.3f}"
+            f"{payload['final_score']:>8.3f}"
+        )
+
+    # ------------------------------------------------------ consensus analysis
+    # Simulated non-experts assess article quality on the Likert scale, with and
+    # without access to the platform's augmented view.  The indicator-informed
+    # condition has lower per-assessor noise around the truth, as reported in
+    # the user study of the underlying SciLens paper.
+    without_indicators: dict[str, list[float]] = {}
+    with_indicators: dict[str, list[float]] = {}
+    for generated in scenario.topic_articles():
+        truth = 1 + generated.true_quality * 4
+        without_indicators[generated.article.article_id] = list(
+            np.clip(rng.normal(truth, 1.5, size=6), 1, 5)
+        )
+        with_indicators[generated.article.article_id] = list(
+            np.clip(rng.normal(truth, 0.7, size=6), 1, 5)
+        )
+    report = consensus_report(without_indicators, with_indicators)
+
+    print("\n=== consensus among non-expert assessors (the §1 claim) ===")
+    print(f"articles compared               : {report['articles']:.0f}")
+    print(f"agreement without indicators    : {report['agreement_without_indicators']:.3f}")
+    print(f"agreement with indicators       : {report['agreement_with_indicators']:.3f}")
+    print(f"improvement                     : +{report['agreement_improvement']:.3f}")
+    print(f"score variance without / with   : {report['variance_without_indicators']:.3f} "
+          f"/ {report['variance_with_indicators']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Quickstart: build the platform, ingest a small COVID-19 data segment and
+evaluate one article in real time.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import PlatformConfig, SciLensPlatform
+from repro.logging_utils import configure_logging
+from repro.simulation import CovidScenarioConfig, generate_covid_scenario
+
+
+def main() -> None:
+    configure_logging()
+
+    # 1. Generate a small synthetic COVID-19 data segment (the offline stand-in
+    #    for the Datastreamer feed + crawled article pages).
+    scenario = generate_covid_scenario(CovidScenarioConfig.small(n_outlets=6, n_days=20))
+    print("scenario:", scenario.summary())
+
+    # 2. Build the platform around the scenario's synthetic web and outlet accounts.
+    platform = SciLensPlatform(
+        config=PlatformConfig(),
+        site_store=scenario.site_store,
+        account_registry=scenario.outlets.account_registry(),
+    )
+    platform.register_outlets(scenario.outlets.outlets())
+
+    # 3. Stream the social-media events through the ingestion pipeline: postings
+    #    and reactions go onto the broker, articles are scraped and stored.
+    platform.ingest_posting_events(scenario.posting_events())
+    platform.ingest_reaction_events(scenario.reaction_events())
+    print("stream processing:", platform.process_stream())
+
+    # 4. Content-based topic segmentation (supervised keyword topics).
+    print("topic segmentation:", platform.assign_topics())
+
+    # 5. Evaluate one article in real time: every automated indicator plus the
+    #    (empty, so far) expert-review consensus.
+    article_url = scenario.topic_articles()[0].url
+    assessment = platform.evaluate_url(article_url)
+    print("\n--- single article assessment ---")
+    print(f"title        : {assessment.title}")
+    print(f"outlet       : {assessment.outlet_domain} ({assessment.outlet_rating})")
+    print(f"final score  : {assessment.final_score:.3f} -> {assessment.rating_class.value}")
+    for family, score in assessment.profile.family_scores().items():
+        print(f"  {family:<8} quality: {score:.3f}")
+
+    # 6. Platform status (operational monitoring view).
+    print("\nplatform status:", platform.status())
+
+
+if __name__ == "__main__":
+    main()

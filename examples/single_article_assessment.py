@@ -1,0 +1,119 @@
+"""Single-article assessment (§4.1 / Figure 3): the combined card of automated
+quality indicators and expert reviews for one article, rendered as text.
+
+The example also shows the "any arbitrary news article" path: a page that the
+platform never ingested is scraped and evaluated on the fly.
+
+Run with::
+
+    python examples/single_article_assessment.py
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from repro import PlatformConfig, SciLensPlatform
+from repro.experts.criteria import criterion_definition
+from repro.experts.reviewers import ReviewerPool
+from repro.simulation import CovidScenarioConfig, generate_covid_scenario
+
+
+def render_card(assessment) -> None:
+    """Render the Figure 3 card as text."""
+    payload = assessment.to_payload()
+    print("┌" + "─" * 78 + "┐")
+    print(f"│ {payload['title'][:76]:<76} │")
+    print(f"│ {payload['outlet_domain']:<40} outlet rating: {str(payload['outlet_rating']):<19} │")
+    print("├" + "─" * 78 + "┤")
+    print(f"│ FINAL SCORE: {payload['final_score']:.3f}  ({payload['final_rating']:<10})"
+          + " " * 45 + "│")
+    print("│ Automated indicators:" + " " * 56 + "│")
+    indicators = payload["indicators"]
+    rows = [
+        ("click-baitness of the title", indicators["clickbait_score"]),
+        ("subjectivity of the body", indicators["subjectivity"]),
+        ("readability of the body", indicators["readability"]),
+        ("by-lined by its author", indicators["has_byline"]),
+        ("internal references", indicators["internal_references"]),
+        ("external references", indicators["external_references"]),
+        ("scientific references", indicators["scientific_references"]),
+        ("scientific references ratio", indicators["scientific_ratio"]),
+        ("social-media posts", indicators["n_posts"]),
+        ("social-media reactions", indicators["n_reactions"]),
+        ("popularity (reach)", indicators["popularity"]),
+        ("positive stance", indicators["positive_stance"]),
+        ("negative stance", indicators["negative_stance"]),
+    ]
+    for label, value in rows:
+        print(f"│   {label:<34}{value:10.3f}" + " " * 31 + "│")
+    print("│ Expert reviews:" + " " * 62 + "│")
+    if payload["expert"] is None:
+        print("│   (no expert reviews yet)" + " " * 52 + "│")
+    else:
+        for key, value in sorted(payload["expert"].items()):
+            if key.startswith("expert_") and key not in ("expert_overall_quality", "expert_n_reviews"):
+                name = criterion_definition(key.removeprefix("expert_")).display_name
+                print(f"│   {name:<34}{value:10.2f}" + " " * 31 + "│")
+        print(f"│   {'overall expert quality':<34}{payload['expert']['expert_overall_quality']:10.3f}"
+              + " " * 31 + "│")
+        print(f"│   {'number of reviews':<34}{payload['expert']['expert_n_reviews']:10.0f}"
+              + " " * 31 + "│")
+    for comment in payload["expert_comments"][:2]:
+        print(f"│   “{comment[:70]:<70}”  │")
+    print("└" + "─" * 78 + "┘")
+
+
+def main() -> None:
+    scenario = generate_covid_scenario(CovidScenarioConfig.small(n_outlets=8, n_days=20))
+    platform = SciLensPlatform(
+        config=PlatformConfig(),
+        site_store=scenario.site_store,
+        account_registry=scenario.outlets.account_registry(),
+    )
+    platform.register_outlets(scenario.outlets.outlets())
+    platform.ingest_posting_events(scenario.posting_events())
+    platform.ingest_reaction_events(scenario.reaction_events())
+    platform.process_stream()
+    platform.assign_topics()
+
+    # Pick one high-quality and one low-quality COVID-19 article.
+    high_domains = {p.domain for p in scenario.outlets.high_quality()}
+    low_domains = {p.domain for p in scenario.outlets.low_quality()}
+    covid = scenario.topic_articles()
+    high_article = next(g for g in covid if g.article.outlet_domain in high_domains)
+    low_article = next(g for g in covid if g.article.outlet_domain in low_domains)
+
+    # Domain experts review both articles (simulated reviewer pool).
+    pool = ReviewerPool(n_reviewers=4, random_seed=7)
+    for generated in (high_article, low_article):
+        article = platform.get_article_by_url(generated.url)
+        for review in pool.review_article(
+            article.article_id, generated.true_quality, datetime(2020, 3, 10),
+            comment="Careful, well-sourced reporting." if generated.true_quality > 0.5
+            else "Sensationalist framing, weak sourcing.",
+        ):
+            platform.add_expert_review(review)
+
+    print("\nArticle from a HIGH-quality outlet")
+    render_card(platform.evaluate_url(high_article.url))
+
+    print("\nArticle from a LOW-quality outlet")
+    render_card(platform.evaluate_url(low_article.url))
+
+    # The "arbitrary news article" path: register a brand-new page on the
+    # synthetic web (it was never announced on social media, so the platform
+    # has no record of it) and evaluate it straight from its URL.
+    arbitrary_url = "https://unknown-blog.example.net/2020/03/01/miracle-cure"
+    platform.site_store.register(
+        arbitrary_url,
+        "<html><head><title>You won't believe this miracle coronavirus cure!</title></head>"
+        "<body><p>This shocking trick cures the virus overnight. Doctors hate it. "
+        "Everyone should panic about the terrifying truth they hide.</p></body></html>",
+    )
+    print("\nArbitrary URL, never seen by the platform before")
+    render_card(platform.evaluate_url(arbitrary_url))
+
+
+if __name__ == "__main__":
+    main()

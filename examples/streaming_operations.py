@@ -1,0 +1,84 @@
+"""Operating the platform day by day (the Figure 2 architecture in motion).
+
+Simulates two weeks of operation: every day the streaming pipeline ingests the
+day's postings and reactions, articles are extracted into the operational
+RDBMS, and the daily migration job synchronises the history into the
+Distributed Storage; every seventh day the periodic model-training job runs
+over the warehouse.
+
+Run with::
+
+    python examples/streaming_operations.py
+"""
+
+from __future__ import annotations
+
+from datetime import timedelta
+
+from repro import PlatformConfig, SciLensPlatform
+from repro.simulation import CovidScenarioConfig, generate_covid_scenario
+
+
+def events_between(events, start_iso: str, end_iso: str):
+    return [(key, value) for key, value in events if start_iso <= value["created_at"] < end_iso]
+
+
+def main() -> None:
+    n_days = 14
+    scenario = generate_covid_scenario(
+        CovidScenarioConfig.small(n_outlets=10, n_days=n_days, random_seed=13)
+    )
+    platform = SciLensPlatform(
+        config=PlatformConfig(),
+        site_store=scenario.site_store,
+        account_registry=scenario.outlets.account_registry(),
+    )
+    platform.register_outlets(scenario.outlets.outlets())
+
+    postings = list(scenario.posting_events())
+    reactions = list(scenario.reaction_events())
+
+    print(f"{'day':<12}{'postings':>9}{'reactions':>10}{'articles':>9}"
+          f"{'rdbms rows':>11}{'warehouse':>10}{'lag':>5}")
+    for day in range(n_days):
+        day_start = scenario.window_start + timedelta(days=day)
+        day_end = day_start + timedelta(days=1)
+        lo, hi = day_start.isoformat(), day_end.isoformat()
+
+        day_postings = events_between(postings, lo, hi)
+        day_reactions = events_between(reactions, lo, hi)
+        platform.ingest_posting_events(day_postings)
+        platform.ingest_reaction_events(day_reactions)
+        platform.process_stream()
+
+        # End of day: synchronise the operational store into the warehouse.
+        migration = platform.run_daily_migration(now=day_end)
+
+        # Periodic (weekly) model training over the full history.
+        if day > 0 and day % 7 == 0:
+            trained = platform.train_models(now=day_end)
+            print(f"    [week {day // 7}] trained models over {trained['n_articles']} articles: "
+                  + ", ".join(sorted(k for k in trained if k.endswith('_version'))))
+
+        status = platform.status()
+        rdbms_rows = status["articles"] + status["posts"] + status["reactions"]
+        print(f"{day_start.date().isoformat():<12}{len(day_postings):>9}{len(day_reactions):>10}"
+              f"{status['articles']:>9}{rdbms_rows:>11}{status['warehouse_rows']:>10}"
+              f"{status['stream_lag']:>5}")
+        assert migration.total_rows >= 0
+
+    platform.assign_topics()
+    print("\nfinal status:", platform.status())
+    print("outlet segments:", {k: len(v) for k, v in platform.outlet_segments().items()})
+
+    # Robustness of the Distributed Storage: kill a data node, verify the data
+    # is still readable, and re-replicate onto the surviving nodes.
+    platform.dfs.kill_node("node-0")
+    under = len(platform.dfs.under_replicated_blocks())
+    copies = platform.dfs.rebalance()
+    print(f"\nkilled node-0: {under} under-replicated blocks, re-replicated {copies} copies")
+    print("dfs stats:", platform.dfs.stats())
+
+
+if __name__ == "__main__":
+    main()

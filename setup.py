@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments that lack the
+``wheel`` package (pip falls back to the legacy ``setup.py develop`` path);
+all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

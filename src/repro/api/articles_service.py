@@ -1,0 +1,76 @@
+"""Articles service: browse and fetch the news collection."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..errors import ArticleNotFound
+from .service import MicroService, ServiceRequest, ServiceResponse
+
+
+class ArticlesService(MicroService):
+    """Read access to stored articles and outlets.
+
+    Operations: ``articles.get``, ``articles.by_url``, ``articles.list``,
+    ``articles.outlets``.
+    """
+
+    name = "articles"
+    cacheable = ("list", "outlets")
+
+    def __init__(self, platform) -> None:
+        super().__init__()
+        self.platform = platform
+        self.register("get", self._get)
+        self.register("by_url", self._by_url)
+        self.register("list", self._list)
+        self.register("outlets", self._outlets)
+
+    # ------------------------------------------------------------- handlers
+
+    def _get(self, request: ServiceRequest) -> ServiceResponse:
+        article_id = request.param("article_id", required=True)
+        try:
+            article = self.platform.get_article(article_id)
+        except ArticleNotFound as exc:
+            return ServiceResponse.not_found(str(exc))
+        return ServiceResponse.success(_article_payload(article))
+
+    def _by_url(self, request: ServiceRequest) -> ServiceResponse:
+        url = request.param("url", required=True)
+        try:
+            article = self.platform.get_article_by_url(url)
+        except ArticleNotFound as exc:
+            return ServiceResponse.not_found(str(exc))
+        return ServiceResponse.success(_article_payload(article))
+
+    def _list(self, request: ServiceRequest) -> ServiceResponse:
+        outlet_domain = request.param("outlet_domain")
+        topic = request.param("topic")
+        limit = int(request.param("limit", 100))
+        articles = self.platform.articles(outlet_domain=outlet_domain)
+        if topic is not None:
+            articles = [a for a in articles if topic in a.topics]
+        articles.sort(key=lambda a: a.published_at, reverse=True)
+        return ServiceResponse.success(
+            {
+                "total": len(articles),
+                "articles": [_article_payload(a) for a in articles[:limit]],
+            }
+        )
+
+    def _outlets(self, request: ServiceRequest) -> ServiceResponse:
+        return ServiceResponse.success({"outlets": self.platform.outlets()})
+
+
+def _article_payload(article) -> dict[str, Any]:
+    return {
+        "article_id": article.article_id,
+        "url": article.url,
+        "outlet_domain": article.outlet_domain,
+        "title": article.title,
+        "author": article.author,
+        "published_at": article.published_at.isoformat(),
+        "topics": list(article.topics),
+        "word_count": article.word_count(),
+    }

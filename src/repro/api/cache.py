@@ -1,0 +1,72 @@
+"""LRU + TTL response cache used by the gateway."""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Hashable
+
+
+class TtlCache:
+    """A small LRU cache whose entries expire after ``ttl_seconds``.
+
+    ``capacity=0`` disables caching entirely (every lookup misses).
+    """
+
+    def __init__(self, capacity: int = 1024, ttl_seconds: float = 300.0) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        if ttl_seconds < 0:
+            raise ValueError("ttl_seconds must be non-negative")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self._entries: OrderedDict[Hashable, tuple[float, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Any | None:
+        """Return the cached value or ``None`` on miss/expiry."""
+        if self.capacity == 0:
+            self.misses += 1
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_at, value = entry
+        if self.ttl_seconds and (time.monotonic() - stored_at) > self.ttl_seconds:
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Store a value (evicting the least recently used entry when full)."""
+        if self.capacity == 0:
+            return
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (time.monotonic(), value)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, key: Hashable | None = None) -> None:
+        """Drop one entry, or the whole cache when ``key`` is ``None``."""
+        if key is None:
+            self._entries.clear()
+        else:
+            self._entries.pop(key, None)
+
+    def stats(self) -> dict[str, float]:
+        total = self.hits + self.misses
+        return {
+            "entries": float(len(self._entries)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hits / total if total else 0.0,
+        }

@@ -1,0 +1,81 @@
+"""API gateway: routes requests to mounted micro-services, with caching."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import RouteNotFound
+from .cache import TtlCache
+from .service import MicroService, ServiceRequest, ServiceResponse
+
+
+class ApiGateway:
+    """Routes ``"<service>.<operation>"`` requests to the mounted services.
+
+    Successful responses of operations registered as cacheable are stored in a
+    TTL cache keyed by route + parameters, mirroring the response caching the
+    deployed Indicators API uses for hot articles.
+    """
+
+    def __init__(self, cache: TtlCache | None = None) -> None:
+        self._services: dict[str, MicroService] = {}
+        self._cacheable: set[str] = set()
+        self.cache = cache or TtlCache()
+        self.request_count = 0
+
+    # ---------------------------------------------------------------- mounting
+
+    def mount(self, service: MicroService, cacheable_operations: tuple[str, ...] | None = None) -> None:
+        """Mount a service; its cacheable operations default to ``service.cacheable``."""
+        self._services[service.name] = service
+        cacheable = cacheable_operations
+        if cacheable is None:
+            cacheable = getattr(service, "cacheable", ())
+        for operation in cacheable:
+            self._cacheable.add(f"{service.name}.{operation}")
+
+    def services(self) -> list[str]:
+        return sorted(self._services)
+
+    def routes(self) -> list[str]:
+        """Every route the gateway can serve."""
+        out: list[str] = []
+        for service in self._services.values():
+            out.extend(service.operations())
+        return sorted(out)
+
+    # ---------------------------------------------------------------- dispatch
+
+    def handle(self, route: str, params: dict[str, Any] | None = None) -> ServiceResponse:
+        """Dispatch one request; raises :class:`RouteNotFound` for unknown services."""
+        self.request_count += 1
+        params = params or {}
+        if "." not in route:
+            raise RouteNotFound(f"malformed route {route!r} (expected '<service>.<operation>')")
+        service_name, operation = route.split(".", 1)
+        service = self._services.get(service_name)
+        if service is None:
+            raise RouteNotFound(f"no service named {service_name!r}")
+
+        cache_key = None
+        if route in self._cacheable:
+            cache_key = (route, json.dumps(params, sort_keys=True, default=str))
+            cached = self.cache.get(cache_key)
+            if cached is not None:
+                return cached
+
+        response = service.handle(operation, ServiceRequest(route=route, params=params))
+        if cache_key is not None and response.ok:
+            self.cache.put(cache_key, response)
+        return response
+
+    def stats(self) -> dict[str, Any]:
+        """Gateway and per-service request statistics."""
+        return {
+            "requests": self.request_count,
+            "cache": self.cache.stats(),
+            "services": {
+                name: service.request_count for name, service in sorted(self._services.items())
+            },
+        }

@@ -1,0 +1,50 @@
+"""Indicators service: the real-time article-evaluation endpoint (§4.1)."""
+
+from __future__ import annotations
+
+from ..errors import ArticleNotFound, ScrapingError
+from .service import MicroService, ServiceRequest, ServiceResponse
+
+
+class IndicatorsService(MicroService):
+    """Real-time quality evaluation of articles.
+
+    Operations: ``indicators.evaluate`` (by stored article id),
+    ``indicators.evaluate_url`` (any URL, scraped on demand) and
+    ``indicators.cached`` (last stored indicator payload).
+    """
+
+    name = "indicators"
+    cacheable = ("cached",)
+
+    def __init__(self, platform) -> None:
+        super().__init__()
+        self.platform = platform
+        self.register("evaluate", self._evaluate)
+        self.register("evaluate_url", self._evaluate_url)
+        self.register("cached", self._cached)
+
+    def _evaluate(self, request: ServiceRequest) -> ServiceResponse:
+        article_id = request.param("article_id", required=True)
+        try:
+            assessment = self.platform.evaluate_article(article_id)
+        except ArticleNotFound as exc:
+            return ServiceResponse.not_found(str(exc))
+        return ServiceResponse.success(assessment.to_payload())
+
+    def _evaluate_url(self, request: ServiceRequest) -> ServiceResponse:
+        url = request.param("url", required=True)
+        try:
+            assessment = self.platform.evaluate_url(url)
+        except (ArticleNotFound, ScrapingError) as exc:
+            return ServiceResponse.not_found(str(exc))
+        return ServiceResponse.success(assessment.to_payload())
+
+    def _cached(self, request: ServiceRequest) -> ServiceResponse:
+        article_id = request.param("article_id", required=True)
+        payload = self.platform.cached_indicators(article_id)
+        if payload is None:
+            return ServiceResponse.not_found(
+                f"no cached indicators for article {article_id!r}"
+            )
+        return ServiceResponse.success({"article_id": article_id, "indicators": payload})

@@ -1,0 +1,76 @@
+"""Reviews service: expert annotation of articles (§3.2)."""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+from ..errors import ReviewError, ValidationError
+from ..models import ExpertReview
+from .service import MicroService, ServiceRequest, ServiceResponse
+
+
+class ReviewsService(MicroService):
+    """Submit and read expert reviews.
+
+    Operations: ``reviews.submit``, ``reviews.for_article``, ``reviews.summary``.
+    """
+
+    name = "reviews"
+    cacheable = ()
+
+    def __init__(self, platform) -> None:
+        super().__init__()
+        self.platform = platform
+        self.register("submit", self._submit)
+        self.register("for_article", self._for_article)
+        self.register("summary", self._summary)
+
+    def _submit(self, request: ServiceRequest) -> ServiceResponse:
+        article_id = request.param("article_id", required=True)
+        reviewer_id = request.param("reviewer_id", required=True)
+        scores = request.param("scores", required=True)
+        comment = request.param("comment", "")
+        weight = float(request.param("reviewer_weight", 1.0))
+        created_at = request.param("created_at") or datetime.utcnow()
+        if isinstance(created_at, str):
+            created_at = datetime.fromisoformat(created_at)
+
+        try:
+            review = ExpertReview(
+                review_id=f"rev-{article_id}-{reviewer_id}-{created_at.strftime('%Y%m%d%H%M%S%f')}",
+                article_id=article_id,
+                reviewer_id=reviewer_id,
+                created_at=created_at,
+                scores={k: int(v) for k, v in dict(scores).items()},
+                comment=str(comment),
+                reviewer_weight=weight,
+            )
+            self.platform.add_expert_review(review)
+        except (ReviewError, ValidationError) as exc:
+            return ServiceResponse.bad_request(str(exc))
+        return ServiceResponse.success({"review_id": review.review_id})
+
+    def _for_article(self, request: ServiceRequest) -> ServiceResponse:
+        article_id = request.param("article_id", required=True)
+        reviews = self.platform.review_store.reviews_for_article(article_id)
+        return ServiceResponse.success(
+            {
+                "article_id": article_id,
+                "reviews": [
+                    {
+                        "review_id": review.review_id,
+                        "reviewer_id": review.reviewer_id,
+                        "created_at": review.created_at.isoformat(),
+                        "scores": dict(review.scores),
+                        "comment": review.comment,
+                    }
+                    for review in reviews
+                ],
+            }
+        )
+
+    def _summary(self, request: ServiceRequest) -> ServiceResponse:
+        article_id = request.param("article_id", required=True)
+        reviews = self.platform.review_store.latest_per_reviewer(article_id)
+        summary = self.platform.review_aggregator.summarize(article_id, reviews)
+        return ServiceResponse.success(summary.as_dict() | {"article_id": article_id})

@@ -1,0 +1,93 @@
+"""Micro-service framework: requests, responses and the service base class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..errors import ServiceError
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One request routed to a service operation."""
+
+    route: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def param(self, name: str, default: Any = None, required: bool = False) -> Any:
+        """Fetch one parameter, optionally requiring its presence."""
+        if name in self.params:
+            return self.params[name]
+        if required:
+            raise ServiceError(f"missing required parameter {name!r} for route {self.route!r}")
+        return default
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """The outcome of one service call."""
+
+    status: int
+    payload: Any = None
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @classmethod
+    def success(cls, payload: Any) -> "ServiceResponse":
+        return cls(status=200, payload=payload)
+
+    @classmethod
+    def not_found(cls, message: str) -> "ServiceResponse":
+        return cls(status=404, error=message)
+
+    @classmethod
+    def bad_request(cls, message: str) -> "ServiceResponse":
+        return cls(status=400, error=message)
+
+    @classmethod
+    def failure(cls, message: str) -> "ServiceResponse":
+        return cls(status=500, error=message)
+
+
+class MicroService:
+    """Base class of every Indicators-API micro-service.
+
+    Subclasses set ``name`` and register their operations with
+    :meth:`register`; the gateway exposes each operation under
+    ``"<service name>.<operation>"``.
+    """
+
+    name: str = "service"
+
+    def __init__(self) -> None:
+        self._operations: dict[str, Callable[[ServiceRequest], ServiceResponse]] = {}
+        self.request_count = 0
+
+    def register(self, operation: str, handler: Callable[[ServiceRequest], ServiceResponse]) -> None:
+        """Register one operation handler."""
+        if not operation:
+            raise ServiceError("operation name must be non-empty")
+        self._operations[operation] = handler
+
+    def operations(self) -> list[str]:
+        """Fully qualified route names this service serves."""
+        return [f"{self.name}.{operation}" for operation in sorted(self._operations)]
+
+    def handle(self, operation: str, request: ServiceRequest) -> ServiceResponse:
+        """Dispatch a request to one of the registered operations."""
+        handler = self._operations.get(operation)
+        if handler is None:
+            return ServiceResponse.not_found(
+                f"service {self.name!r} has no operation {operation!r}"
+            )
+        self.request_count += 1
+        try:
+            return handler(request)
+        except ServiceError as exc:
+            return ServiceResponse.bad_request(str(exc))
+        except Exception as exc:  # service errors must not crash the gateway
+            return ServiceResponse.failure(f"{type(exc).__name__}: {exc}")

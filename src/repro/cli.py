@@ -1,0 +1,129 @@
+"""Command-line interface.
+
+A small operational CLI over the library, mirroring the interactions the demo
+walks through:
+
+* ``python -m repro.cli insights`` — build a COVID-19 segment and print the
+  §4.2 topic insights (Figures 4–5);
+* ``python -m repro.cli assess --url <url>`` — evaluate one article of the
+  generated collection (or an arbitrary registered URL);
+* ``python -m repro.cli status`` — ingest a segment and print the platform's
+  operational status and outlet segments.
+
+All commands run on synthetic data; ``--outlets``, ``--days`` and ``--scale``
+control the size of the generated segment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from datetime import timedelta
+from typing import Sequence
+
+from ._time import COVID_WINDOW_START
+from .config import PlatformConfig
+from .core.platform import SciLensPlatform
+from .simulation import CovidScenarioConfig, generate_covid_scenario
+
+
+def _build_loaded_platform(args) -> tuple[SciLensPlatform, object]:
+    config = CovidScenarioConfig(
+        n_outlets=args.outlets,
+        window_start=COVID_WINDOW_START,
+        window_end=COVID_WINDOW_START + timedelta(days=args.days),
+        volume_scale=args.scale,
+        random_seed=args.seed,
+    )
+    scenario = generate_covid_scenario(config)
+    platform = SciLensPlatform(
+        config=PlatformConfig(),
+        site_store=scenario.site_store,
+        account_registry=scenario.outlets.account_registry(),
+    )
+    platform.register_outlets(scenario.outlets.outlets())
+    platform.ingest_posting_events(scenario.posting_events())
+    platform.ingest_reaction_events(scenario.reaction_events())
+    platform.process_stream()
+    platform.assign_topics()
+    return platform, scenario
+
+
+def _cmd_insights(args) -> int:
+    platform, scenario = _build_loaded_platform(args)
+    insights = platform.topic_insights(
+        "covid19", window_start=scenario.window_start, window_end=scenario.window_end
+    )
+    activity = insights.newsroom_activity
+    payload = {
+        "topic": insights.topic_key,
+        "articles": int(insights.metadata["n_articles"]),
+        "topic_articles": int(insights.metadata["n_topic_articles"]),
+        "newsroom_activity": {
+            "low_quality_first_half_pct": round(activity.mean_share(True, True), 2),
+            "low_quality_second_half_pct": round(activity.mean_share(True, False), 2),
+            "high_quality_first_half_pct": round(activity.mean_share(False, True), 2),
+            "high_quality_second_half_pct": round(activity.mean_share(False, False), 2),
+            "divergence_pct_points": round(activity.divergence(), 2),
+        },
+        "social_engagement": {k: round(v, 3) for k, v in insights.social_engagement.summary().items()},
+        "evidence_seeking": {k: round(v, 3) for k, v in insights.evidence_seeking.summary().items()},
+    }
+    print(json.dumps(payload, indent=2))
+    return 0
+
+
+def _cmd_assess(args) -> int:
+    platform, scenario = _build_loaded_platform(args)
+    url = args.url or scenario.topic_articles()[0].url
+    try:
+        assessment = platform.evaluate_url(url)
+    except Exception as exc:  # surfaced as a CLI error, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(assessment.to_payload(), indent=2, default=str))
+    return 0
+
+
+def _cmd_status(args) -> int:
+    platform, _scenario = _build_loaded_platform(args)
+    platform.run_daily_migration()
+    payload = platform.status()
+    payload["outlet_segments"] = {k: len(v) for k, v in platform.outlet_segments().items()}
+    print(json.dumps(payload, indent=2, default=str))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--outlets", type=int, default=10, help="number of outlets to simulate")
+    parser.add_argument("--days", type=int, default=20, help="length of the collection window in days")
+    parser.add_argument("--scale", type=float, default=0.2, help="fraction of full newsroom volume")
+    parser.add_argument("--seed", type=int, default=13, help="random seed of the scenario")
+
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    insights = subparsers.add_parser("insights", help="print the §4.2 topic insights")
+    insights.set_defaults(func=_cmd_insights)
+
+    assess = subparsers.add_parser("assess", help="evaluate one article (Figure 3 payload)")
+    assess.add_argument("--url", default=None, help="article URL (defaults to the first COVID-19 article)")
+    assess.set_defaults(func=_cmd_assess)
+
+    status = subparsers.add_parser("status", help="ingest a segment and print the platform status")
+    status.set_defaults(func=_cmd_status)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

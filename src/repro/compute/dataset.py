@@ -1,0 +1,297 @@
+"""Partitioned datasets with lazy, lineage-tracked transformations.
+
+``Dataset`` is the RDD-style abstraction the analytics jobs are written
+against: transformations (``map``, ``filter``, ``flat_map``, ``key_by``,
+``reduce_by_key``, ``group_by_key``, ``join`` …) are recorded lazily and only
+executed when an action (``collect``, ``count``, ``take``, ``reduce`` …) is
+called.  Narrow transformations run per-partition on the executor; key-based
+transformations shuffle records by key hash first.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Hashable, Iterable, Sequence, TypeVar
+
+from ..errors import ComputeError
+from .executor import LocalExecutor
+from .shuffle import hash_partition
+
+T = TypeVar("T")
+U = TypeVar("U")
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class Dataset:
+    """A lazily evaluated, partitioned collection."""
+
+    def __init__(
+        self,
+        partitions_provider: Callable[[], list[list[Any]]],
+        executor: LocalExecutor,
+        lineage: tuple[str, ...],
+        n_partitions: int,
+    ) -> None:
+        self._provider = partitions_provider
+        self.executor = executor
+        self.lineage = lineage
+        self.n_partitions = n_partitions
+        self._cache: list[list[Any]] | None = None
+        self._cached = False
+
+    # ---------------------------------------------------------- construction
+
+    @classmethod
+    def from_iterable(
+        cls,
+        items: Iterable[Any],
+        n_partitions: int = 4,
+        executor: LocalExecutor | None = None,
+    ) -> "Dataset":
+        """Create a dataset by round-robin partitioning ``items``."""
+        if n_partitions < 1:
+            raise ComputeError("n_partitions must be >= 1")
+        materialized = list(items)
+        executor = executor or LocalExecutor()
+
+        def provider() -> list[list[Any]]:
+            partitions: list[list[Any]] = [[] for _ in range(n_partitions)]
+            for index, item in enumerate(materialized):
+                partitions[index % n_partitions].append(item)
+            return partitions
+
+        return cls(provider, executor, ("from_iterable",), n_partitions)
+
+    # -------------------------------------------------------------- internals
+
+    def _partitions(self) -> list[list[Any]]:
+        if self._cached and self._cache is not None:
+            return self._cache
+        partitions = self._provider()
+        if self._cached:
+            self._cache = partitions
+        return partitions
+
+    def _derive(
+        self,
+        op_name: str,
+        per_partition: Callable[[list[Any]], list[Any]],
+        n_partitions: int | None = None,
+    ) -> "Dataset":
+        parent = self
+
+        def provider() -> list[list[Any]]:
+            return parent.executor.run(parent._partitions(), per_partition, description=op_name)
+
+        return Dataset(
+            provider,
+            self.executor,
+            self.lineage + (op_name,),
+            n_partitions if n_partitions is not None else self.n_partitions,
+        )
+
+    # -------------------------------------------------------- transformations
+
+    def map(self, fn: Callable[[T], U]) -> "Dataset":
+        """Apply ``fn`` to every element."""
+        return self._derive("map", lambda part: [fn(item) for item in part])
+
+    def filter(self, predicate: Callable[[T], bool]) -> "Dataset":
+        """Keep only elements satisfying ``predicate``."""
+        return self._derive("filter", lambda part: [item for item in part if predicate(item)])
+
+    def flat_map(self, fn: Callable[[T], Iterable[U]]) -> "Dataset":
+        """Apply ``fn`` and flatten its iterable results."""
+
+        def run(part: list[Any]) -> list[Any]:
+            out: list[Any] = []
+            for item in part:
+                out.extend(fn(item))
+            return out
+
+        return self._derive("flat_map", run)
+
+    def map_partitions(self, fn: Callable[[list[T]], list[U]]) -> "Dataset":
+        """Apply ``fn`` to whole partitions (for vectorised / batched work)."""
+        return self._derive("map_partitions", lambda part: list(fn(part)))
+
+    def key_by(self, key_fn: Callable[[T], K]) -> "Dataset":
+        """Turn each element into a ``(key, element)`` pair."""
+        return self._derive("key_by", lambda part: [(key_fn(item), item) for item in part])
+
+    def union(self, other: "Dataset") -> "Dataset":
+        """Concatenate two datasets (partitions are appended)."""
+        parent = self
+
+        def provider() -> list[list[Any]]:
+            return parent._partitions() + other._partitions()
+
+        return Dataset(
+            provider,
+            self.executor,
+            self.lineage + ("union",),
+            self.n_partitions + other.n_partitions,
+        )
+
+    def distinct(self) -> "Dataset":
+        """Remove duplicate elements (requires hashable elements)."""
+        parent = self
+
+        def provider() -> list[list[Any]]:
+            seen: set[Any] = set()
+            out: list[Any] = []
+            for partition in parent._partitions():
+                for item in partition:
+                    if item not in seen:
+                        seen.add(item)
+                        out.append(item)
+            return _repartition(out, parent.n_partitions)
+
+        return Dataset(provider, self.executor, self.lineage + ("distinct",), self.n_partitions)
+
+    def repartition(self, n_partitions: int) -> "Dataset":
+        """Redistribute elements round-robin over ``n_partitions``."""
+        if n_partitions < 1:
+            raise ComputeError("n_partitions must be >= 1")
+        parent = self
+
+        def provider() -> list[list[Any]]:
+            return _repartition(parent.collect(), n_partitions)
+
+        return Dataset(provider, self.executor, self.lineage + ("repartition",), n_partitions)
+
+    # ----------------------------------------------------- keyed (wide) ops
+
+    def _keyed_partitions(self) -> list[list[tuple[Any, Any]]]:
+        records = self.collect()
+        for record in records:
+            if not (isinstance(record, tuple) and len(record) == 2):
+                raise ComputeError(
+                    "keyed operations require (key, value) tuples; call key_by() first"
+                )
+        return hash_partition(records, self.n_partitions)
+
+    def reduce_by_key(self, fn: Callable[[V, V], V]) -> "Dataset":
+        """Combine the values of each key with ``fn``."""
+        parent = self
+
+        def provider() -> list[list[Any]]:
+            shuffled = parent._keyed_partitions()
+
+            def reduce_partition(part: list[tuple[Any, Any]]) -> list[tuple[Any, Any]]:
+                acc: dict[Any, Any] = {}
+                for key, value in part:
+                    acc[key] = fn(acc[key], value) if key in acc else value
+                return sorted(acc.items(), key=lambda kv: repr(kv[0]))
+
+            return parent.executor.run(shuffled, reduce_partition, description="reduce_by_key")
+
+        return Dataset(provider, self.executor, self.lineage + ("reduce_by_key",), self.n_partitions)
+
+    def group_by_key(self) -> "Dataset":
+        """Group the values of each key into a list."""
+        parent = self
+
+        def provider() -> list[list[Any]]:
+            shuffled = parent._keyed_partitions()
+
+            def group_partition(part: list[tuple[Any, Any]]) -> list[tuple[Any, list[Any]]]:
+                groups: dict[Any, list[Any]] = {}
+                for key, value in part:
+                    groups.setdefault(key, []).append(value)
+                return sorted(groups.items(), key=lambda kv: repr(kv[0]))
+
+            return parent.executor.run(shuffled, group_partition, description="group_by_key")
+
+        return Dataset(provider, self.executor, self.lineage + ("group_by_key",), self.n_partitions)
+
+    def join(self, other: "Dataset") -> "Dataset":
+        """Inner join of two keyed datasets: ``(key, (left, right))`` pairs."""
+        parent = self
+
+        def provider() -> list[list[Any]]:
+            left_groups: dict[Any, list[Any]] = {}
+            for key, values in parent.group_by_key().collect():
+                left_groups[key] = values
+            out: list[tuple[Any, tuple[Any, Any]]] = []
+            for key, values in other.group_by_key().collect():
+                if key in left_groups:
+                    for left_value in left_groups[key]:
+                        for right_value in values:
+                            out.append((key, (left_value, right_value)))
+            return _repartition(out, parent.n_partitions)
+
+        return Dataset(provider, self.executor, self.lineage + ("join",), self.n_partitions)
+
+    # ----------------------------------------------------------------- cache
+
+    def cache(self) -> "Dataset":
+        """Materialise this dataset once and reuse the result for later actions."""
+        self._cached = True
+        return self
+
+    # --------------------------------------------------------------- actions
+
+    def collect(self) -> list[Any]:
+        """Materialise every element into a list."""
+        out: list[Any] = []
+        for partition in self._partitions():
+            out.extend(partition)
+        return out
+
+    def count(self) -> int:
+        """Number of elements."""
+        return sum(len(partition) for partition in self._partitions())
+
+    def take(self, n: int) -> list[Any]:
+        """First ``n`` elements (partition order)."""
+        if n < 0:
+            raise ComputeError("take(n) requires n >= 0")
+        out: list[Any] = []
+        for partition in self._partitions():
+            for item in partition:
+                if len(out) >= n:
+                    return out
+                out.append(item)
+        return out
+
+    def first(self) -> Any:
+        """First element (raises on an empty dataset)."""
+        items = self.take(1)
+        if not items:
+            raise ComputeError("dataset is empty")
+        return items[0]
+
+    def reduce(self, fn: Callable[[T, T], T]) -> T:
+        """Fold all elements with ``fn`` (raises on an empty dataset)."""
+        items = self.collect()
+        if not items:
+            raise ComputeError("cannot reduce an empty dataset")
+        accumulator = items[0]
+        for item in items[1:]:
+            accumulator = fn(accumulator, item)
+        return accumulator
+
+    def count_by_key(self) -> dict[Any, int]:
+        """Count records per key of a keyed dataset."""
+        counts: dict[Any, int] = {}
+        for key, _value in self.collect():
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def to_dict(self) -> dict[Any, Any]:
+        """Materialise a keyed dataset into a dict (later keys win)."""
+        return dict(self.collect())
+
+    # ------------------------------------------------------------------ misc
+
+    def explain(self) -> str:
+        """Human-readable lineage of this dataset."""
+        return " -> ".join(self.lineage)
+
+
+def _repartition(items: Sequence[Any], n_partitions: int) -> list[list[Any]]:
+    partitions: list[list[Any]] = [[] for _ in range(n_partitions)]
+    for index, item in enumerate(items):
+        partitions[index % n_partitions].append(item)
+    return partitions

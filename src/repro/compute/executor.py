@@ -1,0 +1,62 @@
+"""Parallel execution of per-partition tasks."""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence, TypeVar
+
+from ..errors import ComputeError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+@dataclass
+class TaskMetrics:
+    """Execution metrics accumulated by an executor."""
+
+    tasks_run: int = 0
+    partitions_processed: int = 0
+    total_task_seconds: float = 0.0
+    stage_descriptions: list[str] = field(default_factory=list)
+
+    def record(self, n_partitions: int, elapsed: float, description: str) -> None:
+        self.tasks_run += 1
+        self.partitions_processed += n_partitions
+        self.total_task_seconds += elapsed
+        self.stage_descriptions.append(description)
+
+
+class LocalExecutor:
+    """Runs one task per partition on a thread pool.
+
+    ``max_workers=1`` degenerates to sequential execution, which is handy for
+    debugging and for deterministic benchmarks.
+    """
+
+    def __init__(self, max_workers: int = 4) -> None:
+        if max_workers < 1:
+            raise ComputeError("max_workers must be >= 1")
+        self.max_workers = max_workers
+        self.metrics = TaskMetrics()
+
+    def run(
+        self,
+        partitions: Sequence[list[T]],
+        task: Callable[[list[T]], list[R]],
+        description: str = "stage",
+    ) -> list[list[R]]:
+        """Apply ``task`` to every partition, preserving partition order."""
+        start = time.perf_counter()
+        if not partitions:
+            results: list[list[R]] = []
+        elif self.max_workers == 1 or len(partitions) == 1:
+            results = [task(list(partition)) for partition in partitions]
+        else:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                results = list(pool.map(lambda p: task(list(p)), partitions))
+        elapsed = time.perf_counter() - start
+        self.metrics.record(len(partitions), elapsed, description)
+        return results

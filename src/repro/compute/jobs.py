@@ -1,0 +1,84 @@
+"""Named analytics jobs with timing and history.
+
+The platform schedules two recurring jobs over the warehouse — the daily
+migration and the periodic model training — plus ad-hoc analytics.  The
+:class:`JobTracker` runs them, times them and keeps a history for monitoring.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Callable
+
+from ..errors import ComputeError
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Outcome of one job run."""
+
+    name: str
+    started_at: datetime
+    elapsed_seconds: float
+    succeeded: bool
+    result: Any = None
+    error: str | None = None
+
+
+@dataclass
+class JobTracker:
+    """Registry and runner of named jobs."""
+
+    history: list[JobResult] = field(default_factory=list)
+    _jobs: dict[str, Callable[..., Any]] = field(default_factory=dict)
+
+    def register(self, name: str, fn: Callable[..., Any]) -> None:
+        """Register a job under ``name`` (replacing any previous definition)."""
+        if not name:
+            raise ComputeError("job name must be non-empty")
+        self._jobs[name] = fn
+
+    def job_names(self) -> list[str]:
+        return sorted(self._jobs)
+
+    def run(self, name: str, *args: Any, **kwargs: Any) -> JobResult:
+        """Run a registered job, capturing its result or error."""
+        if name not in self._jobs:
+            raise ComputeError(f"no job registered under {name!r}")
+        started_at = datetime.utcnow()
+        start = time.perf_counter()
+        try:
+            result = self._jobs[name](*args, **kwargs)
+            outcome = JobResult(
+                name=name,
+                started_at=started_at,
+                elapsed_seconds=time.perf_counter() - start,
+                succeeded=True,
+                result=result,
+            )
+        except Exception as exc:  # jobs are monitored, not crashed on
+            outcome = JobResult(
+                name=name,
+                started_at=started_at,
+                elapsed_seconds=time.perf_counter() - start,
+                succeeded=False,
+                error=f"{type(exc).__name__}: {exc}",
+            )
+        self.history.append(outcome)
+        return outcome
+
+    def last_result(self, name: str) -> JobResult | None:
+        """Most recent run of ``name`` (``None`` when it never ran)."""
+        for result in reversed(self.history):
+            if result.name == name:
+                return result
+        return None
+
+    def success_rate(self, name: str | None = None) -> float:
+        """Fraction of successful runs (of one job, or overall)."""
+        runs = [r for r in self.history if name is None or r.name == name]
+        if not runs:
+            return 1.0
+        return sum(1 for r in runs if r.succeeded) / len(runs)

@@ -1,0 +1,40 @@
+"""Shuffle: repartitioning of keyed records by key hash."""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Iterable, Sequence, TypeVar
+
+from ..errors import ComputeError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+def _stable_hash(key: Hashable) -> int:
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "little")
+
+
+def hash_partition(
+    records: Iterable[tuple[K, V]], n_partitions: int
+) -> list[list[tuple[K, V]]]:
+    """Distribute ``(key, value)`` records into ``n_partitions`` by key hash.
+
+    All records sharing a key land in the same partition, which is what the
+    key-based transformations (reduce-by-key, group-by-key, join) rely on.
+    """
+    if n_partitions < 1:
+        raise ComputeError("n_partitions must be >= 1")
+    partitions: list[list[tuple[K, V]]] = [[] for _ in range(n_partitions)]
+    for key, value in records:
+        partitions[_stable_hash(key) % n_partitions].append((key, value))
+    return partitions
+
+
+def merge_partitions(partitions: Sequence[Sequence[tuple[K, V]]]) -> list[tuple[K, V]]:
+    """Flatten shuffled partitions back into a single record list."""
+    out: list[tuple[K, V]] = []
+    for partition in partitions:
+        out.extend(partition)
+    return out

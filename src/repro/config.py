@@ -1,0 +1,132 @@
+"""Platform-wide configuration objects.
+
+The configuration mirrors the knobs of the operational SciLens deployment:
+how the streaming layer is partitioned, where the data layer keeps its files,
+how often the daily migration and periodic model training run, and how the
+indicator fusion weighs each indicator family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Configuration of the ingestion (message broker) layer."""
+
+    postings_topic: str = "postings"
+    reactions_topic: str = "reactions"
+    articles_topic: str = "articles"
+    partitions: int = 4
+    max_batch_size: int = 500
+
+    def validate(self) -> None:
+        if self.partitions < 1:
+            raise ConfigurationError("streaming.partitions must be >= 1")
+        if self.max_batch_size < 1:
+            raise ConfigurationError("streaming.max_batch_size must be >= 1")
+
+
+@dataclass(frozen=True)
+class StorageConfig:
+    """Configuration of the hybrid data layer (RDBMS + warehouse)."""
+
+    data_dir: Path | None = None
+    warehouse_replication: int = 2
+    warehouse_block_rows: int = 4096
+    wal_enabled: bool = True
+
+    def validate(self) -> None:
+        if self.warehouse_replication < 1:
+            raise ConfigurationError("storage.warehouse_replication must be >= 1")
+        if self.warehouse_block_rows < 1:
+            raise ConfigurationError("storage.warehouse_block_rows must be >= 1")
+
+
+@dataclass(frozen=True)
+class AnalyticsConfig:
+    """Configuration of the analytics layer (segmentation + model training)."""
+
+    migration_interval_days: int = 1
+    training_interval_days: int = 7
+    topic_tree_depth: int = 2
+    topic_branching: int = 4
+    min_topic_probability: float = 0.2
+
+    def validate(self) -> None:
+        if self.migration_interval_days < 1:
+            raise ConfigurationError("analytics.migration_interval_days must be >= 1")
+        if self.training_interval_days < 1:
+            raise ConfigurationError("analytics.training_interval_days must be >= 1")
+        if not 0.0 <= self.min_topic_probability <= 1.0:
+            raise ConfigurationError(
+                "analytics.min_topic_probability must be in [0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class IndicatorConfig:
+    """Weights used when fusing indicator families into a single quality score."""
+
+    content_weight: float = 1.0
+    context_weight: float = 1.0
+    social_weight: float = 1.0
+    expert_weight: float = 2.0
+    #: Half-life (in days) of the time-sensitive expert-review average.
+    expert_half_life_days: float = 30.0
+
+    def validate(self) -> None:
+        weights = (
+            self.content_weight,
+            self.context_weight,
+            self.social_weight,
+            self.expert_weight,
+        )
+        if any(w < 0 for w in weights):
+            raise ConfigurationError("indicator weights must be non-negative")
+        if sum(weights) == 0:
+            raise ConfigurationError("at least one indicator weight must be positive")
+        if self.expert_half_life_days <= 0:
+            raise ConfigurationError("expert_half_life_days must be positive")
+
+
+@dataclass(frozen=True)
+class ApiConfig:
+    """Configuration of the Indicators API (micro-service layer)."""
+
+    cache_capacity: int = 1024
+    cache_ttl_seconds: float = 300.0
+
+    def validate(self) -> None:
+        if self.cache_capacity < 0:
+            raise ConfigurationError("api.cache_capacity must be >= 0")
+        if self.cache_ttl_seconds < 0:
+            raise ConfigurationError("api.cache_ttl_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Top-level configuration for :class:`repro.core.platform.SciLensPlatform`."""
+
+    streaming: StreamingConfig = field(default_factory=StreamingConfig)
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    analytics: AnalyticsConfig = field(default_factory=AnalyticsConfig)
+    indicators: IndicatorConfig = field(default_factory=IndicatorConfig)
+    api: ApiConfig = field(default_factory=ApiConfig)
+    random_seed: int = 13
+
+    def validate(self) -> "PlatformConfig":
+        """Validate every section and return ``self`` for chaining."""
+        self.streaming.validate()
+        self.storage.validate()
+        self.analytics.validate()
+        self.indicators.validate()
+        self.api.validate()
+        return self
+
+
+DEFAULT_CONFIG = PlatformConfig()

@@ -1,0 +1,49 @@
+"""Core of the SciLens reproduction: the quality-indicator framework, the
+article-evaluation pipeline, the topic insights of §4 and the platform
+orchestrator that wires every substrate together.
+"""
+
+from .models import (
+    Article,
+    ExpertReview,
+    Outlet,
+    RatingClass,
+    Reaction,
+    ReactionKind,
+    SocialPost,
+)
+from .indicators import (
+    ContentIndicators,
+    ContextIndicators,
+    SocialIndicators,
+    QualityProfile,
+    IndicatorEngine,
+)
+from .scoring import ArticleAssessment, fuse_scores
+from .pipeline import ArticleEvaluationPipeline
+from .insights import TopicInsights, InsightsEngine
+from .analytics import OutletActivityProfile, WarehouseAnalytics
+from .platform import SciLensPlatform
+
+__all__ = [
+    "Article",
+    "ExpertReview",
+    "Outlet",
+    "RatingClass",
+    "Reaction",
+    "ReactionKind",
+    "SocialPost",
+    "ContentIndicators",
+    "ContextIndicators",
+    "SocialIndicators",
+    "QualityProfile",
+    "IndicatorEngine",
+    "ArticleAssessment",
+    "fuse_scores",
+    "ArticleEvaluationPipeline",
+    "TopicInsights",
+    "InsightsEngine",
+    "OutletActivityProfile",
+    "WarehouseAnalytics",
+    "SciLensPlatform",
+]

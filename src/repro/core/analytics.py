@@ -1,0 +1,173 @@
+"""Warehouse analytics jobs.
+
+The paper's analytics layer runs batch jobs (Spark in the original deployment)
+over the Distributed Storage: per-outlet activity profiles, per-day volumes and
+engagement roll-ups that feed the topic-insight views.  This module expresses
+those jobs against the :mod:`repro.compute` engine so they run as partitioned,
+lineage-tracked dataflows over warehouse scans.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from datetime import date
+from typing import Mapping
+
+from ..compute.dataset import Dataset
+from ..compute.executor import LocalExecutor
+from ..errors import WarehouseError
+from ..models import RatingClass
+from ..storage.warehouse.warehouse import Warehouse
+
+
+@dataclass(frozen=True)
+class OutletActivityProfile:
+    """Per-outlet activity roll-up over the warehouse history."""
+
+    outlet_domain: str
+    articles: int
+    topic_articles: int
+    active_days: int
+    posts: int
+    reactions: int
+
+    @property
+    def topic_share(self) -> float:
+        """Share of the outlet's output devoted to the topic of interest."""
+        return self.topic_articles / self.articles if self.articles else 0.0
+
+    @property
+    def reactions_per_article(self) -> float:
+        return self.reactions / self.articles if self.articles else 0.0
+
+
+class WarehouseAnalytics:
+    """Batch analytics over the warehouse using the compute engine."""
+
+    def __init__(
+        self,
+        warehouse: Warehouse,
+        executor: LocalExecutor | None = None,
+        n_partitions: int = 4,
+    ) -> None:
+        self.warehouse = warehouse
+        self.executor = executor or LocalExecutor()
+        self.n_partitions = n_partitions
+
+    # ------------------------------------------------------------- datasets
+
+    def _table_dataset(self, table_name: str, columns: list[str] | None = None) -> Dataset:
+        if not self.warehouse.has_table(table_name):
+            raise WarehouseError(f"warehouse has no table {table_name!r}")
+        rows = list(self.warehouse.table(table_name).scan(columns=columns))
+        return Dataset.from_iterable(rows, n_partitions=self.n_partitions, executor=self.executor)
+
+    # ------------------------------------------------------------ roll-ups
+
+    def daily_article_counts(self, topic_key: str | None = None) -> dict[date, int]:
+        """Number of (optionally topic-filtered) articles per publication day."""
+        dataset = self._table_dataset("articles", columns=["published_at", "topics"])
+        if topic_key is not None:
+            dataset = dataset.filter(lambda row: topic_key in (row.get("topics") or []))
+        per_day = (
+            dataset.key_by(lambda row: row["published_at"].date())
+            .map(lambda pair: (pair[0], 1))
+            .reduce_by_key(lambda a, b: a + b)
+            .to_dict()
+        )
+        return dict(sorted(per_day.items()))
+
+    def articles_per_outlet(self) -> dict[str, int]:
+        """Total article count per outlet over the full history."""
+        return dict(
+            sorted(
+                self._table_dataset("articles", columns=["outlet_domain"])
+                .key_by(lambda row: row["outlet_domain"])
+                .count_by_key()
+                .items()
+            )
+        )
+
+    def outlet_activity_profiles(
+        self, topic_key: str = "covid19"
+    ) -> dict[str, OutletActivityProfile]:
+        """Join articles, posts and reactions into per-outlet activity profiles."""
+        articles = self._table_dataset(
+            "articles", columns=["article_id", "url", "outlet_domain", "published_at", "topics"]
+        ).collect()
+        url_to_outlet = {row["url"]: row["outlet_domain"] for row in articles}
+
+        posts = (
+            self._table_dataset("posts", columns=["post_id", "article_url"]).collect()
+            if self.warehouse.has_table("posts")
+            else []
+        )
+        post_to_outlet = {
+            row["post_id"]: url_to_outlet.get(row["article_url"]) for row in posts
+        }
+        posts_per_outlet: dict[str, int] = defaultdict(int)
+        for row in posts:
+            outlet = url_to_outlet.get(row["article_url"])
+            if outlet:
+                posts_per_outlet[outlet] += 1
+
+        reactions_per_outlet: dict[str, int] = defaultdict(int)
+        if self.warehouse.has_table("reactions"):
+            reaction_counts = (
+                self._table_dataset("reactions", columns=["post_id"])
+                .key_by(lambda row: row["post_id"])
+                .count_by_key()
+            )
+            for post_id, count in reaction_counts.items():
+                outlet = post_to_outlet.get(post_id)
+                if outlet:
+                    reactions_per_outlet[outlet] += count
+
+        profiles: dict[str, OutletActivityProfile] = {}
+        grouped: dict[str, list[dict]] = defaultdict(list)
+        for row in articles:
+            grouped[row["outlet_domain"]].append(row)
+        for outlet, rows in grouped.items():
+            profiles[outlet] = OutletActivityProfile(
+                outlet_domain=outlet,
+                articles=len(rows),
+                topic_articles=sum(1 for r in rows if topic_key in (r.get("topics") or [])),
+                active_days=len({r["published_at"].date() for r in rows}),
+                posts=posts_per_outlet.get(outlet, 0),
+                reactions=reactions_per_outlet.get(outlet, 0),
+            )
+        return dict(sorted(profiles.items()))
+
+    def rating_class_summary(
+        self, outlet_ratings: Mapping[str, RatingClass], topic_key: str = "covid19"
+    ) -> dict[str, dict[str, float]]:
+        """Aggregate the activity profiles per outlet rating class.
+
+        This is the warehouse-side counterpart of the §4.2 views: per rating
+        class, the mean topic share, mean reactions per article and totals.
+        """
+        profiles = self.outlet_activity_profiles(topic_key)
+        grouped: dict[str, list[OutletActivityProfile]] = defaultdict(list)
+        for outlet, profile in profiles.items():
+            rating = outlet_ratings.get(outlet)
+            if rating is not None:
+                grouped[rating.value].append(profile)
+
+        summary: dict[str, dict[str, float]] = {}
+        for rating_value, members in sorted(grouped.items()):
+            total_articles = sum(p.articles for p in members)
+            summary[rating_value] = {
+                "outlets": float(len(members)),
+                "articles": float(total_articles),
+                "topic_articles": float(sum(p.topic_articles for p in members)),
+                "mean_topic_share": (
+                    sum(p.topic_share for p in members) / len(members) if members else 0.0
+                ),
+                "mean_reactions_per_article": (
+                    sum(p.reactions_per_article for p in members) / len(members) if members else 0.0
+                ),
+                "posts": float(sum(p.posts for p in members)),
+                "reactions": float(sum(p.reactions for p in members)),
+            }
+        return summary

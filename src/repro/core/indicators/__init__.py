@@ -1,0 +1,28 @@
+"""Automated quality indicators (§3.1).
+
+Three heterogeneous families:
+
+* **content** — click-baitness of the title, subjectivity and readability of
+  the body, presence of an author by-line;
+* **news context** — internal, external and scientific references;
+* **social media** — reach (popularity proxy) and stance of the discussion.
+
+:class:`IndicatorEngine` computes all three and fuses them (together with the
+expert reviews handled elsewhere) into a :class:`QualityProfile`.
+"""
+
+from .content import ContentIndicators, ContentIndicatorComputer
+from .context import ContextIndicators, ContextIndicatorComputer
+from .social import SocialIndicators, SocialIndicatorComputer
+from .aggregate import QualityProfile, IndicatorEngine
+
+__all__ = [
+    "ContentIndicators",
+    "ContentIndicatorComputer",
+    "ContextIndicators",
+    "ContextIndicatorComputer",
+    "SocialIndicators",
+    "SocialIndicatorComputer",
+    "QualityProfile",
+    "IndicatorEngine",
+]

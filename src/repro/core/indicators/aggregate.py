@@ -1,0 +1,122 @@
+"""Fusion of the indicator families into a per-article quality profile."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ...config import IndicatorConfig
+from ...models import Article, Reaction, SocialPost
+from .content import ContentIndicatorComputer, ContentIndicators
+from .context import ContextIndicatorComputer, ContextIndicators
+from .social import SocialIndicatorComputer, SocialIndicators
+
+
+@dataclass(frozen=True)
+class QualityProfile:
+    """All automated indicators of one article plus the fused automated score."""
+
+    article_id: str
+    content: ContentIndicators
+    context: ContextIndicators
+    social: SocialIndicators
+    automated_score: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary of every indicator (the payload the API serves)."""
+        out: dict[str, float] = {"automated_score": self.automated_score}
+        out.update(self.content.as_dict())
+        out.update(self.context.as_dict())
+        out.update(self.social.as_dict())
+        return out
+
+    def family_scores(self) -> dict[str, float]:
+        """Per-family quality scores in ``[0, 1]``."""
+        return {
+            "content": self.content.quality_score,
+            "context": self.context.quality_score,
+            "social": self.social.quality_score,
+        }
+
+
+class IndicatorEngine:
+    """Computes every automated indicator family and fuses them.
+
+    The engine is the piece the Indicators API calls for real-time article
+    evaluation; the individual computers can also be used stand-alone (e.g. by
+    the training jobs or the ablation benchmarks).
+    """
+
+    def __init__(
+        self,
+        config: IndicatorConfig | None = None,
+        content_computer: ContentIndicatorComputer | None = None,
+        context_computer: ContextIndicatorComputer | None = None,
+        social_computer: SocialIndicatorComputer | None = None,
+    ) -> None:
+        self.config = config or IndicatorConfig()
+        self.config.validate()
+        self.content_computer = content_computer or ContentIndicatorComputer()
+        self.context_computer = context_computer or ContextIndicatorComputer()
+        self.social_computer = social_computer or SocialIndicatorComputer()
+
+    def fuse(
+        self,
+        content: ContentIndicators,
+        context: ContextIndicators,
+        social: SocialIndicators,
+    ) -> float:
+        """Weighted fusion of the family quality scores into one automated score."""
+        weights = {
+            "content": self.config.content_weight,
+            "context": self.config.context_weight,
+            "social": self.config.social_weight,
+        }
+        scores = {
+            "content": content.quality_score,
+            "context": context.quality_score,
+            "social": social.quality_score,
+        }
+        total_weight = sum(weights.values())
+        if total_weight == 0:
+            return 0.0
+        return sum(weights[family] * scores[family] for family in weights) / total_weight
+
+    def profile(
+        self,
+        article: Article,
+        posts: Sequence[SocialPost] = (),
+        reactions: Sequence[Reaction] | Mapping[str, Sequence[Reaction]] = (),
+        links: Sequence[str] | None = None,
+    ) -> QualityProfile:
+        """Compute the full quality profile of ``article``."""
+        content = self.content_computer.compute(article)
+        context = self.context_computer.compute(article, links=links)
+        social = self.social_computer.compute(article, list(posts), reactions)
+        return QualityProfile(
+            article_id=article.article_id,
+            content=content,
+            context=context,
+            social=social,
+            automated_score=self.fuse(content, context, social),
+        )
+
+    def profile_many(
+        self,
+        articles: Sequence[Article],
+        posts_by_url: Mapping[str, Sequence[SocialPost]] | None = None,
+        reactions_by_post: Mapping[str, Sequence[Reaction]] | None = None,
+    ) -> list[QualityProfile]:
+        """Batch-profile several articles (used by the periodic analytics job)."""
+        posts_by_url = posts_by_url or {}
+        reactions_by_post = reactions_by_post or {}
+        profiles: list[QualityProfile] = []
+        for article in articles:
+            posts = list(posts_by_url.get(article.url, ()))
+            post_ids = {post.post_id for post in posts}
+            reactions = {
+                post_id: list(reactions_by_post.get(post_id, ()))
+                for post_id in post_ids
+            }
+            profiles.append(self.profile(article, posts, reactions))
+        return profiles

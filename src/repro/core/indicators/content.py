@@ -1,0 +1,77 @@
+"""Content indicators.
+
+"Regarding the content of a news article, we consider various well-established
+metrics for the quality of news such as the click-baitness of its title, the
+subjectivity, and readability of its body and whether it is by-lined by its
+author." (§3.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...models import Article
+from ...nlp.clickbait import ClickbaitScorer
+from ...nlp.readability import ReadabilityReport, readability_report
+from ...nlp.subjectivity import SubjectivityScorer
+
+
+@dataclass(frozen=True)
+class ContentIndicators:
+    """The content-indicator family for one article."""
+
+    article_id: str
+    clickbait_score: float
+    subjectivity: float
+    readability: float
+    has_byline: bool
+    word_count: int
+    readability_report: ReadabilityReport | None = None
+
+    @property
+    def quality_score(self) -> float:
+        """Content quality in ``[0, 1]``: readable, objective, non-clickbait, by-lined."""
+        components = [
+            1.0 - self.clickbait_score,
+            1.0 - self.subjectivity,
+            self.readability,
+            1.0 if self.has_byline else 0.0,
+        ]
+        return sum(components) / len(components)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "clickbait_score": self.clickbait_score,
+            "subjectivity": self.subjectivity,
+            "readability": self.readability,
+            "has_byline": 1.0 if self.has_byline else 0.0,
+            "word_count": float(self.word_count),
+            "content_quality": self.quality_score,
+        }
+
+
+class ContentIndicatorComputer:
+    """Computes the content indicators from an article's title, body and by-line."""
+
+    def __init__(
+        self,
+        clickbait_scorer: ClickbaitScorer | None = None,
+        subjectivity_scorer: SubjectivityScorer | None = None,
+        keep_readability_report: bool = False,
+    ) -> None:
+        self.clickbait_scorer = clickbait_scorer or ClickbaitScorer()
+        self.subjectivity_scorer = subjectivity_scorer or SubjectivityScorer()
+        self.keep_readability_report = keep_readability_report
+
+    def compute(self, article: Article) -> ContentIndicators:
+        """Compute the content indicators of ``article``."""
+        report = readability_report(article.text)
+        return ContentIndicators(
+            article_id=article.article_id,
+            clickbait_score=self.clickbait_scorer.score(article.title),
+            subjectivity=self.subjectivity_scorer.score(article.text),
+            readability=report.score,
+            has_byline=article.has_byline,
+            word_count=article.word_count(),
+            readability_report=report if self.keep_readability_report else None,
+        )

@@ -1,0 +1,98 @@
+"""Social-media indicators.
+
+"Finally, regarding the social media context, we measure two aspects,
+specifically the reach and stance towards a news article." (§3.1)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ...models import Article, Reaction, SocialPost
+from ...nlp.stance import StanceClassifier
+from ...social.reach import ReachReport, compute_reach
+from ...social.stance_aggregate import StanceDistribution, aggregate_stance
+
+
+@dataclass(frozen=True)
+class SocialIndicators:
+    """The social-media indicator family for one article."""
+
+    article_id: str
+    n_posts: int
+    n_reactions: int
+    popularity: float
+    weighted_reach: float
+    positive_stance: float
+    negative_stance: float
+
+    @property
+    def net_stance(self) -> float:
+        return self.positive_stance - self.negative_stance
+
+    @property
+    def quality_score(self) -> float:
+        """Social quality in ``[0, 1]``.
+
+        Reach is engagement, not quality; the quality contribution comes from
+        the stance of the discussion (supportive discussions score high,
+        heavily questioned/contradicted articles score low).  Articles with no
+        classified discussion sit at the neutral 0.5.
+        """
+        if self.n_posts == 0:
+            return 0.5
+        return max(0.0, min(1.0, 0.5 + 0.5 * self.net_stance))
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "n_posts": float(self.n_posts),
+            "n_reactions": float(self.n_reactions),
+            "popularity": self.popularity,
+            "weighted_reach": self.weighted_reach,
+            "positive_stance": self.positive_stance,
+            "negative_stance": self.negative_stance,
+            "social_quality": self.quality_score,
+        }
+
+
+class SocialIndicatorComputer:
+    """Computes reach and stance indicators from the article's social context."""
+
+    def __init__(self, stance_classifier: StanceClassifier | None = None) -> None:
+        self.stance_classifier = stance_classifier or StanceClassifier()
+
+    def compute(
+        self,
+        article: Article,
+        posts: Sequence[SocialPost],
+        reactions: Sequence[Reaction] | Mapping[str, Sequence[Reaction]] = (),
+    ) -> SocialIndicators:
+        """Compute the social indicators of ``article``."""
+        reach = compute_reach(article.url, posts, reactions)
+        flat_reactions = _flatten(reactions)
+        stance = aggregate_stance(article.url, list(posts), flat_reactions, self.stance_classifier)
+        return self.from_reports(article.article_id, reach, stance)
+
+    @staticmethod
+    def from_reports(
+        article_id: str, reach: ReachReport, stance: StanceDistribution
+    ) -> SocialIndicators:
+        """Build the indicator object from precomputed reach/stance reports."""
+        return SocialIndicators(
+            article_id=article_id,
+            n_posts=reach.n_posts,
+            n_reactions=reach.n_reactions,
+            popularity=reach.popularity,
+            weighted_reach=reach.weighted_reach,
+            positive_stance=stance.positive_fraction,
+            negative_stance=stance.negative_fraction,
+        )
+
+
+def _flatten(
+    reactions: Sequence[Reaction] | Mapping[str, Sequence[Reaction]],
+) -> list[Reaction]:
+    if isinstance(reactions, Mapping):
+        return [reaction for group in reactions.values() for reaction in group]
+    return list(reactions)

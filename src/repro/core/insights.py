@@ -1,0 +1,284 @@
+"""News-topic insights (§4.2).
+
+For a given topic (COVID-19 in the paper), outlets are "evaluated based on
+three axes, namely their newsroom activity, evidence seeking and social
+engagement":
+
+* **newsroom activity** (Figure 4) — the per-day mean percentage of each
+  outlet's output devoted to the topic, averaged per rating class;
+* **social engagement** (Figure 5, left) — the distribution (KDE) of the
+  number of social-media reactions per article, low- versus high-quality;
+* **evidence seeking** (Figure 5, right) — the distribution (KDE) of the
+  scientific-references ratio per article, low- versus high-quality.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from datetime import date, datetime
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .._time import iter_days
+from ..errors import ValidationError
+from ..ml.kde import GaussianKDE
+from ..models import Article, RatingClass
+
+
+# --------------------------------------------------------------------- Fig 4
+
+@dataclass(frozen=True)
+class NewsroomActivity:
+    """Figure 4: mean percentage of daily posts on the topic per rating class."""
+
+    topic_key: str
+    days: tuple[date, ...]
+    #: rating class value -> one mean percentage per day (0-100).
+    series: dict[str, tuple[float, ...]]
+
+    def series_for(self, rating: RatingClass | str) -> tuple[float, ...]:
+        key = rating.value if isinstance(rating, RatingClass) else rating
+        if key not in self.series:
+            raise ValidationError(f"no series for rating class {key!r}")
+        return self.series[key]
+
+    def group_series(self, low_quality: bool) -> tuple[float, ...]:
+        """Average series of the low- (or high-) quality classes."""
+        wanted = [
+            cls.value
+            for cls in RatingClass
+            if (cls.is_low_quality if low_quality else cls.is_high_quality)
+        ]
+        rows = [self.series[key] for key in wanted if key in self.series]
+        if not rows:
+            return tuple(0.0 for _ in self.days)
+        stacked = np.array(rows)
+        return tuple(float(v) for v in stacked.mean(axis=0))
+
+    def mean_share(self, low_quality: bool, first_half: bool) -> float:
+        """Mean topic share of a quality group over the first or second half of the window."""
+        series = self.group_series(low_quality)
+        half = len(series) // 2
+        segment = series[:half] if first_half else series[half:]
+        return float(np.mean(segment)) if segment else 0.0
+
+    def divergence(self) -> float:
+        """How much more of their output low-quality outlets devote to the topic
+        than high-quality outlets over the second half of the window (percentage points)."""
+        return self.mean_share(True, first_half=False) - self.mean_share(False, first_half=False)
+
+
+# --------------------------------------------------------------------- Fig 5
+
+@dataclass(frozen=True)
+class DistributionComparison:
+    """A low- versus high-quality comparison of a per-article quantity (Figure 5)."""
+
+    quantity: str
+    low_quality_samples: tuple[float, ...]
+    high_quality_samples: tuple[float, ...]
+
+    def summary(self) -> dict[str, float]:
+        def stats(samples: tuple[float, ...], prefix: str) -> dict[str, float]:
+            if not samples:
+                return {f"{prefix}_mean": 0.0, f"{prefix}_median": 0.0, f"{prefix}_std": 0.0, f"{prefix}_n": 0.0}
+            arr = np.asarray(samples)
+            return {
+                f"{prefix}_mean": float(arr.mean()),
+                f"{prefix}_median": float(np.median(arr)),
+                f"{prefix}_std": float(arr.std()),
+                f"{prefix}_n": float(arr.size),
+            }
+
+        out: dict[str, float] = {}
+        out.update(stats(self.low_quality_samples, "low"))
+        out.update(stats(self.high_quality_samples, "high"))
+        return out
+
+    def kde_curves(self, n_points: int = 200) -> dict[str, tuple[list[float], list[float]]]:
+        """KDE curves (grid, density) per quality group — the Figure 5 plot data."""
+        curves: dict[str, tuple[list[float], list[float]]] = {}
+        for label, samples in (
+            ("low-quality", self.low_quality_samples),
+            ("high-quality", self.high_quality_samples),
+        ):
+            if len(samples) < 2:
+                curves[label] = ([], [])
+                continue
+            kde = GaussianKDE(samples)
+            xs, density = kde.curve(n_points)
+            curves[label] = (list(map(float, xs)), list(map(float, density)))
+        return curves
+
+    def low_mean_higher(self) -> bool:
+        """True when the low-quality group has the larger mean."""
+        summary = self.summary()
+        return summary["low_mean"] > summary["high_mean"]
+
+    def low_spread_wider(self) -> bool:
+        """True when the low-quality group has the larger spread (std)."""
+        summary = self.summary()
+        return summary["low_std"] > summary["high_std"]
+
+
+@dataclass(frozen=True)
+class TopicInsights:
+    """The three §4.2 axes bundled together for one topic."""
+
+    topic_key: str
+    newsroom_activity: NewsroomActivity
+    social_engagement: DistributionComparison
+    evidence_seeking: DistributionComparison
+    metadata: dict[str, float] = field(default_factory=dict)
+
+
+# ------------------------------------------------------------------- engine
+
+class InsightsEngine:
+    """Computes the §4.2 insights from stored articles, indicators and reactions."""
+
+    def __init__(self, outlet_ratings: Mapping[str, RatingClass]) -> None:
+        self.outlet_ratings = dict(outlet_ratings)
+
+    # ------------------------------------------------------------- utilities
+
+    def rating_of(self, outlet_domain: str) -> RatingClass | None:
+        return self.outlet_ratings.get(outlet_domain)
+
+    def _split_by_quality(
+        self, values: Mapping[str, float], article_outlets: Mapping[str, str]
+    ) -> tuple[list[float], list[float]]:
+        low: list[float] = []
+        high: list[float] = []
+        for article_id, value in values.items():
+            rating = self.rating_of(article_outlets.get(article_id, ""))
+            if rating is None:
+                continue
+            if rating.is_low_quality:
+                low.append(float(value))
+            elif rating.is_high_quality:
+                high.append(float(value))
+        return low, high
+
+    # ----------------------------------------------------------------- Fig 4
+
+    def newsroom_activity(
+        self,
+        articles: Sequence[Article],
+        topic_key: str,
+        window_start: datetime,
+        window_end: datetime,
+        smoothing_days: int = 3,
+    ) -> NewsroomActivity:
+        """Compute the Figure 4 time series.
+
+        For every outlet and day, the topic share is the fraction of that
+        outlet's articles published that day that carry ``topic_key``; the
+        per-class series is the mean share over the outlets of the class
+        (days on which an outlet published nothing are skipped for that
+        outlet), optionally smoothed with a centred rolling mean.
+        """
+        days = list(iter_days(window_start, window_end))
+        day_index = {day: i for i, day in enumerate(days)}
+
+        # outlet -> day -> (topic articles, total articles)
+        per_outlet: dict[str, dict[int, list[int]]] = defaultdict(lambda: defaultdict(lambda: [0, 0]))
+        for article in articles:
+            day = article.published_at.date()
+            if day not in day_index:
+                continue
+            counts = per_outlet[article.outlet_domain][day_index[day]]
+            counts[1] += 1
+            if topic_key in article.topics:
+                counts[0] += 1
+
+        # rating class -> day -> list of outlet shares
+        shares: dict[str, list[list[float]]] = {
+            cls.value: [[] for _ in days] for cls in RatingClass
+        }
+        for outlet_domain, day_counts in per_outlet.items():
+            rating = self.rating_of(outlet_domain)
+            if rating is None:
+                continue
+            for index, (topic_count, total) in day_counts.items():
+                if total > 0:
+                    shares[rating.value][index].append(100.0 * topic_count / total)
+
+        series: dict[str, tuple[float, ...]] = {}
+        for rating_value, day_shares in shares.items():
+            raw = [float(np.mean(day)) if day else 0.0 for day in day_shares]
+            series[rating_value] = tuple(_smooth(raw, smoothing_days))
+
+        return NewsroomActivity(topic_key=topic_key, days=tuple(days), series=series)
+
+    # ----------------------------------------------------------------- Fig 5
+
+    def social_engagement(
+        self,
+        reactions_per_article: Mapping[str, float],
+        article_outlets: Mapping[str, str],
+    ) -> DistributionComparison:
+        """Figure 5 (left): distribution of reaction counts per article."""
+        low, high = self._split_by_quality(reactions_per_article, article_outlets)
+        return DistributionComparison(
+            quantity="social_media_reactions",
+            low_quality_samples=tuple(low),
+            high_quality_samples=tuple(high),
+        )
+
+    def evidence_seeking(
+        self,
+        scientific_ratio_per_article: Mapping[str, float],
+        article_outlets: Mapping[str, str],
+    ) -> DistributionComparison:
+        """Figure 5 (right): distribution of scientific-reference ratios per article."""
+        low, high = self._split_by_quality(scientific_ratio_per_article, article_outlets)
+        return DistributionComparison(
+            quantity="scientific_references_ratio",
+            low_quality_samples=tuple(low),
+            high_quality_samples=tuple(high),
+        )
+
+    # ------------------------------------------------------------------ bundle
+
+    def topic_insights(
+        self,
+        articles: Sequence[Article],
+        topic_key: str,
+        window_start: datetime,
+        window_end: datetime,
+        reactions_per_article: Mapping[str, float],
+        scientific_ratio_per_article: Mapping[str, float],
+    ) -> TopicInsights:
+        """Compute all three axes for one topic."""
+        article_outlets = {a.article_id: a.outlet_domain for a in articles}
+        activity = self.newsroom_activity(articles, topic_key, window_start, window_end)
+        engagement = self.social_engagement(reactions_per_article, article_outlets)
+        evidence = self.evidence_seeking(scientific_ratio_per_article, article_outlets)
+        return TopicInsights(
+            topic_key=topic_key,
+            newsroom_activity=activity,
+            social_engagement=engagement,
+            evidence_seeking=evidence,
+            metadata={
+                "n_articles": float(len(articles)),
+                "n_topic_articles": float(
+                    sum(1 for a in articles if topic_key in a.topics)
+                ),
+            },
+        )
+
+
+def _smooth(values: list[float], window: int) -> list[float]:
+    """Centred rolling mean with edge shrinkage (window=1 disables smoothing)."""
+    if window <= 1 or len(values) <= 2:
+        return list(values)
+    half = window // 2
+    smoothed: list[float] = []
+    for i in range(len(values)):
+        lo = max(0, i - half)
+        hi = min(len(values), i + half + 1)
+        smoothed.append(float(np.mean(values[lo:hi])))
+    return smoothed

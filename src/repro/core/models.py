@@ -1,0 +1,32 @@
+"""Public re-export of the shared domain model.
+
+The dataclasses live in :mod:`repro.models` (a leaf module) so the substrates
+can use them without importing the core package; user code should import them
+from here (``repro.core.models``) or from the top-level ``repro`` namespace.
+"""
+
+from ..models import (
+    LIKERT_MAX,
+    LIKERT_MIN,
+    REVIEW_CRITERIA,
+    Article,
+    ExpertReview,
+    Outlet,
+    RatingClass,
+    Reaction,
+    ReactionKind,
+    SocialPost,
+)
+
+__all__ = [
+    "LIKERT_MAX",
+    "LIKERT_MIN",
+    "REVIEW_CRITERIA",
+    "Article",
+    "ExpertReview",
+    "Outlet",
+    "RatingClass",
+    "Reaction",
+    "ReactionKind",
+    "SocialPost",
+]

@@ -1,0 +1,111 @@
+"""Real-time article evaluation (§4.1).
+
+"An end-user of the platform can explore in real-time a wide range of
+automatically extracted quality indicators combined with manually-operated
+expert reviews ... This functionality is available for all the articles in
+our news collection as well as for any arbitrary news article that a user
+wants to evaluate."
+
+:class:`ArticleEvaluationPipeline` is that path: given an article (or just its
+URL, which is then scraped), it computes every automated indicator, folds in
+whatever expert reviews exist, and returns the combined
+:class:`~repro.core.scoring.ArticleAssessment`.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Mapping, Sequence
+
+from ..config import IndicatorConfig
+from ..errors import ScrapingError
+from ..experts.aggregation import ReviewAggregator
+from ..experts.reviews import ReviewStore
+from ..models import Article, RatingClass, Reaction, SocialPost
+from ..streaming.pipeline import article_id_for, scraped_to_article
+from ..web.scraper import ArticleScraper
+from .indicators.aggregate import IndicatorEngine
+from .scoring import ArticleAssessment, fuse_scores
+
+
+class ArticleEvaluationPipeline:
+    """Evaluate single articles end-to-end: scrape → indicators → expert fusion."""
+
+    def __init__(
+        self,
+        indicator_engine: IndicatorEngine | None = None,
+        scraper: ArticleScraper | None = None,
+        review_store: ReviewStore | None = None,
+        review_aggregator: ReviewAggregator | None = None,
+        outlet_ratings: Mapping[str, RatingClass] | None = None,
+        config: IndicatorConfig | None = None,
+    ) -> None:
+        self.config = config or IndicatorConfig()
+        self.indicator_engine = indicator_engine or IndicatorEngine(self.config)
+        self.scraper = scraper
+        self.review_store = review_store if review_store is not None else ReviewStore()
+        self.review_aggregator = review_aggregator or ReviewAggregator(
+            half_life_days=self.config.expert_half_life_days
+        )
+        # Kept by reference (not copied) so a live registry — e.g. the
+        # platform's outlet_ratings dict — is reflected in later evaluations.
+        self.outlet_ratings: Mapping[str, RatingClass] = (
+            outlet_ratings if outlet_ratings is not None else {}
+        )
+
+    # ------------------------------------------------------------ evaluation
+
+    def evaluate_article(
+        self,
+        article: Article,
+        posts: Sequence[SocialPost] = (),
+        reactions: Sequence[Reaction] | Mapping[str, Sequence[Reaction]] = (),
+        links: Sequence[str] | None = None,
+        as_of: datetime | None = None,
+    ) -> ArticleAssessment:
+        """Evaluate an already-extracted article."""
+        profile = self.indicator_engine.profile(article, posts, reactions, links=links)
+
+        reviews = self.review_store.latest_per_reviewer(article.article_id)
+        expert_summary = (
+            self.review_aggregator.summarize(article.article_id, reviews, as_of=as_of)
+            if reviews
+            else None
+        )
+        final_score = fuse_scores(profile, expert_summary, self.config)
+        comments = tuple(expert_summary.comments) if expert_summary else ()
+
+        return ArticleAssessment(
+            article_id=article.article_id,
+            url=article.url,
+            title=article.title,
+            outlet_domain=article.outlet_domain,
+            profile=profile,
+            expert_summary=expert_summary,
+            final_score=final_score,
+            outlet_rating=self.outlet_ratings.get(article.outlet_domain),
+            topics=article.topics,
+            expert_comments=comments,
+        )
+
+    def evaluate_url(
+        self,
+        url: str,
+        posts: Sequence[SocialPost] = (),
+        reactions: Sequence[Reaction] | Mapping[str, Sequence[Reaction]] = (),
+        as_of: datetime | None = None,
+    ) -> ArticleAssessment:
+        """Scrape an arbitrary URL and evaluate it (the "any arbitrary news article" path)."""
+        if self.scraper is None:
+            raise ScrapingError("no scraper configured for URL evaluation")
+        scraped = self.scraper.scrape(url)
+        article = scraped_to_article(scraped, article_id=article_id_for(url))
+        return self.evaluate_article(
+            article, posts, reactions, links=list(scraped.links), as_of=as_of
+        )
+
+    # ---------------------------------------------------------------- reviews
+
+    def add_review(self, review) -> None:
+        """Attach an expert review so it is reflected in subsequent evaluations."""
+        self.review_store.add(review)

@@ -1,0 +1,610 @@
+"""The SciLens platform orchestrator.
+
+Wires every substrate into the three-component architecture of Figure 2:
+
+* **Data collection & storage** — the message broker + article-extraction
+  pipeline feed the operational RDBMS; the daily migration job copies history
+  into the warehouse (simulated DFS + columnar tables).
+* **Data management & model training** — content-based topic segmentation,
+  outlet quality-based segmentation, and periodic model training over the full
+  history (click-bait model, topic model) registered in the model registry.
+* **Indicators API** — real-time article evaluation (automated indicators +
+  expert reviews) and aggregated topic insights, exposed to the micro-service
+  layer in :mod:`repro.api`.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import defaultdict
+from datetime import datetime
+from typing import Any, Iterable, Mapping, Sequence
+
+from ..config import PlatformConfig
+from ..errors import ArticleNotFound
+from ..experts.aggregation import ReviewAggregator
+from ..experts.reviews import ReviewStore
+from ..ml.clustering import HierarchicalTopicModel
+from ..ml.naive_bayes import TextClassifier
+from ..ml.registry import ModelRegistry
+from ..compute.jobs import JobTracker
+from ..models import Article, ExpertReview, Outlet, RatingClass, Reaction, ReactionKind, SocialPost
+from ..nlp.tokenize import word_tokens
+from ..social.accounts import AccountRegistry
+from ..storage.migration import MigrationJob, MigrationReport
+from ..storage.rdbms.database import Database
+from ..storage.rdbms.expressions import col
+from ..storage.warehouse.dfs import DistributedFileSystem
+from ..storage.warehouse.warehouse import Warehouse
+from ..streaming.broker import MessageBroker
+from ..streaming.pipeline import ArticleExtractionPipeline
+from ..web.scraper import ArticleScraper
+from ..web.sitestore import SiteStore
+from .analytics import WarehouseAnalytics
+from .indicators.aggregate import IndicatorEngine
+from .indicators.context import ContextIndicatorComputer
+from .insights import InsightsEngine, TopicInsights
+from .pipeline import ArticleEvaluationPipeline
+from .schemas import all_schemas
+from .scoring import ArticleAssessment
+
+#: Supervised topic keyword lists used for the content-based segmentation
+#: ("supervised topics of news", §3.3).  Matching any two distinct keywords
+#: tags the article with the topic.
+SUPERVISED_TOPIC_KEYWORDS: dict[str, tuple[str, ...]] = {
+    "covid19": (
+        "coronavirus", "covid", "pandemic", "quarantine", "lockdown", "wuhan",
+        "outbreak", "epidemic", "incubation", "respiratory",
+    ),
+    "health": (
+        "virus", "vaccine", "infection", "disease", "patients", "symptoms",
+        "diet", "nutrition", "flu", "influenza", "hospital",
+    ),
+    "climate": ("climate", "warming", "emissions", "carbon", "greenhouse", "renewable"),
+    "science": ("study", "researchers", "experiment", "laboratory", "genome", "telescope"),
+}
+
+
+class SciLensPlatform:
+    """The running platform: ingestion, storage, analytics and serving."""
+
+    def __init__(
+        self,
+        config: PlatformConfig | None = None,
+        site_store: SiteStore | None = None,
+        account_registry: AccountRegistry | None = None,
+    ) -> None:
+        self.config = (config or PlatformConfig()).validate()
+
+        # --- data collection ------------------------------------------------
+        self.site_store = site_store if site_store is not None else SiteStore()
+        self.scraper = ArticleScraper(self.site_store)
+        self.accounts = account_registry if account_registry is not None else AccountRegistry()
+        self.broker = MessageBroker(default_partitions=self.config.streaming.partitions)
+        for topic in (
+            self.config.streaming.postings_topic,
+            self.config.streaming.reactions_topic,
+        ):
+            self.broker.create_topic(topic)
+
+        # --- data layer -----------------------------------------------------
+        self.database = Database(
+            data_dir=self.config.storage.data_dir,
+            wal_enabled=self.config.storage.wal_enabled and self.config.storage.data_dir is not None,
+        )
+        for schema in all_schemas():
+            self.database.create_table(schema, if_not_exists=True)
+        self.database.table("posts").create_index("article_url", kind="hash")
+        self.database.table("reactions").create_index("post_id", kind="hash")
+        self.database.table("articles").create_index("outlet_domain", kind="hash")
+        self.database.table("reviews").create_index("article_id", kind="hash")
+
+        self.dfs = DistributedFileSystem(
+            n_nodes=3, replication=self.config.storage.warehouse_replication
+        )
+        self.warehouse = Warehouse(self.dfs, block_rows=self.config.storage.warehouse_block_rows)
+        self.migration = MigrationJob(self.database, self.warehouse)
+        # Watermark on ingestion time; partitions follow event time (articles by
+        # publication day, social objects and reviews by their own timestamps).
+        self.migration.add_table("articles", timestamp_column="ingested_at", partition_column="published_at")
+        for table_name in ("posts", "reactions", "reviews"):
+            self.migration.add_table(table_name, timestamp_column="ingested_at", partition_column="created_at")
+
+        # --- analytics ------------------------------------------------------
+        self.models = ModelRegistry()
+        self.jobs = JobTracker()
+        self.jobs.register("daily_migration", self._run_migration_job)
+        self.jobs.register("train_models", self._run_training_job)
+
+        # --- evaluation / serving --------------------------------------------
+        self.outlet_ratings: dict[str, RatingClass] = {}
+        self.review_store = ReviewStore()
+        self.review_aggregator = ReviewAggregator(
+            half_life_days=self.config.indicators.expert_half_life_days
+        )
+        self.indicator_engine = IndicatorEngine(self.config.indicators)
+        self.context_computer = ContextIndicatorComputer()
+        self.evaluation = ArticleEvaluationPipeline(
+            indicator_engine=self.indicator_engine,
+            scraper=self.scraper,
+            review_store=self.review_store,
+            review_aggregator=self.review_aggregator,
+            outlet_ratings=self.outlet_ratings,
+            config=self.config.indicators,
+        )
+
+        # --- streaming pipeline ----------------------------------------------
+        self.extraction = ArticleExtractionPipeline(
+            broker=self.broker,
+            scraper=self.scraper,
+            accounts=self.accounts,
+            postings_topic=self.config.streaming.postings_topic,
+            reactions_topic=self.config.streaming.reactions_topic,
+            on_article=self.store_article,
+            on_post=self.store_post,
+            on_reaction=self.store_reaction,
+        )
+
+    # ====================================================================== #
+    # Outlets
+    # ====================================================================== #
+
+    def register_outlet(self, outlet: Outlet, created_at: datetime | None = None) -> None:
+        """Register a news outlet and its quality rating."""
+        self.outlet_ratings[outlet.domain] = outlet.rating_class
+        self.database.upsert(
+            "outlets",
+            {
+                "domain": outlet.domain,
+                "name": outlet.name,
+                "rating_class": outlet.rating_class.value,
+                "evidence_score": outlet.evidence_score,
+                "compelling_score": outlet.compelling_score,
+                "country": outlet.country,
+                "created_at": created_at or datetime.utcnow(),
+            },
+        )
+
+    def register_outlets(self, outlets: Iterable[Outlet]) -> int:
+        count = 0
+        for outlet in outlets:
+            self.register_outlet(outlet)
+            count += 1
+        return count
+
+    def outlet_rating(self, domain: str) -> RatingClass | None:
+        return self.outlet_ratings.get(domain)
+
+    def outlets(self) -> list[dict[str, Any]]:
+        """All registered outlets (operational-store rows)."""
+        return self.database.query("outlets").order_by("domain").execute().rows
+
+    # ====================================================================== #
+    # Ingestion (streaming entry point)
+    # ====================================================================== #
+
+    def ingest_posting_events(self, events: Iterable[tuple[str | None, dict[str, Any]]]) -> int:
+        """Publish posting events onto the postings topic."""
+        return self.broker.produce_many(self.config.streaming.postings_topic, events)
+
+    def ingest_reaction_events(self, events: Iterable[tuple[str | None, dict[str, Any]]]) -> int:
+        """Publish reaction events onto the reactions topic."""
+        return self.broker.produce_many(self.config.streaming.reactions_topic, events)
+
+    def process_stream(self, batch_size: int | None = None) -> dict[str, int]:
+        """Run the extraction pipeline over every pending event."""
+        batch_size = batch_size or self.config.streaming.max_batch_size
+        self.extraction.process_available(batch_size=batch_size)
+        return self.extraction.stats.as_dict()
+
+    # ====================================================================== #
+    # Operational writes (used by the pipeline callbacks and directly)
+    # ====================================================================== #
+
+    def store_article(self, article: Article, created_at: datetime | None = None) -> None:
+        """Insert or refresh an article in the operational store."""
+        self.database.upsert(
+            "articles",
+            {
+                "article_id": article.article_id,
+                "url": article.url,
+                "outlet_domain": article.outlet_domain,
+                "title": article.title,
+                "author": article.author,
+                "published_at": article.published_at,
+                "text": article.text,
+                "html": article.html,
+                "topics": list(article.topics),
+                "created_at": created_at or datetime.utcnow(),
+                "ingested_at": datetime.utcnow(),
+            },
+        )
+
+    def store_post(self, post: SocialPost, created_at: datetime | None = None) -> None:
+        self.database.upsert(
+            "posts",
+            {
+                "post_id": post.post_id,
+                "platform": post.platform,
+                "account": post.account,
+                "article_url": post.article_url,
+                "text": post.text,
+                "followers": post.followers,
+                "reply_to": post.reply_to,
+                "created_at": created_at or post.created_at,
+                "ingested_at": datetime.utcnow(),
+            },
+        )
+
+    def store_reaction(self, reaction: Reaction, created_at: datetime | None = None) -> None:
+        self.database.upsert(
+            "reactions",
+            {
+                "reaction_id": reaction.reaction_id,
+                "post_id": reaction.post_id,
+                "kind": reaction.kind.value,
+                "account": reaction.account,
+                "text": reaction.text,
+                "created_at": created_at or reaction.created_at,
+                "ingested_at": datetime.utcnow(),
+            },
+        )
+
+    def add_expert_review(self, review: ExpertReview) -> None:
+        """Record an expert review (review store + operational table)."""
+        self.review_store.add(review)
+        self.database.upsert(
+            "reviews",
+            {
+                "review_id": review.review_id,
+                "article_id": review.article_id,
+                "reviewer_id": review.reviewer_id,
+                "scores": dict(review.scores),
+                "comment": review.comment,
+                "reviewer_weight": review.reviewer_weight,
+                "created_at": review.created_at,
+                "ingested_at": datetime.utcnow(),
+            },
+        )
+
+    # ====================================================================== #
+    # Operational reads
+    # ====================================================================== #
+
+    def article_count(self) -> int:
+        return self.database.table("articles").row_count()
+
+    def get_article(self, article_id: str) -> Article:
+        row = self.database.get("articles", article_id)
+        if row is None:
+            raise ArticleNotFound(f"no article with id {article_id!r}")
+        return _row_to_article(row)
+
+    def get_article_by_url(self, url: str) -> Article:
+        rows = self.database.query("articles").where(col("url") == url).limit(1).execute().rows
+        if not rows:
+            raise ArticleNotFound(f"no article with url {url!r}")
+        return _row_to_article(rows[0])
+
+    def articles(self, outlet_domain: str | None = None) -> list[Article]:
+        query = self.database.query("articles")
+        if outlet_domain is not None:
+            query = query.where(col("outlet_domain") == outlet_domain)
+        return [_row_to_article(row) for row in query.execute().rows]
+
+    def posts_for_article(self, article_url: str) -> list[SocialPost]:
+        rows = (
+            self.database.query("posts").where(col("article_url") == article_url).execute().rows
+        )
+        return [_row_to_post(row) for row in rows]
+
+    def reactions_for_posts(self, post_ids: Sequence[str]) -> dict[str, list[Reaction]]:
+        out: dict[str, list[Reaction]] = {post_id: [] for post_id in post_ids}
+        if not post_ids:
+            return out
+        rows = self.database.query("reactions").where(col("post_id").is_in(list(post_ids))).execute().rows
+        for row in rows:
+            out.setdefault(row["post_id"], []).append(_row_to_reaction(row))
+        return out
+
+    # ====================================================================== #
+    # Real-time evaluation (Indicators API backend)
+    # ====================================================================== #
+
+    def evaluate_article(self, article_id: str, as_of: datetime | None = None) -> ArticleAssessment:
+        """Evaluate a stored article with its full social context and reviews."""
+        article = self.get_article(article_id)
+        posts = self.posts_for_article(article.url)
+        reactions = self.reactions_for_posts([post.post_id for post in posts])
+        assessment = self.evaluation.evaluate_article(article, posts, reactions, as_of=as_of)
+        self._cache_indicators(assessment)
+        return assessment
+
+    def evaluate_url(self, url: str, as_of: datetime | None = None) -> ArticleAssessment:
+        """Evaluate any URL: stored articles use their social context, unknown
+        URLs are scraped on the fly (the "arbitrary news article" path)."""
+        try:
+            article = self.get_article_by_url(url)
+        except ArticleNotFound:
+            return self.evaluation.evaluate_url(url, as_of=as_of)
+        return self.evaluate_article(article.article_id, as_of=as_of)
+
+    def _cache_indicators(self, assessment: ArticleAssessment) -> None:
+        self.database.upsert(
+            "indicators",
+            {
+                "article_id": assessment.article_id,
+                "payload": json.loads(json.dumps(assessment.profile.as_dict())),
+                "automated_score": assessment.profile.automated_score,
+                "computed_at": datetime.utcnow(),
+            },
+        )
+
+    def cached_indicators(self, article_id: str) -> dict[str, float] | None:
+        row = self.database.get("indicators", article_id)
+        return dict(row["payload"]) if row else None
+
+    # ====================================================================== #
+    # Data management: segmentation and model training
+    # ====================================================================== #
+
+    def assign_topics(
+        self, topic_keywords: Mapping[str, Sequence[str]] | None = None, min_hits: int = 2
+    ) -> dict[str, int]:
+        """Content-based supervised topic segmentation.
+
+        Tags every stored article with each topic whose keyword list matches at
+        least ``min_hits`` distinct tokens of the title+body; returns the
+        number of articles tagged per topic.
+        """
+        keywords = {k: tuple(v) for k, v in (topic_keywords or SUPERVISED_TOPIC_KEYWORDS).items()}
+        counts: dict[str, int] = {key: 0 for key in keywords}
+        for row in self.database.query("articles").execute().rows:
+            tokens = set(word_tokens(f"{row['title']} {row['text']}"))
+            topics = set(row.get("topics") or [])
+            for topic_key, topic_words in keywords.items():
+                hits = sum(1 for word in topic_words if word in tokens)
+                if hits >= min_hits:
+                    topics.add(topic_key)
+                    counts[topic_key] += 1
+            self.database.update(
+                "articles",
+                col("article_id") == row["article_id"],
+                {"topics": sorted(topics)},
+            )
+        return counts
+
+    def warehouse_analytics(self) -> WarehouseAnalytics:
+        """Batch-analytics view over the warehouse (run a migration first)."""
+        return WarehouseAnalytics(self.warehouse)
+
+    def derive_outlet_ratings_from_reviews(
+        self, min_reviewed_articles: int = 1, overwrite: bool = False
+    ) -> dict[str, RatingClass]:
+        """Quality-based outlet segmentation computed from expert reviews.
+
+        "The quality of an outlet is either computed using the expert reviews
+        or imported from external sources" (§3.3).  For every outlet with at
+        least ``min_reviewed_articles`` reviewed articles, the outlet quality
+        is the mean aggregated review quality of those articles, mapped onto a
+        rating class.  Outlets that already carry an (external) rating keep it
+        unless ``overwrite`` is true.  Returns the ratings that were derived.
+        """
+        derived: dict[str, RatingClass] = {}
+        summaries_by_outlet: dict[str, list] = defaultdict(list)
+        for article_id in self.review_store.reviewed_article_ids():
+            try:
+                article = self.get_article(article_id)
+            except ArticleNotFound:
+                continue
+            reviews = self.review_store.latest_per_reviewer(article_id)
+            summaries_by_outlet[article.outlet_domain].append(
+                self.review_aggregator.summarize(article_id, reviews)
+            )
+
+        for outlet_domain, summaries in summaries_by_outlet.items():
+            if len(summaries) < min_reviewed_articles:
+                continue
+            quality = self.review_aggregator.outlet_quality(summaries)
+            if quality is None:
+                continue
+            rating = RatingClass.from_score(quality)
+            derived[outlet_domain] = rating
+            if overwrite or outlet_domain not in self.outlet_ratings:
+                self.outlet_ratings[outlet_domain] = rating
+                self.database.update(
+                    "outlets",
+                    col("domain") == outlet_domain,
+                    {"rating_class": rating.value},
+                )
+        return derived
+
+    def outlet_segments(self) -> dict[str, list[str]]:
+        """Quality-based outlet segmentation: rating class → outlet domains."""
+        segments: dict[str, list[str]] = defaultdict(list)
+        for domain, rating in sorted(self.outlet_ratings.items()):
+            segments[rating.value].append(domain)
+        return dict(segments)
+
+    def run_daily_migration(self, now: datetime | None = None) -> MigrationReport:
+        """Run the daily RDBMS → warehouse migration."""
+        result = self.jobs.run("daily_migration", now)
+        if not result.succeeded:
+            raise RuntimeError(f"migration failed: {result.error}")
+        return result.result
+
+    def _run_migration_job(self, now: datetime | None = None) -> MigrationReport:
+        return self.migration.run(now=now)
+
+    def train_models(self, now: datetime | None = None) -> dict[str, Any]:
+        """Run the periodic model-training job over the full article history."""
+        result = self.jobs.run("train_models", now)
+        if not result.succeeded:
+            raise RuntimeError(f"training failed: {result.error}")
+        return result.result
+
+    def _run_training_job(self, now: datetime | None = None) -> dict[str, Any]:
+        now = now or datetime.utcnow()
+        articles = self._training_articles()
+        trained: dict[str, Any] = {"n_articles": len(articles)}
+        if len(articles) < 10:
+            trained["skipped"] = True
+            return trained
+
+        # Click-bait model: titles labelled by the quality class of their outlet
+        # (low-quality outlets are the click-bait-positive class).
+        titles: list[str] = []
+        labels: list[int] = []
+        for row in articles:
+            rating = self.outlet_ratings.get(row["outlet_domain"])
+            if rating is None or rating is RatingClass.MIXED:
+                continue
+            titles.append(row["title"])
+            labels.append(1 if rating.is_low_quality else 0)
+        if len(set(labels)) == 2:
+            clickbait_model = TextClassifier(positive_class=1)
+            clickbait_model.fit(titles, labels)
+            record = self.models.register("clickbait-title", clickbait_model, trained_at=now,
+                                          metrics={"n_titles": float(len(titles))})
+            trained["clickbait_model_version"] = record.version
+
+        # Topic model: probabilistic hierarchical clustering over the bodies.
+        texts = [row["text"] for row in articles if row["text"]]
+        if len(texts) >= 20:
+            topic_model = HierarchicalTopicModel(
+                depth=self.config.analytics.topic_tree_depth,
+                branching=self.config.analytics.topic_branching,
+                min_probability=self.config.analytics.min_topic_probability,
+                random_seed=self.config.random_seed,
+            )
+            topic_model.fit(texts)
+            record = self.models.register("topic-hierarchy", topic_model, trained_at=now,
+                                          metrics={"n_documents": float(len(texts))})
+            trained["topic_model_version"] = record.version
+            trained["topic_labels"] = topic_model.topic_labels()
+        return trained
+
+    def _training_articles(self) -> list[dict[str, Any]]:
+        """Article history for training: the warehouse when populated, else the RDBMS."""
+        if self.warehouse.has_table("articles") and self.warehouse.table("articles").row_count() > 0:
+            return list(self.warehouse.table("articles").scan())
+        return self.database.query("articles").execute().rows
+
+    # ====================================================================== #
+    # Topic insights (§4.2)
+    # ====================================================================== #
+
+    def reactions_per_article(self, topic_key: str | None = None) -> dict[str, int]:
+        """Number of reactions per stored article (optionally only for one topic)."""
+        articles = self.database.query("articles").execute().rows
+        if topic_key is not None:
+            articles = [row for row in articles if topic_key in (row.get("topics") or [])]
+        url_to_id = {row["url"]: row["article_id"] for row in articles}
+
+        post_to_article: dict[str, str] = {}
+        for row in self.database.query("posts").execute().rows:
+            article_id = url_to_id.get(row["article_url"])
+            if article_id is not None:
+                post_to_article[row["post_id"]] = article_id
+
+        counts: dict[str, int] = {article_id: 0 for article_id in url_to_id.values()}
+        for row in self.database.query("reactions").execute().rows:
+            article_id = post_to_article.get(row["post_id"])
+            if article_id is not None:
+                counts[article_id] += 1
+        return counts
+
+    def scientific_ratio_per_article(self, topic_key: str | None = None) -> dict[str, float]:
+        """Scientific-reference ratio per stored article (from the context indicators)."""
+        ratios: dict[str, float] = {}
+        for row in self.database.query("articles").execute().rows:
+            if topic_key is not None and topic_key not in (row.get("topics") or []):
+                continue
+            article = _row_to_article(row)
+            context = self.context_computer.compute(article)
+            ratios[article.article_id] = context.scientific_ratio
+        return ratios
+
+    def topic_insights(
+        self,
+        topic_key: str = "covid19",
+        window_start: datetime | None = None,
+        window_end: datetime | None = None,
+    ) -> TopicInsights:
+        """Compute the three §4.2 axes for ``topic_key`` from the stored data."""
+        articles = [
+            _row_to_article(row) for row in self.database.query("articles").execute().rows
+        ]
+        if not articles:
+            raise ArticleNotFound("the platform holds no articles yet")
+        window_start = window_start or min(a.published_at for a in articles)
+        window_end = window_end or max(a.published_at for a in articles)
+
+        engine = InsightsEngine(self.outlet_ratings)
+        return engine.topic_insights(
+            articles=articles,
+            topic_key=topic_key,
+            window_start=window_start,
+            window_end=window_end,
+            reactions_per_article=self.reactions_per_article(topic_key),
+            scientific_ratio_per_article=self.scientific_ratio_per_article(topic_key),
+        )
+
+    # ====================================================================== #
+    # Monitoring
+    # ====================================================================== #
+
+    def status(self) -> dict[str, Any]:
+        """Operational snapshot: table sizes, stream lag, warehouse and job health."""
+        return {
+            "articles": self.database.table("articles").row_count(),
+            "posts": self.database.table("posts").row_count(),
+            "reactions": self.database.table("reactions").row_count(),
+            "reviews": self.database.table("reviews").row_count(),
+            "outlets": self.database.table("outlets").row_count(),
+            "stream_lag": self.extraction.lag(),
+            "warehouse_rows": self.warehouse.total_rows(),
+            "dfs": self.dfs.stats(),
+            "jobs_success_rate": self.jobs.success_rate(),
+            "registered_models": self.models.names(),
+        }
+
+
+# --------------------------------------------------------------- row mapping
+
+def _row_to_article(row: Mapping[str, Any]) -> Article:
+    return Article(
+        article_id=row["article_id"],
+        url=row["url"],
+        outlet_domain=row["outlet_domain"],
+        title=row["title"],
+        published_at=row["published_at"],
+        text=row.get("text") or "",
+        html=row.get("html") or "",
+        author=row.get("author"),
+        topics=tuple(row.get("topics") or ()),
+    )
+
+
+def _row_to_post(row: Mapping[str, Any]) -> SocialPost:
+    return SocialPost(
+        post_id=row["post_id"],
+        platform=row.get("platform") or "twitter",
+        account=row["account"],
+        article_url=row["article_url"],
+        text=row.get("text") or "",
+        created_at=row["created_at"],
+        followers=row.get("followers") or 0,
+        reply_to=row.get("reply_to"),
+    )
+
+
+def _row_to_reaction(row: Mapping[str, Any]) -> Reaction:
+    return Reaction(
+        reaction_id=row["reaction_id"],
+        post_id=row["post_id"],
+        kind=ReactionKind(row.get("kind") or "like"),
+        created_at=row["created_at"],
+        account=row.get("account") or "",
+        text=row.get("text") or "",
+    )

@@ -1,0 +1,91 @@
+"""Fusion of automated indicators with expert reviews into the displayed score.
+
+The platform shows, for every article, "automatically extracted quality
+indicators combined with manually-operated expert reviews" (Figure 3).  The
+:class:`ArticleAssessment` is that combined card; :func:`fuse_scores` computes
+the single headline score, weighing the expert consensus more heavily than any
+individual automated family (experts are reliable but scarce — §1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..config import IndicatorConfig
+from ..experts.aggregation import ArticleReviewSummary
+from ..models import RatingClass
+from .indicators.aggregate import QualityProfile
+
+
+@dataclass(frozen=True)
+class ArticleAssessment:
+    """The combined automated + expert view of one article (the Figure 3 card)."""
+
+    article_id: str
+    url: str
+    title: str
+    outlet_domain: str
+    profile: QualityProfile
+    expert_summary: ArticleReviewSummary | None
+    final_score: float
+    outlet_rating: RatingClass | None = None
+    topics: tuple[str, ...] = ()
+    expert_comments: tuple[str, ...] = ()
+    extras: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def has_expert_reviews(self) -> bool:
+        return self.expert_summary is not None and self.expert_summary.n_reviews > 0
+
+    @property
+    def rating_class(self) -> RatingClass:
+        """Rating class implied by the final score."""
+        return RatingClass.from_score(self.final_score)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-friendly payload — what the Indicators API returns to the UI."""
+        payload: dict[str, Any] = {
+            "article_id": self.article_id,
+            "url": self.url,
+            "title": self.title,
+            "outlet_domain": self.outlet_domain,
+            "outlet_rating": self.outlet_rating.value if self.outlet_rating else None,
+            "topics": list(self.topics),
+            "final_score": self.final_score,
+            "final_rating": self.rating_class.value,
+            "indicators": self.profile.as_dict(),
+            "family_scores": self.profile.family_scores(),
+            "expert": self.expert_summary.as_dict() if self.expert_summary else None,
+            "expert_comments": list(self.expert_comments),
+        }
+        payload.update(self.extras)
+        return payload
+
+
+def fuse_scores(
+    profile: QualityProfile,
+    expert_summary: ArticleReviewSummary | None = None,
+    config: IndicatorConfig | None = None,
+) -> float:
+    """Combine the automated score with the expert consensus.
+
+    Without expert reviews the automated score stands alone; with reviews the
+    two are combined with the configured weights (the expert weight applies to
+    the whole review consensus, the automated side keeps the sum of the three
+    family weights).
+    """
+    config = config or IndicatorConfig()
+    config.validate()
+    automated_weight = config.content_weight + config.context_weight + config.social_weight
+
+    if expert_summary is None or expert_summary.n_reviews == 0:
+        return profile.automated_score
+
+    total = automated_weight + config.expert_weight
+    if total == 0:
+        return profile.automated_score
+    return (
+        automated_weight * profile.automated_score
+        + config.expert_weight * expert_summary.overall_quality
+    ) / total

@@ -1,0 +1,29 @@
+"""Expert-review subsystem (§3.2).
+
+Experts annotate articles on seven Likert-scale criteria; the platform
+combines those annotations into a weighted, time-sensitive average and
+displays a final score next to the automated indicators.  This package holds
+the criteria definitions, the review store, the aggregation maths, consensus
+metrics and a simulated reviewer pool (standing in for the human experts of
+the live deployment).
+"""
+
+from .criteria import CRITERIA, CriterionDefinition, criterion_definition
+from .reviews import ReviewStore
+from .aggregation import ArticleReviewSummary, ReviewAggregator
+from .reviewers import SimulatedReviewer, ReviewerPool
+from .consensus import pairwise_agreement, score_variance, consensus_report
+
+__all__ = [
+    "CRITERIA",
+    "CriterionDefinition",
+    "criterion_definition",
+    "ReviewStore",
+    "ArticleReviewSummary",
+    "ReviewAggregator",
+    "SimulatedReviewer",
+    "ReviewerPool",
+    "pairwise_agreement",
+    "score_variance",
+    "consensus_report",
+]

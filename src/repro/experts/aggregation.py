@@ -1,0 +1,129 @@
+"""Weighted, time-sensitive aggregation of expert reviews.
+
+"Based on these evaluation scores, the system computes a weighted,
+time-sensitive average and displays a final score of the criteria for each
+article." (§3.2)
+
+The aggregator weighs each review by the reviewer's weight multiplied by an
+exponential time-decay factor: a review loses half its weight every
+``half_life_days`` days relative to the evaluation instant.  Per-criterion
+averages stay on the Likert scale; the overall quality score maps them onto
+``[0, 1]`` with click-baitness inverted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Sequence
+
+from ..errors import ReviewError
+from ..models import ExpertReview
+from .criteria import CRITERIA, normalize_to_quality
+
+
+@dataclass(frozen=True)
+class ArticleReviewSummary:
+    """Aggregated expert assessment of one article."""
+
+    article_id: str
+    n_reviews: int
+    criterion_scores: dict[str, float] = field(default_factory=dict)
+    overall_quality: float = 0.0
+    total_weight: float = 0.0
+    comments: tuple[str, ...] = ()
+
+    def score(self, criterion: str) -> float | None:
+        """Aggregated Likert score of one criterion (``None`` if never rated)."""
+        return self.criterion_scores.get(criterion)
+
+    def as_dict(self) -> dict[str, float]:
+        out = {f"expert_{key}": value for key, value in self.criterion_scores.items()}
+        out["expert_overall_quality"] = self.overall_quality
+        out["expert_n_reviews"] = float(self.n_reviews)
+        return out
+
+
+class ReviewAggregator:
+    """Computes weighted, time-sensitive review averages."""
+
+    def __init__(self, half_life_days: float = 30.0) -> None:
+        if half_life_days <= 0:
+            raise ReviewError("half_life_days must be positive")
+        self.half_life_days = half_life_days
+
+    def time_weight(self, review_created_at: datetime, as_of: datetime) -> float:
+        """Exponential decay weight of a review at evaluation time ``as_of``.
+
+        Reviews newer than ``as_of`` (clock skew) get weight 1.
+        """
+        age_days = (as_of - review_created_at).total_seconds() / 86400.0
+        if age_days <= 0:
+            return 1.0
+        return math.pow(0.5, age_days / self.half_life_days)
+
+    def summarize(
+        self,
+        article_id: str,
+        reviews: Sequence[ExpertReview],
+        as_of: datetime | None = None,
+    ) -> ArticleReviewSummary:
+        """Aggregate ``reviews`` (all belonging to ``article_id``) at time ``as_of``."""
+        relevant = [r for r in reviews if r.article_id == article_id]
+        if not relevant:
+            return ArticleReviewSummary(article_id=article_id, n_reviews=0)
+        as_of = as_of or max(r.created_at for r in relevant)
+
+        weighted_sums: dict[str, float] = {key: 0.0 for key in CRITERIA}
+        weight_totals: dict[str, float] = {key: 0.0 for key in CRITERIA}
+        total_weight = 0.0
+        comments: list[str] = []
+
+        for review in relevant:
+            weight = review.reviewer_weight * self.time_weight(review.created_at, as_of)
+            total_weight += weight
+            if review.comment.strip():
+                comments.append(review.comment.strip())
+            for criterion, value in review.scores.items():
+                weighted_sums[criterion] += weight * value
+                weight_totals[criterion] += weight
+
+        criterion_scores = {
+            criterion: weighted_sums[criterion] / weight_totals[criterion]
+            for criterion in CRITERIA
+            if weight_totals[criterion] > 0
+        }
+
+        if criterion_scores:
+            quality_components = [
+                normalize_to_quality(criterion, score)
+                for criterion, score in criterion_scores.items()
+            ]
+            overall = sum(quality_components) / len(quality_components)
+        else:
+            overall = 0.0
+
+        return ArticleReviewSummary(
+            article_id=article_id,
+            n_reviews=len(relevant),
+            criterion_scores=criterion_scores,
+            overall_quality=overall,
+            total_weight=total_weight,
+            comments=tuple(comments),
+        )
+
+    def outlet_quality(
+        self,
+        summaries: Sequence[ArticleReviewSummary],
+    ) -> float | None:
+        """Outlet-level quality: mean overall quality over its reviewed articles.
+
+        Used by the quality-based outlet segmentation when expert reviews (and
+        not an external ranking) define outlet quality.  Returns ``None`` when
+        no article of the outlet has reviews.
+        """
+        reviewed = [s for s in summaries if s.n_reviews > 0]
+        if not reviewed:
+            return None
+        return sum(s.overall_quality for s in reviewed) / len(reviewed)

@@ -1,0 +1,81 @@
+"""Consensus metrics over expert and non-expert assessments.
+
+The paper claims that the augmented view (automated indicators + expert
+reviews) "has provably helped the platform users to have a better consensus
+about the quality of the underlying articles".  The metrics here quantify
+consensus: pairwise agreement and score variance across assessors, plus a
+report comparing two assessment conditions (e.g. with and without access to
+the indicators).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Mapping, Sequence
+
+from ..errors import ReviewError
+from ..models import LIKERT_MAX, LIKERT_MIN
+
+
+def score_variance(scores: Sequence[float]) -> float:
+    """Population variance of a set of assessment scores (0 for < 2 scores)."""
+    values = list(scores)
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    return sum((v - mean) ** 2 for v in values) / len(values)
+
+
+def pairwise_agreement(scores: Sequence[float], scale: float | None = None) -> float:
+    """Mean pairwise agreement in ``[0, 1]``.
+
+    Agreement between two assessors is ``1 - |a - b| / scale``; ``scale``
+    defaults to the Likert range.  A single assessor trivially agrees with
+    itself (returns 1.0).
+    """
+    values = list(scores)
+    if len(values) < 2:
+        return 1.0
+    scale = scale if scale is not None else float(LIKERT_MAX - LIKERT_MIN)
+    if scale <= 0:
+        raise ReviewError("agreement scale must be positive")
+    agreements = [
+        1.0 - min(abs(a - b) / scale, 1.0) for a, b in combinations(values, 2)
+    ]
+    return sum(agreements) / len(agreements)
+
+
+def consensus_report(
+    without_indicators: Mapping[str, Sequence[float]],
+    with_indicators: Mapping[str, Sequence[float]],
+    scale: float | None = None,
+) -> dict[str, float]:
+    """Compare consensus between two assessment conditions.
+
+    Both mappings go from article id to the list of quality scores different
+    assessors gave that article.  Returns the mean pairwise agreement and mean
+    variance under each condition plus the improvement (positive = the
+    indicator-augmented condition produced better consensus, as the paper
+    reports).
+    """
+    common = sorted(set(without_indicators) & set(with_indicators))
+    if not common:
+        raise ReviewError("the two conditions share no articles")
+
+    def mean_metric(data: Mapping[str, Sequence[float]], metric) -> float:
+        return sum(metric(data[article_id]) for article_id in common) / len(common)
+
+    agreement_without = mean_metric(without_indicators, lambda s: pairwise_agreement(s, scale))
+    agreement_with = mean_metric(with_indicators, lambda s: pairwise_agreement(s, scale))
+    variance_without = mean_metric(without_indicators, score_variance)
+    variance_with = mean_metric(with_indicators, score_variance)
+
+    return {
+        "articles": float(len(common)),
+        "agreement_without_indicators": agreement_without,
+        "agreement_with_indicators": agreement_with,
+        "agreement_improvement": agreement_with - agreement_without,
+        "variance_without_indicators": variance_without,
+        "variance_with_indicators": variance_with,
+        "variance_reduction": variance_without - variance_with,
+    }

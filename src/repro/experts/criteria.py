@@ -1,0 +1,113 @@
+"""The seven expert-review criteria.
+
+"The system allows experts to annotate any article based on seven criteria:
+1) Factual accuracy, 2) Scientific understanding, 3) Logic/Reasoning,
+4) Precision/Clarity, 5) Sources quality, 6) Fairness, and 7) Click-baitness
+on a Likert Scale, from very low quality to very high quality." (§3.2)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReviewError
+from ..models import LIKERT_MAX, LIKERT_MIN, REVIEW_CRITERIA
+
+#: Ordered tuple of criterion identifiers (same order as the paper lists them).
+CRITERIA: tuple[str, ...] = REVIEW_CRITERIA
+
+
+@dataclass(frozen=True)
+class CriterionDefinition:
+    """Display name and question wording of one criterion."""
+
+    key: str
+    display_name: str
+    question: str
+    #: Whether a *high* Likert value means *high* quality.  Click-baitness is
+    #: asked on the same scale but inverted when fused into a quality score.
+    higher_is_better: bool = True
+
+
+_DEFINITIONS: dict[str, CriterionDefinition] = {
+    "factual_accuracy": CriterionDefinition(
+        key="factual_accuracy",
+        display_name="Factual accuracy",
+        question="Are the factual claims of the article accurate?",
+    ),
+    "scientific_understanding": CriterionDefinition(
+        key="scientific_understanding",
+        display_name="Scientific understanding",
+        question="Does the article reflect a correct understanding of the underlying science?",
+    ),
+    "logic_reasoning": CriterionDefinition(
+        key="logic_reasoning",
+        display_name="Logic / Reasoning",
+        question="Is the reasoning of the article logically sound?",
+    ),
+    "precision_clarity": CriterionDefinition(
+        key="precision_clarity",
+        display_name="Precision / Clarity",
+        question="Is the article precise and clearly written?",
+    ),
+    "sources_quality": CriterionDefinition(
+        key="sources_quality",
+        display_name="Sources quality",
+        question="Does the article rely on high-quality, primary sources?",
+    ),
+    "fairness": CriterionDefinition(
+        key="fairness",
+        display_name="Fairness",
+        question="Does the article treat the subject fairly and without bias?",
+    ),
+    "clickbaitness": CriterionDefinition(
+        key="clickbaitness",
+        display_name="Click-baitness",
+        question="How click-baity is the title relative to the content?",
+        higher_is_better=False,
+    ),
+}
+
+
+def criterion_definition(key: str) -> CriterionDefinition:
+    """Return the definition of a criterion, raising on unknown keys."""
+    try:
+        return _DEFINITIONS[key]
+    except KeyError:
+        raise ReviewError(f"unknown review criterion: {key!r}") from None
+
+
+def validate_scores(scores: dict[str, int], require_all: bool = False) -> dict[str, int]:
+    """Validate a criterion → Likert-score mapping.
+
+    Unknown criteria and out-of-range values raise; when ``require_all`` is
+    true every one of the seven criteria must be present.
+    """
+    for key, value in scores.items():
+        if key not in _DEFINITIONS:
+            raise ReviewError(f"unknown review criterion: {key!r}")
+        if not LIKERT_MIN <= value <= LIKERT_MAX:
+            raise ReviewError(
+                f"criterion {key!r} must be scored in [{LIKERT_MIN}, {LIKERT_MAX}], got {value}"
+            )
+    if require_all:
+        missing = [key for key in CRITERIA if key not in scores]
+        if missing:
+            raise ReviewError(f"missing criteria: {missing}")
+    return dict(scores)
+
+
+def quality_direction(key: str) -> int:
+    """+1 when a high Likert value means high quality, -1 otherwise."""
+    return 1 if criterion_definition(key).higher_is_better else -1
+
+
+def normalize_to_quality(key: str, likert_value: float) -> float:
+    """Map a Likert value onto a quality contribution in ``[0, 1]``.
+
+    Criteria where higher is better map 1→0 and 5→1; click-baitness is
+    inverted (1→1, 5→0).
+    """
+    span = LIKERT_MAX - LIKERT_MIN
+    fraction = (likert_value - LIKERT_MIN) / span
+    return fraction if criterion_definition(key).higher_is_better else 1.0 - fraction

@@ -1,0 +1,127 @@
+"""Simulated expert reviewers.
+
+The live platform is reviewed by human domain experts; offline we simulate a
+pool of reviewers with individual severity biases, noise levels and
+reliability weights.  Given the latent quality of an article (which the
+scenario generator knows), each reviewer produces a plausible seven-criterion
+Likert review — enough to exercise the whole review → aggregation → display
+path and the consensus analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ReviewError
+from ..models import LIKERT_MAX, LIKERT_MIN, ExpertReview
+from .criteria import CRITERIA, criterion_definition
+
+
+@dataclass(frozen=True)
+class SimulatedReviewer:
+    """One simulated expert."""
+
+    reviewer_id: str
+    #: Systematic severity bias on the Likert scale (negative = harsher).
+    bias: float = 0.0
+    #: Standard deviation of the per-criterion noise.
+    noise: float = 0.5
+    #: Weight used by the aggregator (senior reviewers count more).
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.noise < 0:
+            raise ReviewError("noise must be non-negative")
+        if self.weight <= 0:
+            raise ReviewError("weight must be positive")
+
+    def review(
+        self,
+        article_id: str,
+        true_quality: float,
+        created_at: datetime,
+        rng: np.random.Generator,
+        comment: str = "",
+    ) -> ExpertReview:
+        """Produce a review of an article whose latent quality is ``true_quality``.
+
+        ``true_quality`` lives in ``[0, 1]``; it is mapped to the Likert scale,
+        perturbed by the reviewer's bias and noise, and click-baitness is
+        scored on the inverted scale (low-quality articles are click-baity).
+        """
+        if not 0.0 <= true_quality <= 1.0:
+            raise ReviewError(f"true_quality must be in [0, 1], got {true_quality}")
+
+        base = LIKERT_MIN + true_quality * (LIKERT_MAX - LIKERT_MIN)
+        scores: dict[str, int] = {}
+        for criterion in CRITERIA:
+            target = base if criterion_definition(criterion).higher_is_better else (
+                LIKERT_MAX + LIKERT_MIN - base
+            )
+            value = target + self.bias + rng.normal(0.0, self.noise)
+            scores[criterion] = int(np.clip(round(value), LIKERT_MIN, LIKERT_MAX))
+
+        return ExpertReview(
+            review_id=f"rev-{article_id}-{self.reviewer_id}-{created_at.strftime('%Y%m%d%H%M%S')}",
+            article_id=article_id,
+            reviewer_id=self.reviewer_id,
+            created_at=created_at,
+            scores=scores,
+            comment=comment,
+            reviewer_weight=self.weight,
+        )
+
+
+class ReviewerPool:
+    """A pool of simulated reviewers with a shared random generator."""
+
+    def __init__(
+        self,
+        n_reviewers: int = 5,
+        random_seed: int = 13,
+        reviewers: Sequence[SimulatedReviewer] | None = None,
+    ) -> None:
+        self._rng = np.random.default_rng(random_seed)
+        if reviewers is not None:
+            self.reviewers = list(reviewers)
+        else:
+            if n_reviewers < 1:
+                raise ReviewError("n_reviewers must be >= 1")
+            self.reviewers = [
+                SimulatedReviewer(
+                    reviewer_id=f"expert-{i:02d}",
+                    bias=float(self._rng.normal(0.0, 0.3)),
+                    noise=float(abs(self._rng.normal(0.4, 0.15)) + 0.1),
+                    weight=float(self._rng.choice([1.0, 1.0, 1.5, 2.0])),
+                )
+                for i in range(n_reviewers)
+            ]
+
+    def __len__(self) -> int:
+        return len(self.reviewers)
+
+    def review_article(
+        self,
+        article_id: str,
+        true_quality: float,
+        created_at: datetime,
+        n_reviews: int | None = None,
+        comment: str = "",
+    ) -> list[ExpertReview]:
+        """Collect reviews of one article from (a subset of) the pool."""
+        selected = self.reviewers
+        if n_reviews is not None:
+            if n_reviews < 1:
+                raise ReviewError("n_reviews must be >= 1")
+            indices = self._rng.choice(
+                len(self.reviewers), size=min(n_reviews, len(self.reviewers)), replace=False
+            )
+            selected = [self.reviewers[i] for i in sorted(indices)]
+        return [
+            reviewer.review(article_id, true_quality, created_at, self._rng, comment=comment)
+            for reviewer in selected
+        ]

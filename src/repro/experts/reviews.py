@@ -1,0 +1,81 @@
+"""Storage and retrieval of expert reviews."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from datetime import datetime
+from typing import Iterable
+
+from ..errors import ReviewError
+from ..models import ExpertReview
+from .criteria import validate_scores
+
+
+class ReviewStore:
+    """In-memory store of expert reviews, indexed by article and reviewer."""
+
+    def __init__(self, reviews: Iterable[ExpertReview] = ()) -> None:
+        self._by_id: dict[str, ExpertReview] = {}
+        self._by_article: dict[str, list[str]] = defaultdict(list)
+        self._by_reviewer: dict[str, list[str]] = defaultdict(list)
+        for review in reviews:
+            self.add(review)
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, review_id: str) -> bool:
+        return review_id in self._by_id
+
+    def add(self, review: ExpertReview) -> None:
+        """Add a review (ids must be unique; scores are re-validated)."""
+        if review.review_id in self._by_id:
+            raise ReviewError(f"duplicate review id {review.review_id!r}")
+        validate_scores(review.scores)
+        self._by_id[review.review_id] = review
+        self._by_article[review.article_id].append(review.review_id)
+        self._by_reviewer[review.reviewer_id].append(review.review_id)
+
+    def get(self, review_id: str) -> ExpertReview:
+        try:
+            return self._by_id[review_id]
+        except KeyError:
+            raise ReviewError(f"no review with id {review_id!r}") from None
+
+    def reviews_for_article(self, article_id: str) -> list[ExpertReview]:
+        """All reviews of one article, oldest first."""
+        reviews = [self._by_id[rid] for rid in self._by_article.get(article_id, [])]
+        return sorted(reviews, key=lambda r: r.created_at)
+
+    def reviews_by_reviewer(self, reviewer_id: str) -> list[ExpertReview]:
+        """All reviews authored by one reviewer, oldest first."""
+        reviews = [self._by_id[rid] for rid in self._by_reviewer.get(reviewer_id, [])]
+        return sorted(reviews, key=lambda r: r.created_at)
+
+    def latest_per_reviewer(self, article_id: str) -> list[ExpertReview]:
+        """For one article, the most recent review of each reviewer.
+
+        Reviewers may revise their assessment; only their latest review should
+        count in the aggregate.
+        """
+        latest: dict[str, ExpertReview] = {}
+        for review in self.reviews_for_article(article_id):
+            current = latest.get(review.reviewer_id)
+            if current is None or review.created_at >= current.created_at:
+                latest[review.reviewer_id] = review
+        return sorted(latest.values(), key=lambda r: r.created_at)
+
+    def comments_for_article(self, article_id: str) -> list[tuple[str, datetime, str]]:
+        """Free-text reviews of an article as ``(reviewer, timestamp, text)``."""
+        return [
+            (review.reviewer_id, review.created_at, review.comment)
+            for review in self.reviews_for_article(article_id)
+            if review.comment.strip()
+        ]
+
+    def reviewed_article_ids(self) -> list[str]:
+        """Ids of every article with at least one review."""
+        return sorted(article_id for article_id, ids in self._by_article.items() if ids)
+
+    def reviewer_ids(self) -> list[str]:
+        return sorted(self._by_reviewer)

@@ -1,0 +1,35 @@
+"""Logging helpers.
+
+The platform components log through the standard :mod:`logging` module under
+the ``repro`` namespace.  :func:`get_logger` is the single entry point so that
+module-level loggers stay consistent, and :func:`configure_logging` gives the
+examples/benchmarks a one-liner to get readable output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+_ROOT_NAME = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``name`` may be a dotted module name; anything not already under the
+    ``repro`` root is nested beneath it.
+    """
+    if name == _ROOT_NAME or name.startswith(_ROOT_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT_NAME}.{name}")
+
+
+def configure_logging(level: int = logging.INFO) -> None:
+    """Attach a stream handler with a compact format to the ``repro`` root logger."""
+    root = logging.getLogger(_ROOT_NAME)
+    root.setLevel(level)
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        root.addHandler(handler)

@@ -1,0 +1,242 @@
+"""Probabilistic hierarchical topic clustering.
+
+The analytics layer "performs a probabilistic hierarchical clustering on the
+articles and assigns one or more topics to each one of them", producing topics
+that range from generic (Health) to specific (COVID-19).
+
+The model here is a divisive hierarchy of soft spherical k-means clusters over
+TF-IDF vectors: the corpus is split into ``branching`` clusters, each cluster
+is recursively split again up to ``depth`` levels, and every article receives
+a probability for every node in the tree (probabilities of a node's children
+sum to the parent's probability).  An article is *assigned* every topic whose
+probability exceeds ``min_probability`` — hence "one or more topics".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from .vectorize import TfidfVectorizer, top_terms
+
+
+@dataclass
+class TopicNode:
+    """A node in the topic hierarchy."""
+
+    topic_id: str
+    level: int
+    centroid: np.ndarray
+    label: str
+    parent_id: str | None = None
+    children: list["TopicNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def descendants(self) -> list["TopicNode"]:
+        """All nodes in the subtree rooted at this node (excluding itself)."""
+        out: list[TopicNode] = []
+        stack = list(self.children)
+        while stack:
+            node = stack.pop()
+            out.append(node)
+            stack.extend(node.children)
+        return out
+
+
+@dataclass(frozen=True)
+class TopicAssignment:
+    """Topics assigned to one document with their probabilities."""
+
+    document_index: int
+    probabilities: dict[str, float]
+    assigned: tuple[str, ...]
+
+    def top_topic(self) -> str | None:
+        """Most probable non-root topic (``None`` if the document has none)."""
+        candidates = {t: p for t, p in self.probabilities.items() if t != "root"}
+        if not candidates:
+            return None
+        return max(candidates.items(), key=lambda kv: kv[1])[0]
+
+
+def _normalise_rows(matrix: np.ndarray) -> np.ndarray:
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    norms[norms == 0.0] = 1.0
+    return matrix / norms
+
+
+def _soft_kmeans(
+    matrix: np.ndarray,
+    k: int,
+    rng: np.random.Generator,
+    n_iterations: int = 25,
+    temperature: float = 10.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Soft spherical k-means; returns (centroids, responsibilities)."""
+    n = matrix.shape[0]
+    k = min(k, n)
+    if k <= 1:
+        centroid = matrix.mean(axis=0, keepdims=True)
+        return _normalise_rows(centroid), np.ones((n, 1))
+
+    seeds = rng.choice(n, size=k, replace=False)
+    centroids = _normalise_rows(matrix[seeds].copy())
+
+    responsibilities = np.full((n, k), 1.0 / k)
+    for _ in range(n_iterations):
+        similarity = matrix @ centroids.T            # cosine similarity (rows normed)
+        logits = temperature * similarity
+        logits -= logits.max(axis=1, keepdims=True)
+        weights = np.exp(logits)
+        responsibilities = weights / weights.sum(axis=1, keepdims=True)
+
+        new_centroids = responsibilities.T @ matrix
+        norms = np.linalg.norm(new_centroids, axis=1, keepdims=True)
+        empty = norms[:, 0] == 0.0
+        if np.any(empty):
+            reseed = rng.choice(n, size=int(empty.sum()), replace=True)
+            new_centroids[empty] = matrix[reseed]
+            norms = np.linalg.norm(new_centroids, axis=1, keepdims=True)
+        centroids = new_centroids / norms
+    return centroids, responsibilities
+
+
+class HierarchicalTopicModel:
+    """Divisive probabilistic hierarchical clustering over raw documents."""
+
+    def __init__(
+        self,
+        depth: int = 2,
+        branching: int = 4,
+        min_probability: float = 0.2,
+        min_cluster_size: int = 3,
+        label_terms: int = 3,
+        random_seed: int = 13,
+        vectorizer: TfidfVectorizer | None = None,
+    ) -> None:
+        if depth < 1:
+            raise ModelError("depth must be >= 1")
+        if branching < 2:
+            raise ModelError("branching must be >= 2")
+        if not 0.0 <= min_probability <= 1.0:
+            raise ModelError("min_probability must be in [0, 1]")
+        self.depth = depth
+        self.branching = branching
+        self.min_probability = min_probability
+        self.min_cluster_size = min_cluster_size
+        self.label_terms = label_terms
+        self.random_seed = random_seed
+        self.vectorizer = vectorizer or TfidfVectorizer(min_count=2)
+        self.root_: TopicNode | None = None
+
+    # ------------------------------------------------------------------ fit
+
+    def fit(self, documents: Sequence[str]) -> "HierarchicalTopicModel":
+        """Build the topic tree from ``documents``."""
+        docs = list(documents)
+        if not docs:
+            raise ModelError("cannot fit a topic model on an empty corpus")
+        matrix = _normalise_rows(self.vectorizer.fit_transform(docs))
+        rng = np.random.default_rng(self.random_seed)
+
+        root_centroid = _normalise_rows(matrix.mean(axis=0, keepdims=True))[0]
+        self.root_ = TopicNode(
+            topic_id="root", level=0, centroid=root_centroid, label="root"
+        )
+        self._split(self.root_, matrix, np.arange(matrix.shape[0]), rng)
+        return self
+
+    def _label_for(self, centroid: np.ndarray) -> str:
+        names = self.vectorizer.feature_names
+        terms = top_terms(centroid, names, k=self.label_terms)
+        return "/".join(term for term, _ in terms) if terms else "misc"
+
+    def _split(
+        self,
+        parent: TopicNode,
+        matrix: np.ndarray,
+        indices: np.ndarray,
+        rng: np.random.Generator,
+    ) -> None:
+        if parent.level >= self.depth or len(indices) < self.min_cluster_size * 2:
+            return
+        sub = matrix[indices]
+        centroids, responsibilities = _soft_kmeans(sub, self.branching, rng)
+        hard = responsibilities.argmax(axis=1)
+
+        for cluster in range(centroids.shape[0]):
+            members = indices[hard == cluster]
+            if len(members) < self.min_cluster_size:
+                continue
+            node = TopicNode(
+                topic_id=f"{parent.topic_id}.{cluster}",
+                level=parent.level + 1,
+                centroid=centroids[cluster],
+                label=self._label_for(centroids[cluster]),
+                parent_id=parent.topic_id,
+            )
+            parent.children.append(node)
+            self._split(node, matrix, members, rng)
+
+    # ------------------------------------------------------------- inference
+
+    def _node_probabilities(self, vector: np.ndarray, node: TopicNode, mass: float,
+                            out: dict[str, float], temperature: float = 10.0) -> None:
+        out[node.topic_id] = mass
+        if not node.children:
+            return
+        sims = np.array([float(vector @ child.centroid) for child in node.children])
+        logits = temperature * sims
+        logits -= logits.max()
+        weights = np.exp(logits)
+        weights /= weights.sum()
+        for child, weight in zip(node.children, weights):
+            self._node_probabilities(vector, child, mass * float(weight), out, temperature)
+
+    def assign(self, documents: Sequence[str]) -> list[TopicAssignment]:
+        """Assign topics (with probabilities) to each document."""
+        if self.root_ is None:
+            raise NotFittedError("HierarchicalTopicModel must be fitted first")
+        docs = list(documents)
+        matrix = _normalise_rows(self.vectorizer.transform(docs))
+        assignments: list[TopicAssignment] = []
+        for index, vector in enumerate(matrix):
+            probabilities: dict[str, float] = {}
+            self._node_probabilities(vector, self.root_, 1.0, probabilities)
+            assigned = tuple(
+                sorted(
+                    topic
+                    for topic, probability in probabilities.items()
+                    if topic != "root" and probability >= self.min_probability
+                )
+            )
+            assignments.append(
+                TopicAssignment(
+                    document_index=index,
+                    probabilities=probabilities,
+                    assigned=assigned,
+                )
+            )
+        return assignments
+
+    def nodes(self) -> list[TopicNode]:
+        """All nodes of the fitted tree (root first, breadth-first)."""
+        if self.root_ is None:
+            raise NotFittedError("HierarchicalTopicModel must be fitted first")
+        out: list[TopicNode] = []
+        queue = [self.root_]
+        while queue:
+            node = queue.pop(0)
+            out.append(node)
+            queue.extend(node.children)
+        return out
+
+    def topic_labels(self) -> dict[str, str]:
+        """Mapping of topic id → human-readable label."""
+        return {node.topic_id: node.label for node in self.nodes()}

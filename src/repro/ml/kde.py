@@ -1,0 +1,81 @@
+"""One-dimensional Gaussian kernel density estimation.
+
+Figure 5 of the paper shows KDE plots of (left) the number of social-media
+reactions and (right) the scientific-references ratio, split by outlet quality
+class.  :class:`GaussianKDE` reproduces those curves.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError
+
+
+class GaussianKDE:
+    """Gaussian kernel density estimator for 1-D samples.
+
+    Parameters
+    ----------
+    bandwidth:
+        Kernel bandwidth.  ``"scott"`` and ``"silverman"`` select the
+        corresponding rule of thumb; a positive float fixes it explicitly.
+    """
+
+    def __init__(self, samples: Sequence[float], bandwidth: str | float = "scott") -> None:
+        data = np.asarray(list(samples), dtype=np.float64)
+        if data.ndim != 1 or data.size == 0:
+            raise ModelError("GaussianKDE requires a non-empty 1-D sample")
+        self.samples = data
+        self.bandwidth = self._resolve_bandwidth(bandwidth)
+
+    def _resolve_bandwidth(self, bandwidth: str | float) -> float:
+        n = self.samples.size
+        std = float(self.samples.std())
+        iqr = float(np.subtract(*np.percentile(self.samples, [75, 25])))
+        spread = min(std, iqr / 1.34) if iqr > 0 else std
+        if spread == 0.0:
+            spread = max(abs(float(self.samples.mean())), 1.0) * 0.01
+
+        if isinstance(bandwidth, (int, float)):
+            if bandwidth <= 0:
+                raise ModelError("bandwidth must be positive")
+            return float(bandwidth)
+        if bandwidth == "scott":
+            return 1.06 * spread * n ** (-1.0 / 5.0)
+        if bandwidth == "silverman":
+            return 0.9 * spread * n ** (-1.0 / 5.0)
+        raise ModelError(f"unknown bandwidth rule: {bandwidth!r}")
+
+    def evaluate(self, points: Sequence[float]) -> np.ndarray:
+        """Evaluate the estimated density at ``points``."""
+        grid = np.asarray(list(points), dtype=np.float64)
+        diffs = (grid[:, None] - self.samples[None, :]) / self.bandwidth
+        kernel = np.exp(-0.5 * diffs ** 2) / np.sqrt(2.0 * np.pi)
+        return kernel.sum(axis=1) / (self.samples.size * self.bandwidth)
+
+    def __call__(self, points: Sequence[float]) -> np.ndarray:
+        return self.evaluate(points)
+
+    def grid(self, n_points: int = 200, padding: float = 3.0) -> np.ndarray:
+        """Return an evaluation grid spanning the sample range ± ``padding`` bandwidths."""
+        lo = float(self.samples.min()) - padding * self.bandwidth
+        hi = float(self.samples.max()) + padding * self.bandwidth
+        return np.linspace(lo, hi, n_points)
+
+    def curve(self, n_points: int = 200) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(grid, density)`` arrays ready for plotting/reporting."""
+        xs = self.grid(n_points)
+        return xs, self.evaluate(xs)
+
+    def mode(self, n_points: int = 400) -> float:
+        """Location of the highest estimated density."""
+        xs, density = self.curve(n_points)
+        return float(xs[int(np.argmax(density))])
+
+    def integrate(self, n_points: int = 1000) -> float:
+        """Numerical integral of the density over the evaluation grid (≈ 1)."""
+        xs, density = self.curve(n_points)
+        return float(np.trapezoid(density, xs))

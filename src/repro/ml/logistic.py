@@ -1,0 +1,132 @@
+"""Binary logistic regression trained with full-batch gradient descent.
+
+Used by the indicator-fusion ablation (how well indicator families separate
+low- from high-quality outlets) and available as an alternative click-bait /
+stance model for the periodic training job.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    out = np.empty_like(z)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    expz = np.exp(z[~positive])
+    out[~positive] = expz / (1.0 + expz)
+    return out
+
+
+class LogisticRegression:
+    """L2-regularised binary logistic regression.
+
+    Parameters
+    ----------
+    learning_rate:
+        Gradient-descent step size.
+    n_iterations:
+        Number of full-batch iterations.
+    l2:
+        L2 regularisation strength (0 disables it).
+    fit_intercept:
+        Whether to learn an intercept term.
+    standardize:
+        Whether to z-score features before fitting (statistics are stored and
+        re-applied at prediction time).
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 0.1,
+        n_iterations: int = 500,
+        l2: float = 0.0,
+        fit_intercept: bool = True,
+        standardize: bool = True,
+    ) -> None:
+        if learning_rate <= 0:
+            raise ModelError("learning_rate must be positive")
+        if n_iterations < 1:
+            raise ModelError("n_iterations must be >= 1")
+        if l2 < 0:
+            raise ModelError("l2 must be non-negative")
+        self.learning_rate = learning_rate
+        self.n_iterations = n_iterations
+        self.l2 = l2
+        self.fit_intercept = fit_intercept
+        self.standardize = standardize
+        self.weights_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self.classes_: list[object] | None = None
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    def _prepare(self, X: np.ndarray, fitting: bool) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError("X must be a 2-D matrix")
+        if not self.standardize:
+            return X
+        if fitting:
+            self._mean = X.mean(axis=0)
+            std = X.std(axis=0)
+            std[std == 0.0] = 1.0
+            self._std = std
+        assert self._mean is not None and self._std is not None
+        return (X - self._mean) / self._std
+
+    def fit(self, X: np.ndarray, y: Sequence[object]) -> "LogisticRegression":
+        """Fit on feature matrix ``X`` and binary labels ``y``."""
+        labels = list(y)
+        unique = sorted(set(labels), key=repr)
+        if len(unique) != 2:
+            raise ModelError(
+                f"LogisticRegression is binary; got {len(unique)} classes"
+            )
+        self.classes_ = unique
+        target = np.array([1.0 if label == unique[1] else 0.0 for label in labels])
+
+        Xp = self._prepare(X, fitting=True)
+        if Xp.shape[0] != len(labels):
+            raise ModelError("X and y have different lengths")
+
+        n_samples, n_features = Xp.shape
+        weights = np.zeros(n_features, dtype=np.float64)
+        intercept = 0.0
+
+        for _ in range(self.n_iterations):
+            logits = Xp @ weights + intercept
+            probs = _sigmoid(logits)
+            error = probs - target
+            grad_w = (Xp.T @ error) / n_samples + self.l2 * weights
+            grad_b = float(error.mean())
+            weights -= self.learning_rate * grad_w
+            if self.fit_intercept:
+                intercept -= self.learning_rate * grad_b
+
+        self.weights_ = weights
+        self.intercept_ = intercept
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw logits for each sample."""
+        if self.weights_ is None:
+            raise NotFittedError("LogisticRegression must be fitted first")
+        Xp = self._prepare(X, fitting=False)
+        return Xp @ self.weights_ + self.intercept_
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive (second) class for each sample."""
+        return _sigmoid(self.decision_function(X))
+
+    def predict(self, X: np.ndarray) -> list[object]:
+        """Predicted class label for each sample."""
+        if self.classes_ is None:
+            raise NotFittedError("LogisticRegression must be fitted first")
+        probs = self.predict_proba(X)
+        return [self.classes_[1] if p >= 0.5 else self.classes_[0] for p in probs]

@@ -1,0 +1,94 @@
+"""Model-selection helpers: deterministic splits and k-fold cross-validation."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+import numpy as np
+
+from ..errors import ModelError
+
+T = TypeVar("T")
+L = TypeVar("L")
+
+
+def train_test_split(
+    samples: Sequence[T],
+    labels: Sequence[L],
+    test_fraction: float = 0.25,
+    random_seed: int = 13,
+    shuffle: bool = True,
+) -> tuple[list[T], list[T], list[L], list[L]]:
+    """Split ``samples``/``labels`` into train and test subsets.
+
+    Returns ``(train_samples, test_samples, train_labels, test_labels)``.
+    """
+    if len(samples) != len(labels):
+        raise ModelError("samples and labels must have the same length")
+    if not 0.0 < test_fraction < 1.0:
+        raise ModelError("test_fraction must be in (0, 1)")
+    n = len(samples)
+    if n < 2:
+        raise ModelError("need at least two samples to split")
+
+    indices = np.arange(n)
+    if shuffle:
+        rng = np.random.default_rng(random_seed)
+        rng.shuffle(indices)
+    n_test = max(1, int(round(n * test_fraction)))
+    n_test = min(n_test, n - 1)
+    test_idx = set(indices[:n_test].tolist())
+
+    train_samples = [samples[i] for i in range(n) if i not in test_idx]
+    test_samples = [samples[i] for i in range(n) if i in test_idx]
+    train_labels = [labels[i] for i in range(n) if i not in test_idx]
+    test_labels = [labels[i] for i in range(n) if i in test_idx]
+    return train_samples, test_samples, train_labels, test_labels
+
+
+def k_fold_indices(
+    n_samples: int, n_folds: int = 5, random_seed: int = 13, shuffle: bool = True
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Return a list of ``(train_indices, test_indices)`` pairs for k-fold CV."""
+    if n_folds < 2:
+        raise ModelError("n_folds must be >= 2")
+    if n_samples < n_folds:
+        raise ModelError("cannot have more folds than samples")
+    indices = np.arange(n_samples)
+    if shuffle:
+        rng = np.random.default_rng(random_seed)
+        rng.shuffle(indices)
+    folds = np.array_split(indices, n_folds)
+    splits: list[tuple[np.ndarray, np.ndarray]] = []
+    for i, test_idx in enumerate(folds):
+        train_idx = np.concatenate([folds[j] for j in range(n_folds) if j != i])
+        splits.append((train_idx, np.asarray(test_idx)))
+    return splits
+
+
+def cross_validate(
+    factory: Callable[[], object],
+    samples: Sequence[T],
+    labels: Sequence[L],
+    scorer: Callable[[Sequence[L], Sequence[L]], float],
+    n_folds: int = 5,
+    random_seed: int = 13,
+) -> list[float]:
+    """Run k-fold cross-validation and return the per-fold scores.
+
+    ``factory`` builds a fresh model exposing ``fit(samples, labels)`` and
+    ``predict(samples)``; ``scorer`` maps ``(y_true, y_pred)`` to a float.
+    """
+    if len(samples) != len(labels):
+        raise ModelError("samples and labels must have the same length")
+    scores: list[float] = []
+    for train_idx, test_idx in k_fold_indices(len(samples), n_folds, random_seed):
+        model = factory()
+        train_x = [samples[i] for i in train_idx]
+        train_y = [labels[i] for i in train_idx]
+        test_x = [samples[i] for i in test_idx]
+        test_y = [labels[i] for i in test_idx]
+        model.fit(train_x, train_y)  # type: ignore[attr-defined]
+        predictions = model.predict(test_x)  # type: ignore[attr-defined]
+        scores.append(scorer(test_y, predictions))
+    return scores

@@ -1,0 +1,124 @@
+"""Multinomial Naive Bayes and a text-classification pipeline.
+
+Used by the platform for the periodically retrained title (click-bait) and
+stance models.  The implementation is a standard multinomial NB with Laplace
+smoothing over count/TF-IDF features.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ModelError, NotFittedError
+from .vectorize import CountVectorizer
+
+
+class MultinomialNaiveBayes:
+    """Multinomial Naive Bayes over non-negative feature matrices."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha <= 0:
+            raise ModelError("alpha must be positive")
+        self.alpha = alpha
+        self.classes_: list[object] | None = None
+        self.class_log_prior_: np.ndarray | None = None
+        self.feature_log_prob_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: Sequence[object]) -> "MultinomialNaiveBayes":
+        """Fit class priors and per-class feature likelihoods."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ModelError("X must be a 2-D matrix")
+        if X.shape[0] != len(y):
+            raise ModelError("X and y have different lengths")
+        if np.any(X < 0):
+            raise ModelError("MultinomialNaiveBayes requires non-negative features")
+
+        labels = list(y)
+        self.classes_ = sorted(set(labels), key=repr)
+        n_classes = len(self.classes_)
+        n_features = X.shape[1]
+
+        class_counts = np.zeros(n_classes, dtype=np.float64)
+        feature_counts = np.zeros((n_classes, n_features), dtype=np.float64)
+        index_of = {cls: i for i, cls in enumerate(self.classes_)}
+        for row, label in enumerate(labels):
+            idx = index_of[label]
+            class_counts[idx] += 1
+            feature_counts[idx] += X[row]
+
+        self.class_log_prior_ = np.log(class_counts / class_counts.sum())
+        smoothed = feature_counts + self.alpha
+        self.feature_log_prob_ = np.log(smoothed / smoothed.sum(axis=1, keepdims=True))
+        return self
+
+    def _joint_log_likelihood(self, X: np.ndarray) -> np.ndarray:
+        if self.feature_log_prob_ is None or self.class_log_prior_ is None:
+            raise NotFittedError("MultinomialNaiveBayes must be fitted first")
+        X = np.asarray(X, dtype=np.float64)
+        return X @ self.feature_log_prob_.T + self.class_log_prior_
+
+    def predict_log_proba(self, X: np.ndarray) -> np.ndarray:
+        """Log posterior probabilities, shape ``(n_samples, n_classes)``."""
+        jll = self._joint_log_likelihood(X)
+        log_norm = np.logaddexp.reduce(jll, axis=1, keepdims=True)
+        return jll - log_norm
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Posterior probabilities, shape ``(n_samples, n_classes)``."""
+        return np.exp(self.predict_log_proba(X))
+
+    def predict(self, X: np.ndarray) -> list[object]:
+        """Most probable class per sample."""
+        assert self.classes_ is not None or self._joint_log_likelihood(X) is not None
+        jll = self._joint_log_likelihood(X)
+        indices = np.argmax(jll, axis=1)
+        assert self.classes_ is not None
+        return [self.classes_[i] for i in indices]
+
+
+class TextClassifier:
+    """Vectoriser + Naive Bayes pipeline operating directly on raw strings.
+
+    ``positive_class`` controls which class :meth:`predict_proba` reports the
+    probability of (defaults to the lexicographically largest class, i.e.
+    ``True`` / ``1`` for boolean/int labels).
+    """
+
+    def __init__(
+        self,
+        vectorizer: CountVectorizer | None = None,
+        alpha: float = 1.0,
+        positive_class: object | None = None,
+    ) -> None:
+        self.vectorizer = vectorizer or CountVectorizer()
+        self.model = MultinomialNaiveBayes(alpha=alpha)
+        self.positive_class = positive_class
+
+    def fit(self, texts: Sequence[str], labels: Sequence[object]) -> "TextClassifier":
+        """Fit the vocabulary and the NB model on labelled texts."""
+        X = self.vectorizer.fit_transform(list(texts))
+        self.model.fit(X, list(labels))
+        if self.positive_class is None and self.model.classes_:
+            self.positive_class = self.model.classes_[-1]
+        return self
+
+    def predict(self, texts: Sequence[str]) -> list[object]:
+        """Predict a label for each text."""
+        X = self.vectorizer.transform(list(texts))
+        return self.model.predict(X)
+
+    def predict_proba(self, texts: Sequence[str]) -> np.ndarray:
+        """Probability of the positive class for each text."""
+        X = self.vectorizer.transform(list(texts))
+        proba = self.model.predict_proba(X)
+        assert self.model.classes_ is not None
+        try:
+            column = self.model.classes_.index(self.positive_class)
+        except ValueError as exc:
+            raise ModelError(
+                f"positive_class {self.positive_class!r} not among fitted classes"
+            ) from exc
+        return proba[:, column]

@@ -1,0 +1,125 @@
+"""Model registry.
+
+The platform periodically retrains its models over the full warehouse history;
+the registry is where each training run registers the resulting model version,
+and where the Indicators API looks up the latest model of each kind.  Models
+can be kept purely in memory or persisted to disk with :mod:`pickle`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+from datetime import datetime
+from pathlib import Path
+from typing import Any
+
+from ..errors import ModelError
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """Metadata about one registered model version."""
+
+    name: str
+    version: int
+    trained_at: datetime
+    metrics: dict[str, float] = field(default_factory=dict)
+    path: Path | None = None
+
+
+class ModelRegistry:
+    """Versioned store of trained models.
+
+    Parameters
+    ----------
+    directory:
+        Optional directory; when given, every registered model is pickled to
+        ``<directory>/<name>-v<version>.pkl`` and can be reloaded later.
+    """
+
+    def __init__(self, directory: Path | str | None = None) -> None:
+        self.directory = Path(directory) if directory is not None else None
+        if self.directory is not None:
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._models: dict[str, dict[int, Any]] = {}
+        self._records: dict[str, dict[int, ModelRecord]] = {}
+
+    def register(
+        self,
+        name: str,
+        model: Any,
+        trained_at: datetime | None = None,
+        metrics: dict[str, float] | None = None,
+    ) -> ModelRecord:
+        """Register a new version of ``name`` and return its record."""
+        versions = self._models.setdefault(name, {})
+        records = self._records.setdefault(name, {})
+        version = max(versions) + 1 if versions else 1
+
+        path: Path | None = None
+        if self.directory is not None:
+            path = self.directory / f"{name}-v{version}.pkl"
+            with path.open("wb") as handle:
+                pickle.dump(model, handle)
+
+        record = ModelRecord(
+            name=name,
+            version=version,
+            trained_at=trained_at or datetime.utcnow(),
+            metrics=dict(metrics or {}),
+            path=path,
+        )
+        versions[version] = model
+        records[version] = record
+        return record
+
+    def latest_version(self, name: str) -> int:
+        """Highest registered version number of ``name``."""
+        versions = self._models.get(name)
+        if not versions:
+            raise ModelError(f"no model registered under name {name!r}")
+        return max(versions)
+
+    def get(self, name: str, version: int | None = None) -> Any:
+        """Return a registered model (latest version by default)."""
+        versions = self._models.get(name)
+        if not versions:
+            raise ModelError(f"no model registered under name {name!r}")
+        version = version if version is not None else max(versions)
+        if version not in versions:
+            raise ModelError(f"model {name!r} has no version {version}")
+        return versions[version]
+
+    def record(self, name: str, version: int | None = None) -> ModelRecord:
+        """Return the metadata record of a registered model."""
+        records = self._records.get(name)
+        if not records:
+            raise ModelError(f"no model registered under name {name!r}")
+        version = version if version is not None else max(records)
+        if version not in records:
+            raise ModelError(f"model {name!r} has no version {version}")
+        return records[version]
+
+    def names(self) -> list[str]:
+        """All registered model names."""
+        return sorted(self._models)
+
+    def history(self, name: str) -> list[ModelRecord]:
+        """All records of ``name``, oldest first."""
+        records = self._records.get(name)
+        if not records:
+            raise ModelError(f"no model registered under name {name!r}")
+        return [records[v] for v in sorted(records)]
+
+    def load_from_disk(self, name: str, version: int) -> Any:
+        """Reload a pickled model from the registry directory."""
+        if self.directory is None:
+            raise ModelError("registry has no persistence directory")
+        path = self.directory / f"{name}-v{version}.pkl"
+        if not path.exists():
+            raise ModelError(f"no persisted model at {path}")
+        with path.open("rb") as handle:
+            model = pickle.load(handle)
+        self._models.setdefault(name, {})[version] = model
+        return model

@@ -1,0 +1,162 @@
+"""Text vectorisers: bag-of-words counts and TF-IDF.
+
+Both vectorisers follow the familiar ``fit`` / ``transform`` protocol and
+produce dense numpy arrays (the corpora handled by the platform's analytics
+jobs are small enough that dense storage is the simpler, faster choice).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import NotFittedError
+from ..nlp.features import bag_of_words
+
+
+class CountVectorizer:
+    """Bag-of-words vectoriser over a learned vocabulary.
+
+    Parameters
+    ----------
+    min_count:
+        Minimum total corpus frequency for a token to enter the vocabulary.
+    ngram_range:
+        Inclusive ``(lo, hi)`` n-gram sizes.
+    drop_stopwords:
+        Whether to remove stop words before counting.
+    max_features:
+        Optional cap on vocabulary size; the most frequent tokens are kept.
+    """
+
+    def __init__(
+        self,
+        min_count: int = 1,
+        ngram_range: tuple[int, int] = (1, 1),
+        drop_stopwords: bool = True,
+        max_features: int | None = None,
+    ) -> None:
+        self.min_count = min_count
+        self.ngram_range = ngram_range
+        self.drop_stopwords = drop_stopwords
+        self.max_features = max_features
+        self.vocabulary_: dict[str, int] | None = None
+
+    def _document_counts(self, text: str) -> Counter[str]:
+        return bag_of_words(
+            text,
+            drop_stopwords=self.drop_stopwords,
+            ngram_range=self.ngram_range,
+        )
+
+    def fit(self, documents: Sequence[str]) -> "CountVectorizer":
+        """Learn the vocabulary from ``documents``."""
+        totals: Counter[str] = Counter()
+        for document in documents:
+            totals.update(self._document_counts(document))
+        items = [(tok, cnt) for tok, cnt in totals.items() if cnt >= self.min_count]
+        # Most frequent first; ties broken alphabetically for determinism.
+        items.sort(key=lambda kv: (-kv[1], kv[0]))
+        if self.max_features is not None:
+            items = items[: self.max_features]
+        tokens = sorted(tok for tok, _ in items)
+        self.vocabulary_ = {tok: idx for idx, tok in enumerate(tokens)}
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Vectorise ``documents`` into a ``(n_docs, n_vocab)`` count matrix."""
+        if self.vocabulary_ is None:
+            raise NotFittedError("CountVectorizer must be fitted before transform")
+        matrix = np.zeros((len(documents), len(self.vocabulary_)), dtype=np.float64)
+        for row, document in enumerate(documents):
+            for token, count in self._document_counts(document).items():
+                index = self.vocabulary_.get(token)
+                if index is not None:
+                    matrix[row, index] = count
+        return matrix
+
+    def fit_transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Fit the vocabulary and vectorise ``documents`` in one call."""
+        return self.fit(documents).transform(documents)
+
+    @property
+    def feature_names(self) -> list[str]:
+        """Vocabulary tokens ordered by their column index."""
+        if self.vocabulary_ is None:
+            raise NotFittedError("CountVectorizer must be fitted first")
+        return [tok for tok, _ in sorted(self.vocabulary_.items(), key=lambda kv: kv[1])]
+
+
+class TfidfVectorizer(CountVectorizer):
+    """TF-IDF vectoriser built on :class:`CountVectorizer`.
+
+    Uses smoothed inverse document frequency
+    ``idf = ln((1 + n) / (1 + df)) + 1`` and L2-normalises each row.
+    """
+
+    def __init__(
+        self,
+        min_count: int = 1,
+        ngram_range: tuple[int, int] = (1, 1),
+        drop_stopwords: bool = True,
+        max_features: int | None = None,
+        sublinear_tf: bool = False,
+    ) -> None:
+        super().__init__(
+            min_count=min_count,
+            ngram_range=ngram_range,
+            drop_stopwords=drop_stopwords,
+            max_features=max_features,
+        )
+        self.sublinear_tf = sublinear_tf
+        self.idf_: np.ndarray | None = None
+
+    def fit(self, documents: Sequence[str]) -> "TfidfVectorizer":
+        """Learn vocabulary and IDF weights from ``documents``."""
+        super().fit(documents)
+        assert self.vocabulary_ is not None
+        df = np.zeros(len(self.vocabulary_), dtype=np.float64)
+        for document in documents:
+            seen = set(self._document_counts(document)) & set(self.vocabulary_)
+            for token in seen:
+                df[self.vocabulary_[token]] += 1
+        n_docs = max(1, len(documents))
+        self.idf_ = np.log((1.0 + n_docs) / (1.0 + df)) + 1.0
+        return self
+
+    def transform(self, documents: Sequence[str]) -> np.ndarray:
+        """Vectorise ``documents`` into an L2-normalised TF-IDF matrix."""
+        if self.idf_ is None:
+            raise NotFittedError("TfidfVectorizer must be fitted before transform")
+        counts = super().transform(documents)
+        if self.sublinear_tf:
+            counts = np.where(counts > 0, 1.0 + np.log(counts, where=counts > 0), 0.0)
+        weighted = counts * self.idf_
+        norms = np.linalg.norm(weighted, axis=1, keepdims=True)
+        norms[norms == 0.0] = 1.0
+        return weighted / norms
+
+
+def top_terms(
+    vector: np.ndarray, feature_names: Sequence[str], k: int = 10
+) -> list[tuple[str, float]]:
+    """Return the ``k`` highest-weighted ``(term, weight)`` pairs of ``vector``."""
+    if len(vector) != len(feature_names):
+        raise ValueError("vector length does not match feature names")
+    order = np.argsort(vector)[::-1][:k]
+    return [(feature_names[i], float(vector[i])) for i in order if vector[i] > 0]
+
+
+def corpus_matrix(
+    documents: Iterable[str], vectorizer: CountVectorizer | None = None
+) -> tuple[np.ndarray, CountVectorizer]:
+    """Convenience helper: fit (or reuse) a vectoriser and return the matrix."""
+    docs = list(documents)
+    vec = vectorizer or TfidfVectorizer()
+    if getattr(vec, "vocabulary_", None) is None:
+        matrix = vec.fit_transform(docs)
+    else:
+        matrix = vec.transform(docs)
+    return matrix, vec

@@ -1,0 +1,133 @@
+"""Click-bait scoring of article titles.
+
+The content indicator "click-baitness of the title" is computed by a hybrid
+scorer: a set of interpretable lexical features (click-bait phrases, hyperbolic
+words, question/exclamation marks, second-person address, listicle patterns,
+ALL-CAPS tokens) combined through a hand-tuned linear model.  An optional
+Naive-Bayes model trained on labelled titles can be plugged in through
+:class:`ClickbaitScorer` for the "periodically retrained" path of the platform.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from .lexicons import CLICKBAIT_PHRASES, CLICKBAIT_WORDS, PERSONAL_PRONOUNS
+from .tokenize import tokenize, word_tokens
+
+_NUMBER_START_RE = re.compile(r"^\s*\d+\s+\w+")
+_ALL_CAPS_RE = re.compile(r"^[A-Z]{3,}$")
+
+
+@dataclass(frozen=True)
+class ClickbaitFeatures:
+    """Interpretable features extracted from a title."""
+
+    phrase_hits: int
+    word_hits: int
+    question_marks: int
+    exclamation_marks: int
+    personal_pronouns: int
+    starts_with_number: bool
+    all_caps_tokens: int
+    title_length: int
+    ellipsis: bool
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "phrase_hits": float(self.phrase_hits),
+            "word_hits": float(self.word_hits),
+            "question_marks": float(self.question_marks),
+            "exclamation_marks": float(self.exclamation_marks),
+            "personal_pronouns": float(self.personal_pronouns),
+            "starts_with_number": float(self.starts_with_number),
+            "all_caps_tokens": float(self.all_caps_tokens),
+            "title_length": float(self.title_length),
+            "ellipsis": float(self.ellipsis),
+        }
+
+
+def extract_clickbait_features(title: str) -> ClickbaitFeatures:
+    """Extract the interpretable click-bait features from ``title``."""
+    lowered = title.lower()
+    tokens = tokenize(title)
+    words = word_tokens(title)
+
+    return ClickbaitFeatures(
+        phrase_hits=sum(1 for phrase in CLICKBAIT_PHRASES if phrase in lowered),
+        word_hits=sum(1 for w in words if w in CLICKBAIT_WORDS),
+        question_marks=lowered.count("?"),
+        exclamation_marks=lowered.count("!"),
+        personal_pronouns=sum(1 for w in words if w in PERSONAL_PRONOUNS),
+        starts_with_number=bool(_NUMBER_START_RE.match(title)),
+        all_caps_tokens=sum(1 for tok in tokens if _ALL_CAPS_RE.match(tok)),
+        title_length=len(words),
+        ellipsis="..." in title or "…" in title,
+    )
+
+
+#: Hand-tuned weights for the linear feature model (logit scale).
+_DEFAULT_WEIGHTS: dict[str, float] = {
+    "phrase_hits": 2.2,
+    "word_hits": 0.9,
+    "question_marks": 0.6,
+    "exclamation_marks": 0.8,
+    "personal_pronouns": 0.5,
+    "starts_with_number": 0.9,
+    "all_caps_tokens": 0.7,
+    "ellipsis": 0.6,
+}
+_DEFAULT_BIAS = -1.8
+
+
+def _sigmoid(x: float) -> float:
+    import math
+
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+@dataclass
+class ClickbaitScorer:
+    """Hybrid click-bait scorer.
+
+    By default the score is the sigmoid of a linear combination of the
+    interpretable features.  If a trained ``model`` (anything exposing
+    ``predict_proba(texts) -> list[float]``) is attached, the final score is
+    the average of the lexical score and the model probability, mirroring the
+    platform's combination of rules and periodically retrained models.
+    """
+
+    weights: dict[str, float] = field(default_factory=lambda: dict(_DEFAULT_WEIGHTS))
+    bias: float = _DEFAULT_BIAS
+    model: object | None = None
+
+    def lexical_score(self, title: str) -> float:
+        """Score using only the interpretable lexical features."""
+        if not title.strip():
+            return 0.0
+        features = extract_clickbait_features(title).as_dict()
+        logit = self.bias + sum(
+            self.weights.get(name, 0.0) * value for name, value in features.items()
+        )
+        return _sigmoid(logit)
+
+    def score(self, title: str) -> float:
+        """Return the click-bait probability of ``title`` in ``[0, 1]``."""
+        lexical = self.lexical_score(title)
+        if self.model is None:
+            return lexical
+        proba = float(self.model.predict_proba([title])[0])
+        return 0.5 * (lexical + proba)
+
+
+_DEFAULT_SCORER = ClickbaitScorer()
+
+
+def clickbait_score(title: str) -> float:
+    """Module-level convenience wrapper around the default scorer."""
+    return _DEFAULT_SCORER.score(title)

@@ -1,0 +1,137 @@
+"""Hand-built lexicons used by the subjectivity, click-bait and stance scorers.
+
+The original SciLens system relies on lexicon- and model-based scorers trained
+on external resources (MPQA-style subjectivity clues, click-bait corpora,
+stance-annotated tweets).  Offline we ship compact lexicons that cover the
+vocabulary produced by :mod:`repro.simulation.corpus`, plus a generous set of
+common English cue words so that arbitrary text also gets sensible scores.
+"""
+
+from __future__ import annotations
+
+#: Strongly subjective words (weight 1.0 in the subjectivity scorer).
+STRONG_SUBJECTIVE: frozenset[str] = frozenset(
+    """
+    amazing awful terrible horrible fantastic incredible unbelievable shocking
+    outrageous disgusting stunning miraculous devastating catastrophic
+    disastrous wonderful brilliant absurd ridiculous insane crazy evil
+    corrupt sinister scandalous explosive jaw-dropping mind-blowing
+    astonishing appalling atrocious deplorable despicable dreadful
+    hateful hideous monstrous nightmarish obscene revolting sickening
+    terrifying tragic vile wicked glorious magnificent marvelous
+    phenomenal spectacular superb breathtaking dazzling extraordinary
+    bogus fraudulent hoax scam conspiracy coverup cover-up lies lying liar
+    miracle cure miraculously poison toxic deadly lethal killer
+    worst best greatest perfect flawless useless worthless pathetic
+    alarming frightening scary horrifying panic chaos crisis catastrophe
+    stunningly shockingly outrageously unbelievably
+    """.split()
+)
+
+#: Weakly subjective words (weight 0.5 in the subjectivity scorer).
+WEAK_SUBJECTIVE: frozenset[str] = frozenset(
+    """
+    good bad better worse great poor nice ugly happy sad angry upset
+    concerning worrying troubling promising encouraging discouraging
+    surprising unexpected remarkable notable significant important
+    interesting boring exciting dull controversial questionable dubious
+    unclear uncertain likely unlikely probably possibly apparently seemingly
+    reportedly allegedly supposedly arguably clearly obviously certainly
+    definitely undoubtedly truly really very extremely highly deeply
+    strongly fairly quite rather somewhat slightly barely hardly
+    believe think feel hope fear worry doubt suspect claim argue insist
+    suggest assume speculate guess wonder
+    dangerous risky unsafe harmful beneficial helpful effective ineffective
+    impressive disappointing frustrating annoying
+    huge massive enormous tiny major minor serious severe mild dramatic
+    rapid sudden unprecedented historic
+    """.split()
+)
+
+#: Objective / evidence-bearing cue words (reduce the subjectivity score).
+OBJECTIVE_CUES: frozenset[str] = frozenset(
+    """
+    study studies research researchers data dataset evidence findings results
+    analysis measured measurement observed observation experiment experiments
+    trial trials sample samples participants patients cohort
+    published journal peer-reviewed university institute laboratory
+    percent percentage rate ratio average median statistically significant
+    confidence interval methodology method methods model models estimate
+    estimated according report reported survey census figures
+    professor scientist scientists epidemiologist virologist physician
+    """.split()
+)
+
+#: Phrases that frequently open click-bait headlines.
+CLICKBAIT_PHRASES: tuple[str, ...] = (
+    "you won't believe",
+    "you wont believe",
+    "what happens next",
+    "will shock you",
+    "will blow your mind",
+    "doctors hate",
+    "this one trick",
+    "one weird trick",
+    "the real reason",
+    "the shocking truth",
+    "the truth about",
+    "they don't want you to know",
+    "they dont want you to know",
+    "number one reason",
+    "can't even handle",
+    "before it's too late",
+    "before its too late",
+    "everything you need to know",
+    "here's what",
+    "heres what",
+    "this is why",
+    "find out why",
+    "you need to see",
+    "goes viral",
+    "breaks the internet",
+)
+
+#: Single words highly associated with click-bait headlines.
+CLICKBAIT_WORDS: frozenset[str] = frozenset(
+    """
+    shocking unbelievable insane crazy epic viral secret secrets trick tricks
+    hack hacks miracle weird bizarre stunning jaw-dropping mind-blowing
+    exposed revealed busted banned hidden forbidden
+    literally actually totally absolutely
+    """.split()
+)
+
+#: Words/phrases indicating a questioning or denying stance in a social post.
+STANCE_DENY: frozenset[str] = frozenset(
+    """
+    fake false untrue wrong incorrect misleading debunked hoax lie lies lying
+    nonsense bogus fabricated myth disproved disproven pseudoscience
+    misinformation disinformation propaganda clickbait
+    """.split()
+)
+
+STANCE_QUESTION: frozenset[str] = frozenset(
+    """
+    really source sources proof evidence doubt doubtful doubts skeptical
+    sceptical questionable suspicious unverified unconfirmed citation
+    allegedly supposedly hmm sure certain verify verified
+    """.split()
+)
+
+STANCE_SUPPORT: frozenset[str] = frozenset(
+    """
+    true correct accurate confirmed agree agreed exactly important must-read
+    mustread informative helpful great excellent thanks sharing share
+    recommended finally crucial vital essential insightful
+    """.split()
+)
+
+#: Negation words that flip nearby polarity cues.
+NEGATIONS: frozenset[str] = frozenset(
+    "not no never none nobody nothing neither nor cannot can't won't don't doesn't isn't aren't wasn't weren't".split()
+)
+
+#: First/second-person pronouns (a classic click-bait / subjectivity signal).
+PERSONAL_PRONOUNS: frozenset[str] = frozenset(
+    "i me my mine we us our ours you your yours".split()
+)

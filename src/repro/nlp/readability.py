@@ -1,0 +1,196 @@
+"""Readability formulas.
+
+Implements the standard battery of readability metrics (Flesch reading ease,
+Flesch-Kincaid grade, Gunning fog, SMOG, ARI, Coleman-Liau) plus a composite
+normalised score in ``[0, 1]`` used by the content-indicator layer, where 1
+means "easily readable by a broad audience".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from .sentences import split_sentences
+from .tokenize import (
+    count_characters,
+    count_syllables_text,
+    is_complex_word,
+    word_tokens,
+)
+
+
+@dataclass(frozen=True)
+class TextStatistics:
+    """Raw counts feeding the readability formulas."""
+
+    sentences: int
+    words: int
+    syllables: int
+    characters: int
+    complex_words: int
+
+    @property
+    def words_per_sentence(self) -> float:
+        return self.words / self.sentences if self.sentences else 0.0
+
+    @property
+    def syllables_per_word(self) -> float:
+        return self.syllables / self.words if self.words else 0.0
+
+    @property
+    def characters_per_word(self) -> float:
+        return self.characters / self.words if self.words else 0.0
+
+    @property
+    def complex_word_ratio(self) -> float:
+        return self.complex_words / self.words if self.words else 0.0
+
+
+def text_statistics(text: str) -> TextStatistics:
+    """Compute sentence/word/syllable/character counts for ``text``."""
+    sentences = split_sentences(text)
+    words = word_tokens(text)
+    return TextStatistics(
+        sentences=len(sentences),
+        words=len(words),
+        syllables=count_syllables_text(words),
+        characters=count_characters(words),
+        complex_words=sum(1 for w in words if is_complex_word(w)),
+    )
+
+
+def flesch_reading_ease(text: str, stats: TextStatistics | None = None) -> float:
+    """Flesch Reading Ease (higher = easier; typical range roughly 0-100)."""
+    stats = stats or text_statistics(text)
+    if not stats.words or not stats.sentences:
+        return 0.0
+    return (
+        206.835
+        - 1.015 * stats.words_per_sentence
+        - 84.6 * stats.syllables_per_word
+    )
+
+
+def flesch_kincaid_grade(text: str, stats: TextStatistics | None = None) -> float:
+    """Flesch-Kincaid grade level (US school grade; lower = easier)."""
+    stats = stats or text_statistics(text)
+    if not stats.words or not stats.sentences:
+        return 0.0
+    return 0.39 * stats.words_per_sentence + 11.8 * stats.syllables_per_word - 15.59
+
+
+def gunning_fog(text: str, stats: TextStatistics | None = None) -> float:
+    """Gunning fog index (years of formal education needed; lower = easier)."""
+    stats = stats or text_statistics(text)
+    if not stats.words or not stats.sentences:
+        return 0.0
+    return 0.4 * (stats.words_per_sentence + 100.0 * stats.complex_word_ratio)
+
+
+def smog_index(text: str, stats: TextStatistics | None = None) -> float:
+    """SMOG grade (lower = easier).  Defined for texts with at least one sentence."""
+    stats = stats or text_statistics(text)
+    if not stats.sentences:
+        return 0.0
+    polysyllables = stats.complex_words
+    return 1.0430 * math.sqrt(polysyllables * (30.0 / stats.sentences)) + 3.1291
+
+
+def automated_readability_index(text: str, stats: TextStatistics | None = None) -> float:
+    """Automated Readability Index (approximate US grade level)."""
+    stats = stats or text_statistics(text)
+    if not stats.words or not stats.sentences:
+        return 0.0
+    return (
+        4.71 * stats.characters_per_word
+        + 0.5 * stats.words_per_sentence
+        - 21.43
+    )
+
+
+def coleman_liau_index(text: str, stats: TextStatistics | None = None) -> float:
+    """Coleman-Liau index (approximate US grade level)."""
+    stats = stats or text_statistics(text)
+    if not stats.words:
+        return 0.0
+    letters_per_100 = stats.characters_per_word * 100.0
+    sentences_per_100 = (stats.sentences / stats.words) * 100.0
+    return 0.0588 * letters_per_100 - 0.296 * sentences_per_100 - 15.8
+
+
+@dataclass(frozen=True)
+class ReadabilityReport:
+    """All readability metrics for one text plus a normalised composite score."""
+
+    statistics: TextStatistics
+    flesch_reading_ease: float
+    flesch_kincaid_grade: float
+    gunning_fog: float
+    smog_index: float
+    automated_readability_index: float
+    coleman_liau_index: float
+    #: Composite score in [0, 1]; 1 = very readable.
+    score: float = field(default=0.0)
+
+    def grade_levels(self) -> dict[str, float]:
+        """Return the grade-level metrics as a dict (for serialisation)."""
+        return {
+            "flesch_kincaid_grade": self.flesch_kincaid_grade,
+            "gunning_fog": self.gunning_fog,
+            "smog_index": self.smog_index,
+            "automated_readability_index": self.automated_readability_index,
+            "coleman_liau_index": self.coleman_liau_index,
+        }
+
+
+def _normalise_flesch(value: float) -> float:
+    """Map Flesch reading ease (roughly [-50, 120]) onto [0, 1]."""
+    return min(1.0, max(0.0, value / 100.0))
+
+
+def _normalise_grade(value: float) -> float:
+    """Map a grade-level metric onto [0, 1] where 1 = easiest (grade <= 5)."""
+    if value <= 5.0:
+        return 1.0
+    if value >= 20.0:
+        return 0.0
+    return (20.0 - value) / 15.0
+
+
+def readability_report(text: str) -> ReadabilityReport:
+    """Compute every readability metric for ``text`` and a composite score.
+
+    The composite averages the normalised Flesch reading ease with the
+    normalised grade-level metrics; empty text scores 0.
+    """
+    stats = text_statistics(text)
+    fre = flesch_reading_ease(text, stats)
+    fkg = flesch_kincaid_grade(text, stats)
+    fog = gunning_fog(text, stats)
+    smog = smog_index(text, stats)
+    ari = automated_readability_index(text, stats)
+    cli = coleman_liau_index(text, stats)
+
+    if stats.words == 0:
+        score = 0.0
+    else:
+        grade_scores = [
+            _normalise_grade(fkg),
+            _normalise_grade(fog),
+            _normalise_grade(smog),
+            _normalise_grade(ari),
+            _normalise_grade(cli),
+        ]
+        score = 0.5 * _normalise_flesch(fre) + 0.5 * (sum(grade_scores) / len(grade_scores))
+
+    return ReadabilityReport(
+        statistics=stats,
+        flesch_reading_ease=fre,
+        flesch_kincaid_grade=fkg,
+        gunning_fog=fog,
+        smog_index=smog,
+        automated_readability_index=ari,
+        coleman_liau_index=cli,
+        score=score,
+    )

@@ -1,0 +1,81 @@
+"""Sentence splitting.
+
+A small rule-based splitter: terminates sentences on ``.``, ``!``, ``?``
+followed by whitespace and an upper-case/quote/digit start, while protecting
+common abbreviations (``Dr.``, ``e.g.``, ``U.S.``) and decimal numbers.
+"""
+
+from __future__ import annotations
+
+import re
+
+_ABBREVIATIONS = {
+    "dr", "mr", "mrs", "ms", "prof", "sr", "jr", "st",
+    "vs", "etc", "e.g", "i.e", "fig", "al", "inc", "ltd", "co",
+    "jan", "feb", "mar", "apr", "jun", "jul", "aug", "sep", "sept", "oct", "nov", "dec",
+    "no", "vol", "pp", "approx", "dept", "univ", "assn", "est",
+    "u.s", "u.k", "u.n", "ph.d", "m.d",
+}
+
+_BOUNDARY_RE = re.compile(r"([.!?]+)(\s+)")
+
+
+def _last_token(fragment: str) -> str:
+    parts = fragment.rstrip().split()
+    return parts[-1].lower() if parts else ""
+
+
+def _is_abbreviation(token: str) -> bool:
+    token = token.rstrip(".").lower()
+    return token in _ABBREVIATIONS or (len(token) == 1 and token.isalpha())
+
+
+def split_sentences(text: str) -> list[str]:
+    """Split ``text`` into sentences.
+
+    Returns a list of non-empty, stripped sentence strings.  Newlines that
+    separate paragraphs always terminate a sentence.
+    """
+    if not text:
+        return []
+
+    sentences: list[str] = []
+    for paragraph in re.split(r"\n\s*\n|\r\n\s*\r\n", text):
+        paragraph = paragraph.strip()
+        if not paragraph:
+            continue
+        sentences.extend(_split_paragraph(paragraph))
+    return sentences
+
+
+def _split_paragraph(paragraph: str) -> list[str]:
+    pieces: list[str] = []
+    start = 0
+    for match in _BOUNDARY_RE.finditer(paragraph):
+        end = match.end(1)
+        candidate = paragraph[start:end]
+        rest = paragraph[match.end():]
+
+        last = _last_token(candidate[:-len(match.group(1))] or candidate)
+        # Do not split after an abbreviation or inside a decimal number.
+        if match.group(1) == "." and _is_abbreviation(last):
+            continue
+        if rest and rest[0].islower():
+            continue
+
+        stripped = candidate.strip()
+        if stripped:
+            pieces.append(stripped)
+        start = match.end()
+
+    tail = paragraph[start:].strip()
+    if tail:
+        pieces.append(tail)
+    return pieces
+
+
+def sentence_lengths(text: str) -> list[int]:
+    """Return the number of word tokens in each sentence of ``text``."""
+    from .tokenize import word_tokens
+
+    return [len(word_tokens(sentence)) for sentence in split_sentences(text)]

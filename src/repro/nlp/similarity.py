@@ -1,0 +1,62 @@
+"""Text and vector similarity measures used by clustering and deduplication."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Mapping
+
+import numpy as np
+
+
+def cosine_similarity(a, b) -> float:
+    """Cosine similarity between two vectors or two sparse count mappings.
+
+    Accepts numpy arrays / sequences of floats, or ``Mapping[str, number]``
+    (e.g. :class:`collections.Counter`).  Returns 0.0 when either side has
+    zero norm.
+    """
+    if isinstance(a, Mapping) and isinstance(b, Mapping):
+        return _cosine_mappings(a, b)
+    va = np.asarray(a, dtype=np.float64)
+    vb = np.asarray(b, dtype=np.float64)
+    if va.shape != vb.shape:
+        raise ValueError(f"shape mismatch: {va.shape} vs {vb.shape}")
+    norm = float(np.linalg.norm(va)) * float(np.linalg.norm(vb))
+    if norm == 0.0:
+        return 0.0
+    return float(np.dot(va, vb) / norm)
+
+
+def _cosine_mappings(a: Mapping[str, float], b: Mapping[str, float]) -> float:
+    if not a or not b:
+        return 0.0
+    common = set(a) & set(b)
+    dot = sum(float(a[key]) * float(b[key]) for key in common)
+    norm_a = sum(float(v) ** 2 for v in a.values()) ** 0.5
+    norm_b = sum(float(v) ** 2 for v in b.values()) ** 0.5
+    if norm_a == 0.0 or norm_b == 0.0:
+        return 0.0
+    return dot / (norm_a * norm_b)
+
+
+def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
+    """Jaccard similarity of two token collections (sets of their elements)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    if not union:
+        return 0.0
+    return len(set_a & set_b) / len(union)
+
+
+def token_overlap(a: str, b: str) -> float:
+    """Jaccard similarity of the word tokens of two texts."""
+    from .tokenize import word_tokens
+
+    return jaccard_similarity(word_tokens(a), word_tokens(b))
+
+
+def counter_distance(a: Counter, b: Counter) -> float:
+    """Cosine *distance* (1 - similarity) between two token-count bags."""
+    return 1.0 - _cosine_mappings(a, b)

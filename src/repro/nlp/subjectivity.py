@@ -1,0 +1,101 @@
+"""Subjectivity scoring of article bodies.
+
+The scorer is lexicon-based: strongly subjective clues count 1.0, weakly
+subjective clues 0.5, and objective/evidence cues subtract weight.  The final
+score is normalised to ``[0, 1]`` where 1 means "highly subjective / opinion
+heavy" — the polarity the SciLens content indicator reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .lexicons import (
+    OBJECTIVE_CUES,
+    PERSONAL_PRONOUNS,
+    STRONG_SUBJECTIVE,
+    WEAK_SUBJECTIVE,
+)
+from .tokenize import word_tokens
+
+
+@dataclass(frozen=True)
+class SubjectivityResult:
+    """Breakdown of the subjectivity computation for one text."""
+
+    score: float
+    strong_hits: int
+    weak_hits: int
+    objective_hits: int
+    pronoun_hits: int
+    total_words: int
+
+
+class SubjectivityScorer:
+    """Lexicon-based subjectivity scorer.
+
+    Parameters
+    ----------
+    strong_weight, weak_weight, pronoun_weight:
+        Contribution of each hit type to the subjective mass.
+    objective_weight:
+        Contribution of each objective cue to the objective mass.
+    scale:
+        Per-word density multiplier mapping hit density onto [0, 1]; density
+        ``1/scale`` or higher saturates the score at 1.
+    """
+
+    def __init__(
+        self,
+        strong_weight: float = 1.0,
+        weak_weight: float = 0.5,
+        pronoun_weight: float = 0.25,
+        objective_weight: float = 0.75,
+        scale: float = 12.0,
+    ) -> None:
+        self.strong_weight = strong_weight
+        self.weak_weight = weak_weight
+        self.pronoun_weight = pronoun_weight
+        self.objective_weight = objective_weight
+        self.scale = scale
+
+    def analyse(self, text: str) -> SubjectivityResult:
+        """Return the full subjectivity breakdown for ``text``."""
+        words = word_tokens(text)
+        if not words:
+            return SubjectivityResult(0.0, 0, 0, 0, 0, 0)
+
+        strong = sum(1 for w in words if w in STRONG_SUBJECTIVE)
+        weak = sum(1 for w in words if w in WEAK_SUBJECTIVE)
+        objective = sum(1 for w in words if w in OBJECTIVE_CUES)
+        pronouns = sum(1 for w in words if w in PERSONAL_PRONOUNS)
+
+        subjective_mass = (
+            self.strong_weight * strong
+            + self.weak_weight * weak
+            + self.pronoun_weight * pronouns
+        )
+        objective_mass = self.objective_weight * objective
+
+        density = max(0.0, subjective_mass - objective_mass) / len(words)
+        score = min(1.0, density * self.scale)
+        return SubjectivityResult(
+            score=score,
+            strong_hits=strong,
+            weak_hits=weak,
+            objective_hits=objective,
+            pronoun_hits=pronouns,
+            total_words=len(words),
+        )
+
+    def score(self, text: str) -> float:
+        """Return only the subjectivity score in ``[0, 1]``."""
+        return self.analyse(text).score
+
+
+_DEFAULT_SCORER = SubjectivityScorer()
+
+
+def subjectivity_score(text: str) -> float:
+    """Module-level convenience wrapper around the default scorer."""
+    return _DEFAULT_SCORER.score(text)

@@ -1,0 +1,100 @@
+"""Word-level tokenisation and syllable counting.
+
+The tokenizer is regex-based and deliberately conservative: it keeps
+hyphenated words and internal apostrophes together (``state-of-the-art``,
+``don't``) because readability formulas and lexicon lookups want whole words,
+and it separates punctuation which the stance/click-bait feature extractors
+inspect explicitly.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable
+
+_TOKEN_RE = re.compile(
+    r"""
+    [A-Za-z]+(?:['’-][A-Za-z]+)*   # words, possibly hyphen/apostrophe joined
+    | \d+(?:[.,]\d+)*%?                 # numbers, 1,000 / 3.14 / 45%
+    | [?!.]+                            # sentence punctuation runs
+    | [^\sA-Za-z\d]                     # any other single symbol
+    """,
+    re.VERBOSE,
+)
+
+_WORD_RE = re.compile(r"^[A-Za-z]+(?:['’-][A-Za-z]+)*$")
+
+_VOWEL_GROUP_RE = re.compile(r"[aeiouy]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Split ``text`` into word, number and punctuation tokens (order preserved)."""
+    if not text:
+        return []
+    return _TOKEN_RE.findall(text)
+
+
+def word_tokens(text: str, lowercase: bool = True) -> list[str]:
+    """Return only the alphabetic word tokens of ``text``.
+
+    Numbers and punctuation are dropped; hyphenated/apostrophe words are kept
+    intact.  When ``lowercase`` is true the tokens are lower-cased, which is
+    what every lexicon lookup in the library expects.
+    """
+    words = [tok for tok in tokenize(text) if _WORD_RE.match(tok)]
+    if lowercase:
+        words = [w.lower() for w in words]
+    return words
+
+
+def is_word(token: str) -> bool:
+    """Return ``True`` if ``token`` is an alphabetic word token."""
+    return bool(_WORD_RE.match(token))
+
+
+def count_syllables(word: str) -> int:
+    """Estimate the number of syllables in an English ``word``.
+
+    Uses the standard vowel-group heuristic with corrections for silent
+    trailing ``e`` and common suffixes.  Always returns at least 1 for a
+    non-empty word.
+    """
+    word = word.lower().strip()
+    if not word:
+        return 0
+    word = re.sub(r"[^a-z]", "", word)
+    if not word:
+        return 1
+    if len(word) <= 3:
+        return 1
+
+    stripped = word
+    # Silent endings: "-e" (make), "-es" (makes), "-ed" (baked) — but keep
+    # "-le" (table) and "-ted"/"-ded" (wanted, added) which are voiced.
+    if stripped.endswith("e") and not stripped.endswith("le"):
+        stripped = stripped[:-1]
+    elif stripped.endswith("es") and not stripped.endswith(("ses", "zes", "ches", "shes")):
+        stripped = stripped[:-2]
+    elif stripped.endswith("ed") and not stripped.endswith(("ted", "ded")):
+        stripped = stripped[:-2]
+
+    groups = _VOWEL_GROUP_RE.findall(stripped)
+    count = len(groups)
+    if count == 0:
+        count = 1
+    return count
+
+
+def count_syllables_text(words: Iterable[str]) -> int:
+    """Sum syllable estimates over an iterable of words."""
+    return sum(count_syllables(w) for w in words)
+
+
+def count_characters(words: Iterable[str]) -> int:
+    """Total number of alphanumeric characters across ``words`` (for ARI/Coleman-Liau)."""
+    return sum(len(re.sub(r"[^A-Za-z0-9]", "", w)) for w in words)
+
+
+def is_complex_word(word: str) -> bool:
+    """Return ``True`` for "complex" words (3+ syllables) as used by Gunning fog/SMOG."""
+    return count_syllables(word) >= 3

@@ -1,0 +1,312 @@
+"""Synthetic article corpus.
+
+Generates article pages (title, by-line, body, outgoing references) whose
+measurable properties depend on the publishing outlet's quality class:
+
+* low-quality outlets produce click-baity titles, subjective bodies, few
+  by-lines and almost no scientific references;
+* high-quality outlets produce sober titles, evidence-oriented bodies, by-lines
+  and several scientific references.
+
+Every generated article is registered as an HTML page on the synthetic web
+(:class:`~repro.web.sitestore.SiteStore`) so the scraper and the indicator
+pipeline process it exactly like a crawled page.
+"""
+
+from __future__ import annotations
+
+import html as html_module
+from dataclasses import dataclass
+from datetime import datetime
+
+from ..models import Article, RatingClass
+from ..web.references import SCIENTIFIC_DOMAINS
+from ..web.sitestore import SiteStore
+from .outlets import OutletProfile, OutletRegistry
+from .rng import SeededRng
+from .topics import TopicSpec, topic
+
+_AUTHORS = (
+    "Alex Morgan", "Jamie Chen", "Priya Natarajan", "Samuel Ortiz", "Elena Petrova",
+    "Noah Williams", "Maria Rossi", "David Kim", "Fatima Hassan", "Lucas Meyer",
+    "Ana Silva", "Tom Becker", "Grace O'Connor", "Yuki Tanaka", "Omar Farouk",
+)
+
+_CLICKBAIT_OPENERS = (
+    "You won't believe what",
+    "The shocking truth about",
+    "Doctors hate this:",
+    "This is why",
+    "The real reason",
+    "What they don't want you to know about",
+)
+
+_FACTUAL_TITLE_TEMPLATES = (
+    "New study examines {kw1} and {kw2}",
+    "Researchers report findings on {kw1} {kw2}",
+    "{entity} releases data on {kw1} trends",
+    "What the evidence says about {kw1} and {kw2}",
+    "Scientists measure {kw1} effects in new {kw2} analysis",
+)
+
+_SENSATIONAL_TITLE_TEMPLATES = (
+    "{opener} {kw1} and {kw2}!",
+    "{opener} the {kw1} crisis",
+    "SHOCKING: {kw1} {kw2} will change everything",
+    "This one {kw1} trick about {kw2} is going viral",
+    "{opener} {kw1}? Experts stunned",
+)
+
+_OBJECTIVE_SENTENCES = (
+    "A peer-reviewed study published this week analysed {kw1} data from {n} participants.",
+    "Researchers at {entity} measured {kw1} rates using a standardised methodology.",
+    "The analysis reports a statistically significant association between {kw1} and {kw2}.",
+    "According to the data, the observed {kw1} rate was {pct} percent over the study period.",
+    "The authors caution that the findings on {kw2} require replication in larger cohorts.",
+    "Experts interviewed for this article noted that the evidence on {kw1} remains preliminary.",
+    "The report includes confidence intervals for every {kw2} estimate it presents.",
+    "Officials at {entity} published the underlying {kw1} dataset alongside the report.",
+)
+
+_SUBJECTIVE_SENTENCES = (
+    "This {kw1} situation is absolutely terrifying and nobody is talking about it.",
+    "Honestly, the truth about {kw2} is being hidden from you.",
+    "It is outrageous how the so-called experts keep getting {kw1} wrong.",
+    "Everyone knows that {kw2} is a disaster waiting to happen.",
+    "I think this {kw1} story proves the mainstream narrative is a complete lie.",
+    "The shocking reality of {kw2} will leave you speechless.",
+    "They claim {kw1} is under control, which is obviously ridiculous nonsense.",
+    "This miracle {kw2} cure is something doctors simply refuse to discuss.",
+)
+
+_NEUTRAL_SENTENCES = (
+    "The {kw1} developments continued throughout the week across several regions.",
+    "Local authorities provided an update on the {kw2} response on {weekday}.",
+    "Coverage of {kw1} has increased steadily since the beginning of the year.",
+    "Readers have asked how {kw2} compares with previous years.",
+    "The situation around {kw1} continues to evolve as new information arrives.",
+)
+
+_WEEKDAYS = ("Monday", "Tuesday", "Wednesday", "Thursday", "Friday")
+
+_SCIENTIFIC_LINK_TARGETS = tuple(sorted(SCIENTIFIC_DOMAINS))
+
+
+@dataclass(frozen=True)
+class GeneratedArticle:
+    """A synthetic article together with its ground-truth generation parameters."""
+
+    article: Article
+    html: str
+    topic_key: str
+    true_quality: float
+    n_internal_links: int
+    n_external_links: int
+    n_scientific_links: int
+
+    @property
+    def url(self) -> str:
+        return self.article.url
+
+    @property
+    def scientific_ratio(self) -> float:
+        total = self.n_internal_links + self.n_external_links + self.n_scientific_links
+        return self.n_scientific_links / total if total else 0.0
+
+
+class ArticleGenerator:
+    """Generates quality-dependent article pages onto a synthetic web."""
+
+    def __init__(
+        self,
+        site_store: SiteStore,
+        outlets: OutletRegistry,
+        random_seed: int = 13,
+    ) -> None:
+        self.site_store = site_store
+        self.outlets = outlets
+        self.random_seed = random_seed
+
+    # ----------------------------------------------------------------- public
+
+    def generate(
+        self,
+        profile: OutletProfile,
+        topic_key: str,
+        published_at: datetime,
+        sequence: int,
+    ) -> GeneratedArticle:
+        """Generate one article for ``profile`` on ``topic_key`` and register its page."""
+        spec = topic(topic_key)
+        rng = SeededRng(self.random_seed).child(profile.domain, topic_key, sequence)
+
+        quality = self._true_quality(profile, rng)
+        title = self._title(spec, quality, rng)
+        author = self._author(quality, rng)
+        paragraphs = self._paragraphs(spec, quality, rng)
+        links = self._links(profile, quality, rng)
+        url = self._url(profile, published_at, topic_key, sequence)
+
+        page_html = self._render_html(title, author, published_at, paragraphs, links)
+        self.site_store.register(url, page_html)
+
+        article = Article(
+            article_id=f"art-{profile.domain.split('.')[0]}-{topic_key}-{sequence:05d}",
+            url=url,
+            outlet_domain=profile.domain,
+            title=title,
+            published_at=published_at,
+            text="\n\n".join(paragraphs),
+            html=page_html,
+            author=author,
+            topics=(topic_key,),
+        )
+        internal, external, scientific = links
+        return GeneratedArticle(
+            article=article,
+            html=page_html,
+            topic_key=topic_key,
+            true_quality=quality,
+            n_internal_links=len(internal),
+            n_external_links=len(external),
+            n_scientific_links=len(scientific),
+        )
+
+    # ------------------------------------------------------------ components
+
+    def _true_quality(self, profile: OutletProfile, rng: SeededRng) -> float:
+        quality = profile.evidence_score + rng.normal(0.0, 0.08)
+        return float(min(1.0, max(0.0, quality)))
+
+    def _title(self, spec: TopicSpec, quality: float, rng: SeededRng) -> str:
+        kw1, kw2 = rng.sample(spec.keywords, 2)
+        entity = rng.choice(spec.entities) if spec.entities else "the research team"
+        if rng.chance(1.0 - quality):
+            template = rng.choice(_SENSATIONAL_TITLE_TEMPLATES)
+            title = template.format(opener=rng.choice(_CLICKBAIT_OPENERS), kw1=kw1, kw2=kw2)
+        else:
+            template = rng.choice(_FACTUAL_TITLE_TEMPLATES)
+            title = template.format(kw1=kw1, kw2=kw2, entity=entity)
+        return title[0].upper() + title[1:]
+
+    def _author(self, quality: float, rng: SeededRng) -> str | None:
+        byline_probability = 0.35 + 0.6 * quality
+        return rng.choice(_AUTHORS) if rng.chance(byline_probability) else None
+
+    def _paragraphs(self, spec: TopicSpec, quality: float, rng: SeededRng) -> list[str]:
+        n_paragraphs = rng.randint(3, 6)
+        sentences_per_paragraph = rng.randint(3, 5)
+        entity = rng.choice(spec.entities) if spec.entities else "the research institute"
+
+        paragraphs: list[str] = []
+        for _ in range(n_paragraphs):
+            sentences: list[str] = []
+            for _ in range(sentences_per_paragraph):
+                roll = rng.uniform()
+                if roll < quality * 0.75:
+                    template = rng.choice(_OBJECTIVE_SENTENCES)
+                elif roll < quality * 0.75 + (1.0 - quality) * 0.65:
+                    template = rng.choice(_SUBJECTIVE_SENTENCES)
+                else:
+                    template = rng.choice(_NEUTRAL_SENTENCES)
+                kw1, kw2 = rng.sample(spec.keywords, 2)
+                sentences.append(
+                    template.format(
+                        kw1=kw1,
+                        kw2=kw2,
+                        entity=entity,
+                        n=rng.randint(120, 9000),
+                        pct=rng.randint(2, 85),
+                        weekday=rng.choice(_WEEKDAYS),
+                    )
+                )
+            paragraphs.append(" ".join(sentences))
+        return paragraphs
+
+    def _links(
+        self, profile: OutletProfile, quality: float, rng: SeededRng
+    ) -> tuple[list[str], list[str], list[str]]:
+        """Internal, external and scientific link targets for one article."""
+        internal = [
+            f"https://{profile.domain}/related/story-{rng.randint(1000, 9999)}"
+            for _ in range(rng.poisson(2.0))
+        ]
+
+        other_domains = [p.domain for p in self.outlets.profiles if p.domain != profile.domain]
+        external = [
+            f"https://{rng.choice(other_domains)}/coverage/item-{rng.randint(1000, 9999)}"
+            for _ in range(rng.poisson(0.8 + 1.2 * quality))
+        ] if other_domains else []
+
+        # Evidence seeking: high-quality outlets cite several scientific sources,
+        # low-quality outlets rarely cite any (the Figure 5-right contrast).
+        scientific_rate = max(0.0, 4.5 * quality - 0.9)
+        n_scientific = rng.poisson(scientific_rate)
+        if quality < 0.4 and rng.chance(0.75):
+            n_scientific = 0
+        scientific = [
+            f"https://{rng.choice(_SCIENTIFIC_LINK_TARGETS)}/paper/{rng.randint(10000, 99999)}"
+            for _ in range(n_scientific)
+        ]
+        return internal, external, scientific
+
+    def _url(
+        self, profile: OutletProfile, published_at: datetime, topic_key: str, sequence: int
+    ) -> str:
+        return (
+            f"https://{profile.domain}/{published_at.year}/{published_at.month:02d}/"
+            f"{published_at.day:02d}/{topic_key}-story-{sequence:05d}"
+        )
+
+    # --------------------------------------------------------------- rendering
+
+    def _render_html(
+        self,
+        title: str,
+        author: str | None,
+        published_at: datetime,
+        paragraphs: list[str],
+        links: tuple[list[str], list[str], list[str]],
+    ) -> str:
+        internal, external, scientific = links
+        escaped_title = html_module.escape(title)
+
+        head_parts = [
+            f"<title>{escaped_title}</title>",
+            f'<meta property="article:published_time" content="{published_at.isoformat()}">',
+        ]
+        if author:
+            head_parts.append(f'<meta name="author" content="{html_module.escape(author)}">')
+
+        body_parts = [f"<h1>{escaped_title}</h1>"]
+        if author:
+            body_parts.append(f'<p class="byline">By {html_module.escape(author)}</p>')
+
+        all_links = (
+            [(href, "internal coverage") for href in internal]
+            + [(href, "external report") for href in external]
+            + [(href, "published study") for href in scientific]
+        )
+        link_cursor = 0
+        for index, paragraph in enumerate(paragraphs):
+            text = html_module.escape(paragraph)
+            # Interleave reference anchors into the article body.
+            anchors = ""
+            while link_cursor < len(all_links) and link_cursor <= index * 2 + 1:
+                href, label = all_links[link_cursor]
+                anchors += f' <a href="{href}">{label}</a>.'
+                link_cursor += 1
+            body_parts.append(f"<p>{text}{anchors}</p>")
+        # Any remaining links go into a "see also" section.
+        if link_cursor < len(all_links):
+            see_also = "".join(
+                f'<li><a href="{href}">{label}</a></li>'
+                for href, label in all_links[link_cursor:]
+            )
+            body_parts.append(f"<h3>See also</h3><ul>{see_also}</ul>")
+
+        return (
+            "<html><head>" + "".join(head_parts) + "</head><body>"
+            + "".join(body_parts)
+            + "</body></html>"
+        )

@@ -1,0 +1,163 @@
+"""The COVID-19 scenario of §4.
+
+Generates the 60-day data segment (2020-01-15 → 2020-03-15) over the 45-outlet
+shortlist: each outlet publishes a quality-dependent mix of COVID-19 and
+other-topic articles every day, and every COVID-19 article triggers social
+postings and reactions.  The generator encodes only the qualitative behaviour
+the paper describes —
+
+* early on, low- and high-quality outlets devote a similar share of their daily
+  output to the topic; after roughly a month, low-quality outlets dedicate a
+  much larger share (Figure 4);
+* low-quality articles attract a wider, larger distribution of social
+  reactions (Figure 5 left);
+* high-quality articles cite scientific sources far more often (Figure 5
+  right, produced by the corpus generator's link model);
+
+— and the platform then *measures* those properties through the full
+scrape → indicator → insight pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from datetime import datetime, timedelta
+
+from .._time import COVID_WINDOW_END, COVID_WINDOW_START, iter_days
+from ..models import Reaction, SocialPost
+from ..web.sitestore import SiteStore
+from .corpus import ArticleGenerator, GeneratedArticle
+from .outlets import DEFAULT_OUTLET_COUNT, OutletProfile, OutletRegistry
+from .rng import SeededRng
+from .scenario import ScenarioData
+from .social_activity import SocialActivityConfig, SocialActivityGenerator
+from .topics import topic_keys
+
+#: Topics the newsrooms cover besides the topic of interest.
+_BACKGROUND_TOPICS = ("influenza", "nutrition", "climate", "space", "genetics")
+
+
+@dataclass(frozen=True)
+class CovidScenarioConfig:
+    """Parameters of the COVID-19 scenario generator."""
+
+    n_outlets: int = DEFAULT_OUTLET_COUNT
+    window_start: datetime = COVID_WINDOW_START
+    window_end: datetime = COVID_WINDOW_END
+    random_seed: int = 13
+    #: Scales every outlet's daily article volume (1.0 = full newsroom output).
+    volume_scale: float = 0.25
+    #: Day (relative to the window start) at which public attention is at its
+    #: inflection point; the paper observes the divergence "by the end of the
+    #: first month".
+    attention_midpoint_day: float = 32.0
+    #: Steepness of the attention ramp.
+    attention_steepness: float = 0.16
+    #: COVID share of daily output at full attention, per quality half.
+    low_quality_peak_share: float = 0.72
+    high_quality_peak_share: float = 0.38
+    #: COVID share of daily output before the topic takes off.
+    baseline_share: float = 0.12
+    #: Whether to also generate social activity for non-COVID articles.
+    social_for_background: bool = False
+    social: SocialActivityConfig = field(default_factory=SocialActivityConfig)
+
+    def n_days(self) -> int:
+        return (self.window_end - self.window_start).days
+
+    @classmethod
+    def small(cls, n_outlets: int = 6, n_days: int = 20, random_seed: int = 13) -> "CovidScenarioConfig":
+        """A scaled-down configuration for unit tests and quick examples."""
+        return cls(
+            n_outlets=n_outlets,
+            window_start=COVID_WINDOW_START,
+            window_end=COVID_WINDOW_START + timedelta(days=n_days),
+            random_seed=random_seed,
+            volume_scale=0.35,
+            attention_midpoint_day=min(32.0, n_days * 0.55),
+        )
+
+
+def attention_curve(day_index: float, config: CovidScenarioConfig) -> float:
+    """Public attention to the topic on a given day, in ``[0, 1]`` (logistic ramp)."""
+    exponent = -config.attention_steepness * (day_index - config.attention_midpoint_day)
+    return 1.0 / (1.0 + math.exp(exponent))
+
+
+def covid_share(day_index: float, profile: OutletProfile, config: CovidScenarioConfig) -> float:
+    """Expected share of an outlet's daily output devoted to COVID-19."""
+    attention = attention_curve(day_index, config)
+    if profile.rating_class.is_low_quality:
+        peak = config.low_quality_peak_share
+    elif profile.rating_class.is_high_quality:
+        peak = config.high_quality_peak_share
+    else:
+        peak = 0.5 * (config.low_quality_peak_share + config.high_quality_peak_share)
+    return config.baseline_share + (peak - config.baseline_share) * attention
+
+
+def generate_covid_scenario(config: CovidScenarioConfig | None = None) -> ScenarioData:
+    """Generate the full COVID-19 scenario described by ``config``."""
+    config = config or CovidScenarioConfig()
+    rng = SeededRng(config.random_seed).child("covid-scenario")
+
+    outlets = OutletRegistry.default(n_outlets=config.n_outlets, random_seed=config.random_seed)
+    site_store = SiteStore()
+    article_generator = ArticleGenerator(site_store, outlets, random_seed=config.random_seed)
+    social_generator = SocialActivityGenerator(config.social, random_seed=config.random_seed)
+
+    articles: list[GeneratedArticle] = []
+    posts: list[SocialPost] = []
+    reactions: list[Reaction] = []
+    sequence = 0
+
+    for profile in outlets:
+        outlet_rng = rng.child(profile.domain)
+        for day_index, day in enumerate(iter_days(config.window_start, config.window_end)):
+            day_rng = outlet_rng.child(day.isoformat())
+            expected_articles = profile.daily_articles * config.volume_scale
+            n_articles = day_rng.poisson(expected_articles)
+            if n_articles == 0:
+                continue
+
+            share = covid_share(day_index, profile, config)
+            for _ in range(n_articles):
+                is_covid = day_rng.chance(share)
+                topic_key = "covid19" if is_covid else day_rng.choice(_BACKGROUND_TOPICS)
+                published_at = datetime(day.year, day.month, day.day) + timedelta(
+                    hours=day_rng.uniform(6.0, 22.0)
+                )
+                generated = article_generator.generate(profile, topic_key, published_at, sequence)
+                sequence += 1
+                articles.append(generated)
+
+                if is_covid or config.social_for_background:
+                    article_posts, article_reactions = social_generator.generate(generated, profile)
+                    posts.extend(article_posts)
+                    reactions.extend(article_reactions)
+                else:
+                    # Outlet accounts announce every article; background
+                    # articles simply attract no user discussion.
+                    posts.append(social_generator.announce(generated, profile))
+
+    return ScenarioData(
+        outlets=outlets,
+        site_store=site_store,
+        articles=articles,
+        posts=posts,
+        reactions=reactions,
+        window_start=config.window_start,
+        window_end=config.window_end,
+        topic_of_interest="covid19",
+        metadata={
+            "config": {
+                "n_outlets": config.n_outlets,
+                "volume_scale": config.volume_scale,
+                "random_seed": config.random_seed,
+                "days": config.n_days(),
+            },
+            "background_topics": list(_BACKGROUND_TOPICS),
+            "available_topics": topic_keys(),
+        },
+    )

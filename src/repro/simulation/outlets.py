@@ -1,0 +1,221 @@
+"""The outlet registry: 45 synthetic news outlets with quality ratings.
+
+The paper's COVID-19 use case relies on "a shortlist, published by the
+American Council on Science and Health, that contains 45 mainstream news
+outlets accompanied by their quality ranking".  The real infographic ranks
+outlets on two axes (evidence-based reporting and compellingness); here we
+generate 45 synthetic outlets spread over the five rating classes with the
+same structure, plus the social handles and follower counts the streaming
+layer needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import OutletNotFound
+from ..models import Outlet, RatingClass
+from ..social.accounts import AccountRegistry, SocialAccount
+from .rng import SeededRng
+
+#: Number of outlets in the ACSH shortlist used by §4.
+DEFAULT_OUTLET_COUNT = 45
+
+#: How the 45 outlets are spread over the rating classes (sums to 45).
+DEFAULT_CLASS_DISTRIBUTION: dict[RatingClass, int] = {
+    RatingClass.VERY_HIGH: 8,
+    RatingClass.HIGH: 10,
+    RatingClass.MIXED: 9,
+    RatingClass.LOW: 10,
+    RatingClass.VERY_LOW: 8,
+}
+
+_NAME_PREFIXES = (
+    "Daily", "Global", "National", "Evening", "Morning", "Metro", "Capital",
+    "Pacific", "Atlantic", "Northern", "Southern", "Central", "Coastal",
+    "United", "First", "Modern", "Open", "Civic", "Public", "Plain",
+)
+_NAME_SUFFIXES = (
+    "Science", "Health", "Tribune", "Chronicle", "Observer", "Courier",
+    "Gazette", "Herald", "Journal", "Monitor", "Post", "Record", "Review",
+    "Standard", "Times", "Wire", "Dispatch", "Report", "Bulletin", "Ledger",
+)
+
+_CLASS_SCORE_RANGES: dict[RatingClass, tuple[float, float]] = {
+    RatingClass.VERY_LOW: (0.02, 0.18),
+    RatingClass.LOW: (0.20, 0.38),
+    RatingClass.MIXED: (0.42, 0.58),
+    RatingClass.HIGH: (0.62, 0.78),
+    RatingClass.VERY_HIGH: (0.82, 0.98),
+}
+
+
+@dataclass(frozen=True)
+class OutletProfile:
+    """An outlet plus the behavioural parameters the generators use."""
+
+    outlet: Outlet
+    twitter_handle: str
+    followers: int
+    #: Average number of articles the newsroom publishes per day (all topics).
+    daily_articles: float
+
+    @property
+    def domain(self) -> str:
+        return self.outlet.domain
+
+    @property
+    def rating_class(self) -> RatingClass:
+        return self.outlet.rating_class
+
+    @property
+    def evidence_score(self) -> float:
+        return self.outlet.evidence_score
+
+
+def build_default_outlets(
+    n_outlets: int = DEFAULT_OUTLET_COUNT,
+    random_seed: int = 13,
+    class_distribution: dict[RatingClass, int] | None = None,
+) -> list[OutletProfile]:
+    """Generate ``n_outlets`` synthetic outlet profiles.
+
+    The class distribution defaults to the 45-outlet split above and is scaled
+    proportionally when a different ``n_outlets`` is requested.
+    """
+    rng = SeededRng(random_seed).child("outlets")
+    distribution = dict(class_distribution or DEFAULT_CLASS_DISTRIBUTION)
+    total = sum(distribution.values())
+
+    # Scale the distribution to the requested outlet count.
+    scaled: dict[RatingClass, int] = {
+        cls: max(1, round(count * n_outlets / total)) for cls, count in distribution.items()
+    }
+    while sum(scaled.values()) > n_outlets:
+        largest = max(scaled, key=lambda c: scaled[c])
+        scaled[largest] -= 1
+    while sum(scaled.values()) < n_outlets:
+        smallest = min(scaled, key=lambda c: scaled[c])
+        scaled[smallest] += 1
+
+    profiles: list[OutletProfile] = []
+    used_names: set[str] = set()
+    index = 0
+    for rating_class in (
+        RatingClass.VERY_HIGH,
+        RatingClass.HIGH,
+        RatingClass.MIXED,
+        RatingClass.LOW,
+        RatingClass.VERY_LOW,
+    ):
+        for _ in range(scaled.get(rating_class, 0)):
+            profiles.append(_build_profile(index, rating_class, rng, used_names))
+            index += 1
+    return profiles
+
+
+def _build_profile(
+    index: int, rating_class: RatingClass, rng: SeededRng, used_names: set[str]
+) -> OutletProfile:
+    child = rng.child("outlet", index)
+    while True:
+        name = f"{child.choice(_NAME_PREFIXES)} {child.choice(_NAME_SUFFIXES)}"
+        if name not in used_names:
+            used_names.add(name)
+            break
+    domain = name.lower().replace(" ", "") + ".example.com"
+    low, high = _CLASS_SCORE_RANGES[rating_class]
+    evidence = child.uniform(low, high)
+    compelling = min(1.0, max(0.0, child.normal(0.6, 0.15)))
+    handle = "@" + name.lower().replace(" ", "_")
+
+    # Low-quality outlets in the synthetic population skew towards larger
+    # follower counts and higher publication volumes (they chase engagement).
+    if rating_class.is_low_quality:
+        followers = int(child.lognormal(12.2, 0.6))
+        daily_articles = child.uniform(6.0, 10.0)
+    elif rating_class.is_high_quality:
+        followers = int(child.lognormal(11.6, 0.5))
+        daily_articles = child.uniform(3.0, 6.0)
+    else:
+        followers = int(child.lognormal(11.9, 0.5))
+        daily_articles = child.uniform(4.0, 8.0)
+
+    outlet = Outlet(
+        domain=domain,
+        name=name,
+        rating_class=rating_class,
+        evidence_score=round(evidence, 3),
+        compelling_score=round(compelling, 3),
+        social_handles=(handle,),
+    )
+    return OutletProfile(
+        outlet=outlet,
+        twitter_handle=handle,
+        followers=followers,
+        daily_articles=daily_articles,
+    )
+
+
+class OutletRegistry:
+    """Lookup structure over outlet profiles (by domain, handle and rating class)."""
+
+    def __init__(self, profiles: Iterable[OutletProfile]) -> None:
+        self.profiles = sorted(profiles, key=lambda p: p.domain)
+        self._by_domain = {profile.domain: profile for profile in self.profiles}
+        self._by_handle = {profile.twitter_handle.lower(): profile for profile in self.profiles}
+
+    @classmethod
+    def default(cls, n_outlets: int = DEFAULT_OUTLET_COUNT, random_seed: int = 13) -> "OutletRegistry":
+        return cls(build_default_outlets(n_outlets=n_outlets, random_seed=random_seed))
+
+    def __len__(self) -> int:
+        return len(self.profiles)
+
+    def __iter__(self) -> Iterator[OutletProfile]:
+        return iter(self.profiles)
+
+    def get(self, domain: str) -> OutletProfile:
+        try:
+            return self._by_domain[domain]
+        except KeyError:
+            raise OutletNotFound(f"no outlet with domain {domain!r}") from None
+
+    def has(self, domain: str) -> bool:
+        return domain in self._by_domain
+
+    def by_handle(self, handle: str) -> OutletProfile | None:
+        return self._by_handle.get(handle.lower())
+
+    def by_rating_class(self, rating_class: RatingClass) -> list[OutletProfile]:
+        return [p for p in self.profiles if p.rating_class is rating_class]
+
+    def low_quality(self) -> list[OutletProfile]:
+        """Outlets in the low half of the ranking (very-low + low)."""
+        return [p for p in self.profiles if p.rating_class.is_low_quality]
+
+    def high_quality(self) -> list[OutletProfile]:
+        """Outlets in the high half of the ranking (high + very-high)."""
+        return [p for p in self.profiles if p.rating_class.is_high_quality]
+
+    def outlets(self) -> list[Outlet]:
+        return [p.outlet for p in self.profiles]
+
+    def account_registry(self) -> AccountRegistry:
+        """Build the streaming-layer account registry for these outlets."""
+        registry = AccountRegistry()
+        for profile in self.profiles:
+            registry.add(
+                SocialAccount(
+                    handle=profile.twitter_handle,
+                    platform="twitter",
+                    outlet_domain=profile.domain,
+                    followers=profile.followers,
+                    verified=profile.rating_class.is_high_quality,
+                )
+            )
+        return registry
+
+    def rating_of(self, domain: str) -> RatingClass:
+        return self.get(domain).rating_class

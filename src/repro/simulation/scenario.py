@@ -1,0 +1,116 @@
+"""The scenario data bundle shared by examples, tests and benchmarks."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from datetime import date, datetime
+from typing import Any, Iterator
+
+from ..models import Reaction, SocialPost
+from ..web.sitestore import SiteStore
+from .corpus import GeneratedArticle
+from .outlets import OutletRegistry
+
+
+@dataclass
+class ScenarioData:
+    """Everything one generated scenario produced.
+
+    The bundle keeps both the ground-truth view (generated articles with their
+    latent quality and link counts) and the raw-event view (postings and
+    reactions ready to be replayed through the streaming pipeline).
+    """
+
+    outlets: OutletRegistry
+    site_store: SiteStore
+    articles: list[GeneratedArticle]
+    posts: list[SocialPost]
+    reactions: list[Reaction]
+    window_start: datetime
+    window_end: datetime
+    topic_of_interest: str = "covid19"
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    # ----------------------------------------------------------------- lookups
+
+    def article_by_url(self, url: str) -> GeneratedArticle | None:
+        for generated in self.articles:
+            if generated.url == url:
+                return generated
+        return None
+
+    def articles_of_outlet(self, domain: str) -> list[GeneratedArticle]:
+        return [g for g in self.articles if g.article.outlet_domain == domain]
+
+    def topic_articles(self, topic_key: str | None = None) -> list[GeneratedArticle]:
+        """Articles on the topic of interest (COVID-19 by default)."""
+        topic_key = topic_key or self.topic_of_interest
+        return [g for g in self.articles if g.topic_key == topic_key]
+
+    def posts_by_article(self) -> dict[str, list[SocialPost]]:
+        grouped: dict[str, list[SocialPost]] = defaultdict(list)
+        for post in self.posts:
+            grouped[post.article_url].append(post)
+        return dict(grouped)
+
+    def reactions_by_post(self) -> dict[str, list[Reaction]]:
+        grouped: dict[str, list[Reaction]] = defaultdict(list)
+        for reaction in self.reactions:
+            grouped[reaction.post_id].append(reaction)
+        return dict(grouped)
+
+    # --------------------------------------------------------------- summaries
+
+    def daily_article_counts(self, topic_key: str | None = None) -> dict[str, dict[date, int]]:
+        """Per-outlet, per-day article counts (optionally restricted to one topic)."""
+        counts: dict[str, dict[date, int]] = defaultdict(lambda: defaultdict(int))
+        for generated in self.articles:
+            if topic_key is not None and generated.topic_key != topic_key:
+                continue
+            day = generated.article.published_at.date()
+            counts[generated.article.outlet_domain][day] += 1
+        return {domain: dict(days) for domain, days in counts.items()}
+
+    def summary(self) -> dict[str, int]:
+        """Size summary of the scenario."""
+        return {
+            "outlets": len(self.outlets),
+            "articles": len(self.articles),
+            "topic_articles": len(self.topic_articles()),
+            "posts": len(self.posts),
+            "reactions": len(self.reactions),
+            "days": (self.window_end - self.window_start).days,
+        }
+
+    # ------------------------------------------------------------ event replay
+
+    def posting_events(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Posting events ``(key, value)`` ready for the postings topic."""
+        for post in sorted(self.posts, key=lambda p: p.created_at):
+            yield post.account, {
+                "post_id": post.post_id,
+                "platform": post.platform,
+                "account": post.account,
+                "article_url": post.article_url,
+                "text": post.text,
+                "created_at": post.created_at.isoformat(),
+                "followers": post.followers,
+                "reply_to": post.reply_to,
+            }
+
+    def reaction_events(self) -> Iterator[tuple[str, dict[str, Any]]]:
+        """Reaction events ``(key, value)`` ready for the reactions topic."""
+        for reaction in sorted(self.reactions, key=lambda r: r.created_at):
+            yield reaction.post_id, {
+                "reaction_id": reaction.reaction_id,
+                "post_id": reaction.post_id,
+                "kind": reaction.kind.value,
+                "created_at": reaction.created_at.isoformat(),
+                "account": reaction.account,
+                "text": reaction.text,
+            }
+
+    def true_quality_by_article_id(self) -> dict[str, float]:
+        """Latent quality of every article (ground truth for reviews/ablations)."""
+        return {g.article.article_id: g.true_quality for g in self.articles}

@@ -1,0 +1,213 @@
+"""Synthetic social-media activity around articles.
+
+For every article the generator produces the outlet's own posting plus a
+number of user postings and their reactions.  The volume and the stance mix
+depend on the publishing outlet's quality:
+
+* articles from low-quality outlets attract a **wider, heavier-tailed**
+  distribution of reactions (the Figure 5-left contrast) and a larger share of
+  questioning/denying posts;
+* articles from high-quality outlets attract fewer reactions and mostly
+  supportive or neutral posts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+
+from ..models import Reaction, ReactionKind, SocialPost
+from .corpus import GeneratedArticle
+from .outlets import OutletProfile
+from .rng import SeededRng
+
+_SUPPORT_TEMPLATES = (
+    "Important read on {kw}: accurate and informative reporting.",
+    "Great article, this is exactly right about {kw}. Sharing.",
+    "Finally some correct information about {kw}. Must-read.",
+    "Helpful and informative piece about {kw}, thanks for sharing.",
+)
+
+_COMMENT_TEMPLATES = (
+    "Latest coverage on {kw}.",
+    "New article about {kw} from this outlet.",
+    "Reading about {kw} today.",
+    "More news on {kw}.",
+)
+
+_QUESTION_TEMPLATES = (
+    "Is this really true? What are the sources on {kw}?",
+    "Where is the evidence for these {kw} claims?",
+    "Not sure about this, seems unverified. Anyone have proof about {kw}?",
+    "Really? This {kw} story sounds questionable to me.",
+)
+
+_DENY_TEMPLATES = (
+    "This is fake news about {kw}, completely debunked nonsense.",
+    "Wrong and misleading. The {kw} claims here are false.",
+    "Do not share this, it's misinformation about {kw}.",
+    "Total hoax. This {kw} article is a lie.",
+)
+
+_USER_HANDLES = tuple(f"@user_{i:04d}" for i in range(400))
+
+
+@dataclass(frozen=True)
+class SocialActivityConfig:
+    """Knobs of the social-activity generator."""
+
+    #: Log-normal parameters of the per-article reaction count, by quality half.
+    low_quality_log_mean: float = 3.3
+    low_quality_log_sigma: float = 1.1
+    high_quality_log_mean: float = 2.2
+    high_quality_log_sigma: float = 0.7
+    #: Hard cap on reactions per article (keeps extreme tails bounded).
+    max_reactions_per_article: int = 2000
+    #: Mean number of user postings (besides the outlet's own posting).
+    user_posts_mean: float = 2.5
+
+
+class SocialActivityGenerator:
+    """Generates posts and reactions for generated articles."""
+
+    def __init__(self, config: SocialActivityConfig | None = None, random_seed: int = 13) -> None:
+        self.config = config or SocialActivityConfig()
+        self.random_seed = random_seed
+
+    def generate(
+        self, generated: GeneratedArticle, profile: OutletProfile
+    ) -> tuple[list[SocialPost], list[Reaction]]:
+        """Generate the social activity around one article."""
+        rng = SeededRng(self.random_seed).child("social", generated.article.article_id)
+        article = generated.article
+        quality = generated.true_quality
+
+        posts = self._posts(article.article_id, article.url, article.published_at,
+                            generated.topic_key, profile, quality, rng)
+        reactions = self._reactions(article.article_id, posts, quality, rng)
+        return posts, reactions
+
+    def announce(self, generated: GeneratedArticle, profile: OutletProfile) -> SocialPost:
+        """Only the outlet's own announcement posting (no user activity).
+
+        Outlet accounts post every article they publish; this is how the
+        streaming pipeline learns about articles that never attract user
+        discussion (the background topics of the scenario).
+        """
+        rng = SeededRng(self.random_seed).child("announce", generated.article.article_id)
+        article = generated.article
+        return SocialPost(
+            post_id=f"post-{article.article_id}-outlet",
+            platform="twitter",
+            account=profile.twitter_handle,
+            article_url=article.url,
+            text=f"New on {profile.outlet.name}: coverage of {generated.topic_key}.",
+            created_at=article.published_at + timedelta(minutes=rng.randint(1, 45)),
+            followers=profile.followers,
+        )
+
+    # -------------------------------------------------------------- postings
+
+    def _stance_template(self, quality: float, rng: SeededRng) -> str:
+        """Pick a post template; low-quality articles draw more scepticism."""
+        roll = rng.uniform()
+        question_or_deny = 0.45 - 0.30 * quality   # 0.45 at q=0 .. 0.15 at q=1
+        support = 0.20 + 0.30 * quality            # 0.20 at q=0 .. 0.50 at q=1
+        if roll < question_or_deny / 2:
+            return rng.choice(_DENY_TEMPLATES)
+        if roll < question_or_deny:
+            return rng.choice(_QUESTION_TEMPLATES)
+        if roll < question_or_deny + support:
+            return rng.choice(_SUPPORT_TEMPLATES)
+        return rng.choice(_COMMENT_TEMPLATES)
+
+    def _posts(
+        self,
+        article_id: str,
+        article_url: str,
+        published_at: datetime,
+        topic_key: str,
+        profile: OutletProfile,
+        quality: float,
+        rng: SeededRng,
+    ) -> list[SocialPost]:
+        posts: list[SocialPost] = []
+
+        # The outlet's own announcement posting (this is what the Datastreamer
+        # feed of outlet accounts delivers first).
+        outlet_post = SocialPost(
+            post_id=f"post-{article_id}-outlet",
+            platform="twitter",
+            account=profile.twitter_handle,
+            article_url=article_url,
+            text=f"New on {profile.outlet.name}: coverage of {topic_key}.",
+            created_at=published_at + timedelta(minutes=rng.randint(1, 45)),
+            followers=profile.followers,
+        )
+        posts.append(outlet_post)
+
+        n_user_posts = rng.poisson(self.config.user_posts_mean)
+        for index in range(n_user_posts):
+            template = self._stance_template(quality, rng)
+            posts.append(
+                SocialPost(
+                    post_id=f"post-{article_id}-user-{index:03d}",
+                    platform="twitter",
+                    account=rng.choice(_USER_HANDLES),
+                    article_url=article_url,
+                    text=template.format(kw=topic_key),
+                    created_at=outlet_post.created_at + timedelta(hours=rng.uniform(0.2, 30.0)),
+                    followers=int(rng.lognormal(6.0, 1.4)),
+                    reply_to=outlet_post.post_id if rng.chance(0.4) else None,
+                )
+            )
+        return posts
+
+    # -------------------------------------------------------------- reactions
+
+    def _reaction_count(self, quality: float, rng: SeededRng) -> int:
+        cfg = self.config
+        if quality < 0.5:
+            count = rng.lognormal(cfg.low_quality_log_mean, cfg.low_quality_log_sigma)
+        else:
+            count = rng.lognormal(cfg.high_quality_log_mean, cfg.high_quality_log_sigma)
+        return int(min(cfg.max_reactions_per_article, round(count)))
+
+    def _reactions(
+        self,
+        article_id: str,
+        posts: list[SocialPost],
+        quality: float,
+        rng: SeededRng,
+    ) -> list[Reaction]:
+        total = self._reaction_count(quality, rng)
+        reactions: list[Reaction] = []
+        if not posts or total == 0:
+            return reactions
+
+        kinds = (ReactionKind.LIKE, ReactionKind.SHARE, ReactionKind.REPLY, ReactionKind.QUOTE)
+        weights = (0.55, 0.25, 0.12, 0.08)
+        for index in range(total):
+            roll = rng.uniform()
+            cumulative = 0.0
+            kind = kinds[0]
+            for candidate, weight in zip(kinds, weights):
+                cumulative += weight
+                if roll < cumulative:
+                    kind = candidate
+                    break
+            target = posts[0] if rng.chance(0.7) else rng.choice(posts)
+            text = ""
+            if kind in (ReactionKind.REPLY, ReactionKind.QUOTE):
+                text = self._stance_template(quality, rng).format(kw="this story")
+            reactions.append(
+                Reaction(
+                    reaction_id=f"react-{article_id}-{index:05d}",
+                    post_id=target.post_id,
+                    kind=kind,
+                    created_at=target.created_at + timedelta(hours=rng.uniform(0.05, 48.0)),
+                    account=rng.choice(_USER_HANDLES),
+                    text=text,
+                )
+            )
+        return reactions

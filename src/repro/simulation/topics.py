@@ -1,0 +1,104 @@
+"""Topic vocabularies used by the synthetic corpus.
+
+Each topic carries the keyword vocabulary the article generator draws from, so
+articles about different topics are lexically separable — which is what the
+probabilistic hierarchical topic clustering of the analytics layer needs to
+recover generic and specific topics ("Health" vs "COVID-19").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class TopicSpec:
+    """A topic with its parent category and characteristic vocabulary."""
+
+    key: str
+    label: str
+    category: str
+    keywords: tuple[str, ...]
+    entities: tuple[str, ...] = ()
+
+
+TOPICS: dict[str, TopicSpec] = {
+    "covid19": TopicSpec(
+        key="covid19",
+        label="COVID-19",
+        category="health",
+        keywords=(
+            "coronavirus", "covid", "pandemic", "outbreak", "virus", "infection",
+            "epidemic", "quarantine", "lockdown", "transmission", "symptoms",
+            "vaccine", "immunity", "respiratory", "wuhan", "cases", "testing",
+            "epidemiologist", "incubation", "mask", "distancing", "hospitalization",
+        ),
+        entities=("World Health Organization", "CDC", "Johns Hopkins", "Dr. Li", "Imperial College"),
+    ),
+    "influenza": TopicSpec(
+        key="influenza",
+        label="Seasonal influenza",
+        category="health",
+        keywords=(
+            "influenza", "flu", "seasonal", "vaccination", "strain", "fever",
+            "antiviral", "immunization", "outbreak", "virus",
+        ),
+        entities=("CDC", "WHO"),
+    ),
+    "nutrition": TopicSpec(
+        key="nutrition",
+        label="Nutrition",
+        category="health",
+        keywords=(
+            "diet", "nutrition", "vitamin", "supplement", "protein", "sugar",
+            "obesity", "calories", "metabolism", "superfood", "antioxidants",
+            "cholesterol", "fasting",
+        ),
+        entities=("Harvard School of Public Health", "Mayo Clinic"),
+    ),
+    "climate": TopicSpec(
+        key="climate",
+        label="Climate change",
+        category="environment",
+        keywords=(
+            "climate", "warming", "emissions", "carbon", "temperature", "glaciers",
+            "renewable", "fossil", "drought", "wildfire", "sea-level", "greenhouse",
+        ),
+        entities=("IPCC", "NASA", "NOAA"),
+    ),
+    "space": TopicSpec(
+        key="space",
+        label="Space exploration",
+        category="science",
+        keywords=(
+            "spacecraft", "orbit", "rover", "telescope", "astronomers", "galaxy",
+            "launch", "asteroid", "mission", "satellite", "planet",
+        ),
+        entities=("NASA", "ESA", "SpaceX"),
+    ),
+    "genetics": TopicSpec(
+        key="genetics",
+        label="Genetics",
+        category="science",
+        keywords=(
+            "gene", "genome", "dna", "crispr", "mutation", "sequencing",
+            "hereditary", "chromosome", "protein", "editing", "therapy",
+        ),
+        entities=("Broad Institute", "NIH"),
+    ),
+}
+
+
+def topic(key: str) -> TopicSpec:
+    """Return the topic spec of ``key``, raising on unknown topics."""
+    try:
+        return TOPICS[key]
+    except KeyError:
+        raise ValidationError(f"unknown topic: {key!r}") from None
+
+
+def topic_keys() -> list[str]:
+    """All available topic keys, sorted."""
+    return sorted(TOPICS)

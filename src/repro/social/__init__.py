@@ -1,0 +1,24 @@
+"""Social-media substrate.
+
+Models social accounts, postings and reactions, computes reach (the paper's
+popularity proxy), aggregates stance across the posts discussing an article,
+and provides a diffusion-cascade model of how postings spread.
+"""
+
+from .accounts import SocialAccount, AccountRegistry
+from .reach import ReachReport, compute_reach, reactions_per_article
+from .stance_aggregate import StanceDistribution, aggregate_stance
+from .cascade import Cascade, build_cascade, cascade_metrics
+
+__all__ = [
+    "SocialAccount",
+    "AccountRegistry",
+    "ReachReport",
+    "compute_reach",
+    "reactions_per_article",
+    "StanceDistribution",
+    "aggregate_stance",
+    "Cascade",
+    "build_cascade",
+    "cascade_metrics",
+]

@@ -1,0 +1,79 @@
+"""Social-media accounts tracked by the streaming pipeline.
+
+The Datastreamer-based ingestion of the paper follows "a specific set of
+social media accounts"; the :class:`AccountRegistry` is that set, mapping
+account handles to outlets so incoming postings can be attributed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from ..errors import ValidationError
+
+
+@dataclass(frozen=True)
+class SocialAccount:
+    """One tracked social-media account."""
+
+    handle: str
+    platform: str
+    outlet_domain: str | None = None
+    followers: int = 0
+    verified: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.handle:
+            raise ValidationError("account handle must be non-empty")
+        if self.followers < 0:
+            raise ValidationError("followers must be non-negative")
+
+    @property
+    def is_outlet_account(self) -> bool:
+        """True when the account belongs to a tracked news outlet."""
+        return self.outlet_domain is not None
+
+
+class AccountRegistry:
+    """Registry of the accounts the streaming pipeline listens to."""
+
+    def __init__(self, accounts: Iterable[SocialAccount] = ()) -> None:
+        self._by_handle: dict[str, SocialAccount] = {}
+        for account in accounts:
+            self.add(account)
+
+    def __len__(self) -> int:
+        return len(self._by_handle)
+
+    def __iter__(self) -> Iterator[SocialAccount]:
+        return iter(sorted(self._by_handle.values(), key=lambda a: a.handle))
+
+    def __contains__(self, handle: str) -> bool:
+        return handle.lower() in self._by_handle
+
+    def add(self, account: SocialAccount) -> None:
+        """Add or replace an account (handles are case-insensitive)."""
+        self._by_handle[account.handle.lower()] = account
+
+    def get(self, handle: str) -> SocialAccount | None:
+        """Look up an account by handle; ``None`` if untracked."""
+        return self._by_handle.get(handle.lower())
+
+    def outlet_for(self, handle: str) -> str | None:
+        """Return the outlet domain of the account, if it is an outlet account."""
+        account = self.get(handle)
+        return account.outlet_domain if account else None
+
+    def accounts_of_outlet(self, outlet_domain: str) -> list[SocialAccount]:
+        """All accounts attributed to ``outlet_domain``."""
+        return [
+            account
+            for account in self
+            if account.outlet_domain == outlet_domain
+        ]
+
+    def followers_of(self, handle: str) -> int:
+        """Follower count of ``handle`` (0 for unknown accounts)."""
+        account = self.get(handle)
+        return account.followers if account else 0

@@ -1,0 +1,116 @@
+"""Diffusion cascades of article postings.
+
+A cascade is the reply/quote tree rooted at the original postings about an
+article.  Cascade structure (depth, breadth, virality) is a classic signal for
+how content spreads; it is used by the insights layer as an auxiliary view of
+social engagement and by the synthetic social-activity generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from ..models import Reaction, ReactionKind, SocialPost
+
+
+@dataclass
+class Cascade:
+    """Diffusion cascade for one article: a forest of posts and reactions."""
+
+    article_url: str
+    graph: nx.DiGraph
+    roots: list[str]
+
+    @property
+    def size(self) -> int:
+        """Total number of nodes (posts + reactions) in the cascade."""
+        return self.graph.number_of_nodes()
+
+
+def build_cascade(
+    article_url: str,
+    posts: Sequence[SocialPost],
+    reactions: Iterable[Reaction] = (),
+) -> Cascade:
+    """Build the diffusion cascade of ``article_url``.
+
+    Edges point from a parent node to the posts/reactions it triggered.
+    Posts with a ``reply_to`` pointing to another known post become children of
+    that post; reactions hang off the post they react to.
+    """
+    graph = nx.DiGraph()
+    relevant = [p for p in posts if p.article_url == article_url]
+    known_ids = {p.post_id for p in relevant}
+
+    for post in relevant:
+        graph.add_node(post.post_id, kind="post", created_at=post.created_at)
+    for post in relevant:
+        if post.reply_to and post.reply_to in known_ids:
+            graph.add_edge(post.reply_to, post.post_id)
+
+    for reaction in reactions:
+        if reaction.post_id in known_ids:
+            graph.add_node(
+                reaction.reaction_id,
+                kind=f"reaction:{reaction.kind.value}",
+                created_at=reaction.created_at,
+            )
+            graph.add_edge(reaction.post_id, reaction.reaction_id)
+
+    roots = [
+        post.post_id
+        for post in relevant
+        if not post.reply_to or post.reply_to not in known_ids
+    ]
+    return Cascade(article_url=article_url, graph=graph, roots=roots)
+
+
+def _depth_from(graph: nx.DiGraph, root: str) -> int:
+    lengths = nx.single_source_shortest_path_length(graph, root)
+    return max(lengths.values(), default=0)
+
+
+def cascade_metrics(cascade: Cascade) -> dict[str, float]:
+    """Structural metrics of a cascade.
+
+    Returns size, depth (longest root-to-leaf path), breadth (largest number
+    of nodes at any depth level), number of roots and the structural virality
+    proxy (mean pairwise distance within the largest weakly connected
+    component, 0 for trivial cascades).
+    """
+    graph = cascade.graph
+    if graph.number_of_nodes() == 0:
+        return {"size": 0.0, "depth": 0.0, "breadth": 0.0, "roots": 0.0, "virality": 0.0}
+
+    depth = max((_depth_from(graph, root) for root in cascade.roots), default=0)
+
+    level_counts: dict[int, int] = {}
+    for root in cascade.roots:
+        for node, distance in nx.single_source_shortest_path_length(graph, root).items():
+            level_counts[distance] = level_counts.get(distance, 0) + 1
+    breadth = max(level_counts.values(), default=0)
+
+    undirected = graph.to_undirected()
+    components = list(nx.connected_components(undirected))
+    largest = max(components, key=len) if components else set()
+    if len(largest) > 2:
+        subgraph = undirected.subgraph(largest)
+        virality = nx.average_shortest_path_length(subgraph)
+    else:
+        virality = 0.0
+
+    return {
+        "size": float(graph.number_of_nodes()),
+        "depth": float(depth),
+        "breadth": float(breadth),
+        "roots": float(len(cascade.roots)),
+        "virality": float(virality),
+    }
+
+
+def share_reactions(reactions: Iterable[Reaction]) -> list[Reaction]:
+    """Filter reactions down to the amplifying kinds (shares and quotes)."""
+    return [r for r in reactions if r.kind in (ReactionKind.SHARE, ReactionKind.QUOTE)]

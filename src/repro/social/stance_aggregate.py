@@ -1,0 +1,84 @@
+"""Aggregation of per-post stance into an article-level stance distribution.
+
+The platform displays, for each article, how social-media users position
+themselves towards it: positive (support / neutral comment) versus negative
+(question / deny).  :func:`aggregate_stance` classifies every post (and
+text-bearing reaction) and summarises the distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..models import Reaction, SocialPost
+from ..nlp.stance import Stance, StanceClassifier
+
+
+@dataclass(frozen=True)
+class StanceDistribution:
+    """Distribution of stances towards one article."""
+
+    article_url: str
+    counts: dict[str, int]
+    n_classified: int
+
+    def fraction(self, stance: Stance) -> float:
+        """Fraction of posts with the given stance (0 when nothing classified)."""
+        if self.n_classified == 0:
+            return 0.0
+        return self.counts.get(stance.value, 0) / self.n_classified
+
+    @property
+    def positive_fraction(self) -> float:
+        """Share of posts supporting or neutrally commenting on the article."""
+        return self.fraction(Stance.SUPPORT) + self.fraction(Stance.COMMENT)
+
+    @property
+    def negative_fraction(self) -> float:
+        """Share of posts questioning or contradicting the article."""
+        return self.fraction(Stance.QUESTION) + self.fraction(Stance.DENY)
+
+    @property
+    def net_stance(self) -> float:
+        """Positive minus negative fraction, in [-1, 1]."""
+        return self.positive_fraction - self.negative_fraction
+
+    def as_dict(self) -> dict[str, float]:
+        out = {f"stance_{stance.value}": self.fraction(stance) for stance in Stance}
+        out["stance_positive"] = self.positive_fraction
+        out["stance_negative"] = self.negative_fraction
+        out["stance_net"] = self.net_stance
+        return out
+
+
+def aggregate_stance(
+    article_url: str,
+    posts: Sequence[SocialPost],
+    reactions: Iterable[Reaction] = (),
+    classifier: StanceClassifier | None = None,
+) -> StanceDistribution:
+    """Classify the stance of every post/reply about ``article_url`` and aggregate.
+
+    Reactions are included only when they carry text (replies and quotes);
+    likes and bare shares express engagement, not stance.
+    """
+    classifier = classifier or StanceClassifier()
+    relevant_posts = [p for p in posts if p.article_url == article_url]
+    post_ids = {p.post_id for p in relevant_posts}
+
+    texts = [p.text for p in relevant_posts]
+    texts.extend(
+        r.text for r in reactions if r.post_id in post_ids and r.text.strip()
+    )
+
+    counts = {stance.value: 0 for stance in Stance}
+    for text in texts:
+        stance = classifier.analyse(text).stance
+        counts[stance.value] += 1
+
+    return StanceDistribution(
+        article_url=article_url,
+        counts=counts,
+        n_classified=len(texts),
+    )

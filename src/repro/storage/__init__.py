@@ -1,0 +1,38 @@
+"""Hybrid data layer.
+
+The SciLens data layer combines an RDBMS for real-time operations with a
+Distributed Storage for historical analytics (Figure 2).  Both are provided
+here as from-scratch substrates:
+
+* :mod:`repro.storage.rdbms` — an embedded relational engine (typed schemas,
+  indexes, a small SQL dialect, transactions, write-ahead log);
+* :mod:`repro.storage.warehouse` — a partitioned columnar store on top of a
+  simulated block-replicated distributed file system;
+* :mod:`repro.storage.migration` — the daily migration job that synchronises
+  the two.
+"""
+
+from .rdbms import (
+    Column,
+    ColumnType,
+    Database,
+    TableSchema,
+    col,
+    lit,
+)
+from .warehouse import DistributedFileSystem, Warehouse, WarehouseTable
+from .migration import MigrationJob, MigrationReport
+
+__all__ = [
+    "Column",
+    "ColumnType",
+    "Database",
+    "TableSchema",
+    "col",
+    "lit",
+    "DistributedFileSystem",
+    "Warehouse",
+    "WarehouseTable",
+    "MigrationJob",
+    "MigrationReport",
+]

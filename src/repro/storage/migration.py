@@ -1,0 +1,152 @@
+"""Daily migration from the operational RDBMS to the warehouse.
+
+"The data synchronization between the RDBMS and the Distributed Storage is
+made through a daily data migration process" (§3.3).  :class:`MigrationJob`
+implements that process: it keeps a per-table watermark on a timestamp column
+and, on each run, copies every row newer than the watermark into the matching
+warehouse table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any
+
+from ..errors import StorageError
+from .rdbms.database import Database
+from .rdbms.expressions import col
+from .warehouse.warehouse import Warehouse
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """Result of one migration run."""
+
+    run_at: datetime
+    migrated_rows: dict[str, int] = field(default_factory=dict)
+    watermarks: dict[str, datetime | None] = field(default_factory=dict)
+
+    @property
+    def total_rows(self) -> int:
+        return sum(self.migrated_rows.values())
+
+
+@dataclass(frozen=True)
+class _TableMapping:
+    rdbms_table: str
+    warehouse_table: str
+    timestamp_column: str
+    partition_column: str
+
+
+class MigrationJob:
+    """Synchronises RDBMS tables into warehouse tables on demand (daily in production)."""
+
+    def __init__(self, database: Database, warehouse: Warehouse) -> None:
+        self.database = database
+        self.warehouse = warehouse
+        self._mappings: list[_TableMapping] = []
+        self._watermarks: dict[str, datetime] = {}
+        self.history: list[MigrationReport] = []
+
+    def add_table(
+        self,
+        rdbms_table: str,
+        warehouse_table: str | None = None,
+        timestamp_column: str = "created_at",
+        partition_column: str | None = None,
+    ) -> None:
+        """Register a table to migrate; the warehouse table is created if needed.
+
+        ``timestamp_column`` drives the incremental watermark (typically the
+        ingestion time), while ``partition_column`` decides how the warehouse
+        table is laid out (typically the event time, e.g. the publication
+        date of an article).  It defaults to the watermark column.
+        """
+        table = self.database.table(rdbms_table)
+        if not table.schema.has_column(timestamp_column):
+            raise StorageError(
+                f"table {rdbms_table!r} has no timestamp column {timestamp_column!r}"
+            )
+        partition_column = partition_column or timestamp_column
+        if not table.schema.has_column(partition_column):
+            raise StorageError(
+                f"table {rdbms_table!r} has no partition column {partition_column!r}"
+            )
+        warehouse_name = warehouse_table or rdbms_table
+        if not self.warehouse.has_table(warehouse_name):
+            self.warehouse.create_table(
+                warehouse_name,
+                columns=table.schema.column_names,
+                partition_column=partition_column,
+                partition_by="day",
+            )
+        self._mappings.append(
+            _TableMapping(
+                rdbms_table=rdbms_table,
+                warehouse_table=warehouse_name,
+                timestamp_column=timestamp_column,
+                partition_column=partition_column,
+            )
+        )
+
+    def run(self, now: datetime | None = None) -> MigrationReport:
+        """Migrate every registered table and return a report.
+
+        Rows with a timestamp strictly greater than the table's watermark are
+        copied; the watermark then advances to the newest migrated timestamp,
+        so re-running the job never duplicates rows.
+        """
+        now = now or datetime.utcnow()
+        migrated: dict[str, int] = {}
+        watermarks: dict[str, datetime | None] = {}
+
+        for mapping in self._mappings:
+            watermark = self._watermarks.get(mapping.rdbms_table)
+            query = self.database.query(mapping.rdbms_table)
+            if watermark is not None:
+                query = query.where(col(mapping.timestamp_column) > watermark)
+            rows = query.execute().rows
+
+            if rows:
+                self.warehouse.table(mapping.warehouse_table).append(rows)
+                newest = max(
+                    row[mapping.timestamp_column]
+                    for row in rows
+                    if row.get(mapping.timestamp_column) is not None
+                )
+                self._watermarks[mapping.rdbms_table] = newest
+            migrated[mapping.rdbms_table] = len(rows)
+            watermarks[mapping.rdbms_table] = self._watermarks.get(mapping.rdbms_table)
+
+        report = MigrationReport(run_at=now, migrated_rows=migrated, watermarks=watermarks)
+        self.history.append(report)
+        return report
+
+    def watermark(self, rdbms_table: str) -> datetime | None:
+        """Current watermark of ``rdbms_table`` (``None`` before the first run)."""
+        return self._watermarks.get(rdbms_table)
+
+    def registered_tables(self) -> list[str]:
+        return [mapping.rdbms_table for mapping in self._mappings]
+
+
+def prune_migrated_rows(
+    database: Database,
+    migration: MigrationJob,
+    rdbms_table: str,
+    timestamp_column: str = "created_at",
+    keep_days: int = 7,
+    now: datetime | None = None,
+) -> int:
+    """Optional retention step: delete operational rows that are both migrated
+    and older than ``keep_days`` days, keeping the RDBMS small."""
+    from datetime import timedelta
+
+    watermark = migration.watermark(rdbms_table)
+    if watermark is None:
+        return 0
+    now = now or datetime.utcnow()
+    cutoff = min(watermark, now - timedelta(days=keep_days))
+    return database.delete(rdbms_table, col(timestamp_column) <= cutoff)

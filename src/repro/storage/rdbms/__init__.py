@@ -1,0 +1,28 @@
+"""Embedded relational engine (the "RDBMS" of the hybrid data layer)."""
+
+from .types import ColumnType
+from .schema import Column, TableSchema
+from .expressions import Expression, col, lit
+from .table import Table
+from .index import HashIndex, SortedIndex
+from .query import Query, QueryResult
+from .database import Database
+from .sql import parse_sql
+from .wal import WriteAheadLog
+
+__all__ = [
+    "ColumnType",
+    "Column",
+    "TableSchema",
+    "Expression",
+    "col",
+    "lit",
+    "Table",
+    "HashIndex",
+    "SortedIndex",
+    "Query",
+    "QueryResult",
+    "Database",
+    "parse_sql",
+    "WriteAheadLog",
+]

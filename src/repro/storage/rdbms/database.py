@@ -1,0 +1,295 @@
+"""The embedded relational database.
+
+``Database`` ties together tables, the query builder, the SQL front-end,
+transactions and the write-ahead log.  When constructed with a data directory
+every mutation is logged and replayed on the next open, giving the platform's
+operational store restart durability.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Mapping
+
+from ...errors import StorageError, TableNotFound
+from .query import Query, QueryResult
+from .schema import TableSchema
+from .sql import (
+    CreateTableStatement,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UpdateStatement,
+    parse_sql,
+)
+from .table import Table
+from .transactions import Transaction
+from .wal import WriteAheadLog
+
+
+class Database:
+    """A collection of tables with SQL and query-builder front-ends."""
+
+    def __init__(self, data_dir: Path | str | None = None, wal_enabled: bool = True) -> None:
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self._tables: dict[str, Table] = {}
+        self._active_transaction: Transaction | None = None
+        self._wal: WriteAheadLog | None = None
+        self._replaying = False
+        if self.data_dir is not None and wal_enabled:
+            self._wal = WriteAheadLog(self.data_dir / "wal.jsonl")
+            self._replay_wal()
+
+    # ----------------------------------------------------------------- tables
+
+    def create_table(self, schema: TableSchema, if_not_exists: bool = False) -> Table:
+        """Create a table from ``schema`` (optionally tolerating re-creation)."""
+        if schema.name in self._tables:
+            if if_not_exists:
+                return self._tables[schema.name]
+            raise StorageError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        self._log("create_table", schema.name, {"schema": _schema_to_payload(schema)})
+        return table
+
+    def drop_table(self, name: str) -> None:
+        """Drop a table (raises when it does not exist)."""
+        if name not in self._tables:
+            raise TableNotFound(f"no table named {name!r}")
+        del self._tables[name]
+        self._log("drop_table", name, {})
+
+    def table(self, name: str) -> Table:
+        """Return the table named ``name`` or raise :class:`TableNotFound`."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise TableNotFound(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ----------------------------------------------------------------- writes
+
+    def insert(self, table_name: str, row: Mapping[str, Any]) -> int:
+        """Insert one row into ``table_name``."""
+        table = self.table(table_name)
+        self._capture(table_name)
+        row_id = table.insert(row)
+        self._log("insert", table_name, {"row": _row_to_payload(table, row)})
+        return row_id
+
+    def insert_many(self, table_name: str, rows: list[Mapping[str, Any]]) -> list[int]:
+        """Insert several rows into ``table_name``."""
+        return [self.insert(table_name, row) for row in rows]
+
+    def upsert(self, table_name: str, row: Mapping[str, Any]) -> int:
+        """Insert or update by primary key."""
+        table = self.table(table_name)
+        self._capture(table_name)
+        row_id = table.upsert(row)
+        self._log("upsert", table_name, {"row": _row_to_payload(table, row)})
+        return row_id
+
+    def update(self, table_name: str, predicate, changes: Mapping[str, Any]) -> int:
+        """Update rows of ``table_name`` matching ``predicate``."""
+        table = self.table(table_name)
+        self._capture(table_name)
+        pk = table.schema.primary_key
+        affected_keys: list[Any] = []
+        if pk is not None and self._wal is not None:
+            affected_keys = [row[pk] for row in table.select(predicate)]
+        updated = table.update_rows(predicate, changes)
+        # Durability: log the post-update state of the affected rows as upserts
+        # (requires a primary key; tables without one rely on checkpoints).
+        for key in affected_keys:
+            row = table.get(key)
+            if row is not None:
+                self._log("upsert", table_name, {"row": _row_to_payload(table, row)})
+        return updated
+
+    def delete(self, table_name: str, predicate) -> int:
+        """Delete rows of ``table_name`` matching ``predicate``."""
+        table = self.table(table_name)
+        self._capture(table_name)
+        pk = table.schema.primary_key
+        doomed_keys: list[Any] = []
+        if pk is not None and self._wal is not None:
+            doomed_keys = [row[pk] for row in table.select(predicate)]
+        deleted = table.delete_rows(predicate)
+        for key in doomed_keys:
+            self._log("delete_pk", table_name, {"primary_key": key})
+        return deleted
+
+    # ------------------------------------------------------------------ reads
+
+    def query(self, table_name: str) -> Query:
+        """Start a fluent query against ``table_name``."""
+        return Query(self.table(table_name))
+
+    def get(self, table_name: str, primary_key_value: Any) -> dict[str, Any] | None:
+        """Point lookup by primary key."""
+        return self.table(table_name).get(primary_key_value)
+
+    # ------------------------------------------------------------------- SQL
+
+    def execute(self, sql: str) -> QueryResult:
+        """Parse and execute one SQL statement.
+
+        Always returns a :class:`QueryResult`; for DML statements the result
+        holds a single row reporting the number of affected rows.
+        """
+        statement = parse_sql(sql)
+        return self._execute_statement(statement)
+
+    def _execute_statement(self, statement: Statement) -> QueryResult:
+        if isinstance(statement, CreateTableStatement):
+            self.create_table(statement.schema)
+            return QueryResult(rows=[{"created": statement.schema.name}], columns=["created"])
+        if isinstance(statement, InsertStatement):
+            for row in statement.rows:
+                self.insert(statement.table, row)
+            return QueryResult(rows=[{"inserted": len(statement.rows)}], columns=["inserted"])
+        if isinstance(statement, UpdateStatement):
+            updated = self.update(statement.table, statement.where, statement.changes)
+            return QueryResult(rows=[{"updated": updated}], columns=["updated"])
+        if isinstance(statement, DeleteStatement):
+            deleted = self.delete(statement.table, statement.where)
+            return QueryResult(rows=[{"deleted": deleted}], columns=["deleted"])
+        if isinstance(statement, SelectStatement):
+            return self._execute_select(statement)
+        raise StorageError(f"unsupported statement type: {type(statement).__name__}")
+
+    def _execute_select(self, statement: SelectStatement) -> QueryResult:
+        query = self.query(statement.table)
+        if statement.where is not None:
+            query = query.where(statement.where)
+        if statement.aggregates:
+            query = query.aggregate(**statement.aggregates)
+        if statement.group_by:
+            query = query.group_by(*statement.group_by)
+        if statement.columns and not statement.aggregates:
+            query = query.select(*statement.columns)
+        for column, descending in statement.order_by:
+            query = query.order_by(column, descending=descending)
+        if statement.limit is not None:
+            query = query.limit(statement.limit)
+        if statement.offset:
+            query = query.offset(statement.offset)
+        return query.execute()
+
+    # ----------------------------------------------------------- transactions
+
+    def transaction(self) -> Transaction:
+        """Open a transaction (usable as a context manager)."""
+        if self._active_transaction is not None and self._active_transaction.active:
+            raise StorageError("a transaction is already active")
+        self._active_transaction = Transaction(self)
+        return self._active_transaction
+
+    def _capture(self, table_name: str) -> None:
+        if self._active_transaction is not None and self._active_transaction.active:
+            self._active_transaction.capture(table_name)
+
+    def _end_transaction(self, transaction: Transaction) -> None:
+        if self._active_transaction is transaction:
+            self._active_transaction = None
+
+    # -------------------------------------------------------------------- WAL
+
+    def _log(self, operation: str, table: str, payload: dict[str, Any]) -> None:
+        if self._wal is not None and not self._replaying:
+            self._wal.append(operation, table, payload)
+
+    def _replay_wal(self) -> None:
+        assert self._wal is not None
+        self._replaying = True
+        try:
+            for record in self._wal.replay():
+                if record.operation == "create_table":
+                    schema = _schema_from_payload(record.payload["schema"])
+                    if schema.name not in self._tables:
+                        self._tables[schema.name] = Table(schema)
+                elif record.operation == "drop_table":
+                    self._tables.pop(record.table, None)
+                elif record.operation in ("insert", "upsert"):
+                    table = self._tables.get(record.table)
+                    if table is None:
+                        continue
+                    row = _row_from_payload(table, record.payload["row"])
+                    if record.operation == "insert":
+                        table.insert(row)
+                    else:
+                        table.upsert(row)
+                elif record.operation == "delete_pk":
+                    table = self._tables.get(record.table)
+                    pk = table.schema.primary_key if table is not None else None
+                    if table is not None and pk is not None:
+                        key = record.payload["primary_key"]
+                        from .expressions import col as _col
+
+                        table.delete_rows(_col(pk) == key)
+        finally:
+            self._replaying = False
+
+    def checkpoint(self) -> None:
+        """Truncate the WAL after the state has been migrated/persisted elsewhere."""
+        if self._wal is not None:
+            self._wal.truncate()
+
+
+# ------------------------------------------------------------- WAL payloads
+
+def _schema_to_payload(schema: TableSchema) -> dict[str, Any]:
+    return {
+        "name": schema.name,
+        "primary_key": schema.primary_key,
+        "columns": [
+            {
+                "name": column.name,
+                "type": column.column_type.value,
+                "nullable": column.nullable,
+                "unique": column.unique,
+                "default": column.default,
+            }
+            for column in schema.columns
+        ],
+    }
+
+
+def _schema_from_payload(payload: dict[str, Any]) -> TableSchema:
+    from .schema import Column
+    from .types import ColumnType
+
+    columns = tuple(
+        Column(
+            name=column["name"],
+            column_type=ColumnType(column["type"]),
+            nullable=column["nullable"],
+            unique=column["unique"],
+            default=column["default"],
+        )
+        for column in payload["columns"]
+    )
+    return TableSchema(name=payload["name"], columns=columns, primary_key=payload["primary_key"])
+
+
+def _row_to_payload(table: Table, row: Mapping[str, Any]) -> dict[str, Any]:
+    normalized = table.schema.normalize_row(row)
+    return {
+        name: table.schema.column(name).column_type.to_storage(value)
+        for name, value in normalized.items()
+    }
+
+
+def _row_from_payload(table: Table, payload: Mapping[str, Any]) -> dict[str, Any]:
+    return {
+        name: table.schema.column(name).column_type.from_storage(value)
+        for name, value in payload.items()
+        if table.schema.has_column(name)
+    }

@@ -1,0 +1,314 @@
+"""Expression AST used by the query layer and the SQL parser.
+
+Expressions are built either programmatically (``col("rating") == "high"``,
+``(col("reactions") > 10) & col("is_covid")``) or by the SQL parser, and are
+evaluated against plain row dictionaries.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Any, Callable, Mapping
+
+from ...errors import ColumnNotFound
+
+
+class Expression:
+    """Base class of every expression node."""
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def columns(self) -> set[str]:
+        """Names of the columns referenced by this expression."""
+        return set()
+
+    # -- comparison operators -------------------------------------------------
+
+    def __eq__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _wrap(other), operator.eq, "=")
+
+    def __ne__(self, other: object) -> "Comparison":  # type: ignore[override]
+        return Comparison(self, _wrap(other), operator.ne, "!=")
+
+    def __lt__(self, other: object) -> "Comparison":
+        return Comparison(self, _wrap(other), operator.lt, "<")
+
+    def __le__(self, other: object) -> "Comparison":
+        return Comparison(self, _wrap(other), operator.le, "<=")
+
+    def __gt__(self, other: object) -> "Comparison":
+        return Comparison(self, _wrap(other), operator.gt, ">")
+
+    def __ge__(self, other: object) -> "Comparison":
+        return Comparison(self, _wrap(other), operator.ge, ">=")
+
+    # -- boolean combinators ---------------------------------------------------
+
+    def __and__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp("and", [self, _wrap(other)])
+
+    def __or__(self, other: "Expression") -> "BooleanOp":
+        return BooleanOp("or", [self, _wrap(other)])
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: object) -> "Arithmetic":
+        return Arithmetic(self, _wrap(other), operator.add, "+")
+
+    def __sub__(self, other: object) -> "Arithmetic":
+        return Arithmetic(self, _wrap(other), operator.sub, "-")
+
+    def __mul__(self, other: object) -> "Arithmetic":
+        return Arithmetic(self, _wrap(other), operator.mul, "*")
+
+    def __truediv__(self, other: object) -> "Arithmetic":
+        return Arithmetic(self, _wrap(other), operator.truediv, "/")
+
+    # -- predicates -------------------------------------------------------------
+
+    def is_in(self, values) -> "InList":
+        return InList(self, list(values))
+
+    def is_null(self) -> "IsNull":
+        return IsNull(self, negate=False)
+
+    def is_not_null(self) -> "IsNull":
+        return IsNull(self, negate=True)
+
+    def like(self, pattern: str) -> "Like":
+        return Like(self, pattern)
+
+    # dataclass-like equality is intentionally repurposed for the DSL, so the
+    # objects are identity-hashed.
+    __hash__ = object.__hash__
+
+
+def _wrap(value: object) -> Expression:
+    return value if isinstance(value, Expression) else Literal(value)
+
+
+class ColumnRef(Expression):
+    """Reference to a column of the current row."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        if self.name not in row:
+            raise ColumnNotFound(f"row has no column {self.name!r}")
+        return row[self.name]
+
+    def columns(self) -> set[str]:
+        return {self.name}
+
+    def __repr__(self) -> str:
+        return f"col({self.name!r})"
+
+
+class Literal(Expression):
+    """A constant value."""
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"lit({self.value!r})"
+
+
+class Comparison(Expression):
+    """Binary comparison; NULL on either side yields False (SQL-ish semantics)."""
+
+    def __init__(self, left: Expression, right: Expression,
+                 op: Callable[[Any, Any], bool], symbol: str) -> None:
+        self.left = left
+        self.right = right
+        self.op = op
+        self.symbol = symbol
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            # SQL three-valued logic collapsed to False for filtering purposes,
+            # except IS-style equality with None handled by IsNull.
+            if self.symbol == "=":
+                return left is None and right is None
+            if self.symbol == "!=":
+                return (left is None) != (right is None)
+            return False
+        return bool(self.op(left, right))
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class Arithmetic(Expression):
+    """Binary arithmetic over row values (NULL propagates)."""
+
+    def __init__(self, left: Expression, right: Expression,
+                 op: Callable[[Any, Any], Any], symbol: str) -> None:
+        self.left = left
+        self.right = right
+        self.op = op
+        self.symbol = symbol
+
+    def evaluate(self, row: Mapping[str, Any]) -> Any:
+        left = self.left.evaluate(row)
+        right = self.right.evaluate(row)
+        if left is None or right is None:
+            return None
+        return self.op(left, right)
+
+    def columns(self) -> set[str]:
+        return self.left.columns() | self.right.columns()
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} {self.symbol} {self.right!r})"
+
+
+class BooleanOp(Expression):
+    """AND / OR over any number of operands."""
+
+    def __init__(self, kind: str, operands: list[Expression]) -> None:
+        if kind not in ("and", "or"):
+            raise ValueError(f"unknown boolean operator: {kind}")
+        self.kind = kind
+        self.operands = operands
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        values = (bool(op.evaluate(row)) for op in self.operands)
+        return all(values) if self.kind == "and" else any(values)
+
+    def columns(self) -> set[str]:
+        out: set[str] = set()
+        for op in self.operands:
+            out |= op.columns()
+        return out
+
+    def __repr__(self) -> str:
+        joiner = f" {self.kind.upper()} "
+        return "(" + joiner.join(repr(op) for op in self.operands) + ")"
+
+
+class Not(Expression):
+    """Logical negation."""
+
+    def __init__(self, operand: Expression) -> None:
+        self.operand = operand
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        return not bool(self.operand.evaluate(row))
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"NOT {self.operand!r}"
+
+
+class InList(Expression):
+    """Membership test against a fixed list of values."""
+
+    def __init__(self, operand: Expression, values: list[Any]) -> None:
+        self.operand = operand
+        self.values = values
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        return value in self.values
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r} IN {self.values!r}"
+
+
+class IsNull(Expression):
+    """IS NULL / IS NOT NULL test."""
+
+    def __init__(self, operand: Expression, negate: bool) -> None:
+        self.operand = operand
+        self.negate = negate
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        is_null = self.operand.evaluate(row) is None
+        return not is_null if self.negate else is_null
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r} IS {'NOT ' if self.negate else ''}NULL"
+
+
+class Like(Expression):
+    """SQL LIKE with ``%`` (any run) and ``_`` (single char) wildcards."""
+
+    def __init__(self, operand: Expression, pattern: str) -> None:
+        import re
+
+        self.operand = operand
+        self.pattern = pattern
+        # Protect the wildcards, escape everything else, then expand them.
+        protected = pattern.replace("%", "\x00").replace("_", "\x01")
+        escaped = re.escape(protected).replace("\x00", ".*").replace("\x01", ".")
+        self._regex = re.compile(f"^{escaped}$", re.IGNORECASE)
+
+    def evaluate(self, row: Mapping[str, Any]) -> bool:
+        value = self.operand.evaluate(row)
+        if value is None:
+            return False
+        return bool(self._regex.match(str(value)))
+
+    def columns(self) -> set[str]:
+        return self.operand.columns()
+
+    def __repr__(self) -> str:
+        return f"{self.operand!r} LIKE {self.pattern!r}"
+
+
+def col(name: str) -> ColumnRef:
+    """Build a column reference (entry point of the expression DSL)."""
+    return ColumnRef(name)
+
+
+def lit(value: Any) -> Literal:
+    """Build a literal expression."""
+    return Literal(value)
+
+
+def equality_lookup(expression: Expression | None) -> dict[str, Any]:
+    """Extract ``column = literal`` constraints from a predicate.
+
+    Used by the query planner to route simple lookups through an index.  Only
+    top-level comparisons and AND-combinations contribute.
+    """
+    if expression is None:
+        return {}
+    constraints: dict[str, Any] = {}
+
+    def visit(node: Expression) -> None:
+        if isinstance(node, BooleanOp) and node.kind == "and":
+            for operand in node.operands:
+                visit(operand)
+        elif isinstance(node, Comparison) and node.symbol == "=":
+            if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+                constraints[node.left.name] = node.right.value
+            elif isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
+                constraints[node.right.name] = node.left.value
+
+    visit(expression)
+    return constraints

@@ -1,0 +1,126 @@
+"""Table schemas: column definitions, constraints and row validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ...errors import ColumnNotFound, SchemaError
+from .types import ColumnType
+
+
+@dataclass(frozen=True)
+class Column:
+    """Definition of one table column."""
+
+    name: str
+    column_type: ColumnType
+    nullable: bool = True
+    default: Any = None
+    unique: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+        if self.default is not None and not self.column_type.is_valid(self.default):
+            raise SchemaError(
+                f"default for column {self.name!r} is not a valid {self.column_type.value}"
+            )
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of a table: named columns, a primary key and unique constraints."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: str | None = None
+    _by_name: dict[str, Column] = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid table name: {self.name!r}")
+        if not self.columns:
+            raise SchemaError(f"table {self.name!r} must declare at least one column")
+        names = [column.name for column in self.columns]
+        if len(names) != len(set(names)):
+            raise SchemaError(f"duplicate column names in table {self.name!r}")
+        if self.primary_key is not None and self.primary_key not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key!r} is not a column of {self.name!r}"
+            )
+        object.__setattr__(
+            self, "_by_name", {column.name: column for column in self.columns}
+        )
+
+    # ------------------------------------------------------------- accessors
+
+    @property
+    def column_names(self) -> list[str]:
+        return [column.name for column in self.columns]
+
+    def column(self, name: str) -> Column:
+        """Return the column named ``name`` or raise :class:`ColumnNotFound`."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ColumnNotFound(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def unique_columns(self) -> list[str]:
+        """Columns carrying a UNIQUE constraint (including the primary key)."""
+        uniques = [c.name for c in self.columns if c.unique]
+        if self.primary_key and self.primary_key not in uniques:
+            uniques.insert(0, self.primary_key)
+        return uniques
+
+    # ------------------------------------------------------------ validation
+
+    def normalize_row(self, row: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and coerce an incoming row.
+
+        Unknown keys raise, missing columns take their default (or ``None``),
+        type coercion is applied per column, and NOT NULL / primary-key
+        presence is enforced.
+        """
+        unknown = set(row) - set(self._by_name)
+        if unknown:
+            raise ColumnNotFound(
+                f"table {self.name!r} has no column(s) {sorted(unknown)!r}"
+            )
+
+        normalized: dict[str, Any] = {}
+        for column in self.columns:
+            if column.name in row:
+                value = column.column_type.coerce(row[column.name])
+            else:
+                value = column.default
+            if value is None and not column.nullable:
+                raise SchemaError(
+                    f"column {column.name!r} of table {self.name!r} is NOT NULL"
+                )
+            if value is None and column.name == self.primary_key:
+                raise SchemaError(
+                    f"primary key {column.name!r} of table {self.name!r} must be set"
+                )
+            normalized[column.name] = value
+        return normalized
+
+    def normalize_update(self, changes: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and coerce a partial update (only the supplied columns)."""
+        normalized: dict[str, Any] = {}
+        for name, value in changes.items():
+            column = self.column(name)
+            coerced = column.column_type.coerce(value)
+            if coerced is None and not column.nullable:
+                raise SchemaError(
+                    f"column {name!r} of table {self.name!r} is NOT NULL"
+                )
+            normalized[name] = coerced
+        return normalized

@@ -1,0 +1,453 @@
+"""A small SQL dialect.
+
+The Indicators API and the examples interact with the operational store
+through the query builder, but ad-hoc inspection (and the paper's "ad-hoc
+querying" claim) wants SQL.  The dialect supports::
+
+    CREATE TABLE t (id TEXT PRIMARY KEY, n INTEGER NOT NULL, score FLOAT, ok BOOLEAN)
+    INSERT INTO t (id, n) VALUES ('a', 1), ('b', 2)
+    SELECT id, n FROM t WHERE n >= 1 AND ok = TRUE ORDER BY n DESC LIMIT 10 OFFSET 5
+    SELECT outlet, COUNT(*) AS articles, AVG(score) AS mean_score FROM t GROUP BY outlet
+    UPDATE t SET score = 0.5 WHERE id = 'a'
+    DELETE FROM t WHERE n < 0
+
+Only the features the platform needs are implemented; anything else raises
+:class:`~repro.errors.SQLSyntaxError`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any
+
+from ...errors import SQLSyntaxError
+from .expressions import ColumnRef, Expression, col, lit
+from .schema import Column, TableSchema
+from .types import ColumnType
+
+# --------------------------------------------------------------------- lexer
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(
+        '(?:[^']|'')*'            # string literal (with '' escaping)
+      | \d+\.\d+                  # float
+      | \d+                       # integer
+      | [A-Za-z_][A-Za-z_0-9]*    # identifier / keyword
+      | <> | != | <= | >= | = | < | >
+      | \( | \) | , | \* | \.
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "by", "order", "limit", "offset",
+    "insert", "into", "values", "update", "set", "delete", "create", "table",
+    "and", "or", "not", "in", "like", "is", "null", "true", "false",
+    "asc", "desc", "as", "primary", "key", "unique", "count", "sum", "avg",
+    "min", "max", "integer", "int", "float", "real", "text", "varchar",
+    "boolean", "bool", "timestamp", "datetime", "json",
+}
+
+_TYPE_MAP = {
+    "integer": ColumnType.INTEGER,
+    "int": ColumnType.INTEGER,
+    "float": ColumnType.FLOAT,
+    "real": ColumnType.FLOAT,
+    "text": ColumnType.TEXT,
+    "varchar": ColumnType.TEXT,
+    "boolean": ColumnType.BOOLEAN,
+    "bool": ColumnType.BOOLEAN,
+    "timestamp": ColumnType.TIMESTAMP,
+    "datetime": ColumnType.TIMESTAMP,
+    "json": ColumnType.JSON,
+}
+
+_AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+
+def _tokenize(sql: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    sql = sql.strip().rstrip(";")
+    while position < len(sql):
+        match = _TOKEN_RE.match(sql, position)
+        if not match or match.end() == position:
+            raise SQLSyntaxError(f"cannot tokenize SQL near: {sql[position:position + 20]!r}")
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+# ---------------------------------------------------------------- statements
+
+@dataclass(frozen=True)
+class CreateTableStatement:
+    schema: TableSchema
+
+
+@dataclass(frozen=True)
+class InsertStatement:
+    table: str
+    rows: list[dict[str, Any]]
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    table: str
+    columns: list[str] = field(default_factory=list)      # empty = *
+    aggregates: dict[str, tuple[str, str]] = field(default_factory=dict)
+    where: Expression | None = None
+    group_by: list[str] = field(default_factory=list)
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+    limit: int | None = None
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class UpdateStatement:
+    table: str
+    changes: dict[str, Any]
+    where: Expression | None = None
+
+
+@dataclass(frozen=True)
+class DeleteStatement:
+    table: str
+    where: Expression | None = None
+
+
+Statement = (
+    CreateTableStatement | InsertStatement | SelectStatement | UpdateStatement | DeleteStatement
+)
+
+
+# --------------------------------------------------------------------- parser
+
+class _Parser:
+    def __init__(self, tokens: list[str]) -> None:
+        self.tokens = tokens
+        self.position = 0
+
+    # ------------------------------------------------------------- utilities
+
+    def peek(self) -> str | None:
+        return self.tokens[self.position] if self.position < len(self.tokens) else None
+
+    def peek_lower(self) -> str | None:
+        token = self.peek()
+        return token.lower() if token is not None else None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of statement")
+        self.position += 1
+        return token
+
+    def expect(self, keyword: str) -> str:
+        token = self.advance()
+        if token.lower() != keyword.lower():
+            raise SQLSyntaxError(f"expected {keyword!r}, got {token!r}")
+        return token
+
+    def accept(self, keyword: str) -> bool:
+        if self.peek_lower() == keyword.lower():
+            self.advance()
+            return True
+        return False
+
+    def identifier(self) -> str:
+        token = self.advance()
+        if not re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", token) or token.lower() in (
+            "select", "from", "where", "insert", "update", "delete", "create",
+        ):
+            raise SQLSyntaxError(f"expected identifier, got {token!r}")
+        return token
+
+    def done(self) -> bool:
+        return self.position >= len(self.tokens)
+
+    # -------------------------------------------------------------- literals
+
+    def literal_value(self) -> Any:
+        token = self.advance()
+        lowered = token.lower()
+        if token.startswith("'"):
+            return token[1:-1].replace("''", "'")
+        if lowered == "true":
+            return True
+        if lowered == "false":
+            return False
+        if lowered == "null":
+            return None
+        if re.match(r"^\d+\.\d+$", token):
+            return float(token)
+        if re.match(r"^\d+$", token):
+            return int(token)
+        raise SQLSyntaxError(f"expected literal, got {token!r}")
+
+    # ----------------------------------------------------------- expressions
+
+    def expression(self) -> Expression:
+        return self._or_expression()
+
+    def _or_expression(self) -> Expression:
+        node = self._and_expression()
+        while self.accept("or"):
+            node = node | self._and_expression()
+        return node
+
+    def _and_expression(self) -> Expression:
+        node = self._not_expression()
+        while self.accept("and"):
+            node = node & self._not_expression()
+        return node
+
+    def _not_expression(self) -> Expression:
+        if self.accept("not"):
+            return ~self._not_expression()
+        return self._primary()
+
+    def _primary(self) -> Expression:
+        if self.accept("("):
+            node = self._or_expression()
+            self.expect(")")
+            return node
+        return self._comparison()
+
+    def _operand(self) -> Expression:
+        token = self.peek()
+        if token is None:
+            raise SQLSyntaxError("unexpected end of expression")
+        if re.match(r"^[A-Za-z_][A-Za-z_0-9]*$", token) and token.lower() not in (
+            "true", "false", "null",
+        ):
+            return col(self.advance())
+        return lit(self.literal_value())
+
+    def _comparison(self) -> Expression:
+        left = self._operand()
+        operator_token = self.peek_lower()
+        if operator_token in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            right = self._operand()
+            return {
+                "=": left == right,
+                "!=": left != right,
+                "<>": left != right,
+                "<": left < right,
+                "<=": left <= right,
+                ">": left > right,
+                ">=": left >= right,
+            }[operator_token]
+        if operator_token == "in":
+            self.advance()
+            self.expect("(")
+            values = [self.literal_value()]
+            while self.accept(","):
+                values.append(self.literal_value())
+            self.expect(")")
+            return left.is_in(values)
+        if operator_token == "like":
+            self.advance()
+            pattern = self.literal_value()
+            return left.like(str(pattern))
+        if operator_token == "is":
+            self.advance()
+            negate = self.accept("not")
+            self.expect("null")
+            return left.is_not_null() if negate else left.is_null()
+        raise SQLSyntaxError(f"expected comparison operator, got {operator_token!r}")
+
+    # ------------------------------------------------------------ statements
+
+    def parse(self) -> Statement:
+        keyword = self.peek_lower()
+        if keyword == "select":
+            statement = self._select()
+        elif keyword == "insert":
+            statement = self._insert()
+        elif keyword == "update":
+            statement = self._update()
+        elif keyword == "delete":
+            statement = self._delete()
+        elif keyword == "create":
+            statement = self._create_table()
+        else:
+            raise SQLSyntaxError(f"unsupported statement: {keyword!r}")
+        if not self.done():
+            raise SQLSyntaxError(f"unexpected trailing tokens: {self.tokens[self.position:]!r}")
+        return statement
+
+    def _create_table(self) -> CreateTableStatement:
+        self.expect("create")
+        self.expect("table")
+        name = self.identifier()
+        self.expect("(")
+        columns: list[Column] = []
+        primary_key: str | None = None
+        while True:
+            column_name = self.identifier()
+            type_token = self.advance().lower()
+            if type_token not in _TYPE_MAP:
+                raise SQLSyntaxError(f"unknown column type {type_token!r}")
+            column_type = _TYPE_MAP[type_token]
+            nullable = True
+            unique = False
+            while self.peek_lower() in ("primary", "not", "unique"):
+                if self.accept("primary"):
+                    self.expect("key")
+                    primary_key = column_name
+                    nullable = False
+                elif self.accept("not"):
+                    self.expect("null")
+                    nullable = False
+                elif self.accept("unique"):
+                    unique = True
+            columns.append(
+                Column(name=column_name, column_type=column_type, nullable=nullable, unique=unique)
+            )
+            if self.accept(","):
+                continue
+            self.expect(")")
+            break
+        schema = TableSchema(name=name, columns=tuple(columns), primary_key=primary_key)
+        return CreateTableStatement(schema=schema)
+
+    def _insert(self) -> InsertStatement:
+        self.expect("insert")
+        self.expect("into")
+        table = self.identifier()
+        self.expect("(")
+        columns = [self.identifier()]
+        while self.accept(","):
+            columns.append(self.identifier())
+        self.expect(")")
+        self.expect("values")
+        rows: list[dict[str, Any]] = []
+        while True:
+            self.expect("(")
+            values = [self.literal_value()]
+            while self.accept(","):
+                values.append(self.literal_value())
+            self.expect(")")
+            if len(values) != len(columns):
+                raise SQLSyntaxError(
+                    f"INSERT has {len(columns)} columns but {len(values)} values"
+                )
+            rows.append(dict(zip(columns, values)))
+            if not self.accept(","):
+                break
+        return InsertStatement(table=table, rows=rows)
+
+    def _select_item(self) -> tuple[str | None, str | None, tuple[str, str] | None]:
+        """Return (column, alias, aggregate) for one select-list item."""
+        token = self.peek_lower()
+        if token in _AGGREGATES:
+            function = self.advance().lower()
+            self.expect("(")
+            if self.accept("*"):
+                column = "*"
+            else:
+                column = self.identifier()
+            self.expect(")")
+            alias = f"{function}_{column if column != '*' else 'all'}"
+            if self.accept("as"):
+                alias = self.identifier()
+            return None, alias, (function, column)
+        column = self.identifier()
+        alias = None
+        if self.accept("as"):
+            alias = self.identifier()
+        return column, alias, None
+
+    def _select(self) -> SelectStatement:
+        self.expect("select")
+        columns: list[str] = []
+        aggregates: dict[str, tuple[str, str]] = {}
+        if self.accept("*"):
+            pass
+        else:
+            while True:
+                column, alias, aggregate = self._select_item()
+                if aggregate is not None:
+                    aggregates[alias or "aggregate"] = aggregate
+                elif column is not None:
+                    columns.append(column)
+                if not self.accept(","):
+                    break
+        self.expect("from")
+        table = self.identifier()
+
+        where: Expression | None = None
+        group_by: list[str] = []
+        order_by: list[tuple[str, bool]] = []
+        limit: int | None = None
+        offset = 0
+
+        if self.accept("where"):
+            where = self.expression()
+        if self.accept("group"):
+            self.expect("by")
+            group_by.append(self.identifier())
+            while self.accept(","):
+                group_by.append(self.identifier())
+        if self.accept("order"):
+            self.expect("by")
+            while True:
+                column = self.identifier()
+                descending = False
+                if self.accept("desc"):
+                    descending = True
+                elif self.accept("asc"):
+                    descending = False
+                order_by.append((column, descending))
+                if not self.accept(","):
+                    break
+        if self.accept("limit"):
+            limit = int(self.literal_value())
+        if self.accept("offset"):
+            offset = int(self.literal_value())
+
+        return SelectStatement(
+            table=table,
+            columns=columns,
+            aggregates=aggregates,
+            where=where,
+            group_by=group_by,
+            order_by=order_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _update(self) -> UpdateStatement:
+        self.expect("update")
+        table = self.identifier()
+        self.expect("set")
+        changes: dict[str, Any] = {}
+        while True:
+            column = self.identifier()
+            self.expect("=")
+            changes[column] = self.literal_value()
+            if not self.accept(","):
+                break
+        where = self.expression() if self.accept("where") else None
+        return UpdateStatement(table=table, changes=changes, where=where)
+
+    def _delete(self) -> DeleteStatement:
+        self.expect("delete")
+        self.expect("from")
+        table = self.identifier()
+        where = self.expression() if self.accept("where") else None
+        return DeleteStatement(table=table, where=where)
+
+
+def parse_sql(sql: str) -> Statement:
+    """Parse one SQL statement into its statement object."""
+    tokens = _tokenize(sql)
+    if not tokens:
+        raise SQLSyntaxError("empty statement")
+    return _Parser(tokens).parse()

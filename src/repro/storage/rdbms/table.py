@@ -1,0 +1,225 @@
+"""In-memory table with constraint checking and secondary indexes."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+from ...errors import ConstraintViolation, StorageError
+from .expressions import Expression, equality_lookup
+from .index import HashIndex, SortedIndex, build_index
+from .schema import TableSchema
+
+
+class Table:
+    """One table of the relational engine.
+
+    Rows are stored as dictionaries keyed by an internal integer row id.  The
+    primary key (when declared) and every UNIQUE column are backed by a hash
+    index; additional indexes can be created explicitly.
+    """
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_row_id = 1
+        self._indexes: dict[str, HashIndex | SortedIndex] = {}
+        for column in schema.unique_columns():
+            self._indexes[column] = HashIndex(column)
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def row_count(self) -> int:
+        return len(self._rows)
+
+    # --------------------------------------------------------------- indexes
+
+    def create_index(self, column: str, kind: str = "hash") -> None:
+        """Create a secondary index on ``column`` (replacing any existing one)."""
+        self.schema.column(column)
+        index = build_index(kind, column)
+        for row_id, row in self._rows.items():
+            index.add(row_id, row.get(column))
+        self._indexes[column] = index
+
+    def has_index(self, column: str) -> bool:
+        return column in self._indexes
+
+    def index(self, column: str) -> HashIndex | SortedIndex:
+        if column not in self._indexes:
+            raise StorageError(f"table {self.name!r} has no index on {column!r}")
+        return self._indexes[column]
+
+    # ---------------------------------------------------------------- writes
+
+    def _check_unique(self, row: Mapping[str, Any], ignore_row_id: int | None = None) -> None:
+        for column in self.schema.unique_columns():
+            value = row.get(column)
+            if value is None:
+                continue
+            matches = self._indexes[column].lookup(value)
+            matches.discard(ignore_row_id)
+            if matches:
+                raise ConstraintViolation(
+                    f"duplicate value {value!r} for unique column "
+                    f"{column!r} of table {self.name!r}"
+                )
+
+    def insert(self, row: Mapping[str, Any]) -> int:
+        """Insert a row, returning its internal row id."""
+        normalized = self.schema.normalize_row(row)
+        self._check_unique(normalized)
+        row_id = self._next_row_id
+        self._next_row_id += 1
+        self._rows[row_id] = normalized
+        for column, index in self._indexes.items():
+            index.add(row_id, normalized.get(column))
+        return row_id
+
+    def insert_many(self, rows: list[Mapping[str, Any]]) -> list[int]:
+        """Insert several rows (not atomic — use a transaction for atomicity)."""
+        return [self.insert(row) for row in rows]
+
+    def update_rows(
+        self, predicate: Expression | Callable[[dict], bool] | None, changes: Mapping[str, Any]
+    ) -> int:
+        """Update every row matching ``predicate``; returns the number updated."""
+        normalized_changes = self.schema.normalize_update(changes)
+        updated = 0
+        for row_id in list(self._iter_matching_ids(predicate)):
+            old_row = self._rows[row_id]
+            new_row = dict(old_row)
+            new_row.update(normalized_changes)
+            self._check_unique(new_row, ignore_row_id=row_id)
+            for column, index in self._indexes.items():
+                if old_row.get(column) != new_row.get(column):
+                    index.remove(row_id, old_row.get(column))
+                    index.add(row_id, new_row.get(column))
+            self._rows[row_id] = new_row
+            updated += 1
+        return updated
+
+    def delete_rows(self, predicate: Expression | Callable[[dict], bool] | None) -> int:
+        """Delete every row matching ``predicate``; returns the number deleted."""
+        deleted = 0
+        for row_id in list(self._iter_matching_ids(predicate)):
+            row = self._rows.pop(row_id)
+            for column, index in self._indexes.items():
+                index.remove(row_id, row.get(column))
+            deleted += 1
+        return deleted
+
+    def upsert(self, row: Mapping[str, Any]) -> int:
+        """Insert, or update the existing row with the same primary key."""
+        pk = self.schema.primary_key
+        if pk is None:
+            raise StorageError(f"table {self.name!r} has no primary key for upsert")
+        normalized = self.schema.normalize_row(row)
+        existing = self._indexes[pk].lookup(normalized[pk])
+        if existing:
+            (row_id,) = existing
+            old_row = self._rows[row_id]
+            for column, index in self._indexes.items():
+                if old_row.get(column) != normalized.get(column):
+                    index.remove(row_id, old_row.get(column))
+                    index.add(row_id, normalized.get(column))
+            self._rows[row_id] = normalized
+            return row_id
+        return self.insert(normalized)
+
+    def truncate(self) -> None:
+        """Delete all rows (indexes are rebuilt empty)."""
+        self._rows.clear()
+        for column in list(self._indexes):
+            self._indexes[column] = build_index(self._indexes[column].kind, column)
+
+    # ----------------------------------------------------------------- reads
+
+    def get(self, primary_key_value: Any) -> dict[str, Any] | None:
+        """Point lookup by primary-key value (``None`` when absent)."""
+        pk = self.schema.primary_key
+        if pk is None:
+            raise StorageError(f"table {self.name!r} has no primary key")
+        matches = self._indexes[pk].lookup(primary_key_value)
+        if not matches:
+            return None
+        (row_id,) = matches
+        return dict(self._rows[row_id])
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Yield a copy of every row (insertion order)."""
+        for row_id in sorted(self._rows):
+            yield dict(self._rows[row_id])
+
+    def rows(self) -> list[dict[str, Any]]:
+        """All rows as a list of copies."""
+        return list(self.scan())
+
+    def select(
+        self, predicate: Expression | Callable[[dict], bool] | None = None
+    ) -> list[dict[str, Any]]:
+        """Rows matching ``predicate`` (all rows when ``None``)."""
+        return [dict(self._rows[row_id]) for row_id in self._iter_matching_ids(predicate)]
+
+    def count(self, predicate: Expression | Callable[[dict], bool] | None = None) -> int:
+        """Number of rows matching ``predicate``."""
+        return sum(1 for _ in self._iter_matching_ids(predicate))
+
+    # ------------------------------------------------------------- internals
+
+    def _candidate_ids(self, predicate: Expression | None) -> list[int] | None:
+        """Use indexes to narrow the rows a predicate must examine (or ``None``)."""
+        if not isinstance(predicate, Expression):
+            return None
+        constraints = equality_lookup(predicate)
+        candidate: set[int] | None = None
+        for column, value in constraints.items():
+            if column in self._indexes:
+                matches = self._indexes[column].lookup(value)
+                candidate = matches if candidate is None else candidate & matches
+        return sorted(candidate) if candidate is not None else None
+
+    def _iter_matching_ids(
+        self, predicate: Expression | Callable[[dict], bool] | None
+    ) -> Iterator[int]:
+        if predicate is None:
+            yield from sorted(self._rows)
+            return
+
+        candidates = self._candidate_ids(predicate if isinstance(predicate, Expression) else None)
+        row_ids = candidates if candidates is not None else sorted(self._rows)
+
+        if isinstance(predicate, Expression):
+            matcher: Callable[[dict], bool] = lambda row: bool(predicate.evaluate(row))
+        else:
+            matcher = predicate
+
+        for row_id in row_ids:
+            row = self._rows.get(row_id)
+            if row is not None and matcher(row):
+                yield row_id
+
+    # ------------------------------------------------------------- snapshots
+
+    def snapshot(self) -> dict[int, dict[str, Any]]:
+        """Deep-ish copy of the row storage (used by transactions)."""
+        return {row_id: dict(row) for row_id, row in self._rows.items()}
+
+    def restore(self, snapshot: dict[int, dict[str, Any]], next_row_id: int | None = None) -> None:
+        """Restore the table to a previously captured snapshot."""
+        self._rows = {row_id: dict(row) for row_id, row in snapshot.items()}
+        if next_row_id is not None:
+            self._next_row_id = next_row_id
+        else:
+            self._next_row_id = max(self._rows, default=0) + 1
+        for column in list(self._indexes):
+            index = build_index(self._indexes[column].kind, column)
+            for row_id, row in self._rows.items():
+                index.add(row_id, row.get(column))
+            self._indexes[column] = index

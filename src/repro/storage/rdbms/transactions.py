@@ -1,0 +1,70 @@
+"""Transactions: all-or-nothing groups of mutations.
+
+The engine uses coarse-grained snapshot transactions: entering a transaction
+captures a snapshot of every table it touches lazily; rollback restores those
+snapshots.  This is sufficient for the single-writer operational workload of
+the platform and keeps the semantics easy to reason about.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ...errors import TransactionError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .database import Database
+
+
+class Transaction:
+    """A single open transaction (created via :meth:`Database.transaction`)."""
+
+    def __init__(self, database: "Database") -> None:
+        self._database = database
+        self._snapshots: dict[str, dict[int, dict[str, Any]]] = {}
+        self._active = True
+        self._committed = False
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def capture(self, table_name: str) -> None:
+        """Snapshot ``table_name`` before its first mutation inside the transaction."""
+        if not self._active:
+            raise TransactionError("transaction is no longer active")
+        if table_name not in self._snapshots:
+            table = self._database.table(table_name)
+            self._snapshots[table_name] = table.snapshot()
+
+    def commit(self) -> None:
+        """Make every mutation performed during the transaction permanent."""
+        if not self._active:
+            raise TransactionError("transaction is no longer active")
+        self._active = False
+        self._committed = True
+        self._snapshots.clear()
+        self._database._end_transaction(self)
+
+    def rollback(self) -> None:
+        """Undo every mutation performed during the transaction."""
+        if not self._active:
+            raise TransactionError("transaction is no longer active")
+        for table_name, snapshot in self._snapshots.items():
+            self._database.table(table_name).restore(snapshot)
+        self._active = False
+        self._snapshots.clear()
+        self._database._end_transaction(self)
+
+    # ------------------------------------------------------- context manager
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        if self._active:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.rollback()
+        return False

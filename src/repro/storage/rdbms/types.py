@@ -1,0 +1,138 @@
+"""Column types of the relational engine.
+
+Each type knows how to validate and coerce Python values; timestamps are
+stored as naive UTC ``datetime`` objects and JSON columns accept any
+JSON-serialisable structure.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date, datetime
+from enum import Enum
+
+from ...errors import SchemaError
+
+
+class ColumnType(str, Enum):
+    """Supported column types."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    TIMESTAMP = "timestamp"
+    JSON = "json"
+
+    def coerce(self, value):
+        """Coerce ``value`` into this type, raising :class:`SchemaError` if impossible."""
+        if value is None:
+            return None
+        try:
+            return _COERCERS[self](value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"cannot coerce {value!r} to {self.value}: {exc}"
+            ) from exc
+
+    def is_valid(self, value) -> bool:
+        """Return ``True`` when ``value`` can be stored in this type."""
+        if value is None:
+            return True
+        try:
+            self.coerce(value)
+            return True
+        except SchemaError:
+            return False
+
+    def to_storage(self, value):
+        """Serialise a coerced value into a JSON-friendly representation."""
+        if value is None:
+            return None
+        if self is ColumnType.TIMESTAMP:
+            return value.isoformat()
+        if self is ColumnType.JSON:
+            return json.dumps(value, sort_keys=True)
+        return value
+
+    def from_storage(self, value):
+        """Inverse of :meth:`to_storage`."""
+        if value is None:
+            return None
+        if self is ColumnType.TIMESTAMP:
+            return datetime.fromisoformat(value)
+        if self is ColumnType.JSON:
+            return json.loads(value)
+        return self.coerce(value)
+
+
+def _coerce_integer(value) -> int:
+    if isinstance(value, bool):
+        raise TypeError("booleans are not integers")
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, str):
+        return int(value.strip())
+    raise TypeError(f"not an integer: {type(value).__name__}")
+
+
+def _coerce_float(value) -> float:
+    if isinstance(value, bool):
+        raise TypeError("booleans are not floats")
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return float(value.strip())
+    raise TypeError(f"not a float: {type(value).__name__}")
+
+
+def _coerce_text(value) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return str(value)
+    raise TypeError(f"not text: {type(value).__name__}")
+
+
+def _coerce_boolean(value) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int) and value in (0, 1):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+    raise TypeError(f"not a boolean: {value!r}")
+
+
+def _coerce_timestamp(value) -> datetime:
+    if isinstance(value, datetime):
+        return value
+    if isinstance(value, date):
+        return datetime(value.year, value.month, value.day)
+    if isinstance(value, str):
+        return datetime.fromisoformat(value)
+    if isinstance(value, (int, float)):
+        return datetime.utcfromtimestamp(float(value))
+    raise TypeError(f"not a timestamp: {type(value).__name__}")
+
+
+def _coerce_json(value):
+    # Any JSON-serialisable structure is accepted as-is.
+    json.dumps(value)
+    return value
+
+
+_COERCERS = {
+    ColumnType.INTEGER: _coerce_integer,
+    ColumnType.FLOAT: _coerce_float,
+    ColumnType.TEXT: _coerce_text,
+    ColumnType.BOOLEAN: _coerce_boolean,
+    ColumnType.TIMESTAMP: _coerce_timestamp,
+    ColumnType.JSON: _coerce_json,
+}

@@ -1,0 +1,101 @@
+"""Write-ahead log.
+
+Every mutation of a :class:`~repro.storage.rdbms.database.Database` opened
+with a data directory is appended to a JSON-lines log before being applied,
+and the log is replayed on open so the operational store survives restarts —
+the durability property the platform's "robust fashion" claim rests on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from ...errors import StorageError
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One logged mutation."""
+
+    sequence: int
+    operation: str
+    table: str
+    payload: dict[str, Any]
+
+
+class WriteAheadLog:
+    """Append-only JSON-lines log of database mutations."""
+
+    def __init__(self, path: Path | str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._sequence = self._last_sequence()
+
+    def _last_sequence(self) -> int:
+        if not self.path.exists():
+            return 0
+        last = 0
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    last = int(json.loads(line)["sequence"])
+                except (json.JSONDecodeError, KeyError, ValueError):
+                    continue
+        return last
+
+    def append(self, operation: str, table: str, payload: dict[str, Any]) -> WalRecord:
+        """Append one mutation record and return it."""
+        self._sequence += 1
+        record = WalRecord(
+            sequence=self._sequence, operation=operation, table=table, payload=payload
+        )
+        line = json.dumps(
+            {
+                "sequence": record.sequence,
+                "operation": record.operation,
+                "table": record.table,
+                "payload": record.payload,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        with self.path.open("a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+        return record
+
+    def replay(self) -> Iterator[WalRecord]:
+        """Yield every valid record in the log, oldest first."""
+        if not self.path.exists():
+            return
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    data = json.loads(line)
+                    yield WalRecord(
+                        sequence=int(data["sequence"]),
+                        operation=str(data["operation"]),
+                        table=str(data["table"]),
+                        payload=dict(data["payload"]),
+                    )
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+                    raise StorageError(
+                        f"corrupt WAL record at {self.path}:{line_number}: {exc}"
+                    ) from exc
+
+    def truncate(self) -> None:
+        """Discard the log (used after a checkpoint/migration)."""
+        if self.path.exists():
+            self.path.unlink()
+        self._sequence = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.replay())

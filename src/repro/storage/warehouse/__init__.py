@@ -1,0 +1,19 @@
+"""Distributed Storage substrate (the warehouse half of the hybrid data layer).
+
+A simulated block-replicated distributed file system (:class:`DistributedFileSystem`)
+plays the role of HDFS, and a partitioned columnar table format
+(:class:`WarehouseTable` inside a :class:`Warehouse`) plays the role of the
+Spark-managed warehouse tables the paper's analytics jobs read.
+"""
+
+from .dfs import DataNode, DistributedFileSystem
+from .blocks import ColumnarBlock
+from .warehouse import Warehouse, WarehouseTable
+
+__all__ = [
+    "DataNode",
+    "DistributedFileSystem",
+    "ColumnarBlock",
+    "Warehouse",
+    "WarehouseTable",
+]

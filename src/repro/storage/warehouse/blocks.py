@@ -1,0 +1,138 @@
+"""Columnar block format of the warehouse tables.
+
+Rows are grouped into blocks; inside a block each column is stored as its own
+array together with min/max statistics, enabling column pruning and predicate
+push-down during scans.  Blocks serialise to JSON bytes for storage on the
+simulated DFS.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime
+from typing import Any, Iterable, Sequence
+
+from ...errors import WarehouseError
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, datetime):
+        return {"__ts__": value.isoformat()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and set(value) == {"__ts__"}:
+        return datetime.fromisoformat(value["__ts__"])
+    return value
+
+
+def _comparable(values: Iterable[Any]) -> list[Any]:
+    out = [v for v in values if v is not None]
+    if not out:
+        return []
+    first_type = type(out[0])
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool) for v in out):
+        return out
+    if all(isinstance(v, first_type) for v in out):
+        return out
+    return []
+
+
+@dataclass
+class ColumnarBlock:
+    """One block of a warehouse table: column arrays + per-column statistics."""
+
+    columns: dict[str, list[Any]]
+    n_rows: int
+    stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[dict[str, Any]], column_names: Sequence[str]) -> "ColumnarBlock":
+        """Build a block from row dictionaries (missing columns become ``None``)."""
+        if not rows:
+            raise WarehouseError("cannot build a block from zero rows")
+        columns: dict[str, list[Any]] = {
+            name: [row.get(name) for row in rows] for name in column_names
+        }
+        stats: dict[str, dict[str, Any]] = {}
+        for name, values in columns.items():
+            comparable = _comparable(values)
+            stats[name] = {
+                "nulls": sum(1 for v in values if v is None),
+                "min": min(comparable) if comparable else None,
+                "max": max(comparable) if comparable else None,
+            }
+        return cls(columns=columns, n_rows=len(rows), stats=stats)
+
+    def to_rows(self, columns: Sequence[str] | None = None) -> list[dict[str, Any]]:
+        """Materialise the block back into row dictionaries (optionally projected)."""
+        names = list(columns) if columns is not None else list(self.columns)
+        missing = [n for n in names if n not in self.columns]
+        if missing:
+            raise WarehouseError(f"block has no column(s) {missing!r}")
+        return [
+            {name: self.columns[name][i] for name in names}
+            for i in range(self.n_rows)
+        ]
+
+    def column(self, name: str) -> list[Any]:
+        """Values of one column."""
+        if name not in self.columns:
+            raise WarehouseError(f"block has no column {name!r}")
+        return list(self.columns[name])
+
+    # ------------------------------------------------------------ statistics
+
+    def might_contain(self, column: str, low: Any = None, high: Any = None) -> bool:
+        """Zone-map check: could a value of ``column`` fall in ``[low, high]``?
+
+        Conservative: returns ``True`` whenever statistics are missing or the
+        bounds are not comparable with the stored min/max.
+        """
+        stats = self.stats.get(column)
+        if not stats or stats["min"] is None or stats["max"] is None:
+            return True
+        try:
+            if low is not None and stats["max"] < low:
+                return False
+            if high is not None and stats["min"] > high:
+                return False
+        except TypeError:
+            return True
+        return True
+
+    # ---------------------------------------------------------- serialisation
+
+    def to_bytes(self) -> bytes:
+        """Serialise the block to JSON bytes."""
+        payload = {
+            "n_rows": self.n_rows,
+            "columns": {
+                name: [_encode_value(v) for v in values]
+                for name, values in self.columns.items()
+            },
+            "stats": {
+                name: {key: _encode_value(value) for key, value in stat.items()}
+                for name, stat in self.stats.items()
+            },
+        }
+        return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColumnarBlock":
+        """Deserialise a block produced by :meth:`to_bytes`."""
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise WarehouseError(f"corrupt block data: {exc}") from exc
+        columns = {
+            name: [_decode_value(v) for v in values]
+            for name, values in payload["columns"].items()
+        }
+        stats = {
+            name: {key: _decode_value(value) for key, value in stat.items()}
+            for name, stat in payload.get("stats", {}).items()
+        }
+        return cls(columns=columns, n_rows=int(payload["n_rows"]), stats=stats)

@@ -1,0 +1,206 @@
+"""Simulated distributed file system.
+
+Files are split into fixed-size blocks, each block is replicated onto
+``replication`` distinct data nodes, and a name node (the
+:class:`DistributedFileSystem` object itself) keeps the file → blocks →
+nodes metadata.  Node failures can be injected to exercise the re-replication
+and degraded-read paths the "distributed and robust fashion" claim implies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...errors import WarehouseError
+
+
+@dataclass
+class DataNode:
+    """One storage node holding block replicas."""
+
+    node_id: str
+    alive: bool = True
+    blocks: dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(data) for data in self.blocks.values())
+
+    def store(self, block_id: str, data: bytes) -> None:
+        if not self.alive:
+            raise WarehouseError(f"data node {self.node_id} is down")
+        self.blocks[block_id] = data
+
+    def read(self, block_id: str) -> bytes:
+        if not self.alive:
+            raise WarehouseError(f"data node {self.node_id} is down")
+        if block_id not in self.blocks:
+            raise WarehouseError(f"data node {self.node_id} has no block {block_id}")
+        return self.blocks[block_id]
+
+    def drop(self, block_id: str) -> None:
+        self.blocks.pop(block_id, None)
+
+
+@dataclass(frozen=True)
+class _BlockMeta:
+    block_id: str
+    size: int
+
+
+class DistributedFileSystem:
+    """Name node + data nodes with block replication."""
+
+    def __init__(
+        self,
+        n_nodes: int = 3,
+        replication: int = 2,
+        block_size: int = 64 * 1024,
+    ) -> None:
+        if n_nodes < 1:
+            raise WarehouseError("the DFS needs at least one data node")
+        if replication < 1:
+            raise WarehouseError("replication must be >= 1")
+        if block_size < 1:
+            raise WarehouseError("block_size must be >= 1")
+        self.replication = min(replication, n_nodes)
+        self.block_size = block_size
+        self.nodes: dict[str, DataNode] = {
+            f"node-{i}": DataNode(node_id=f"node-{i}") for i in range(n_nodes)
+        }
+        # file path -> ordered list of block metadata
+        self._files: dict[str, list[_BlockMeta]] = {}
+        # block id -> node ids holding a replica
+        self._block_locations: dict[str, list[str]] = {}
+        self._block_counter = 0
+
+    # ------------------------------------------------------------- file API
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        """All file paths (optionally filtered by prefix), sorted."""
+        return sorted(p for p in self._files if p.startswith(prefix))
+
+    def write_file(self, path: str, data: bytes, overwrite: bool = True) -> int:
+        """Write ``data`` under ``path``; returns the number of blocks created."""
+        if self.exists(path):
+            if not overwrite:
+                raise WarehouseError(f"file already exists: {path}")
+            self.delete_file(path)
+
+        blocks: list[_BlockMeta] = []
+        for start in range(0, max(len(data), 1), self.block_size):
+            chunk = data[start:start + self.block_size]
+            block_id = self._new_block_id()
+            targets = self._pick_nodes(self.replication)
+            for node_id in targets:
+                self.nodes[node_id].store(block_id, chunk)
+            self._block_locations[block_id] = targets
+            blocks.append(_BlockMeta(block_id=block_id, size=len(chunk)))
+        self._files[path] = blocks
+        return len(blocks)
+
+    def read_file(self, path: str) -> bytes:
+        """Read ``path``, tolerating dead replicas as long as one copy survives."""
+        if path not in self._files:
+            raise WarehouseError(f"no such file: {path}")
+        chunks: list[bytes] = []
+        for block in self._files[path]:
+            chunks.append(self._read_block(block.block_id))
+        return b"".join(chunks)
+
+    def delete_file(self, path: str) -> None:
+        """Delete ``path`` and free its blocks (idempotent)."""
+        blocks = self._files.pop(path, [])
+        for block in blocks:
+            for node_id in self._block_locations.pop(block.block_id, []):
+                node = self.nodes.get(node_id)
+                if node is not None:
+                    node.drop(block.block_id)
+
+    def file_size(self, path: str) -> int:
+        if path not in self._files:
+            raise WarehouseError(f"no such file: {path}")
+        return sum(block.size for block in self._files[path])
+
+    # -------------------------------------------------------------- failures
+
+    def kill_node(self, node_id: str) -> None:
+        """Mark a data node as failed (its replicas become unreadable)."""
+        if node_id not in self.nodes:
+            raise WarehouseError(f"unknown node: {node_id}")
+        self.nodes[node_id].alive = False
+
+    def revive_node(self, node_id: str) -> None:
+        """Bring a failed node back (its old replicas become readable again)."""
+        if node_id not in self.nodes:
+            raise WarehouseError(f"unknown node: {node_id}")
+        self.nodes[node_id].alive = True
+
+    def under_replicated_blocks(self) -> list[str]:
+        """Blocks with fewer live replicas than the replication factor."""
+        out = []
+        for block_id, locations in self._block_locations.items():
+            live = [n for n in locations if self.nodes[n].alive]
+            if len(live) < self.replication:
+                out.append(block_id)
+        return sorted(out)
+
+    def rebalance(self) -> int:
+        """Re-replicate under-replicated blocks onto live nodes; returns copies made."""
+        copies = 0
+        for block_id in self.under_replicated_blocks():
+            locations = self._block_locations[block_id]
+            live = [n for n in locations if self.nodes[n].alive]
+            if not live:
+                continue  # data loss: nothing to copy from
+            data = self.nodes[live[0]].read(block_id)
+            needed = self.replication - len(live)
+            candidates = [
+                node_id
+                for node_id, node in sorted(self.nodes.items())
+                if node.alive and node_id not in locations
+            ]
+            for node_id in candidates[:needed]:
+                self.nodes[node_id].store(block_id, data)
+                locations.append(node_id)
+                copies += 1
+        return copies
+
+    # ------------------------------------------------------------- internals
+
+    def _new_block_id(self) -> str:
+        self._block_counter += 1
+        return f"blk-{self._block_counter:08d}"
+
+    def _pick_nodes(self, count: int) -> list[str]:
+        """Choose the ``count`` least-loaded live nodes."""
+        live = [(node.used_bytes, node_id) for node_id, node in self.nodes.items() if node.alive]
+        if len(live) < count:
+            if not live:
+                raise WarehouseError("no live data nodes available")
+            count = len(live)
+        live.sort()
+        return [node_id for _used, node_id in live[:count]]
+
+    def _read_block(self, block_id: str) -> bytes:
+        locations = self._block_locations.get(block_id, [])
+        for node_id in locations:
+            node = self.nodes[node_id]
+            if node.alive and block_id in node.blocks:
+                return node.read(block_id)
+        raise WarehouseError(f"all replicas of block {block_id} are unavailable")
+
+    # ------------------------------------------------------------ statistics
+
+    def stats(self) -> dict[str, float]:
+        """Cluster statistics (files, blocks, live nodes, bytes stored)."""
+        return {
+            "files": float(len(self._files)),
+            "blocks": float(len(self._block_locations)),
+            "live_nodes": float(sum(1 for n in self.nodes.values() if n.alive)),
+            "total_nodes": float(len(self.nodes)),
+            "stored_bytes": float(sum(n.used_bytes for n in self.nodes.values())),
+        }

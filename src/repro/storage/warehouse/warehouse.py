@@ -1,0 +1,235 @@
+"""Partitioned columnar warehouse tables over the simulated DFS.
+
+Each :class:`WarehouseTable` is partitioned by the value of one column
+(typically the calendar day of a timestamp); every partition holds one or more
+columnar blocks persisted as DFS files.  Scans support partition pruning,
+column projection and zone-map (min/max) predicate push-down — the access
+pattern of the platform's daily analytics and periodic training jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date, datetime
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ...errors import WarehouseError
+from .blocks import ColumnarBlock
+from .dfs import DistributedFileSystem
+
+
+def day_partitioner(column: str) -> Callable[[dict[str, Any]], str]:
+    """Partition rows by the calendar day of a timestamp column."""
+
+    def partition(row: dict[str, Any]) -> str:
+        value = row.get(column)
+        if isinstance(value, datetime):
+            return value.date().isoformat()
+        if isinstance(value, date):
+            return value.isoformat()
+        if isinstance(value, str) and len(value) >= 10:
+            return value[:10]
+        return "unknown"
+
+    return partition
+
+
+def value_partitioner(column: str) -> Callable[[dict[str, Any]], str]:
+    """Partition rows by the raw value of a column."""
+
+    def partition(row: dict[str, Any]) -> str:
+        value = row.get(column)
+        return "null" if value is None else str(value)
+
+    return partition
+
+
+@dataclass
+class _BlockRef:
+    path: str
+    n_rows: int
+    stats: dict[str, dict[str, Any]]
+
+
+class WarehouseTable:
+    """One partitioned columnar table."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[str],
+        dfs: DistributedFileSystem,
+        partitioner: Callable[[dict[str, Any]], str],
+        block_rows: int = 4096,
+    ) -> None:
+        if not columns:
+            raise WarehouseError(f"table {name!r} needs at least one column")
+        if block_rows < 1:
+            raise WarehouseError("block_rows must be >= 1")
+        self.name = name
+        self.columns = list(columns)
+        self.dfs = dfs
+        self.partitioner = partitioner
+        self.block_rows = block_rows
+        self._partitions: dict[str, list[_BlockRef]] = {}
+        self._block_counter = 0
+
+    # ---------------------------------------------------------------- writes
+
+    def append(self, rows: Iterable[dict[str, Any]]) -> int:
+        """Append rows, grouping them into per-partition blocks; returns rows written."""
+        grouped: dict[str, list[dict[str, Any]]] = {}
+        count = 0
+        for row in rows:
+            partition = self.partitioner(row)
+            grouped.setdefault(partition, []).append(row)
+            count += 1
+        for partition, partition_rows in grouped.items():
+            for start in range(0, len(partition_rows), self.block_rows):
+                chunk = partition_rows[start:start + self.block_rows]
+                self._write_block(partition, chunk)
+        return count
+
+    def _write_block(self, partition: str, rows: list[dict[str, Any]]) -> None:
+        block = ColumnarBlock.from_rows(rows, self.columns)
+        self._block_counter += 1
+        path = f"/warehouse/{self.name}/{partition}/block-{self._block_counter:06d}.json"
+        self.dfs.write_file(path, block.to_bytes())
+        self._partitions.setdefault(partition, []).append(
+            _BlockRef(path=path, n_rows=block.n_rows, stats=block.stats)
+        )
+
+    def drop_partition(self, partition: str) -> int:
+        """Delete every block of ``partition``; returns the number of rows removed."""
+        refs = self._partitions.pop(partition, [])
+        removed = 0
+        for ref in refs:
+            self.dfs.delete_file(ref.path)
+            removed += ref.n_rows
+        return removed
+
+    # ----------------------------------------------------------------- reads
+
+    def partitions(self) -> list[str]:
+        """All partition keys, sorted."""
+        return sorted(self._partitions)
+
+    def row_count(self, partition: str | None = None) -> int:
+        """Total rows (optionally of a single partition)."""
+        if partition is not None:
+            return sum(ref.n_rows for ref in self._partitions.get(partition, []))
+        return sum(ref.n_rows for refs in self._partitions.values() for ref in refs)
+
+    def scan(
+        self,
+        columns: Sequence[str] | None = None,
+        partitions: Sequence[str] | None = None,
+        predicate: Callable[[dict[str, Any]], bool] | None = None,
+        zone_filter: tuple[str, Any, Any] | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Scan the table.
+
+        Parameters
+        ----------
+        columns:
+            Columns to materialise (all by default).
+        partitions:
+            Restrict the scan to these partition keys (partition pruning).
+        predicate:
+            Row-level filter applied after reading a block.
+        zone_filter:
+            ``(column, low, high)`` bounds used to skip blocks whose min/max
+            statistics prove they contain no matching rows.
+        """
+        wanted = set(partitions) if partitions is not None else None
+        for partition in self.partitions():
+            if wanted is not None and partition not in wanted:
+                continue
+            for ref in self._partitions[partition]:
+                if zone_filter is not None:
+                    column, low, high = zone_filter
+                    block_stats = ref.stats.get(column)
+                    if block_stats is not None and not _zone_might_match(block_stats, low, high):
+                        continue
+                block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
+                for row in block.to_rows(columns):
+                    if predicate is None or predicate(row):
+                        yield row
+
+    def read_column(self, column: str, partitions: Sequence[str] | None = None) -> list[Any]:
+        """All values of ``column`` (optionally restricted to partitions)."""
+        return [row[column] for row in self.scan(columns=[column], partitions=partitions)]
+
+    def block_count(self) -> int:
+        return sum(len(refs) for refs in self._partitions.values())
+
+
+def _zone_might_match(stats: dict[str, Any], low: Any, high: Any) -> bool:
+    if stats.get("min") is None or stats.get("max") is None:
+        return True
+    try:
+        if low is not None and stats["max"] < low:
+            return False
+        if high is not None and stats["min"] > high:
+            return False
+    except TypeError:
+        return True
+    return True
+
+
+class Warehouse:
+    """The collection of warehouse tables backed by one DFS."""
+
+    def __init__(self, dfs: DistributedFileSystem | None = None, block_rows: int = 4096) -> None:
+        self.dfs = dfs or DistributedFileSystem()
+        self.block_rows = block_rows
+        self._tables: dict[str, WarehouseTable] = {}
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[str],
+        partition_column: str,
+        partition_by: str = "day",
+        if_not_exists: bool = False,
+    ) -> WarehouseTable:
+        """Create a table partitioned by ``partition_column`` (by day or by value)."""
+        if name in self._tables:
+            if if_not_exists:
+                return self._tables[name]
+            raise WarehouseError(f"warehouse table {name!r} already exists")
+        if partition_by == "day":
+            partitioner = day_partitioner(partition_column)
+        elif partition_by == "value":
+            partitioner = value_partitioner(partition_column)
+        else:
+            raise WarehouseError(f"unknown partitioning scheme {partition_by!r}")
+        table = WarehouseTable(
+            name=name,
+            columns=columns,
+            dfs=self.dfs,
+            partitioner=partitioner,
+            block_rows=self.block_rows,
+        )
+        self._tables[name] = table
+        return table
+
+    def table(self, name: str) -> WarehouseTable:
+        if name not in self._tables:
+            raise WarehouseError(f"no warehouse table named {name!r}")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def drop_table(self, name: str) -> None:
+        table = self.table(name)
+        for partition in list(table.partitions()):
+            table.drop_partition(partition)
+        del self._tables[name]
+
+    def total_rows(self) -> int:
+        return sum(table.row_count() for table in self._tables.values())

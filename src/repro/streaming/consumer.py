@@ -1,0 +1,99 @@
+"""Consumer: group-based reads from the broker with optional checkpointing."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import StreamingError
+from .broker import MessageBroker
+from .checkpoint import CheckpointStore
+from .message import Message
+
+
+class Consumer:
+    """A consumer belonging to a consumer group.
+
+    When a :class:`CheckpointStore` is supplied, committed offsets are also
+    persisted there and restored on construction, so processing resumes where
+    it left off after a restart.
+    """
+
+    def __init__(
+        self,
+        broker: MessageBroker,
+        group: str,
+        topics: list[str],
+        checkpoints: CheckpointStore | None = None,
+    ) -> None:
+        if not topics:
+            raise StreamingError("a consumer must subscribe to at least one topic")
+        self.broker = broker
+        self.group = group
+        self.topics = list(topics)
+        self.checkpoints = checkpoints
+        self.consumed_count = 0
+        if self.checkpoints is not None:
+            self._restore_checkpoints()
+
+    def _restore_checkpoints(self) -> None:
+        assert self.checkpoints is not None
+        for topic in self.topics:
+            for partition, offset in self.checkpoints.offsets(self.group, topic).items():
+                self.broker.commit(self.group, topic, partition, offset)
+
+    def poll(self, max_messages: int = 100) -> list[Message]:
+        """Fetch up to ``max_messages`` messages across the subscribed topics."""
+        out: list[Message] = []
+        for topic in self.topics:
+            budget = max_messages - len(out)
+            if budget <= 0:
+                break
+            messages = self.broker.poll(
+                self.group, topic, max_messages=budget, auto_commit=False
+            )
+            out.extend(messages)
+        return out
+
+    def commit(self, messages: list[Message]) -> None:
+        """Commit every message in ``messages`` (per-partition high-water marks)."""
+        highest: dict[tuple[str, int], int] = {}
+        for message in messages:
+            key = (message.topic, message.partition)
+            highest[key] = max(highest.get(key, -1), message.offset)
+        for (topic, partition), offset in highest.items():
+            next_offset = offset + 1
+            current = self.broker.committed_offset(self.group, topic, partition)
+            if next_offset > current:
+                self.broker.commit(self.group, topic, partition, next_offset)
+                if self.checkpoints is not None:
+                    self.checkpoints.save(self.group, topic, partition, next_offset)
+        self.consumed_count += len(messages)
+
+    def lag(self) -> int:
+        """Total unconsumed messages across the subscribed topics."""
+        return sum(self.broker.lag(self.group, topic) for topic in self.topics)
+
+    def process(
+        self,
+        handler: Callable[[Message], None],
+        max_messages: int = 100,
+    ) -> int:
+        """Poll, run ``handler`` on each message, then commit (at-least-once).
+
+        Returns the number of messages processed.  If the handler raises, no
+        offsets are committed and the batch will be redelivered.
+        """
+        messages = self.poll(max_messages=max_messages)
+        for message in messages:
+            handler(message)
+        self.commit(messages)
+        return len(messages)
+
+    def drain(self, handler: Callable[[Message], None], batch_size: int = 500) -> int:
+        """Process until no messages remain; returns the total processed."""
+        total = 0
+        while True:
+            processed = self.process(handler, max_messages=batch_size)
+            total += processed
+            if processed == 0:
+                return total

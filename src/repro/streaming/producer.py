@@ -1,0 +1,60 @@
+"""Producer: buffered writes into the broker."""
+
+from __future__ import annotations
+
+from datetime import datetime
+from typing import Any
+
+from ..errors import StreamingError
+from .broker import MessageBroker
+
+
+class Producer:
+    """Batching producer.
+
+    Messages are buffered locally and flushed to the broker either explicitly
+    or whenever the buffer reaches ``batch_size`` — mirroring the batched
+    hand-off between the Datastreamer wrapper and the processing layer.
+    """
+
+    def __init__(self, broker: MessageBroker, batch_size: int = 100) -> None:
+        if batch_size < 1:
+            raise StreamingError("batch_size must be >= 1")
+        self.broker = broker
+        self.batch_size = batch_size
+        self._buffer: list[tuple[str, str | None, dict[str, Any], datetime | None]] = []
+        self.sent_count = 0
+
+    def send(
+        self,
+        topic: str,
+        value: dict[str, Any],
+        key: str | None = None,
+        timestamp: datetime | None = None,
+    ) -> None:
+        """Buffer one message (flushes automatically when the batch is full)."""
+        self._buffer.append((topic, key, value, timestamp))
+        if len(self._buffer) >= self.batch_size:
+            self.flush()
+
+    def flush(self) -> int:
+        """Deliver every buffered message to the broker; returns the count delivered."""
+        delivered = 0
+        for topic, key, value, timestamp in self._buffer:
+            self.broker.produce(topic, value, key=key, timestamp=timestamp)
+            delivered += 1
+        self._buffer.clear()
+        self.sent_count += delivered
+        return delivered
+
+    @property
+    def pending(self) -> int:
+        """Number of messages waiting in the local buffer."""
+        return len(self._buffer)
+
+    def __enter__(self) -> "Producer":
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        self.flush()
+        return False

@@ -1,0 +1,98 @@
+"""Event-time windowing helpers.
+
+The insights layer aggregates postings per calendar day; the tumbling-window
+utilities here provide the generic building block (fixed-size, non-overlapping
+event-time windows with per-window aggregation).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from datetime import datetime, timedelta
+from typing import Any, Callable, Iterable
+
+from ..errors import StreamingError
+
+
+@dataclass(frozen=True)
+class TumblingWindow:
+    """A fixed-size, non-overlapping event-time window."""
+
+    start: datetime
+    duration: timedelta
+
+    @property
+    def end(self) -> datetime:
+        return self.start + self.duration
+
+    def contains(self, ts: datetime) -> bool:
+        return self.start <= ts < self.end
+
+
+def window_start(ts: datetime, duration: timedelta, origin: datetime | None = None) -> datetime:
+    """Start of the tumbling window of width ``duration`` containing ``ts``."""
+    if duration.total_seconds() <= 0:
+        raise StreamingError("window duration must be positive")
+    origin = origin or datetime(1970, 1, 1)
+    elapsed = (ts - origin).total_seconds()
+    index = int(elapsed // duration.total_seconds())
+    return origin + timedelta(seconds=index * duration.total_seconds())
+
+
+class WindowedCounter:
+    """Counts events per tumbling window and per group key."""
+
+    def __init__(self, duration: timedelta, origin: datetime | None = None) -> None:
+        if duration.total_seconds() <= 0:
+            raise StreamingError("window duration must be positive")
+        self.duration = duration
+        self.origin = origin
+        self._counts: dict[datetime, dict[str, int]] = defaultdict(lambda: defaultdict(int))
+
+    def add(self, ts: datetime, group: str = "_all", weight: int = 1) -> None:
+        """Record one event at ``ts`` under ``group``."""
+        start = window_start(ts, self.duration, self.origin)
+        self._counts[start][group] += weight
+
+    def add_all(self, events: Iterable[tuple[datetime, str]]) -> None:
+        for ts, group in events:
+            self.add(ts, group)
+
+    def windows(self) -> list[TumblingWindow]:
+        """All windows that received at least one event, in time order."""
+        return [
+            TumblingWindow(start=start, duration=self.duration)
+            for start in sorted(self._counts)
+        ]
+
+    def count(self, window_start_ts: datetime, group: str = "_all") -> int:
+        return self._counts.get(window_start_ts, {}).get(group, 0)
+
+    def series(self, group: str = "_all") -> list[tuple[datetime, int]]:
+        """(window start, count) pairs for one group, in time order."""
+        return [
+            (start, groups.get(group, 0))
+            for start, groups in sorted(self._counts.items())
+        ]
+
+    def totals_by_group(self) -> dict[str, int]:
+        """Total count per group across all windows."""
+        totals: dict[str, int] = defaultdict(int)
+        for groups in self._counts.values():
+            for group, count in groups.items():
+                totals[group] += count
+        return dict(totals)
+
+
+def aggregate_by_window(
+    events: Iterable[tuple[datetime, Any]],
+    duration: timedelta,
+    aggregator: Callable[[list[Any]], Any],
+    origin: datetime | None = None,
+) -> dict[datetime, Any]:
+    """Group event payloads into tumbling windows and aggregate each window."""
+    buckets: dict[datetime, list[Any]] = defaultdict(list)
+    for ts, payload in events:
+        buckets[window_start(ts, duration, origin)].append(payload)
+    return {start: aggregator(payloads) for start, payloads in sorted(buckets.items())}

@@ -1,0 +1,35 @@
+"""Web substrate: HTML parsing, URL handling, reference classification and a
+simulated scraper over a synthetic web.
+
+The operational platform crawls outlet web pages; offline, the synthetic
+:class:`SiteStore` plays the role of "the web" and the scraper exercises the
+exact same parse → extract-links → classify-references path.
+"""
+
+from .urls import normalize_url, domain_of, registered_domain, is_same_site
+from .html import HtmlDocument, Link, parse_html
+from .references import (
+    ReferenceType,
+    ReferenceClassifier,
+    ReferenceProfile,
+    SCIENTIFIC_DOMAINS,
+)
+from .sitestore import SiteStore
+from .scraper import ArticleScraper, ScrapedArticle
+
+__all__ = [
+    "normalize_url",
+    "domain_of",
+    "registered_domain",
+    "is_same_site",
+    "HtmlDocument",
+    "Link",
+    "parse_html",
+    "ReferenceType",
+    "ReferenceClassifier",
+    "ReferenceProfile",
+    "SCIENTIFIC_DOMAINS",
+    "SiteStore",
+    "ArticleScraper",
+    "ScrapedArticle",
+]

@@ -1,0 +1,153 @@
+"""A small HTML parser producing the structure the scraper needs.
+
+Built on :class:`html.parser.HTMLParser` from the standard library, it
+extracts the document title, the author meta tag / by-line, the main body text
+(paragraphs and headings) and every hyperlink with its anchor text.  Script
+and style content is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+_SKIP_TAGS = {"script", "style", "noscript", "template"}
+_BLOCK_TAGS = {"p", "h1", "h2", "h3", "h4", "h5", "h6", "li", "blockquote", "figcaption"}
+_AUTHOR_META_NAMES = {"author", "article:author", "byl", "parsely-author", "dc.creator"}
+
+
+@dataclass(frozen=True)
+class Link:
+    """A hyperlink found in a document."""
+
+    href: str
+    anchor_text: str = ""
+    rel: str = ""
+
+
+@dataclass
+class HtmlDocument:
+    """Parsed representation of an HTML page."""
+
+    title: str = ""
+    author: str | None = None
+    paragraphs: list[str] = field(default_factory=list)
+    links: list[Link] = field(default_factory=list)
+    meta: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def text(self) -> str:
+        """The body text: paragraphs joined by blank lines."""
+        return "\n\n".join(self.paragraphs)
+
+    def link_hrefs(self) -> list[str]:
+        """All link targets in document order."""
+        return [link.href for link in self.links]
+
+
+class _ArticleHtmlParser(HTMLParser):
+    """Stateful HTML parser collecting title, by-line, paragraphs and links."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.document = HtmlDocument()
+        self._skip_depth = 0
+        self._in_title = False
+        self._block_stack: list[str] = []
+        self._block_text: list[str] = []
+        self._current_link: dict[str, str] | None = None
+        self._link_text: list[str] = []
+        self._byline_depth = 0
+
+    # -------------------------------------------------------------- handlers
+
+    def handle_starttag(self, tag: str, attrs: list[tuple[str, str | None]]) -> None:
+        attributes = {name: (value or "") for name, value in attrs}
+        if tag in _SKIP_TAGS:
+            self._skip_depth += 1
+            return
+        if self._skip_depth:
+            return
+        if tag == "title":
+            self._in_title = True
+        elif tag == "meta":
+            self._handle_meta(attributes)
+        elif tag in _BLOCK_TAGS:
+            self._block_stack.append(tag)
+        elif tag == "a":
+            self._current_link = {
+                "href": attributes.get("href", ""),
+                "rel": attributes.get("rel", ""),
+            }
+            self._link_text = []
+        classes = attributes.get("class", "")
+        if tag in ("span", "div", "address", "p") and (
+            "byline" in classes or "author" in classes
+        ):
+            self._byline_depth += 1
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag in _SKIP_TAGS:
+            self._skip_depth = max(0, self._skip_depth - 1)
+            return
+        if self._skip_depth:
+            return
+        if tag == "title":
+            self._in_title = False
+        elif tag in _BLOCK_TAGS and self._block_stack:
+            self._block_stack.pop()
+            text = " ".join(" ".join(self._block_text).split())
+            self._block_text = []
+            if text:
+                self.document.paragraphs.append(text)
+        elif tag == "a" and self._current_link is not None:
+            anchor = " ".join(" ".join(self._link_text).split())
+            href = self._current_link.get("href", "")
+            if href:
+                self.document.links.append(
+                    Link(href=href, anchor_text=anchor, rel=self._current_link.get("rel", ""))
+                )
+            self._current_link = None
+            self._link_text = []
+        if self._byline_depth and tag in ("span", "div", "address", "p"):
+            self._byline_depth = max(0, self._byline_depth - 1)
+
+    def handle_data(self, data: str) -> None:
+        if self._skip_depth:
+            return
+        if self._in_title:
+            self.document.title += data
+        if self._block_stack:
+            self._block_text.append(data)
+        if self._current_link is not None:
+            self._link_text.append(data)
+        if self._byline_depth and not self.document.author:
+            candidate = data.strip()
+            candidate = candidate.removeprefix("By ").removeprefix("by ").strip()
+            if candidate:
+                self.document.author = candidate
+
+    # ------------------------------------------------------------------ meta
+
+    def _handle_meta(self, attributes: dict[str, str]) -> None:
+        name = (attributes.get("name") or attributes.get("property") or "").lower()
+        content = attributes.get("content", "")
+        if not name or not content:
+            return
+        self.document.meta[name] = content
+        if name in _AUTHOR_META_NAMES and not self.document.author:
+            self.document.author = content.strip()
+
+
+def parse_html(html: str) -> HtmlDocument:
+    """Parse ``html`` into an :class:`HtmlDocument`.
+
+    Never raises on malformed markup — the parser is tolerant and simply
+    returns whatever it managed to extract.
+    """
+    parser = _ArticleHtmlParser()
+    parser.feed(html or "")
+    parser.close()
+    document = parser.document
+    document.title = " ".join(document.title.split())
+    return document

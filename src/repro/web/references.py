@@ -1,0 +1,157 @@
+"""Classification of article references.
+
+§3.1 of the paper distinguishes three reference types:
+
+* **internal** — links within the same news outlet ("see also" sections or
+  in-body links used to increase engagement);
+* **external** — links to potential primary sources of information such as
+  other news outlets;
+* **scientific** — links to a predefined list of academic repositories,
+  grey literature, peer-reviewed journals and institutional websites.
+
+:class:`ReferenceClassifier` implements that taxonomy and
+:class:`ReferenceProfile` summarises the counts and ratios per article.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+from .urls import is_same_site, registered_domain
+
+#: Predefined list of academic repositories, journals and institutions.
+SCIENTIFIC_DOMAINS: frozenset[str] = frozenset(
+    {
+        # preprint / repositories
+        "arxiv.org", "biorxiv.org", "medrxiv.org", "ssrn.com", "zenodo.org",
+        "pubmed.ncbi.nlm.nih.gov", "ncbi.nlm.nih.gov", "europepmc.org",
+        # publishers / journals
+        "nature.com", "science.org", "sciencemag.org", "thelancet.com",
+        "nejm.org", "bmj.com", "cell.com", "plos.org", "pnas.org",
+        "sciencedirect.com", "springer.com", "link.springer.com", "wiley.com",
+        "onlinelibrary.wiley.com", "oup.com", "academic.oup.com",
+        "jamanetwork.com", "frontiersin.org", "mdpi.com", "elifesciences.org",
+        # institutions / agencies
+        "who.int", "cdc.gov", "nih.gov", "fda.gov", "ecdc.europa.eu",
+        "nhs.uk", "epfl.ch", "ethz.ch", "mit.edu", "stanford.edu",
+        "harvard.edu", "ox.ac.uk", "cam.ac.uk", "jhu.edu", "imperial.ac.uk",
+        "hopkinsmedicine.org", "mayoclinic.org",
+        # scholarly search / indexes
+        "scholar.google.com", "semanticscholar.org", "doi.org", "dx.doi.org",
+        "researchgate.net",
+    }
+)
+
+#: Suffixes that mark institutional / academic hosts even when unlisted.
+_SCIENTIFIC_SUFFIXES: tuple[str, ...] = (".edu", ".ac.uk", ".ac.jp", ".edu.au")
+
+
+class ReferenceType(str, Enum):
+    """The three reference classes of §3.1."""
+
+    INTERNAL = "internal"
+    EXTERNAL = "external"
+    SCIENTIFIC = "scientific"
+
+
+@dataclass(frozen=True)
+class ClassifiedReference:
+    """One outgoing reference with its resolved type."""
+
+    url: str
+    reference_type: ReferenceType
+
+
+@dataclass(frozen=True)
+class ReferenceProfile:
+    """Counts and ratios of the reference classes for one article."""
+
+    internal: int
+    external: int
+    scientific: int
+
+    @property
+    def total(self) -> int:
+        return self.internal + self.external + self.scientific
+
+    @property
+    def scientific_ratio(self) -> float:
+        """Share of scientific references among all references (0 when none)."""
+        return self.scientific / self.total if self.total else 0.0
+
+    @property
+    def external_ratio(self) -> float:
+        return self.external / self.total if self.total else 0.0
+
+    @property
+    def internal_ratio(self) -> float:
+        return self.internal / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "internal": float(self.internal),
+            "external": float(self.external),
+            "scientific": float(self.scientific),
+            "scientific_ratio": self.scientific_ratio,
+        }
+
+
+class ReferenceClassifier:
+    """Classify outgoing links of an article into the three reference types.
+
+    Parameters
+    ----------
+    scientific_domains:
+        Registrable domains treated as scientific sources (defaults to
+        :data:`SCIENTIFIC_DOMAINS`).  Additional domains can be supplied to
+        extend the predefined list, mirroring the configurable shortlist the
+        platform maintains.
+    """
+
+    def __init__(self, scientific_domains: Iterable[str] | None = None) -> None:
+        domains = set(SCIENTIFIC_DOMAINS if scientific_domains is None else scientific_domains)
+        self.scientific_domains = frozenset(registered_domain(d) for d in domains)
+
+    def is_scientific(self, url_or_host: str) -> bool:
+        """True when the target is an academic repository / journal / institution."""
+        try:
+            domain = registered_domain(url_or_host)
+        except Exception:
+            return False
+        if domain in self.scientific_domains:
+            return True
+        return any(domain.endswith(suffix) for suffix in _SCIENTIFIC_SUFFIXES)
+
+    def classify(self, url: str, article_outlet_domain: str) -> ReferenceType:
+        """Classify one reference of an article published on ``article_outlet_domain``."""
+        if self.is_scientific(url):
+            return ReferenceType.SCIENTIFIC
+        if is_same_site(url, article_outlet_domain):
+            return ReferenceType.INTERNAL
+        return ReferenceType.EXTERNAL
+
+    def classify_all(
+        self, urls: Sequence[str], article_outlet_domain: str
+    ) -> list[ClassifiedReference]:
+        """Classify every reference, skipping non-absolute URLs."""
+        out: list[ClassifiedReference] = []
+        for url in urls:
+            if "://" not in url:
+                continue
+            out.append(
+                ClassifiedReference(url=url, reference_type=self.classify(url, article_outlet_domain))
+            )
+        return out
+
+    def profile(self, urls: Sequence[str], article_outlet_domain: str) -> ReferenceProfile:
+        """Summarise the reference counts of one article."""
+        counts = {rt: 0 for rt in ReferenceType}
+        for ref in self.classify_all(urls, article_outlet_domain):
+            counts[ref.reference_type] += 1
+        return ReferenceProfile(
+            internal=counts[ReferenceType.INTERNAL],
+            external=counts[ReferenceType.EXTERNAL],
+            scientific=counts[ReferenceType.SCIENTIFIC],
+        )

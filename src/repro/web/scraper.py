@@ -1,0 +1,93 @@
+"""Article scraper.
+
+Turns a URL into a :class:`ScrapedArticle` by fetching the page from a
+:class:`~repro.web.sitestore.SiteStore` (the synthetic web) and parsing its
+HTML.  This is the entry point the streaming pipeline uses when it sees a
+posting that links to a not-yet-known article.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from datetime import datetime
+
+from ..errors import ScrapingError
+from .html import HtmlDocument, parse_html
+from .sitestore import SiteStore
+from .urls import domain_of, normalize_url
+
+
+@dataclass(frozen=True)
+class ScrapedArticle:
+    """The raw material extracted from one article page."""
+
+    url: str
+    outlet_domain: str
+    title: str
+    text: str
+    author: str | None
+    links: tuple[str, ...]
+    published_at: datetime | None = None
+    meta: dict[str, str] = field(default_factory=dict)
+    html: str = ""
+
+    @property
+    def has_byline(self) -> bool:
+        return bool(self.author and self.author.strip())
+
+
+class ArticleScraper:
+    """Fetch + parse article pages from a :class:`SiteStore`."""
+
+    def __init__(self, site_store: SiteStore) -> None:
+        self.site_store = site_store
+
+    def scrape(self, url: str) -> ScrapedArticle:
+        """Scrape one article page.
+
+        Raises :class:`ScrapingError` when the page is missing or its HTML
+        yields no usable content (no title and no body text).
+        """
+        normalized = normalize_url(url)
+        page = self.site_store.fetch(normalized)
+        document = parse_html(page.html)
+        if not document.title and not document.paragraphs:
+            raise ScrapingError(f"page at {normalized} has no extractable content")
+        return self._to_article(normalized, document, page.html)
+
+    def try_scrape(self, url: str) -> ScrapedArticle | None:
+        """Like :meth:`scrape` but returns ``None`` instead of raising."""
+        try:
+            return self.scrape(url)
+        except ScrapingError:
+            return None
+
+    def _to_article(self, url: str, document: HtmlDocument, raw_html: str = "") -> ScrapedArticle:
+        published_at = _parse_published(document.meta)
+        absolute_links = tuple(
+            link.href for link in document.links if "://" in link.href
+        )
+        return ScrapedArticle(
+            url=url,
+            outlet_domain=domain_of(url),
+            title=document.title,
+            text=document.text,
+            author=document.author,
+            links=absolute_links,
+            published_at=published_at,
+            meta=dict(document.meta),
+            html=raw_html,
+        )
+
+
+def _parse_published(meta: dict[str, str]) -> datetime | None:
+    """Extract a publication timestamp from common meta tags."""
+    for key in ("article:published_time", "article:published", "date", "dc.date", "parsely-pub-date"):
+        value = meta.get(key)
+        if not value:
+            continue
+        try:
+            return datetime.fromisoformat(value.replace("Z", "+00:00")).replace(tzinfo=None)
+        except ValueError:
+            continue
+    return None

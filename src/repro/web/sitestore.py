@@ -1,0 +1,77 @@
+"""Synthetic web.
+
+The operational platform fetches article pages over HTTP.  Offline, the
+:class:`SiteStore` is the "web": a deterministic, in-memory mapping from
+normalised URLs to HTML documents which the scraper fetches from.  The corpus
+generator registers every synthetic article page (and the scientific / outlet
+pages they reference) here, so the scraping code path is identical to the
+online one minus the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from ..errors import ScrapingError
+from .urls import domain_of, normalize_url
+
+
+@dataclass(frozen=True)
+class StoredPage:
+    """One page of the synthetic web."""
+
+    url: str
+    html: str
+    status: int = 200
+    content_type: str = "text/html"
+
+
+class SiteStore:
+    """In-memory store of web pages keyed by normalised URL."""
+
+    def __init__(self) -> None:
+        self._pages: dict[str, StoredPage] = {}
+        self.fetch_count = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def __contains__(self, url: str) -> bool:
+        try:
+            return normalize_url(url) in self._pages
+        except Exception:
+            return False
+
+    def register(self, url: str, html: str, status: int = 200) -> StoredPage:
+        """Register (or replace) a page under ``url``."""
+        normalized = normalize_url(url)
+        page = StoredPage(url=normalized, html=html, status=status)
+        self._pages[normalized] = page
+        return page
+
+    def fetch(self, url: str) -> StoredPage:
+        """Fetch a page, raising :class:`ScrapingError` for unknown URLs or error statuses."""
+        normalized = normalize_url(url)
+        self.fetch_count += 1
+        page = self._pages.get(normalized)
+        if page is None:
+            raise ScrapingError(f"404: no page registered at {normalized}")
+        if page.status >= 400:
+            raise ScrapingError(f"{page.status}: error page at {normalized}")
+        return page
+
+    def urls(self) -> list[str]:
+        """All registered URLs (sorted for determinism)."""
+        return sorted(self._pages)
+
+    def pages_for_domain(self, domain: str) -> Iterator[StoredPage]:
+        """Iterate over the pages hosted on ``domain``."""
+        domain = domain.lower()
+        for url in self.urls():
+            if domain_of(url) == domain:
+                yield self._pages[url]
+
+    def remove(self, url: str) -> None:
+        """Remove a page if present (idempotent)."""
+        self._pages.pop(normalize_url(url), None)

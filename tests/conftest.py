@@ -1,0 +1,124 @@
+"""Shared fixtures.
+
+The scenario and platform fixtures are session-scoped: they are moderately
+expensive to build and every integration-style test only reads from them.
+"""
+
+from __future__ import annotations
+
+from datetime import datetime
+
+import pytest
+
+from repro import PlatformConfig, SciLensPlatform
+from repro.models import Article, Reaction, ReactionKind, SocialPost
+from repro.simulation import CovidScenarioConfig, generate_covid_scenario
+
+
+@pytest.fixture(scope="session")
+def small_scenario():
+    """A small but fully-featured COVID-19 scenario (6 outlets, 20 days)."""
+    config = CovidScenarioConfig.small(n_outlets=6, n_days=20, random_seed=13)
+    return generate_covid_scenario(config)
+
+
+@pytest.fixture(scope="session")
+def loaded_platform(small_scenario):
+    """A platform that has ingested the small scenario through the streaming path."""
+    platform = SciLensPlatform(
+        config=PlatformConfig(),
+        site_store=small_scenario.site_store,
+        account_registry=small_scenario.outlets.account_registry(),
+    )
+    platform.register_outlets(small_scenario.outlets.outlets())
+    platform.ingest_posting_events(small_scenario.posting_events())
+    platform.ingest_reaction_events(small_scenario.reaction_events())
+    platform.process_stream()
+    platform.assign_topics()
+    return platform
+
+
+@pytest.fixture()
+def sample_article() -> Article:
+    """A single hand-written article with a by-line and mixed references."""
+    html = (
+        "<html><head><title>New study examines vaccine efficacy</title>"
+        '<meta name="author" content="Jane Roe">'
+        '<meta property="article:published_time" content="2020-02-10T09:00:00"></head>'
+        "<body><h1>New study examines vaccine efficacy</h1>"
+        '<p class="byline">By Jane Roe</p>'
+        "<p>A peer-reviewed study published this week analysed vaccine data from 2400 "
+        'participants. <a href="https://nature.com/articles/s41586">published study</a>.</p>'
+        '<p>Officials provided further context. <a href="https://dailyscience.example.com/related/1">'
+        "see also</a> and <a href=\"https://othernews.example.org/report/2\">external report</a>.</p>"
+        "</body></html>"
+    )
+    return Article(
+        article_id="art-test-0001",
+        url="https://dailyscience.example.com/2020/02/10/vaccine-study",
+        outlet_domain="dailyscience.example.com",
+        title="New study examines vaccine efficacy",
+        published_at=datetime(2020, 2, 10, 9, 0, 0),
+        text=(
+            "A peer-reviewed study published this week analysed vaccine data from 2400 "
+            "participants. The analysis reports a statistically significant association "
+            "between vaccination and reduced infection rates. Researchers caution that "
+            "the findings require replication in larger cohorts."
+        ),
+        html=html,
+        author="Jane Roe",
+        topics=("covid19",),
+    )
+
+
+@pytest.fixture()
+def sample_posts(sample_article) -> list[SocialPost]:
+    base = datetime(2020, 2, 10, 12, 0, 0)
+    return [
+        SocialPost(
+            post_id="p1",
+            platform="twitter",
+            account="@dailyscience",
+            article_url=sample_article.url,
+            text="New coverage of the vaccine study.",
+            created_at=base,
+            followers=50_000,
+        ),
+        SocialPost(
+            post_id="p2",
+            platform="twitter",
+            account="@user_1",
+            article_url=sample_article.url,
+            text="Great article, accurate and informative. Sharing.",
+            created_at=base,
+            followers=300,
+            reply_to="p1",
+        ),
+        SocialPost(
+            post_id="p3",
+            platform="twitter",
+            account="@user_2",
+            article_url=sample_article.url,
+            text="Is this really true? Where is the evidence?",
+            created_at=base,
+            followers=120,
+            reply_to="p1",
+        ),
+    ]
+
+
+@pytest.fixture()
+def sample_reactions(sample_posts) -> list[Reaction]:
+    base = datetime(2020, 2, 10, 13, 0, 0)
+    kinds = [ReactionKind.LIKE, ReactionKind.SHARE, ReactionKind.REPLY, ReactionKind.LIKE, ReactionKind.QUOTE]
+    return [
+        Reaction(
+            reaction_id=f"r{i}",
+            post_id=sample_posts[i % len(sample_posts)].post_id,
+            kind=kinds[i % len(kinds)],
+            created_at=base,
+            account=f"@user_{i + 10}",
+            text="Totally agree, important read." if kinds[i % len(kinds)] is ReactionKind.REPLY else "",
+        )
+        for i in range(10)
+    ]

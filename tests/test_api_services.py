@@ -1,0 +1,196 @@
+"""Tests for the Indicators-API micro-services, gateway and cache."""
+
+import time
+
+import pytest
+
+from repro.api import build_gateway
+from repro.api.cache import TtlCache
+from repro.api.gateway import ApiGateway
+from repro.api.service import MicroService, ServiceRequest, ServiceResponse
+from repro.errors import RouteNotFound
+
+
+@pytest.fixture(scope="module")
+def gateway(loaded_platform):
+    return build_gateway(loaded_platform)
+
+
+class TestTtlCache:
+    def test_put_get_and_lru_eviction(self):
+        cache = TtlCache(capacity=2, ttl_seconds=100)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1      # refreshes recency of "a"
+        cache.put("c", 3)               # evicts "b"
+        assert cache.get("b") is None
+        assert cache.get("a") == 1 and cache.get("c") == 3
+
+    def test_ttl_expiry(self):
+        cache = TtlCache(capacity=4, ttl_seconds=0.01)
+        cache.put("a", 1)
+        time.sleep(0.03)
+        assert cache.get("a") is None
+
+    def test_zero_capacity_disables_caching(self):
+        cache = TtlCache(capacity=0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+
+    def test_stats_and_invalidate(self):
+        cache = TtlCache(capacity=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TtlCache(capacity=-1)
+        with pytest.raises(ValueError):
+            TtlCache(ttl_seconds=-1)
+
+
+class TestServiceFramework:
+    def test_unknown_operation_is_404(self):
+        service = MicroService()
+        response = service.handle("nope", ServiceRequest(route="service.nope"))
+        assert response.status == 404
+
+    def test_handler_exceptions_become_500(self):
+        service = MicroService()
+        service.register("boom", lambda request: 1 / 0)
+        response = service.handle("boom", ServiceRequest(route="service.boom"))
+        assert response.status == 500 and "ZeroDivisionError" in response.error
+
+    def test_missing_required_parameter_is_400(self):
+        service = MicroService()
+        service.register("echo", lambda request: ServiceResponse.success(request.param("x", required=True)))
+        response = service.handle("echo", ServiceRequest(route="service.echo"))
+        assert response.status == 400
+
+    def test_gateway_rejects_unknown_service_and_malformed_routes(self, gateway):
+        with pytest.raises(RouteNotFound):
+            gateway.handle("nosuch.operation")
+        with pytest.raises(RouteNotFound):
+            gateway.handle("malformed-route")
+
+
+class TestArticlesService:
+    def test_list_and_get(self, gateway, small_scenario):
+        listing = gateway.handle("articles.list", {"limit": 5})
+        assert listing.ok and listing.payload["total"] > 0
+        assert len(listing.payload["articles"]) <= 5
+
+        first = listing.payload["articles"][0]
+        fetched = gateway.handle("articles.get", {"article_id": first["article_id"]})
+        assert fetched.ok and fetched.payload["url"] == first["url"]
+
+        by_url = gateway.handle("articles.by_url", {"url": first["url"]})
+        assert by_url.ok and by_url.payload["article_id"] == first["article_id"]
+
+    def test_topic_and_outlet_filters(self, gateway, small_scenario):
+        outlet = small_scenario.outlets.profiles[0].domain
+        response = gateway.handle("articles.list", {"outlet_domain": outlet, "limit": 1000})
+        assert response.ok
+        assert all(a["outlet_domain"] == outlet for a in response.payload["articles"])
+
+        covid = gateway.handle("articles.list", {"topic": "covid19", "limit": 1000})
+        assert all("covid19" in a["topics"] for a in covid.payload["articles"])
+
+    def test_unknown_article_is_404(self, gateway):
+        assert gateway.handle("articles.get", {"article_id": "missing"}).status == 404
+
+    def test_outlets_listing(self, gateway, small_scenario):
+        response = gateway.handle("articles.outlets")
+        assert response.ok
+        assert len(response.payload["outlets"]) == len(small_scenario.outlets)
+
+
+class TestIndicatorsService:
+    def test_evaluate_by_id_and_cached(self, gateway, small_scenario, loaded_platform):
+        article = loaded_platform.get_article_by_url(small_scenario.topic_articles()[0].url)
+        response = gateway.handle("indicators.evaluate", {"article_id": article.article_id})
+        assert response.ok
+        assert 0.0 <= response.payload["final_score"] <= 1.0
+        assert "clickbait_score" in response.payload["indicators"]
+
+        cached = gateway.handle("indicators.cached", {"article_id": article.article_id})
+        assert cached.ok
+
+    def test_evaluate_unknown_article_is_404(self, gateway):
+        assert gateway.handle("indicators.evaluate", {"article_id": "missing"}).status == 404
+        assert gateway.handle("indicators.evaluate_url", {"url": "https://missing.example.com/x"}).status == 404
+
+    def test_evaluate_url_for_known_article(self, gateway, small_scenario):
+        url = small_scenario.topic_articles()[0].url
+        response = gateway.handle("indicators.evaluate_url", {"url": url})
+        assert response.ok and response.payload["url"] == url
+
+
+class TestReviewsService:
+    def test_submit_and_summarise(self, gateway, small_scenario, loaded_platform):
+        article = loaded_platform.get_article_by_url(small_scenario.topic_articles()[3].url)
+        submit = gateway.handle(
+            "reviews.submit",
+            {
+                "article_id": article.article_id,
+                "reviewer_id": "api-expert",
+                "scores": {"factual_accuracy": 4, "sources_quality": 5, "clickbaitness": 2},
+                "comment": "Well sourced.",
+            },
+        )
+        assert submit.ok
+
+        listing = gateway.handle("reviews.for_article", {"article_id": article.article_id})
+        assert listing.ok and len(listing.payload["reviews"]) >= 1
+
+        summary = gateway.handle("reviews.summary", {"article_id": article.article_id})
+        assert summary.ok and summary.payload["expert_n_reviews"] >= 1.0
+
+    def test_invalid_scores_rejected(self, gateway, small_scenario, loaded_platform):
+        article = loaded_platform.get_article_by_url(small_scenario.topic_articles()[4].url)
+        response = gateway.handle(
+            "reviews.submit",
+            {"article_id": article.article_id, "reviewer_id": "x", "scores": {"factual_accuracy": 9}},
+        )
+        assert response.status == 400
+
+
+class TestInsightsService:
+    def test_topic_bundle(self, gateway):
+        response = gateway.handle("insights.topic", {"topic": "covid19"})
+        assert response.ok
+        payload = response.payload
+        assert payload["topic"] == "covid19"
+        assert len(payload["newsroom_activity"]["days"]) > 0
+        assert payload["social_engagement"]["low_mean"] > payload["social_engagement"]["high_mean"]
+        assert payload["evidence_seeking"]["high_mean"] > payload["evidence_seeking"]["low_mean"]
+
+    def test_individual_axes_and_caching(self, gateway):
+        first = gateway.handle("insights.newsroom_activity", {"topic": "covid19"})
+        assert first.ok and len(first.payload["low_quality_series"]) == len(first.payload["days"])
+        hits_before = gateway.cache.hits
+        second = gateway.handle("insights.newsroom_activity", {"topic": "covid19"})
+        assert second.ok
+        assert gateway.cache.hits == hits_before + 1  # served from the response cache
+
+        engagement = gateway.handle("insights.social_engagement", {"topic": "covid19"})
+        assert engagement.ok and "kde" in engagement.payload
+        evidence = gateway.handle("insights.evidence_seeking", {"topic": "covid19"})
+        assert evidence.ok
+
+    def test_outlet_segments(self, gateway, small_scenario):
+        response = gateway.handle("insights.outlet_segments")
+        assert response.ok
+        total = sum(len(v) for v in response.payload["segments"].values())
+        assert total == len(small_scenario.outlets)
+
+    def test_gateway_stats_and_routes(self, gateway):
+        assert "indicators.evaluate" in gateway.routes()
+        stats = gateway.stats()
+        assert stats["requests"] > 0
+        assert "insights" in stats["services"]

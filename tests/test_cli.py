@@ -1,0 +1,53 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+CLI_SIZE = ["--outlets", "4", "--days", "8", "--scale", "0.25", "--seed", "7"]
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["insights"])
+        assert args.outlets == 10
+        assert args.days == 20
+        assert args.command == "insights"
+
+
+class TestCommands:
+    def test_insights_outputs_figure_summaries(self, capsys):
+        exit_code = main(CLI_SIZE + ["insights"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["topic"] == "covid19"
+        assert payload["articles"] > 0
+        assert "divergence_pct_points" in payload["newsroom_activity"]
+        assert payload["social_engagement"]["low_n"] >= 0
+
+    def test_assess_outputs_an_assessment_payload(self, capsys):
+        exit_code = main(CLI_SIZE + ["assess"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert 0.0 <= payload["final_score"] <= 1.0
+        assert "indicators" in payload
+
+    def test_assess_unknown_url_returns_error_code(self, capsys):
+        exit_code = main(CLI_SIZE + ["assess", "--url", "https://missing.example.com/x"])
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_status_reports_operational_counters(self, capsys):
+        exit_code = main(CLI_SIZE + ["status"])
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["articles"] > 0
+        assert payload["stream_lag"] == 0
+        assert payload["warehouse_rows"] > 0
+        assert sum(payload["outlet_segments"].values()) == 4

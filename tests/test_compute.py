@@ -1,0 +1,146 @@
+"""Tests for the batch-compute substrate (datasets, executor, shuffle, jobs)."""
+
+import pytest
+
+from repro.compute.dataset import Dataset
+from repro.compute.executor import LocalExecutor
+from repro.compute.jobs import JobTracker
+from repro.compute.shuffle import hash_partition, merge_partitions
+from repro.errors import ComputeError
+
+
+class TestDataset:
+    def _numbers(self, n=20, partitions=4):
+        return Dataset.from_iterable(range(n), n_partitions=partitions)
+
+    def test_collect_and_count(self):
+        ds = self._numbers()
+        assert sorted(ds.collect()) == list(range(20))
+        assert ds.count() == 20
+
+    def test_map_filter_flat_map(self):
+        ds = self._numbers(10)
+        assert sorted(ds.map(lambda x: x * 2).collect()) == [x * 2 for x in range(10)]
+        assert ds.filter(lambda x: x % 2 == 0).count() == 5
+        assert ds.flat_map(lambda x: [x, x]).count() == 20
+
+    def test_map_partitions(self):
+        ds = self._numbers(8, partitions=2)
+        sums = ds.map_partitions(lambda part: [sum(part)]).collect()
+        assert sum(sums) == sum(range(8))
+        assert len(sums) == 2
+
+    def test_reduce_by_key_and_count_by_key(self):
+        ds = self._numbers(10).key_by(lambda x: "even" if x % 2 == 0 else "odd")
+        totals = dict(ds.reduce_by_key(lambda a, b: a + b).collect())
+        assert totals == {"even": 20, "odd": 25}
+        counts = ds.count_by_key()
+        assert counts == {"even": 5, "odd": 5}
+
+    def test_group_by_key(self):
+        ds = Dataset.from_iterable(["a", "bb", "cc", "d"], n_partitions=2)
+        groups = dict(ds.key_by(len).group_by_key().collect())
+        assert sorted(groups[1]) == ["a", "d"]
+        assert sorted(groups[2]) == ["bb", "cc"]
+
+    def test_join(self):
+        left = Dataset.from_iterable([("a", 1), ("b", 2)], n_partitions=2)
+        right = Dataset.from_iterable([("a", "x"), ("a", "y"), ("c", "z")], n_partitions=2)
+        joined = sorted(left.join(right).collect())
+        assert joined == [("a", (1, "x")), ("a", (1, "y"))]
+
+    def test_keyed_ops_require_pairs(self):
+        with pytest.raises(ComputeError):
+            self._numbers(4).reduce_by_key(lambda a, b: a + b).collect()
+
+    def test_union_distinct_repartition(self):
+        a = Dataset.from_iterable([1, 2, 3], n_partitions=2)
+        b = Dataset.from_iterable([3, 4], n_partitions=1)
+        union = a.union(b)
+        assert sorted(union.collect()) == [1, 2, 3, 3, 4]
+        assert sorted(union.distinct().collect()) == [1, 2, 3, 4]
+        assert union.repartition(2).n_partitions == 2
+        assert sorted(union.repartition(2).collect()) == [1, 2, 3, 3, 4]
+
+    def test_take_first_reduce(self):
+        ds = self._numbers(10)
+        assert len(ds.take(3)) == 3
+        assert isinstance(ds.first(), int)
+        assert ds.reduce(lambda a, b: a + b) == 45
+        with pytest.raises(ComputeError):
+            Dataset.from_iterable([], n_partitions=1).first()
+        with pytest.raises(ComputeError):
+            Dataset.from_iterable([], n_partitions=1).reduce(lambda a, b: a + b)
+
+    def test_lineage_explain(self):
+        ds = self._numbers().map(lambda x: x).filter(lambda x: True)
+        assert ds.explain() == "from_iterable -> map -> filter"
+
+    def test_cache_materialises_once(self):
+        calls = {"n": 0}
+
+        def counting(x):
+            calls["n"] += 1
+            return x
+
+        ds = self._numbers(10).map(counting).cache()
+        ds.collect()
+        ds.collect()
+        assert calls["n"] == 10  # second collect served from cache
+
+    def test_executor_metrics_accumulate(self):
+        executor = LocalExecutor(max_workers=2)
+        ds = Dataset.from_iterable(range(10), n_partitions=2, executor=executor)
+        ds.map(lambda x: x + 1).collect()
+        assert executor.metrics.tasks_run >= 1
+        assert executor.metrics.partitions_processed >= 2
+
+    def test_sequential_executor(self):
+        executor = LocalExecutor(max_workers=1)
+        ds = Dataset.from_iterable(range(5), n_partitions=3, executor=executor)
+        assert sorted(ds.map(lambda x: x).collect()) == list(range(5))
+
+
+class TestShuffle:
+    def test_same_key_lands_in_same_partition(self):
+        records = [("a", 1), ("a", 2), ("b", 3), ("c", 4)]
+        partitions = hash_partition(records, 3)
+        location = {}
+        for index, partition in enumerate(partitions):
+            for key, _value in partition:
+                location.setdefault(key, set()).add(index)
+        assert all(len(indexes) == 1 for indexes in location.values())
+        assert sorted(merge_partitions(partitions)) == sorted(records)
+
+    def test_invalid_partition_count(self):
+        with pytest.raises(ComputeError):
+            hash_partition([("a", 1)], 0)
+
+
+class TestJobTracker:
+    def test_successful_job_records_result(self):
+        tracker = JobTracker()
+        tracker.register("add", lambda a, b: a + b)
+        result = tracker.run("add", 2, 3)
+        assert result.succeeded and result.result == 5
+        assert tracker.last_result("add").result == 5
+        assert tracker.success_rate() == 1.0
+
+    def test_failing_job_is_captured_not_raised(self):
+        tracker = JobTracker()
+        tracker.register("boom", lambda: 1 / 0)
+        result = tracker.run("boom")
+        assert not result.succeeded
+        assert "ZeroDivisionError" in result.error
+        assert tracker.success_rate("boom") == 0.0
+
+    def test_unknown_job(self):
+        with pytest.raises(ComputeError):
+            JobTracker().run("missing")
+
+    def test_job_names_listing(self):
+        tracker = JobTracker()
+        tracker.register("b", lambda: None)
+        tracker.register("a", lambda: None)
+        assert tracker.job_names() == ["a", "b"]
+        assert tracker.last_result("a") is None

@@ -1,0 +1,63 @@
+"""Tests for the platform configuration objects."""
+
+import pytest
+
+from repro.config import (
+    AnalyticsConfig,
+    ApiConfig,
+    IndicatorConfig,
+    PlatformConfig,
+    StorageConfig,
+    StreamingConfig,
+)
+from repro.errors import ConfigurationError
+
+
+def test_default_platform_config_validates():
+    config = PlatformConfig()
+    assert config.validate() is config
+
+
+def test_streaming_config_rejects_bad_partitions():
+    with pytest.raises(ConfigurationError):
+        StreamingConfig(partitions=0).validate()
+    with pytest.raises(ConfigurationError):
+        StreamingConfig(max_batch_size=0).validate()
+
+
+def test_storage_config_rejects_bad_replication():
+    with pytest.raises(ConfigurationError):
+        StorageConfig(warehouse_replication=0).validate()
+    with pytest.raises(ConfigurationError):
+        StorageConfig(warehouse_block_rows=0).validate()
+
+
+def test_analytics_config_rejects_bad_values():
+    with pytest.raises(ConfigurationError):
+        AnalyticsConfig(migration_interval_days=0).validate()
+    with pytest.raises(ConfigurationError):
+        AnalyticsConfig(min_topic_probability=1.5).validate()
+
+
+def test_indicator_config_rejects_negative_and_all_zero_weights():
+    with pytest.raises(ConfigurationError):
+        IndicatorConfig(content_weight=-1.0).validate()
+    with pytest.raises(ConfigurationError):
+        IndicatorConfig(
+            content_weight=0, context_weight=0, social_weight=0, expert_weight=0
+        ).validate()
+    with pytest.raises(ConfigurationError):
+        IndicatorConfig(expert_half_life_days=0).validate()
+
+
+def test_api_config_rejects_negative_values():
+    with pytest.raises(ConfigurationError):
+        ApiConfig(cache_capacity=-1).validate()
+    with pytest.raises(ConfigurationError):
+        ApiConfig(cache_ttl_seconds=-0.1).validate()
+
+
+def test_nested_validation_runs_from_platform_config():
+    config = PlatformConfig(streaming=StreamingConfig(partitions=0))
+    with pytest.raises(ConfigurationError):
+        config.validate()

@@ -1,0 +1,92 @@
+"""Tests for the warehouse batch-analytics jobs (repro.core.analytics)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.core.analytics import WarehouseAnalytics
+from repro.errors import WarehouseError
+from repro.models import RatingClass
+from repro.storage.warehouse.warehouse import Warehouse
+
+
+@pytest.fixture(scope="module")
+def migrated(loaded_platform):
+    """The shared platform with its history migrated into the warehouse."""
+    loaded_platform.run_daily_migration(now=datetime(2020, 3, 20))
+    return loaded_platform
+
+
+class TestWarehouseAnalytics:
+    def test_daily_article_counts_match_the_operational_store(self, migrated):
+        analytics = migrated.warehouse_analytics()
+        counts = analytics.daily_article_counts()
+        assert sum(counts.values()) == migrated.article_count()
+        assert all(count > 0 for count in counts.values())
+        # Days are returned in calendar order.
+        days = list(counts)
+        assert days == sorted(days)
+
+    def test_topic_filtered_counts_are_a_subset(self, migrated):
+        analytics = migrated.warehouse_analytics()
+        all_counts = analytics.daily_article_counts()
+        covid_counts = analytics.daily_article_counts("covid19")
+        assert sum(covid_counts.values()) < sum(all_counts.values())
+        for day, count in covid_counts.items():
+            assert count <= all_counts[day]
+
+    def test_articles_per_outlet_cover_every_outlet(self, migrated, small_scenario):
+        analytics = migrated.warehouse_analytics()
+        per_outlet = analytics.articles_per_outlet()
+        assert sum(per_outlet.values()) == migrated.article_count()
+        assert set(per_outlet) <= {p.domain for p in small_scenario.outlets}
+
+    def test_outlet_activity_profiles_join_posts_and_reactions(self, migrated, small_scenario):
+        analytics = migrated.warehouse_analytics()
+        profiles = analytics.outlet_activity_profiles("covid19")
+        assert len(profiles) == len(analytics.articles_per_outlet())
+        total_reactions = sum(p.reactions for p in profiles.values())
+        assert total_reactions == len(small_scenario.reactions)
+        for profile in profiles.values():
+            assert 0.0 <= profile.topic_share <= 1.0
+            assert profile.active_days >= 1
+            assert profile.posts >= profile.articles  # every article is announced
+
+    def test_rating_class_summary_shows_quality_contrast(self, migrated):
+        analytics = migrated.warehouse_analytics()
+        summary = analytics.rating_class_summary(migrated.outlet_ratings, "covid19")
+        assert summary, "at least one rating class must be present"
+        low_classes = [v for k, v in summary.items() if RatingClass(k).is_low_quality]
+        high_classes = [v for k, v in summary.items() if RatingClass(k).is_high_quality]
+        if low_classes and high_classes:
+            low_reach = max(c["mean_reactions_per_article"] for c in low_classes)
+            high_reach = max(c["mean_reactions_per_article"] for c in high_classes)
+            assert low_reach > high_reach
+
+    def test_missing_table_raises(self):
+        analytics = WarehouseAnalytics(Warehouse())
+        with pytest.raises(WarehouseError):
+            analytics.daily_article_counts()
+
+
+class TestMonitoringService:
+    def test_status_jobs_models_and_stream(self, migrated):
+        from repro.api import build_gateway
+
+        gateway = build_gateway(migrated)
+        status = gateway.handle("monitoring.status")
+        assert status.ok and status.payload["articles"] == migrated.article_count()
+
+        jobs = gateway.handle("monitoring.jobs")
+        assert jobs.ok
+        assert "daily_migration" in jobs.payload["registered"]
+        assert jobs.payload["runs"], "the migration fixture ran at least one job"
+
+        stream = gateway.handle("monitoring.stream")
+        assert stream.ok
+        assert stream.payload["pipeline"]["lag"] == 0
+        assert "postings" in stream.payload["topics"]
+
+        models = gateway.handle("monitoring.models")
+        assert models.ok
+        assert isinstance(models.payload["models"], dict)

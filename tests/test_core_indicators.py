@@ -1,0 +1,141 @@
+"""Tests for the three indicator families and their fusion."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.config import IndicatorConfig
+from repro.core.indicators.aggregate import IndicatorEngine
+from repro.core.indicators.content import ContentIndicatorComputer
+from repro.core.indicators.context import ContextIndicatorComputer, ContextIndicators
+from repro.core.indicators.social import SocialIndicatorComputer
+from repro.models import Article
+
+NOW = datetime(2020, 2, 10, 9, 0)
+
+
+def make_article(title, text, author=None, html="", url="https://low.example.com/a", topics=()):
+    return Article(
+        article_id="art-x",
+        url=url,
+        outlet_domain="low.example.com",
+        title=title,
+        published_at=NOW,
+        text=text,
+        html=html,
+        author=author,
+        topics=tuple(topics),
+    )
+
+
+class TestContentIndicators:
+    def test_quality_article_scores_better_than_clickbait_article(self):
+        computer = ContentIndicatorComputer()
+        good = computer.compute(make_article(
+            "Study examines vaccine efficacy",
+            "The peer-reviewed study measured infection rates in 2400 participants. "
+            "Researchers report a statistically significant association according to the data. "
+            "The authors caution that the findings require replication.",
+            author="Jane Roe",
+        ))
+        bad = computer.compute(make_article(
+            "You won't believe this SHOCKING vaccine secret!!!",
+            "This is absolutely terrifying and outrageous. I think everyone should panic "
+            "because the shocking truth is being hidden from you. It is a complete disaster.",
+        ))
+        assert good.clickbait_score < bad.clickbait_score
+        assert good.subjectivity < bad.subjectivity
+        assert good.has_byline and not bad.has_byline
+        assert good.quality_score > bad.quality_score
+
+    def test_as_dict_contains_all_indicators(self):
+        indicators = ContentIndicatorComputer().compute(make_article("T", "Some body text here.", author="A"))
+        payload = indicators.as_dict()
+        assert {"clickbait_score", "subjectivity", "readability", "has_byline", "content_quality"} <= set(payload)
+
+    def test_readability_report_kept_on_request(self):
+        computer = ContentIndicatorComputer(keep_readability_report=True)
+        indicators = computer.compute(make_article("T", "Short sentences are easy. They read well."))
+        assert indicators.readability_report is not None
+
+
+class TestContextIndicators:
+    HTML = (
+        "<html><body>"
+        '<p><a href="https://low.example.com/related/1">see also</a></p>'
+        '<p><a href="https://nature.com/articles/1">study</a>'
+        '   <a href="https://who.int/report">report</a></p>'
+        '<p><a href="https://othernews.example.org/x">other coverage</a></p>'
+        "</body></html>"
+    )
+
+    def test_links_parsed_from_html_and_classified(self):
+        indicators = ContextIndicatorComputer().compute(make_article("T", "body", html=self.HTML))
+        assert indicators.internal_references == 1
+        assert indicators.external_references == 1
+        assert indicators.scientific_references == 2
+        assert indicators.scientific_ratio == pytest.approx(0.5)
+        assert indicators.quality_score > 0.3
+
+    def test_explicit_links_override_html(self):
+        indicators = ContextIndicatorComputer().compute(
+            make_article("T", "body", html=self.HTML), links=["https://nature.com/x"]
+        )
+        assert indicators.total_references == 1
+        assert indicators.scientific_ratio == 1.0
+
+    def test_no_references_scores_zero(self):
+        indicators = ContextIndicatorComputer().compute(make_article("T", "body"))
+        assert indicators.total_references == 0
+        assert indicators.quality_score == 0.0
+        assert indicators.scientific_ratio == 0.0
+
+    def test_more_scientific_references_increase_quality(self):
+        few = ContextIndicators(article_id="a", internal_references=0, external_references=0, scientific_references=1)
+        many = ContextIndicators(article_id="a", internal_references=0, external_references=0, scientific_references=4)
+        assert many.quality_score > few.quality_score
+
+
+class TestSocialIndicators:
+    def test_reach_and_stance_computed(self, sample_article, sample_posts, sample_reactions):
+        indicators = SocialIndicatorComputer().compute(sample_article, sample_posts, sample_reactions)
+        assert indicators.n_posts == 3
+        assert indicators.n_reactions == 10
+        assert 0.0 < indicators.popularity <= 1.0
+        assert indicators.positive_stance > 0.0
+        assert indicators.negative_stance > 0.0
+        assert 0.0 <= indicators.quality_score <= 1.0
+
+    def test_no_discussion_is_neutral(self, sample_article):
+        indicators = SocialIndicatorComputer().compute(sample_article, [], [])
+        assert indicators.quality_score == 0.5
+        assert indicators.n_posts == 0
+
+
+class TestIndicatorEngine:
+    def test_profile_combines_all_families(self, sample_article, sample_posts, sample_reactions):
+        engine = IndicatorEngine()
+        profile = engine.profile(sample_article, sample_posts, sample_reactions)
+        assert profile.article_id == sample_article.article_id
+        assert set(profile.family_scores()) == {"content", "context", "social"}
+        assert 0.0 <= profile.automated_score <= 1.0
+        payload = profile.as_dict()
+        assert "clickbait_score" in payload and "scientific_ratio" in payload and "popularity" in payload
+
+    def test_weights_shift_the_fused_score(self, sample_article, sample_posts, sample_reactions):
+        content_only = IndicatorEngine(IndicatorConfig(content_weight=1, context_weight=0, social_weight=0))
+        context_only = IndicatorEngine(IndicatorConfig(content_weight=0, context_weight=1, social_weight=0))
+        p1 = content_only.profile(sample_article, sample_posts, sample_reactions)
+        p2 = context_only.profile(sample_article, sample_posts, sample_reactions)
+        assert p1.automated_score == pytest.approx(p1.content.quality_score)
+        assert p2.automated_score == pytest.approx(p2.context.quality_score)
+
+    def test_profile_many_matches_single_profiles(self, sample_article, sample_posts, sample_reactions):
+        engine = IndicatorEngine()
+        posts_by_url = {sample_article.url: sample_posts}
+        reactions_by_post = {}
+        for reaction in sample_reactions:
+            reactions_by_post.setdefault(reaction.post_id, []).append(reaction)
+        batch = engine.profile_many([sample_article], posts_by_url, reactions_by_post)
+        single = engine.profile(sample_article, sample_posts, reactions_by_post)
+        assert batch[0].automated_score == pytest.approx(single.automated_score)

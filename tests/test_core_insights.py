@@ -1,0 +1,149 @@
+"""Tests for the §4.2 insights engine (newsroom activity, engagement, evidence)."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.core.insights import DistributionComparison, InsightsEngine, NewsroomActivity
+from repro.errors import ValidationError
+from repro.models import Article, RatingClass
+
+START = datetime(2020, 1, 15)
+END = datetime(2020, 1, 25)
+
+OUTLET_RATINGS = {
+    "low.example.com": RatingClass.LOW,
+    "verylow.example.com": RatingClass.VERY_LOW,
+    "high.example.com": RatingClass.HIGH,
+    "veryhigh.example.com": RatingClass.VERY_HIGH,
+    "mixed.example.com": RatingClass.MIXED,
+}
+
+
+def make_article(index, outlet, day, covid):
+    return Article(
+        article_id=f"a-{outlet}-{index}",
+        url=f"https://{outlet}/{index}",
+        outlet_domain=outlet,
+        title="t",
+        published_at=START + timedelta(days=day, hours=10),
+        text="body",
+        topics=("covid19",) if covid else ("other",),
+    )
+
+
+def synthetic_articles():
+    """Low-quality outlets shift towards COVID in the second half of the window."""
+    articles = []
+    index = 0
+    for day in range(10):
+        late = day >= 5
+        for outlet in ("low.example.com", "verylow.example.com"):
+            for i in range(4):
+                covid = i < (3 if late else 1)      # 75% late vs 25% early
+                articles.append(make_article(index, outlet, day, covid))
+                index += 1
+        for outlet in ("high.example.com", "veryhigh.example.com"):
+            for i in range(4):
+                covid = i < 1                       # constant 25%
+                articles.append(make_article(index, outlet, day, covid))
+                index += 1
+    return articles
+
+
+class TestNewsroomActivity:
+    def test_series_cover_every_day_and_class(self):
+        engine = InsightsEngine(OUTLET_RATINGS)
+        activity = engine.newsroom_activity(synthetic_articles(), "covid19", START, END)
+        assert len(activity.days) == 10
+        for rating in RatingClass:
+            assert len(activity.series_for(rating)) == 10
+
+    def test_low_quality_outlets_diverge_in_the_second_half(self):
+        engine = InsightsEngine(OUTLET_RATINGS)
+        activity = engine.newsroom_activity(synthetic_articles(), "covid19", START, END, smoothing_days=1)
+        assert activity.mean_share(True, first_half=True) == pytest.approx(
+            activity.mean_share(False, first_half=True), abs=5.0
+        )
+        assert activity.divergence() > 30.0
+
+    def test_unknown_rating_class_raises(self):
+        engine = InsightsEngine(OUTLET_RATINGS)
+        activity = engine.newsroom_activity(synthetic_articles(), "covid19", START, END)
+        with pytest.raises(ValidationError):
+            activity.series_for("no-such-class")
+
+    def test_smoothing_preserves_series_length(self):
+        engine = InsightsEngine(OUTLET_RATINGS)
+        smooth = engine.newsroom_activity(synthetic_articles(), "covid19", START, END, smoothing_days=5)
+        raw = engine.newsroom_activity(synthetic_articles(), "covid19", START, END, smoothing_days=1)
+        assert len(smooth.group_series(True)) == len(raw.group_series(True))
+
+    def test_articles_outside_the_window_are_ignored(self):
+        engine = InsightsEngine(OUTLET_RATINGS)
+        outside = [make_article(999, "low.example.com", 400, True)]
+        activity = engine.newsroom_activity(outside, "covid19", START, END)
+        assert all(v == 0.0 for v in activity.group_series(True))
+
+
+class TestDistributions:
+    def test_social_engagement_split(self):
+        engine = InsightsEngine(OUTLET_RATINGS)
+        reactions = {"a1": 500, "a2": 80, "a3": 12, "a4": 9, "a5": 40}
+        outlets = {
+            "a1": "low.example.com", "a2": "verylow.example.com",
+            "a3": "high.example.com", "a4": "veryhigh.example.com",
+            "a5": "mixed.example.com",   # mixed outlets are excluded from the comparison
+        }
+        comparison = engine.social_engagement(reactions, outlets)
+        assert comparison.low_quality_samples == (500.0, 80.0)
+        assert comparison.high_quality_samples == (12.0, 9.0)
+        assert comparison.low_mean_higher()
+        assert comparison.low_spread_wider()
+
+    def test_evidence_seeking_split(self):
+        engine = InsightsEngine(OUTLET_RATINGS)
+        ratios = {"a1": 0.0, "a2": 0.05, "a3": 0.5, "a4": 0.4}
+        outlets = {"a1": "low.example.com", "a2": "verylow.example.com",
+                   "a3": "high.example.com", "a4": "veryhigh.example.com"}
+        comparison = engine.evidence_seeking(ratios, outlets)
+        assert not comparison.low_mean_higher()
+        summary = comparison.summary()
+        assert summary["high_mean"] > summary["low_mean"] + 0.3
+
+    def test_kde_curves_shapes(self):
+        comparison = DistributionComparison(
+            quantity="x",
+            low_quality_samples=tuple(float(v) for v in range(20)),
+            high_quality_samples=(1.0, 2.0, 3.0, 4.0),
+        )
+        curves = comparison.kde_curves(n_points=64)
+        assert len(curves["low-quality"][0]) == 64
+        assert len(curves["high-quality"][1]) == 64
+
+    def test_kde_curves_with_too_few_samples_are_empty(self):
+        comparison = DistributionComparison("x", (1.0,), ())
+        curves = comparison.kde_curves()
+        assert curves["low-quality"] == ([], [])
+        assert curves["high-quality"] == ([], [])
+
+    def test_unknown_outlets_are_skipped(self):
+        engine = InsightsEngine(OUTLET_RATINGS)
+        comparison = engine.social_engagement({"a1": 10}, {"a1": "unknown.example.com"})
+        assert comparison.low_quality_samples == ()
+        assert comparison.high_quality_samples == ()
+
+
+class TestTopicInsightsBundle:
+    def test_bundle_combines_all_three_axes(self):
+        engine = InsightsEngine(OUTLET_RATINGS)
+        articles = synthetic_articles()
+        covid_ids = [a.article_id for a in articles if "covid19" in a.topics]
+        reactions = {aid: (300 if "low" in aid else 20) for aid in covid_ids}
+        ratios = {aid: (0.02 if "low" in aid else 0.45) for aid in covid_ids}
+        insights = engine.topic_insights(articles, "covid19", START, END, reactions, ratios)
+        assert insights.topic_key == "covid19"
+        assert insights.metadata["n_articles"] == len(articles)
+        assert insights.newsroom_activity.divergence() > 0
+        assert insights.social_engagement.low_mean_higher()
+        assert not insights.evidence_seeking.low_mean_higher()

@@ -1,0 +1,146 @@
+"""Tests for the SciLensPlatform orchestrator (uses the shared loaded platform)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import ArticleNotFound
+from repro.models import ExpertReview, RatingClass
+
+
+class TestIngestion:
+    def test_stream_processing_stored_everything(self, loaded_platform, small_scenario):
+        status = loaded_platform.status()
+        assert status["articles"] == len(small_scenario.articles)
+        assert status["posts"] == len(small_scenario.posts)
+        assert status["reactions"] == len(small_scenario.reactions)
+        assert status["stream_lag"] == 0
+        assert status["outlets"] == len(small_scenario.outlets)
+
+    def test_articles_round_trip_through_the_operational_store(self, loaded_platform, small_scenario):
+        generated = small_scenario.articles[0]
+        stored = loaded_platform.get_article_by_url(generated.url)
+        assert stored.outlet_domain == generated.article.outlet_domain
+        assert stored.title == generated.article.title
+        assert loaded_platform.get_article(stored.article_id).url == generated.url
+
+    def test_missing_article_raises(self, loaded_platform):
+        with pytest.raises(ArticleNotFound):
+            loaded_platform.get_article("missing-id")
+        with pytest.raises(ArticleNotFound):
+            loaded_platform.get_article_by_url("https://nowhere.example.com/x")
+
+    def test_posts_and_reactions_linked_to_articles(self, loaded_platform, small_scenario):
+        covid_article = small_scenario.topic_articles()[0]
+        posts = loaded_platform.posts_for_article(covid_article.url)
+        assert posts, "covid articles always have at least the outlet announcement post"
+        reactions = loaded_platform.reactions_for_posts([p.post_id for p in posts])
+        assert set(reactions) == {p.post_id for p in posts}
+
+
+class TestSegmentation:
+    def test_supervised_topic_tagging_marks_covid_articles(self, loaded_platform, small_scenario):
+        tagged = [a for a in loaded_platform.articles() if "covid19" in a.topics]
+        generated_covid = small_scenario.topic_articles()
+        tagged_ids = {a.url for a in tagged}
+        generated_ids = {g.url for g in generated_covid}
+        # keyword tagging recovers the large majority of the generated COVID articles
+        recall = len(tagged_ids & generated_ids) / len(generated_ids)
+        assert recall > 0.85
+
+    def test_outlet_segments_follow_rating_classes(self, loaded_platform, small_scenario):
+        segments = loaded_platform.outlet_segments()
+        total = sum(len(domains) for domains in segments.values())
+        assert total == len(small_scenario.outlets)
+        for rating_value, domains in segments.items():
+            for domain in domains:
+                assert small_scenario.outlets.get(domain).rating_class.value == rating_value
+
+
+class TestEvaluationAndReviews:
+    def test_evaluate_article_and_indicator_cache(self, loaded_platform, small_scenario):
+        article = loaded_platform.get_article_by_url(small_scenario.topic_articles()[0].url)
+        assessment = loaded_platform.evaluate_article(article.article_id)
+        assert 0.0 <= assessment.final_score <= 1.0
+        assert assessment.outlet_rating is not None
+        cached = loaded_platform.cached_indicators(article.article_id)
+        assert cached is not None
+        assert cached["automated_score"] == pytest.approx(assessment.profile.automated_score)
+
+    def test_evaluate_url_for_stored_article(self, loaded_platform, small_scenario):
+        url = small_scenario.topic_articles()[1].url
+        assessment = loaded_platform.evaluate_url(url)
+        assert assessment.url == url
+
+    def test_expert_review_changes_the_final_score(self, loaded_platform, small_scenario):
+        article = loaded_platform.get_article_by_url(small_scenario.topic_articles()[2].url)
+        before = loaded_platform.evaluate_article(article.article_id).final_score
+        loaded_platform.add_expert_review(
+            ExpertReview(
+                review_id=f"rev-{article.article_id}-tester",
+                article_id=article.article_id,
+                reviewer_id="tester",
+                created_at=datetime(2020, 3, 14),
+                scores={"factual_accuracy": 5, "sources_quality": 5, "clickbaitness": 1,
+                        "fairness": 5, "logic_reasoning": 5, "precision_clarity": 5,
+                        "scientific_understanding": 5},
+                comment="Excellent piece.",
+            )
+        )
+        after = loaded_platform.evaluate_article(article.article_id)
+        assert after.has_expert_reviews
+        assert after.final_score >= before
+        assert loaded_platform.status()["reviews"] >= 1
+
+
+class TestAnalyticsJobs:
+    def test_daily_migration_moves_rows_once(self, loaded_platform):
+        first = loaded_platform.run_daily_migration(now=datetime(2020, 3, 16))
+        second = loaded_platform.run_daily_migration(now=datetime(2020, 3, 17))
+        assert first.total_rows > 0
+        assert second.total_rows == 0
+        assert loaded_platform.warehouse.total_rows() >= first.total_rows
+        # articles are partitioned by day in the warehouse
+        assert len(loaded_platform.warehouse.table("articles").partitions()) > 1
+
+    def test_periodic_training_registers_models(self, loaded_platform):
+        trained = loaded_platform.train_models(now=datetime(2020, 3, 16))
+        assert trained["n_articles"] > 0
+        assert "clickbait_model_version" in trained
+        assert "topic_model_version" in trained
+        assert set(loaded_platform.models.names()) >= {"clickbait-title", "topic-hierarchy"}
+        clickbait_model = loaded_platform.models.get("clickbait-title")
+        proba = clickbait_model.predict_proba(["You won't believe this shocking trick"])
+        assert 0.0 <= float(proba[0]) <= 1.0
+
+    def test_topic_insights_reproduce_the_papers_shapes(self, loaded_platform, small_scenario):
+        insights = loaded_platform.topic_insights(
+            "covid19",
+            window_start=small_scenario.window_start,
+            window_end=small_scenario.window_end,
+        )
+        activity = insights.newsroom_activity
+        # Low-quality outlets devote a larger share of their output to the topic
+        # in the second half of the window (Figure 4).
+        assert activity.mean_share(True, first_half=False) > activity.mean_share(False, first_half=False)
+        # Low-quality articles attract more and more widely spread reactions (Figure 5 left).
+        assert insights.social_engagement.low_mean_higher()
+        # High-quality articles cite scientific sources more (Figure 5 right).
+        assert not insights.evidence_seeking.low_mean_higher()
+
+    def test_topic_insights_require_articles(self):
+        from repro import PlatformConfig, SciLensPlatform
+
+        empty = SciLensPlatform(PlatformConfig())
+        with pytest.raises(ArticleNotFound):
+            empty.topic_insights()
+
+
+class TestOutletRegistration:
+    def test_register_outlet_is_idempotent(self, loaded_platform, small_scenario):
+        outlet = small_scenario.outlets.outlets()[0]
+        before = loaded_platform.status()["outlets"]
+        loaded_platform.register_outlet(outlet)
+        assert loaded_platform.status()["outlets"] == before
+        assert loaded_platform.outlet_rating(outlet.domain) is outlet.rating_class
+        assert loaded_platform.outlet_rating("unknown.example.com") is None

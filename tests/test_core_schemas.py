@@ -1,0 +1,93 @@
+"""Tests for the operational-store schemas and the logging helpers."""
+
+import logging
+from datetime import datetime
+
+import pytest
+
+from repro.core.schemas import (
+    all_schemas,
+    articles_schema,
+    indicators_schema,
+    outlets_schema,
+    posts_schema,
+    reactions_schema,
+    reviews_schema,
+)
+from repro.errors import SchemaError
+from repro.logging_utils import configure_logging, get_logger
+from repro.storage.rdbms.database import Database
+
+
+class TestSchemas:
+    def test_every_schema_has_a_primary_key(self):
+        for schema in all_schemas():
+            assert schema.primary_key is not None
+            assert schema.has_column(schema.primary_key)
+
+    def test_all_schemas_create_in_one_database(self):
+        db = Database()
+        for schema in all_schemas():
+            db.create_table(schema)
+        assert set(db.table_names()) == {
+            "articles", "posts", "reactions", "reviews", "outlets", "indicators"
+        }
+
+    def test_articles_schema_round_trip(self):
+        db = Database()
+        db.create_table(articles_schema())
+        db.insert("articles", {
+            "article_id": "a1",
+            "url": "https://x.example.com/a",
+            "outlet_domain": "x.example.com",
+            "title": "T",
+            "published_at": datetime(2020, 2, 1),
+            "created_at": datetime(2020, 2, 1, 1),
+            "ingested_at": datetime(2020, 2, 1, 2),
+            "topics": ["covid19"],
+        })
+        row = db.get("articles", "a1")
+        assert row["topics"] == ["covid19"]
+        assert row["text"] == ""      # default applied
+
+    def test_articles_url_is_unique(self):
+        db = Database()
+        db.create_table(articles_schema())
+        base = {
+            "url": "https://x.example.com/a",
+            "outlet_domain": "x.example.com",
+            "title": "T",
+            "published_at": datetime(2020, 2, 1),
+            "created_at": datetime(2020, 2, 1),
+            "ingested_at": datetime(2020, 2, 1),
+        }
+        db.insert("articles", {"article_id": "a1", **base})
+        with pytest.raises(Exception):
+            db.insert("articles", {"article_id": "a2", **base})
+
+    def test_required_timestamps_are_enforced(self):
+        db = Database()
+        db.create_table(posts_schema())
+        with pytest.raises(SchemaError):
+            db.insert("posts", {"post_id": "p1", "account": "@a",
+                                "article_url": "https://x.example.com/a"})
+
+    def test_individual_schema_names(self):
+        assert posts_schema().name == "posts"
+        assert reactions_schema().name == "reactions"
+        assert reviews_schema().name == "reviews"
+        assert outlets_schema().name == "outlets"
+        assert indicators_schema().name == "indicators"
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger("repro.core").name == "repro.core"
+        assert get_logger("custom").name == "repro.custom"
+
+    def test_configure_logging_is_idempotent(self):
+        configure_logging(logging.DEBUG)
+        configure_logging(logging.DEBUG)
+        root = logging.getLogger("repro")
+        assert len(root.handlers) == 1
+        assert root.level == logging.DEBUG

@@ -1,0 +1,125 @@
+"""Tests for score fusion with expert reviews and the evaluation pipeline."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.config import IndicatorConfig
+from repro.core.indicators.aggregate import IndicatorEngine
+from repro.core.pipeline import ArticleEvaluationPipeline
+from repro.core.scoring import fuse_scores
+from repro.errors import ScrapingError
+from repro.experts.aggregation import ReviewAggregator
+from repro.experts.reviewers import ReviewerPool
+from repro.models import ExpertReview, RatingClass
+from repro.web.scraper import ArticleScraper
+from repro.web.sitestore import SiteStore
+
+NOW = datetime(2020, 3, 1, 10, 0)
+
+
+def expert_review(article_id, quality, reviewer="e1", created_at=NOW):
+    likert = 1 + round(quality * 4)
+    return ExpertReview(
+        review_id=f"rev-{article_id}-{reviewer}",
+        article_id=article_id,
+        reviewer_id=reviewer,
+        created_at=created_at,
+        scores={
+            "factual_accuracy": likert,
+            "sources_quality": likert,
+            "clickbaitness": 6 - likert,
+        },
+        comment="Strong sourcing." if quality > 0.5 else "Weak sourcing.",
+    )
+
+
+class TestFuseScores:
+    def test_without_reviews_the_automated_score_stands(self, sample_article, sample_posts, sample_reactions):
+        profile = IndicatorEngine().profile(sample_article, sample_posts, sample_reactions)
+        assert fuse_scores(profile, None) == pytest.approx(profile.automated_score)
+
+    def test_expert_reviews_pull_the_score_towards_their_consensus(
+        self, sample_article, sample_posts, sample_reactions
+    ):
+        profile = IndicatorEngine().profile(sample_article, sample_posts, sample_reactions)
+        aggregator = ReviewAggregator()
+        good = aggregator.summarize(sample_article.article_id, [expert_review(sample_article.article_id, 1.0)], as_of=NOW)
+        bad = aggregator.summarize(sample_article.article_id, [expert_review(sample_article.article_id, 0.0)], as_of=NOW)
+        fused_good = fuse_scores(profile, good)
+        fused_bad = fuse_scores(profile, bad)
+        assert fused_good > profile.automated_score - 1e-9 or fused_good > fused_bad
+        assert fused_good > fused_bad
+
+    def test_expert_weight_controls_the_pull(self, sample_article, sample_posts, sample_reactions):
+        profile = IndicatorEngine().profile(sample_article, sample_posts, sample_reactions)
+        summary = ReviewAggregator().summarize(
+            sample_article.article_id, [expert_review(sample_article.article_id, 1.0)], as_of=NOW
+        )
+        light = fuse_scores(profile, summary, IndicatorConfig(expert_weight=0.5))
+        heavy = fuse_scores(profile, summary, IndicatorConfig(expert_weight=10.0))
+        assert abs(heavy - summary.overall_quality) < abs(light - summary.overall_quality)
+
+
+class TestEvaluationPipeline:
+    def test_evaluate_article_produces_full_assessment(self, sample_article, sample_posts, sample_reactions):
+        pipeline = ArticleEvaluationPipeline(
+            outlet_ratings={"dailyscience.example.com": RatingClass.HIGH}
+        )
+        pipeline.add_review(expert_review(sample_article.article_id, 0.9))
+        assessment = pipeline.evaluate_article(sample_article, sample_posts, sample_reactions, as_of=NOW)
+
+        assert assessment.article_id == sample_article.article_id
+        assert assessment.has_expert_reviews
+        assert assessment.outlet_rating is RatingClass.HIGH
+        assert 0.0 <= assessment.final_score <= 1.0
+        assert assessment.expert_comments == ("Strong sourcing.",)
+
+        payload = assessment.to_payload()
+        assert payload["final_rating"] in {r.value for r in RatingClass}
+        assert payload["expert"]["expert_n_reviews"] == 1.0
+        assert "indicators" in payload and "family_scores" in payload
+
+    def test_only_latest_review_per_reviewer_counts(self, sample_article):
+        pipeline = ArticleEvaluationPipeline()
+        pipeline.add_review(expert_review(sample_article.article_id, 0.0, created_at=NOW - timedelta(days=2)))
+        pipeline.add_review(
+            ExpertReview(
+                review_id="rev-revised",
+                article_id=sample_article.article_id,
+                reviewer_id="e1",
+                created_at=NOW,
+                scores={"factual_accuracy": 5, "sources_quality": 5, "clickbaitness": 1},
+            )
+        )
+        assessment = pipeline.evaluate_article(sample_article, as_of=NOW)
+        assert assessment.expert_summary.n_reviews == 1
+        assert assessment.expert_summary.overall_quality > 0.9
+
+    def test_evaluate_url_scrapes_arbitrary_articles(self):
+        store = SiteStore()
+        url = "https://anysite.example.net/2020/03/01/arbitrary"
+        store.register(url, (
+            "<html><head><title>Arbitrary story about the outbreak</title></head>"
+            "<body><p>Plain coverage with <a href=\"https://cdc.gov/data\">official data</a>.</p></body></html>"
+        ))
+        pipeline = ArticleEvaluationPipeline(scraper=ArticleScraper(store))
+        assessment = pipeline.evaluate_url(url)
+        assert assessment.title == "Arbitrary story about the outbreak"
+        assert assessment.profile.context.scientific_references == 1
+        assert not assessment.has_expert_reviews
+
+    def test_evaluate_url_without_scraper_raises(self, sample_article):
+        pipeline = ArticleEvaluationPipeline(scraper=None)
+        with pytest.raises(ScrapingError):
+            pipeline.evaluate_url("https://example.com/x")
+
+    def test_simulated_reviewer_pool_integrates_with_pipeline(self, sample_article):
+        pipeline = ArticleEvaluationPipeline()
+        for review in ReviewerPool(n_reviewers=3, random_seed=5).review_article(
+            sample_article.article_id, 0.85, NOW
+        ):
+            pipeline.add_review(review)
+        assessment = pipeline.evaluate_article(sample_article, as_of=NOW)
+        assert assessment.expert_summary.n_reviews == 3
+        assert assessment.final_score > 0.4

@@ -1,0 +1,205 @@
+"""Tests for the expert-review subsystem: criteria, store, aggregation,
+simulated reviewers and consensus metrics."""
+
+from datetime import datetime, timedelta
+
+import numpy as np
+import pytest
+
+from repro.errors import ReviewError
+from repro.experts.aggregation import ReviewAggregator
+from repro.experts.consensus import consensus_report, pairwise_agreement, score_variance
+from repro.experts.criteria import (
+    CRITERIA,
+    criterion_definition,
+    normalize_to_quality,
+    quality_direction,
+    validate_scores,
+)
+from repro.experts.reviewers import ReviewerPool, SimulatedReviewer
+from repro.experts.reviews import ReviewStore
+from repro.models import ExpertReview
+
+NOW = datetime(2020, 3, 1, 12, 0, 0)
+
+
+def make_review(review_id, reviewer="expert-1", article="a1", created_at=NOW,
+                scores=None, weight=1.0, comment=""):
+    return ExpertReview(
+        review_id=review_id,
+        article_id=article,
+        reviewer_id=reviewer,
+        created_at=created_at,
+        scores=scores or {"factual_accuracy": 4, "sources_quality": 4, "clickbaitness": 2},
+        reviewer_weight=weight,
+        comment=comment,
+    )
+
+
+class TestCriteria:
+    def test_seven_criteria_with_definitions(self):
+        assert len(CRITERIA) == 7
+        for key in CRITERIA:
+            definition = criterion_definition(key)
+            assert definition.display_name and definition.question
+
+    def test_clickbaitness_is_inverted(self):
+        assert quality_direction("factual_accuracy") == 1
+        assert quality_direction("clickbaitness") == -1
+        assert normalize_to_quality("factual_accuracy", 5) == pytest.approx(1.0)
+        assert normalize_to_quality("clickbaitness", 5) == pytest.approx(0.0)
+        assert normalize_to_quality("clickbaitness", 1) == pytest.approx(1.0)
+
+    def test_validate_scores(self):
+        validate_scores({"fairness": 3})
+        with pytest.raises(ReviewError):
+            validate_scores({"unknown": 3})
+        with pytest.raises(ReviewError):
+            validate_scores({"fairness": 9})
+        with pytest.raises(ReviewError):
+            validate_scores({"fairness": 3}, require_all=True)
+
+    def test_unknown_criterion_definition(self):
+        with pytest.raises(ReviewError):
+            criterion_definition("novelty")
+
+
+class TestReviewStore:
+    def test_add_and_lookup(self):
+        store = ReviewStore([make_review("r1"), make_review("r2", reviewer="expert-2")])
+        assert len(store) == 2
+        assert "r1" in store
+        assert len(store.reviews_for_article("a1")) == 2
+        assert store.reviewer_ids() == ["expert-1", "expert-2"]
+        assert store.reviewed_article_ids() == ["a1"]
+
+    def test_duplicate_review_id_rejected(self):
+        store = ReviewStore([make_review("r1")])
+        with pytest.raises(ReviewError):
+            store.add(make_review("r1"))
+
+    def test_latest_per_reviewer_keeps_only_newest(self):
+        store = ReviewStore([
+            make_review("r1", created_at=NOW - timedelta(days=5),
+                        scores={"fairness": 2}),
+            make_review("r2", created_at=NOW, scores={"fairness": 5}),
+        ])
+        latest = store.latest_per_reviewer("a1")
+        assert len(latest) == 1
+        assert latest[0].scores["fairness"] == 5
+
+    def test_comments_listing(self):
+        store = ReviewStore([make_review("r1", comment="Solid sourcing."), make_review("r2", reviewer="e2")])
+        comments = store.comments_for_article("a1")
+        assert len(comments) == 1
+        assert comments[0][2] == "Solid sourcing."
+
+    def test_missing_review(self):
+        with pytest.raises(ReviewError):
+            ReviewStore().get("nope")
+
+
+class TestAggregation:
+    def test_weighted_time_sensitive_average_favours_recent_reviews(self):
+        aggregator = ReviewAggregator(half_life_days=10.0)
+        old = make_review("r1", reviewer="e1", created_at=NOW - timedelta(days=40),
+                          scores={"factual_accuracy": 1})
+        new = make_review("r2", reviewer="e2", created_at=NOW,
+                          scores={"factual_accuracy": 5})
+        summary = aggregator.summarize("a1", [old, new], as_of=NOW)
+        # The recent 5 dominates the 40-day-old 1 (weight ratio 16:1).
+        assert summary.criterion_scores["factual_accuracy"] > 4.5
+        assert summary.n_reviews == 2
+        assert 0.0 <= summary.overall_quality <= 1.0
+
+    def test_reviewer_weight_matters(self):
+        aggregator = ReviewAggregator()
+        light = make_review("r1", reviewer="e1", scores={"fairness": 1}, weight=1.0)
+        heavy = make_review("r2", reviewer="e2", scores={"fairness": 5}, weight=4.0)
+        summary = aggregator.summarize("a1", [light, heavy], as_of=NOW)
+        assert summary.criterion_scores["fairness"] == pytest.approx((1 + 20) / 5.0)
+
+    def test_clickbaitness_lowers_overall_quality(self):
+        aggregator = ReviewAggregator()
+        clean = make_review("r1", scores={"factual_accuracy": 5, "clickbaitness": 1})
+        baity = make_review("r2", reviewer="e2", article="a2",
+                            scores={"factual_accuracy": 5, "clickbaitness": 5})
+        assert (
+            aggregator.summarize("a1", [clean], as_of=NOW).overall_quality
+            > aggregator.summarize("a2", [baity], as_of=NOW).overall_quality
+        )
+
+    def test_empty_reviews_give_zero_summary(self):
+        summary = ReviewAggregator().summarize("a1", [])
+        assert summary.n_reviews == 0
+        assert summary.overall_quality == 0.0
+        assert summary.score("fairness") is None
+
+    def test_comments_and_payload(self):
+        aggregator = ReviewAggregator()
+        summary = aggregator.summarize("a1", [make_review("r1", comment="Good piece")], as_of=NOW)
+        assert summary.comments == ("Good piece",)
+        payload = summary.as_dict()
+        assert payload["expert_n_reviews"] == 1.0
+
+    def test_outlet_quality_aggregation(self):
+        aggregator = ReviewAggregator()
+        summaries = [
+            aggregator.summarize("a1", [make_review("r1")], as_of=NOW),
+            aggregator.summarize("a2", [], as_of=NOW),
+        ]
+        quality = aggregator.outlet_quality(summaries)
+        assert quality == pytest.approx(summaries[0].overall_quality)
+        assert aggregator.outlet_quality([summaries[1]]) is None
+
+    def test_invalid_half_life(self):
+        with pytest.raises(ReviewError):
+            ReviewAggregator(half_life_days=0)
+
+
+class TestSimulatedReviewers:
+    def test_reviews_track_latent_quality(self):
+        pool = ReviewerPool(n_reviewers=5, random_seed=7)
+        high = pool.review_article("a-high", 0.9, NOW)
+        low = pool.review_article("a-low", 0.1, NOW)
+        aggregator = ReviewAggregator()
+        high_score = aggregator.summarize("a-high", high, as_of=NOW).overall_quality
+        low_score = aggregator.summarize("a-low", low, as_of=NOW).overall_quality
+        assert high_score > low_score + 0.2
+
+    def test_review_scores_are_on_the_likert_scale(self):
+        pool = ReviewerPool(n_reviewers=3, random_seed=1)
+        for review in pool.review_article("a1", 0.5, NOW):
+            assert set(review.scores) == set(CRITERIA)
+            assert all(1 <= v <= 5 for v in review.scores.values())
+
+    def test_subset_of_reviewers(self):
+        pool = ReviewerPool(n_reviewers=6, random_seed=2)
+        reviews = pool.review_article("a1", 0.5, NOW, n_reviews=2)
+        assert len(reviews) == 2
+
+    def test_invalid_quality_rejected(self):
+        reviewer = SimulatedReviewer(reviewer_id="e1")
+        with pytest.raises(ReviewError):
+            reviewer.review("a1", 1.5, NOW, np.random.default_rng(0))
+
+
+class TestConsensus:
+    def test_agreement_and_variance(self):
+        assert pairwise_agreement([4, 4, 4]) == pytest.approx(1.0)
+        assert pairwise_agreement([1, 5]) == pytest.approx(0.0)
+        assert pairwise_agreement([3]) == 1.0
+        assert score_variance([2, 4]) == pytest.approx(1.0)
+        assert score_variance([3]) == 0.0
+
+    def test_consensus_report_shows_improvement(self):
+        without = {"a1": [1, 5, 3], "a2": [2, 5, 1]}
+        with_ind = {"a1": [4, 4, 3], "a2": [2, 3, 2]}
+        report = consensus_report(without, with_ind)
+        assert report["agreement_improvement"] > 0
+        assert report["variance_reduction"] > 0
+        assert report["articles"] == 2
+
+    def test_consensus_requires_shared_articles(self):
+        with pytest.raises(ReviewError):
+            consensus_report({"a1": [1]}, {"b1": [2]})

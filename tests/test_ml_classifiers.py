@@ -1,0 +1,126 @@
+"""Tests for Naive Bayes, the text-classification pipeline and logistic regression."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.logistic import LogisticRegression
+from repro.ml.naive_bayes import MultinomialNaiveBayes, TextClassifier
+
+CLICKBAIT_TITLES = [
+    "You won't believe this shocking trick",
+    "Doctors hate this one weird secret",
+    "The shocking truth they hide from you",
+    "This insane hack will blow your mind",
+    "You need to see what happens next",
+    "Unbelievable secret revealed at last",
+]
+FACTUAL_TITLES = [
+    "Study examines vaccine efficacy in adults",
+    "Researchers publish climate emission data",
+    "New analysis measures infection rates",
+    "University reports genome sequencing results",
+    "Agency releases quarterly health statistics",
+    "Scientists observe distant galaxy formation",
+]
+
+
+class TestMultinomialNaiveBayes:
+    def _fitted(self):
+        X = np.array([[3, 0], [4, 1], [0, 3], [1, 4]], dtype=float)
+        y = ["spam", "spam", "ham", "ham"]
+        return MultinomialNaiveBayes().fit(X, y), X, y
+
+    def test_predictions_recover_training_labels(self):
+        model, X, y = self._fitted()
+        assert model.predict(X) == y
+
+    def test_probabilities_sum_to_one(self):
+        model, X, _ = self._fitted()
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+    def test_negative_features_rejected(self):
+        with pytest.raises(ModelError):
+            MultinomialNaiveBayes().fit(np.array([[-1.0, 2.0]]), ["a"])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ModelError):
+            MultinomialNaiveBayes().fit(np.ones((3, 2)), ["a", "b"])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            MultinomialNaiveBayes().predict(np.ones((1, 2)))
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ModelError):
+            MultinomialNaiveBayes(alpha=0.0)
+
+
+class TestTextClassifier:
+    def test_separates_clickbait_from_factual_titles(self):
+        model = TextClassifier(positive_class=1)
+        labels = [1] * len(CLICKBAIT_TITLES) + [0] * len(FACTUAL_TITLES)
+        model.fit(CLICKBAIT_TITLES + FACTUAL_TITLES, labels)
+        predictions = model.predict(CLICKBAIT_TITLES + FACTUAL_TITLES)
+        accuracy = sum(1 for p, t in zip(predictions, labels) if p == t) / len(labels)
+        assert accuracy >= 0.8
+
+    def test_predict_proba_returns_positive_class_probability(self):
+        model = TextClassifier(positive_class=1)
+        labels = [1] * len(CLICKBAIT_TITLES) + [0] * len(FACTUAL_TITLES)
+        model.fit(CLICKBAIT_TITLES + FACTUAL_TITLES, labels)
+        proba = model.predict_proba(["You won't believe this shocking secret trick"])
+        assert 0.5 < proba[0] <= 1.0
+
+    def test_unknown_positive_class_raises(self):
+        model = TextClassifier(positive_class="missing")
+        model.fit(["a b", "c d"], ["x", "y"])
+        with pytest.raises(ModelError):
+            model.predict_proba(["a b"])
+
+
+class TestLogisticRegression:
+    def _data(self, n=120, seed=3):
+        rng = np.random.default_rng(seed)
+        X0 = rng.normal(loc=-1.0, scale=0.8, size=(n // 2, 2))
+        X1 = rng.normal(loc=1.0, scale=0.8, size=(n // 2, 2))
+        X = np.vstack([X0, X1])
+        y = [0] * (n // 2) + [1] * (n // 2)
+        return X, y
+
+    def test_learns_separable_classes(self):
+        X, y = self._data()
+        model = LogisticRegression(n_iterations=300)
+        model.fit(X, y)
+        predictions = model.predict(X)
+        accuracy = sum(1 for p, t in zip(predictions, y) if p == t) / len(y)
+        assert accuracy >= 0.9
+
+    def test_probabilities_are_bounded(self):
+        X, y = self._data()
+        model = LogisticRegression().fit(X, y)
+        proba = model.predict_proba(X)
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_requires_two_classes(self):
+        with pytest.raises(ModelError):
+            LogisticRegression().fit(np.ones((3, 2)), [1, 1, 1])
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            LogisticRegression().predict(np.ones((1, 2)))
+
+    def test_l2_regularisation_shrinks_weights(self):
+        X, y = self._data()
+        free = LogisticRegression(l2=0.0).fit(X, y)
+        shrunk = LogisticRegression(l2=5.0).fit(X, y)
+        assert np.linalg.norm(shrunk.weights_) < np.linalg.norm(free.weights_)
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ModelError):
+            LogisticRegression(learning_rate=0)
+        with pytest.raises(ModelError):
+            LogisticRegression(n_iterations=0)
+        with pytest.raises(ModelError):
+            LogisticRegression(l2=-1)

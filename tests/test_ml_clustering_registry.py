@@ -1,0 +1,129 @@
+"""Tests for the hierarchical topic model and the model registry."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import ModelError, NotFittedError
+from repro.ml.clustering import HierarchicalTopicModel
+from repro.ml.registry import ModelRegistry
+
+HEALTH_DOCS = [
+    "coronavirus outbreak spreads with new infection cases and quarantine measures",
+    "vaccine trial reports immunity results for coronavirus patients",
+    "pandemic lockdown slows virus transmission and hospitalization rates",
+    "flu season vaccination campaign reduces influenza infection",
+    "epidemiologists model the outbreak transmission and incubation period",
+    "hospital reports respiratory symptoms and testing shortages during the epidemic",
+]
+SPACE_DOCS = [
+    "telescope observes distant galaxy cluster and asteroid orbits",
+    "spacecraft launch delivers satellite into orbit around the planet",
+    "astronomers map the galaxy with a new telescope survey",
+    "rover mission explores the planet surface and collects samples",
+    "asteroid flyby recorded by the orbiting spacecraft camera",
+    "satellite constellation launch expands orbital coverage",
+]
+
+
+class TestHierarchicalTopicModel:
+    def _fitted(self):
+        model = HierarchicalTopicModel(depth=1, branching=2, min_cluster_size=2, random_seed=7)
+        model.fit(HEALTH_DOCS + SPACE_DOCS)
+        return model
+
+    def test_builds_children_under_root(self):
+        model = self._fitted()
+        assert model.root_ is not None
+        assert len(model.root_.children) >= 2
+
+    def test_assignment_probabilities_sum_to_parent_mass(self):
+        model = self._fitted()
+        assignment = model.assign(HEALTH_DOCS[:1])[0]
+        child_mass = sum(
+            probability
+            for topic_id, probability in assignment.probabilities.items()
+            if topic_id.count(".") == 1
+        )
+        assert child_mass == pytest.approx(assignment.probabilities["root"], abs=1e-6)
+
+    def test_similar_documents_share_their_top_topic(self):
+        model = self._fitted()
+        assignments = model.assign(HEALTH_DOCS + SPACE_DOCS)
+        health_topics = {a.top_topic() for a in assignments[: len(HEALTH_DOCS)]}
+        space_topics = {a.top_topic() for a in assignments[len(HEALTH_DOCS):]}
+        # The dominant topic of each group should not be identical across groups.
+        assert health_topics != space_topics
+
+    def test_documents_can_receive_multiple_topics(self):
+        model = self._fitted()
+        assignments = model.assign(HEALTH_DOCS)
+        assert all(len(a.assigned) >= 1 for a in assignments)
+
+    def test_labels_are_derived_from_vocabulary(self):
+        model = self._fitted()
+        labels = model.topic_labels()
+        assert "root" in labels
+        assert all(isinstance(label, str) and label for label in labels.values())
+
+    def test_unfitted_usage_raises(self):
+        model = HierarchicalTopicModel()
+        with pytest.raises(NotFittedError):
+            model.assign(["text"])
+        with pytest.raises(NotFittedError):
+            model.nodes()
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ModelError):
+            HierarchicalTopicModel().fit([])
+
+    def test_invalid_hyperparameters(self):
+        with pytest.raises(ModelError):
+            HierarchicalTopicModel(depth=0)
+        with pytest.raises(ModelError):
+            HierarchicalTopicModel(branching=1)
+        with pytest.raises(ModelError):
+            HierarchicalTopicModel(min_probability=2.0)
+
+
+class TestModelRegistry:
+    def test_register_and_get_latest(self):
+        registry = ModelRegistry()
+        registry.register("clickbait", {"v": 1})
+        registry.register("clickbait", {"v": 2})
+        assert registry.latest_version("clickbait") == 2
+        assert registry.get("clickbait") == {"v": 2}
+        assert registry.get("clickbait", version=1) == {"v": 1}
+
+    def test_records_track_metrics_and_history(self):
+        registry = ModelRegistry()
+        registry.register("m", object(), trained_at=datetime(2020, 3, 1), metrics={"acc": 0.9})
+        record = registry.record("m")
+        assert record.version == 1
+        assert record.metrics["acc"] == 0.9
+        assert len(registry.history("m")) == 1
+
+    def test_unknown_model_raises(self):
+        registry = ModelRegistry()
+        with pytest.raises(ModelError):
+            registry.get("missing")
+        with pytest.raises(ModelError):
+            registry.latest_version("missing")
+        with pytest.raises(ModelError):
+            registry.history("missing")
+
+    def test_persistence_roundtrip(self, tmp_path):
+        registry = ModelRegistry(directory=tmp_path)
+        registry.register("numbers", [1, 2, 3])
+        fresh = ModelRegistry(directory=tmp_path)
+        assert fresh.load_from_disk("numbers", 1) == [1, 2, 3]
+
+    def test_load_from_disk_requires_directory(self):
+        with pytest.raises(ModelError):
+            ModelRegistry().load_from_disk("m", 1)
+
+    def test_names_listing(self):
+        registry = ModelRegistry()
+        registry.register("b", 1)
+        registry.register("a", 2)
+        assert registry.names() == ["a", "b"]

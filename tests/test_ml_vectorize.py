@@ -1,0 +1,89 @@
+"""Tests for the count / TF-IDF vectorisers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NotFittedError
+from repro.ml.vectorize import CountVectorizer, TfidfVectorizer, corpus_matrix, top_terms
+
+CORPUS = [
+    "coronavirus outbreak spreads in the city",
+    "coronavirus vaccine trial reports results",
+    "telescope observes distant galaxy cluster",
+    "galaxy survey maps the night sky",
+]
+
+
+class TestCountVectorizer:
+    def test_fit_transform_shape(self):
+        vectorizer = CountVectorizer()
+        matrix = vectorizer.fit_transform(CORPUS)
+        assert matrix.shape == (4, len(vectorizer.vocabulary_))
+
+    def test_counts_are_correct(self):
+        vectorizer = CountVectorizer()
+        matrix = vectorizer.fit_transform(["virus virus outbreak"])
+        index = vectorizer.vocabulary_["virus"]
+        assert matrix[0, index] == 2
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            CountVectorizer().transform(["text"])
+
+    def test_min_count_filters_rare_tokens(self):
+        vectorizer = CountVectorizer(min_count=2)
+        vectorizer.fit(CORPUS)
+        assert "coronavirus" in vectorizer.vocabulary_
+        assert "telescope" not in vectorizer.vocabulary_
+
+    def test_max_features_caps_vocabulary(self):
+        vectorizer = CountVectorizer(max_features=3)
+        vectorizer.fit(CORPUS)
+        assert len(vectorizer.vocabulary_) == 3
+
+    def test_unknown_tokens_are_ignored_at_transform(self):
+        vectorizer = CountVectorizer()
+        vectorizer.fit(CORPUS[:1])
+        matrix = vectorizer.transform(["completely unrelated words"])
+        assert matrix.sum() == 0
+
+    def test_feature_names_align_with_columns(self):
+        vectorizer = CountVectorizer()
+        vectorizer.fit(CORPUS)
+        names = vectorizer.feature_names
+        assert names[vectorizer.vocabulary_["galaxy"]] == "galaxy"
+
+
+class TestTfidfVectorizer:
+    def test_rows_are_l2_normalised(self):
+        matrix = TfidfVectorizer().fit_transform(CORPUS)
+        norms = np.linalg.norm(matrix, axis=1)
+        assert np.allclose(norms[norms > 0], 1.0)
+
+    def test_rare_terms_get_higher_idf(self):
+        vectorizer = TfidfVectorizer()
+        vectorizer.fit(CORPUS)
+        idf = vectorizer.idf_
+        common = vectorizer.vocabulary_["coronavirus"]   # appears in 2 docs
+        rare = vectorizer.vocabulary_["telescope"]       # appears in 1 doc
+        assert idf[rare] > idf[common]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(NotFittedError):
+            TfidfVectorizer().transform(["text"])
+
+    def test_top_terms(self):
+        vectorizer = TfidfVectorizer()
+        matrix = vectorizer.fit_transform(CORPUS)
+        terms = dict(top_terms(matrix[0], vectorizer.feature_names, k=3))
+        assert any(t in terms for t in ("outbreak", "spreads", "city", "coronavirus"))
+
+    def test_top_terms_length_mismatch(self):
+        with pytest.raises(ValueError):
+            top_terms(np.zeros(3), ["a", "b"], k=2)
+
+    def test_corpus_matrix_helper(self):
+        matrix, vectorizer = corpus_matrix(CORPUS)
+        assert matrix.shape[0] == 4
+        again, _ = corpus_matrix(CORPUS[:2], vectorizer)
+        assert again.shape == (2, matrix.shape[1])

@@ -1,0 +1,164 @@
+"""Tests for the shared domain model."""
+
+from datetime import datetime
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.models import (
+    LIKERT_MAX,
+    LIKERT_MIN,
+    REVIEW_CRITERIA,
+    Article,
+    ExpertReview,
+    Outlet,
+    RatingClass,
+    Reaction,
+    ReactionKind,
+    SocialPost,
+)
+
+NOW = datetime(2020, 2, 1, 10, 0, 0)
+
+
+class TestRatingClass:
+    def test_low_and_high_quality_partition(self):
+        assert RatingClass.VERY_LOW.is_low_quality
+        assert RatingClass.LOW.is_low_quality
+        assert RatingClass.HIGH.is_high_quality
+        assert RatingClass.VERY_HIGH.is_high_quality
+        assert not RatingClass.MIXED.is_low_quality
+        assert not RatingClass.MIXED.is_high_quality
+
+    def test_ordinal_is_monotone(self):
+        ordered = [
+            RatingClass.VERY_LOW,
+            RatingClass.LOW,
+            RatingClass.MIXED,
+            RatingClass.HIGH,
+            RatingClass.VERY_HIGH,
+        ]
+        assert [c.ordinal for c in ordered] == [0, 1, 2, 3, 4]
+
+    @pytest.mark.parametrize(
+        "score,expected",
+        [
+            (0.0, RatingClass.VERY_LOW),
+            (0.3, RatingClass.LOW),
+            (0.5, RatingClass.MIXED),
+            (0.7, RatingClass.HIGH),
+            (0.95, RatingClass.VERY_HIGH),
+        ],
+    )
+    def test_from_score_bucketing(self, score, expected):
+        assert RatingClass.from_score(score) is expected
+
+    def test_from_score_rejects_out_of_range(self):
+        with pytest.raises(ValidationError):
+            RatingClass.from_score(1.5)
+
+
+class TestOutlet:
+    def test_valid_outlet(self):
+        outlet = Outlet(domain="news.example.com", name="Example News", rating_class=RatingClass.HIGH)
+        assert outlet.is_high_quality
+        assert not outlet.is_low_quality
+
+    def test_invalid_domain_rejected(self):
+        with pytest.raises(ValidationError):
+            Outlet(domain="nodots", name="X", rating_class=RatingClass.LOW)
+
+    def test_scores_must_be_in_unit_interval(self):
+        with pytest.raises(ValidationError):
+            Outlet(
+                domain="a.example.com",
+                name="A",
+                rating_class=RatingClass.LOW,
+                evidence_score=1.4,
+            )
+
+
+class TestArticle:
+    def _article(self, **overrides):
+        kwargs = dict(
+            article_id="a1",
+            url="https://news.example.com/story",
+            outlet_domain="news.example.com",
+            title="Title",
+            published_at=NOW,
+            text="some words here",
+            author="Jane Roe",
+        )
+        kwargs.update(overrides)
+        return Article(**kwargs)
+
+    def test_byline_detection(self):
+        assert self._article().has_byline
+        assert not self._article(author=None).has_byline
+        assert not self._article(author="   ").has_byline
+
+    def test_relative_url_rejected(self):
+        with pytest.raises(ValidationError):
+            self._article(url="/story")
+
+    def test_with_topics_returns_copy(self):
+        article = self._article()
+        tagged = article.with_topics(("covid19",))
+        assert tagged.topics == ("covid19",)
+        assert article.topics == ()
+
+    def test_word_count(self):
+        assert self._article(text="one two three").word_count() == 3
+
+
+class TestSocialObjects:
+    def test_reaction_weights_favour_shares(self):
+        assert ReactionKind.SHARE.weight > ReactionKind.LIKE.weight
+
+    def test_post_rejects_negative_followers(self):
+        with pytest.raises(ValidationError):
+            SocialPost(
+                post_id="p",
+                platform="twitter",
+                account="@a",
+                article_url="https://x.example.com/a",
+                text="",
+                created_at=NOW,
+                followers=-1,
+            )
+
+    def test_reaction_requires_post_reference(self):
+        with pytest.raises(ValidationError):
+            Reaction(reaction_id="r", post_id="", kind=ReactionKind.LIKE, created_at=NOW)
+
+
+class TestExpertReview:
+    def _review(self, **overrides):
+        kwargs = dict(
+            review_id="rev1",
+            article_id="a1",
+            reviewer_id="expert-1",
+            created_at=NOW,
+            scores={"factual_accuracy": 4, "fairness": 5},
+        )
+        kwargs.update(overrides)
+        return ExpertReview(**kwargs)
+
+    def test_there_are_seven_criteria(self):
+        assert len(REVIEW_CRITERIA) == 7
+
+    def test_valid_review_mean(self):
+        assert self._review().mean_score() == pytest.approx(4.5)
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(ValidationError):
+            self._review(scores={"novelty": 3})
+
+    @pytest.mark.parametrize("value", [LIKERT_MIN - 1, LIKERT_MAX + 1])
+    def test_out_of_scale_score_rejected(self, value):
+        with pytest.raises(ValidationError):
+            self._review(scores={"fairness": value})
+
+    def test_non_positive_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            self._review(reviewer_weight=0.0)

@@ -1,0 +1,72 @@
+"""Tests for the readability formulas."""
+
+import pytest
+
+from repro.nlp.readability import (
+    automated_readability_index,
+    coleman_liau_index,
+    flesch_kincaid_grade,
+    flesch_reading_ease,
+    gunning_fog,
+    readability_report,
+    smog_index,
+    text_statistics,
+)
+
+SIMPLE = "The cat sat. The dog ran. We saw it all. It was fun to see."
+COMPLEX = (
+    "Notwithstanding the epidemiological uncertainties, the intergovernmental "
+    "organisations promulgated comprehensive recommendations concerning "
+    "internationally coordinated pharmaceutical interventions and immunological "
+    "surveillance infrastructures."
+)
+
+
+def test_text_statistics_counts():
+    stats = text_statistics(SIMPLE)
+    assert stats.sentences == 4
+    assert stats.words == 15
+    assert stats.syllables >= stats.words  # every word has at least one syllable
+    assert stats.complex_words == 0
+
+
+def test_empty_text_yields_zero_scores():
+    report = readability_report("")
+    assert report.score == 0.0
+    assert flesch_reading_ease("") == 0.0
+    assert gunning_fog("") == 0.0
+
+
+def test_simple_text_is_easier_than_complex_text():
+    assert flesch_reading_ease(SIMPLE) > flesch_reading_ease(COMPLEX)
+    assert flesch_kincaid_grade(SIMPLE) < flesch_kincaid_grade(COMPLEX)
+    assert gunning_fog(SIMPLE) < gunning_fog(COMPLEX)
+    assert smog_index(SIMPLE) < smog_index(COMPLEX)
+    assert automated_readability_index(SIMPLE) < automated_readability_index(COMPLEX)
+    assert coleman_liau_index(SIMPLE) < coleman_liau_index(COMPLEX)
+
+
+def test_composite_score_is_in_unit_interval_and_ordered():
+    simple_report = readability_report(SIMPLE)
+    complex_report = readability_report(COMPLEX)
+    for report in (simple_report, complex_report):
+        assert 0.0 <= report.score <= 1.0
+    assert simple_report.score > complex_report.score
+
+
+def test_grade_levels_dict_has_all_metrics():
+    report = readability_report(SIMPLE)
+    grades = report.grade_levels()
+    assert set(grades) == {
+        "flesch_kincaid_grade",
+        "gunning_fog",
+        "smog_index",
+        "automated_readability_index",
+        "coleman_liau_index",
+    }
+
+
+def test_statistics_reuse_matches_recomputation():
+    stats = text_statistics(SIMPLE)
+    assert flesch_reading_ease(SIMPLE) == pytest.approx(flesch_reading_ease(SIMPLE, stats))
+    assert gunning_fog(SIMPLE) == pytest.approx(gunning_fog(SIMPLE, stats))

@@ -1,0 +1,99 @@
+"""Tests for the subjectivity, click-bait and stance scorers."""
+
+import pytest
+
+from repro.nlp.clickbait import ClickbaitScorer, clickbait_score, extract_clickbait_features
+from repro.nlp.stance import Stance, StanceClassifier, classify_stance
+from repro.nlp.subjectivity import SubjectivityScorer, subjectivity_score
+
+
+class TestSubjectivity:
+    def test_empty_text_scores_zero(self):
+        assert subjectivity_score("") == 0.0
+
+    def test_opinionated_text_scores_higher_than_factual_text(self):
+        opinion = (
+            "This is an absolutely terrible, outrageous disaster and I think everyone "
+            "should be terrified of this shocking nonsense."
+        )
+        factual = (
+            "The study measured infection rates in a cohort of 2400 participants and "
+            "reported a statistically significant association according to the data."
+        )
+        assert subjectivity_score(opinion) > subjectivity_score(factual)
+
+    def test_score_is_bounded(self):
+        text = "awful terrible horrible " * 50
+        assert 0.0 <= subjectivity_score(text) <= 1.0
+
+    def test_analysis_breakdown_counts(self):
+        result = SubjectivityScorer().analyse("This awful study is probably wrong")
+        assert result.strong_hits == 1
+        assert result.weak_hits >= 1
+        assert result.total_words == 6
+
+
+class TestClickbait:
+    def test_clickbait_title_scores_higher_than_factual_title(self):
+        clickbait = "You won't believe what doctors hate about this one weird trick!"
+        factual = "New study examines vaccine efficacy in large cohort"
+        assert clickbait_score(clickbait) > clickbait_score(factual)
+
+    def test_empty_title_scores_zero(self):
+        assert ClickbaitScorer().score("") == 0.0
+
+    def test_scores_are_probabilities(self):
+        for title in ("SHOCKING news!!!", "Measured analysis of policy", "10 things you need to see"):
+            assert 0.0 <= clickbait_score(title) <= 1.0
+
+    def test_feature_extraction(self):
+        features = extract_clickbait_features("10 SHOCKING facts you won't believe?")
+        assert features.starts_with_number
+        assert features.phrase_hits >= 1
+        assert features.word_hits >= 1
+        assert features.question_marks == 1
+
+    def test_attached_model_is_averaged_in(self):
+        class StubModel:
+            def predict_proba(self, texts):
+                return [1.0 for _ in texts]
+
+        scorer = ClickbaitScorer(model=StubModel())
+        plain = "Routine city council meeting scheduled"
+        assert scorer.score(plain) > scorer.lexical_score(plain)
+
+
+class TestStance:
+    def test_supportive_post(self):
+        assert classify_stance("Great article, accurate and informative. Sharing.") is Stance.SUPPORT
+
+    def test_denying_post(self):
+        assert classify_stance("This is fake news, completely debunked nonsense.") is Stance.DENY
+
+    def test_questioning_post(self):
+        assert classify_stance("Is this really true? Where are the sources?") is Stance.QUESTION
+
+    def test_neutral_post_defaults_to_comment(self):
+        assert classify_stance("Reading the morning news today.") is Stance.COMMENT
+
+    def test_negated_support_counts_as_denial(self):
+        result = StanceClassifier().analyse("This is not true and not accurate")
+        assert result.stance is Stance.DENY
+        assert result.negated_support >= 1
+
+    def test_positive_negative_axis(self):
+        assert Stance.SUPPORT.is_positive and Stance.COMMENT.is_positive
+        assert Stance.QUESTION.is_negative and Stance.DENY.is_negative
+
+    def test_empty_text_is_comment_with_low_confidence(self):
+        result = StanceClassifier().analyse("")
+        assert result.stance is Stance.COMMENT
+        assert result.confidence == 0.0
+
+    def test_external_model_takes_over_when_provided(self):
+        class StubModel:
+            def predict(self, texts):
+                return ["deny" for _ in texts]
+
+        classifier = StanceClassifier(model=StubModel())
+        assert classifier.classify("anything at all") is Stance.DENY

@@ -1,0 +1,94 @@
+"""Tests for repro.nlp.tokenize and sentence splitting."""
+
+import pytest
+
+from repro.nlp.sentences import sentence_lengths, split_sentences
+from repro.nlp.tokenize import (
+    count_characters,
+    count_syllables,
+    count_syllables_text,
+    is_complex_word,
+    is_word,
+    tokenize,
+    word_tokens,
+)
+
+
+class TestTokenize:
+    def test_empty_text(self):
+        assert tokenize("") == []
+        assert word_tokens("") == []
+
+    def test_words_numbers_and_punctuation_are_separated(self):
+        tokens = tokenize("Cases rose by 1,200 today!")
+        assert "Cases" in tokens
+        assert "1,200" in tokens
+        assert "!" in tokens
+
+    def test_hyphenated_and_apostrophe_words_stay_whole(self):
+        assert "state-of-the-art" in word_tokens("A state-of-the-art method")
+        assert "don't" in word_tokens("They don't agree")
+
+    def test_word_tokens_lowercase_by_default(self):
+        assert word_tokens("COVID Spreads") == ["covid", "spreads"]
+        assert word_tokens("COVID Spreads", lowercase=False) == ["COVID", "Spreads"]
+
+    def test_is_word(self):
+        assert is_word("pandemic")
+        assert not is_word("123")
+        assert not is_word("!")
+
+
+class TestSyllables:
+    @pytest.mark.parametrize(
+        "word,expected",
+        [
+            ("cat", 1),
+            ("table", 2),
+            ("make", 1),
+            ("coronavirus", 5),
+            ("readability", 5),
+            ("outbreak", 2),
+        ],
+    )
+    def test_common_words(self, word, expected):
+        assert count_syllables(word) == expected
+
+    def test_non_empty_word_has_at_least_one_syllable(self):
+        assert count_syllables("rhythm") >= 1
+        assert count_syllables("xyz") >= 1
+
+    def test_empty_word(self):
+        assert count_syllables("") == 0
+
+    def test_text_level_helpers(self):
+        words = ["simple", "words"]
+        assert count_syllables_text(words) >= 2
+        assert count_characters(words) == len("simplewords")
+
+    def test_complex_word_threshold(self):
+        assert is_complex_word("epidemiology")
+        assert not is_complex_word("virus")
+
+
+class TestSentences:
+    def test_empty(self):
+        assert split_sentences("") == []
+
+    def test_basic_splitting(self):
+        text = "The outbreak grew. Officials responded quickly! Was it enough?"
+        assert len(split_sentences(text)) == 3
+
+    def test_abbreviations_do_not_split(self):
+        text = "Dr. Smith presented the data. The results were clear."
+        sentences = split_sentences(text)
+        assert len(sentences) == 2
+        assert sentences[0].startswith("Dr. Smith")
+
+    def test_paragraph_breaks_split(self):
+        text = "First paragraph without period\n\nSecond paragraph"
+        assert len(split_sentences(text)) == 2
+
+    def test_sentence_lengths(self):
+        lengths = sentence_lengths("One two three. Four five.")
+        assert lengths == [3, 2]

@@ -1,0 +1,29 @@
+"""Sanity tests of the top-level public namespace."""
+
+import repro
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), f"repro.__all__ lists missing attribute {name!r}"
+
+
+def test_key_entry_points_are_classes_or_callables():
+    assert callable(repro.SciLensPlatform)
+    assert callable(repro.IndicatorEngine)
+    assert callable(repro.generate_covid_scenario)
+    assert callable(repro.build_gateway)
+    assert callable(repro.fuse_scores)
+
+
+def test_core_reexports_match_shared_models():
+    from repro.core import models as core_models
+    from repro import models as shared_models
+
+    assert core_models.Article is shared_models.Article
+    assert core_models.RatingClass is shared_models.RatingClass
+    assert core_models.ExpertReview is shared_models.ExpertReview

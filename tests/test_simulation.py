@@ -1,0 +1,214 @@
+"""Tests for the synthetic-data generators (outlets, corpus, social activity, scenario)."""
+
+from datetime import datetime
+
+import pytest
+
+from repro._time import COVID_WINDOW_START
+from repro.errors import OutletNotFound, ValidationError
+from repro.models import RatingClass
+from repro.simulation.corpus import ArticleGenerator
+from repro.simulation.covid import CovidScenarioConfig, attention_curve, covid_share, generate_covid_scenario
+from repro.simulation.outlets import DEFAULT_OUTLET_COUNT, OutletRegistry, build_default_outlets
+from repro.simulation.rng import SeededRng, derive_seed
+from repro.simulation.social_activity import SocialActivityGenerator
+from repro.simulation.topics import TOPICS, topic, topic_keys
+from repro.web.sitestore import SiteStore
+
+
+class TestRng:
+    def test_derive_seed_is_stable_and_label_sensitive(self):
+        assert derive_seed(13, "a", 1) == derive_seed(13, "a", 1)
+        assert derive_seed(13, "a", 1) != derive_seed(13, "a", 2)
+
+    def test_child_streams_are_independent_but_reproducible(self):
+        a = SeededRng(13).child("outlet", 1).uniform()
+        b = SeededRng(13).child("outlet", 1).uniform()
+        c = SeededRng(13).child("outlet", 2).uniform()
+        assert a == b
+        assert a != c
+
+    def test_sampling_helpers(self):
+        rng = SeededRng(5)
+        assert 1 <= rng.randint(1, 3) <= 3
+        assert rng.choice(["x"]) == "x"
+        assert len(rng.sample([1, 2, 3], 5)) == 3
+        assert sorted(rng.shuffled([3, 1, 2])) == [1, 2, 3]
+        with pytest.raises(ValueError):
+            rng.choice([])
+
+
+class TestTopics:
+    def test_covid_topic_exists_with_keywords(self):
+        spec = topic("covid19")
+        assert spec.category == "health"
+        assert "coronavirus" in spec.keywords
+
+    def test_unknown_topic(self):
+        with pytest.raises(ValidationError):
+            topic("astrology")
+
+    def test_topic_keys_sorted(self):
+        assert topic_keys() == sorted(TOPICS)
+
+
+class TestOutlets:
+    def test_default_registry_has_45_outlets(self):
+        registry = OutletRegistry.default()
+        assert len(registry) == DEFAULT_OUTLET_COUNT
+        assert len(registry.low_quality()) + len(registry.high_quality()) < DEFAULT_OUTLET_COUNT
+
+    def test_rating_class_distribution_covers_all_classes(self):
+        registry = OutletRegistry.default()
+        for rating in RatingClass:
+            assert registry.by_rating_class(rating), f"no outlets in class {rating}"
+
+    def test_scores_respect_rating_class_ranges(self):
+        for profile in build_default_outlets():
+            if profile.rating_class.is_high_quality:
+                assert profile.evidence_score > 0.6
+            if profile.rating_class.is_low_quality:
+                assert profile.evidence_score < 0.4
+
+    def test_generation_is_deterministic(self):
+        a = [p.domain for p in build_default_outlets(random_seed=13)]
+        b = [p.domain for p in build_default_outlets(random_seed=13)]
+        assert a == b
+
+    def test_custom_outlet_count_scales_distribution(self):
+        registry = OutletRegistry.default(n_outlets=10)
+        assert len(registry) == 10
+
+    def test_lookups(self):
+        registry = OutletRegistry.default(n_outlets=8)
+        profile = registry.profiles[0]
+        assert registry.get(profile.domain) is profile
+        assert registry.by_handle(profile.twitter_handle) is profile
+        assert registry.rating_of(profile.domain) is profile.rating_class
+        with pytest.raises(OutletNotFound):
+            registry.get("unknown.example.com")
+
+    def test_account_registry_covers_every_outlet(self):
+        registry = OutletRegistry.default(n_outlets=8)
+        accounts = registry.account_registry()
+        assert len(accounts) == 8
+        assert accounts.outlet_for(registry.profiles[0].twitter_handle) == registry.profiles[0].domain
+
+
+class TestArticleGenerator:
+    def _generator(self):
+        registry = OutletRegistry.default(n_outlets=10, random_seed=13)
+        store = SiteStore()
+        return ArticleGenerator(store, registry, random_seed=13), registry, store
+
+    def test_generated_article_registers_page_and_parses_back(self):
+        generator, registry, store = self._generator()
+        profile = registry.profiles[0]
+        generated = generator.generate(profile, "covid19", datetime(2020, 2, 1, 10), 1)
+        assert generated.url in store
+        assert generated.article.title
+        assert generated.article.text
+        assert generated.article.outlet_domain == profile.domain
+        assert 0.0 <= generated.true_quality <= 1.0
+
+    def test_generation_is_deterministic(self):
+        generator, registry, _ = self._generator()
+        profile = registry.profiles[0]
+        a = generator.generate(profile, "covid19", datetime(2020, 2, 1, 10), 7)
+        b = generator.generate(profile, "covid19", datetime(2020, 2, 1, 10), 7)
+        assert a.article.title == b.article.title
+        assert a.html == b.html
+
+    def test_quality_shapes_references_and_bylines(self):
+        generator, registry, _ = self._generator()
+        low = registry.low_quality()[0]
+        high = registry.high_quality()[0]
+        low_articles = [generator.generate(low, "covid19", datetime(2020, 2, 1, 9), i) for i in range(30)]
+        high_articles = [generator.generate(high, "covid19", datetime(2020, 2, 1, 9), 1000 + i) for i in range(30)]
+
+        low_sci = sum(a.n_scientific_links for a in low_articles)
+        high_sci = sum(a.n_scientific_links for a in high_articles)
+        assert high_sci > low_sci
+
+        low_bylines = sum(1 for a in low_articles if a.article.has_byline)
+        high_bylines = sum(1 for a in high_articles if a.article.has_byline)
+        assert high_bylines > low_bylines
+
+
+class TestSocialActivity:
+    def test_low_quality_articles_attract_more_reactions_on_average(self):
+        registry = OutletRegistry.default(n_outlets=10, random_seed=13)
+        store = SiteStore()
+        generator = ArticleGenerator(store, registry, random_seed=13)
+        social = SocialActivityGenerator(random_seed=13)
+        low, high = registry.low_quality()[0], registry.high_quality()[0]
+
+        def mean_reactions(profile, offset):
+            total = 0
+            for i in range(25):
+                generated = generator.generate(profile, "covid19", datetime(2020, 2, 2, 9), offset + i)
+                _posts, reactions = social.generate(generated, profile)
+                total += len(reactions)
+            return total / 25
+
+        assert mean_reactions(low, 0) > mean_reactions(high, 5000)
+
+    def test_posts_include_the_outlet_announcement(self):
+        registry = OutletRegistry.default(n_outlets=5, random_seed=13)
+        store = SiteStore()
+        generator = ArticleGenerator(store, registry, random_seed=13)
+        social = SocialActivityGenerator(random_seed=13)
+        profile = registry.profiles[0]
+        generated = generator.generate(profile, "covid19", datetime(2020, 2, 2, 9), 3)
+        posts, reactions = social.generate(generated, profile)
+        assert posts[0].account == profile.twitter_handle
+        assert all(r.post_id in {p.post_id for p in posts} for r in reactions)
+        announcement = social.announce(generated, profile)
+        assert announcement.account == profile.twitter_handle
+
+
+class TestCovidScenario:
+    def test_attention_curve_is_monotonically_increasing(self):
+        config = CovidScenarioConfig()
+        values = [attention_curve(day, config) for day in range(0, 60, 5)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert values[0] < 0.1 and values[-1] > 0.85
+
+    def test_covid_share_separates_low_and_high_quality_late(self):
+        config = CovidScenarioConfig()
+        registry = OutletRegistry.default(n_outlets=10)
+        low, high = registry.low_quality()[0], registry.high_quality()[0]
+        assert abs(covid_share(0, low, config) - covid_share(0, high, config)) < 0.05
+        assert covid_share(55, low, config) > covid_share(55, high, config) + 0.15
+
+    def test_small_scenario_contents(self, small_scenario):
+        summary = small_scenario.summary()
+        assert summary["outlets"] == 6
+        assert summary["articles"] > 50
+        assert summary["topic_articles"] > 10
+        assert summary["posts"] >= summary["articles"]  # every article is announced
+        assert summary["reactions"] > 0
+        # Every generated article page is registered on the synthetic web.
+        assert len(small_scenario.site_store) == summary["articles"]
+
+    def test_scenario_event_views(self, small_scenario):
+        postings = list(small_scenario.posting_events())
+        reactions = list(small_scenario.reaction_events())
+        assert len(postings) == len(small_scenario.posts)
+        assert len(reactions) == len(small_scenario.reactions)
+        # Events are time ordered.
+        times = [value["created_at"] for _key, value in postings]
+        assert times == sorted(times)
+
+    def test_lookup_helpers(self, small_scenario):
+        generated = small_scenario.articles[0]
+        assert small_scenario.article_by_url(generated.url) is generated
+        assert small_scenario.article_by_url("https://nowhere.example.com/x") is None
+        assert generated in small_scenario.articles_of_outlet(generated.article.outlet_domain)
+        assert small_scenario.true_quality_by_article_id()[generated.article.article_id] == generated.true_quality
+
+    def test_daily_counts_cover_window(self, small_scenario):
+        counts = small_scenario.daily_article_counts()
+        assert len(counts) == 6
+        first_day = min(day for days in counts.values() for day in days)
+        assert first_day >= COVID_WINDOW_START.date()

@@ -1,0 +1,196 @@
+"""Tests for the message broker, producer, consumer, checkpointing and windowing."""
+
+from datetime import datetime, timedelta
+
+import pytest
+
+from repro.errors import OffsetOutOfRange, StreamingError, TopicNotFound
+from repro.streaming.broker import MessageBroker
+from repro.streaming.checkpoint import CheckpointStore
+from repro.streaming.consumer import Consumer
+from repro.streaming.producer import Producer
+from repro.streaming.windowing import TumblingWindow, WindowedCounter, aggregate_by_window, window_start
+
+
+class TestBroker:
+    def test_create_topic_is_idempotent(self):
+        broker = MessageBroker(default_partitions=2)
+        broker.create_topic("postings")
+        broker.create_topic("postings")
+        assert broker.topics() == ["postings"]
+        assert broker.topic_stats("postings").partitions == 2
+
+    def test_produce_assigns_partition_and_offset(self):
+        broker = MessageBroker(default_partitions=3)
+        broker.create_topic("t")
+        first = broker.produce("t", {"v": 1}, key="account-a")
+        second = broker.produce("t", {"v": 2}, key="account-a")
+        assert first.partition == second.partition  # same key -> same partition
+        assert second.offset == first.offset + 1
+
+    def test_unknown_topic(self):
+        broker = MessageBroker()
+        with pytest.raises(TopicNotFound):
+            broker.produce("missing", {})
+        with pytest.raises(TopicNotFound):
+            broker.poll("g", "missing")
+
+    def test_poll_and_commit_semantics(self):
+        broker = MessageBroker(default_partitions=2)
+        broker.create_topic("t")
+        for i in range(10):
+            broker.produce("t", {"i": i}, key=f"k{i}")
+
+        first_batch = broker.poll("group", "t", max_messages=4)
+        assert len(first_batch) == 4
+        assert broker.lag("group", "t") == 6
+        rest = broker.poll("group", "t", max_messages=100)
+        assert len(rest) == 6
+        assert broker.lag("group", "t") == 0
+        # Independent groups see everything again.
+        assert len(broker.poll("other", "t", max_messages=100)) == 10
+
+    def test_manual_commit_allows_replay(self):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        broker.produce("t", {"i": 1})
+        batch = broker.poll("g", "t", auto_commit=False)
+        assert len(batch) == 1
+        # Not committed: polling again redelivers.
+        assert len(broker.poll("g", "t", auto_commit=False)) == 1
+        broker.commit("g", "t", 0, 1)
+        assert broker.poll("g", "t") == []
+
+    def test_commit_validation(self):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        with pytest.raises(OffsetOutOfRange):
+            broker.commit("g", "t", 0, 5)
+        with pytest.raises(StreamingError):
+            broker.commit("g", "t", 9, 0)
+
+    def test_seek_to_beginning(self):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        broker.produce("t", {"i": 1})
+        broker.poll("g", "t")
+        broker.seek_to_beginning("g", "t")
+        assert len(broker.poll("g", "t")) == 1
+
+    def test_read_all_preserves_messages(self):
+        broker = MessageBroker(default_partitions=2)
+        broker.create_topic("t")
+        broker.produce_many("t", [("a", {"i": 1}), ("b", {"i": 2})])
+        assert len(broker.read_all("t")) == 2
+
+
+class TestProducerConsumer:
+    def test_producer_batches_and_flushes(self):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        producer = Producer(broker, batch_size=3)
+        producer.send("t", {"i": 1})
+        producer.send("t", {"i": 2})
+        assert producer.pending == 2
+        assert broker.topic_stats("t").total_messages == 0
+        producer.send("t", {"i": 3})  # triggers automatic flush
+        assert producer.pending == 0
+        assert broker.topic_stats("t").total_messages == 3
+
+    def test_producer_context_manager_flushes(self):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        with Producer(broker, batch_size=100) as producer:
+            producer.send("t", {"i": 1})
+        assert broker.topic_stats("t").total_messages == 1
+
+    def test_consumer_process_is_at_least_once(self):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        for i in range(5):
+            broker.produce("t", {"i": i})
+        consumer = Consumer(broker, "g", ["t"])
+        seen: list[int] = []
+        failed_once = {"done": False}
+
+        def failing_handler(message):
+            if message.value["i"] == 3 and not failed_once["done"]:
+                failed_once["done"] = True
+                raise RuntimeError("transient failure")
+            seen.append(message.value["i"])
+
+        with pytest.raises(RuntimeError):
+            consumer.process(failing_handler, max_messages=10)
+        # Nothing was committed, so the batch is redelivered and reprocessed.
+        processed = consumer.process(failing_handler, max_messages=10)
+        assert processed == 5
+        assert consumer.lag() == 0
+
+    def test_consumer_requires_topics(self):
+        with pytest.raises(StreamingError):
+            Consumer(MessageBroker(), "g", [])
+
+    def test_checkpoint_restores_position_across_consumers(self, tmp_path):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        for i in range(4):
+            broker.produce("t", {"i": i})
+        store = CheckpointStore(tmp_path / "offsets.json")
+        consumer = Consumer(broker, "g", ["t"], checkpoints=store)
+        consumer.commit(consumer.poll(2))
+
+        # A fresh broker (restart) with the same data and a fresh consumer
+        # using the same checkpoint store resumes from offset 2.
+        broker2 = MessageBroker(default_partitions=1)
+        broker2.create_topic("t")
+        for i in range(4):
+            broker2.produce("t", {"i": i})
+        consumer2 = Consumer(broker2, "g", ["t"], checkpoints=CheckpointStore(tmp_path / "offsets.json"))
+        remaining = consumer2.poll(10)
+        assert [m.value["i"] for m in remaining] == [2, 3]
+
+    def test_drain_processes_everything(self):
+        broker = MessageBroker(default_partitions=2)
+        broker.create_topic("t")
+        for i in range(25):
+            broker.produce("t", {"i": i}, key=str(i))
+        consumer = Consumer(broker, "g", ["t"])
+        count = consumer.drain(lambda m: None, batch_size=7)
+        assert count == 25
+        assert consumer.lag() == 0
+
+
+class TestWindowing:
+    def test_window_start_alignment(self):
+        origin = datetime(2020, 1, 15)
+        ts = datetime(2020, 1, 17, 13, 45)
+        assert window_start(ts, timedelta(days=1), origin) == datetime(2020, 1, 17)
+
+    def test_tumbling_window_contains(self):
+        window = TumblingWindow(start=datetime(2020, 1, 15), duration=timedelta(days=1))
+        assert window.contains(datetime(2020, 1, 15, 23, 59))
+        assert not window.contains(datetime(2020, 1, 16))
+
+    def test_windowed_counter_series(self):
+        counter = WindowedCounter(timedelta(days=1), origin=datetime(2020, 1, 15))
+        counter.add(datetime(2020, 1, 15, 9), "low")
+        counter.add(datetime(2020, 1, 15, 18), "low")
+        counter.add(datetime(2020, 1, 16, 10), "high")
+        assert counter.count(datetime(2020, 1, 15), "low") == 2
+        assert counter.totals_by_group() == {"low": 2, "high": 1}
+        assert len(counter.windows()) == 2
+        assert counter.series("low")[0][1] == 2
+
+    def test_aggregate_by_window(self):
+        events = [
+            (datetime(2020, 1, 15, 8), 10),
+            (datetime(2020, 1, 15, 20), 20),
+            (datetime(2020, 1, 16, 9), 5),
+        ]
+        result = aggregate_by_window(events, timedelta(days=1), sum, origin=datetime(2020, 1, 15))
+        assert result[datetime(2020, 1, 15)] == 30
+        assert result[datetime(2020, 1, 16)] == 5
+
+    def test_invalid_window_duration(self):
+        with pytest.raises(StreamingError):
+            WindowedCounter(timedelta(seconds=0))

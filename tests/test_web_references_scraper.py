@@ -1,0 +1,121 @@
+"""Tests for reference classification, the synthetic site store and the scraper."""
+
+import pytest
+
+from repro.errors import ScrapingError
+from repro.web.references import ReferenceClassifier, ReferenceType
+from repro.web.scraper import ArticleScraper
+from repro.web.sitestore import SiteStore
+
+OUTLET = "dailyscience.example.com"
+
+
+class TestReferenceClassifier:
+    def setup_method(self):
+        self.classifier = ReferenceClassifier()
+
+    def test_scientific_domains(self):
+        assert self.classifier.classify("https://www.nature.com/articles/x", OUTLET) is ReferenceType.SCIENTIFIC
+        assert self.classifier.classify("https://pubmed.ncbi.nlm.nih.gov/123", OUTLET) is ReferenceType.SCIENTIFIC
+        assert self.classifier.classify("https://mit.edu/lab/report", OUTLET) is ReferenceType.SCIENTIFIC
+
+    def test_internal_references_share_the_outlet_site(self):
+        assert (
+            self.classifier.classify(f"https://{OUTLET}/related/1", OUTLET)
+            is ReferenceType.INTERNAL
+        )
+        assert (
+            self.classifier.classify("https://amp.dailyscience.example.com/x", OUTLET)
+            is ReferenceType.INTERNAL
+        )
+
+    def test_external_references(self):
+        assert (
+            self.classifier.classify("https://othernews.example.org/story", OUTLET)
+            is ReferenceType.EXTERNAL
+        )
+
+    def test_profile_counts_and_ratio(self):
+        urls = [
+            f"https://{OUTLET}/a",
+            "https://nature.com/b",
+            "https://who.int/c",
+            "https://othernews.example.org/d",
+            "not-a-url",
+        ]
+        profile = self.classifier.profile(urls, OUTLET)
+        assert (profile.internal, profile.external, profile.scientific) == (1, 1, 2)
+        assert profile.scientific_ratio == pytest.approx(0.5)
+        assert profile.total == 4
+
+    def test_empty_profile_ratio_is_zero(self):
+        profile = self.classifier.profile([], OUTLET)
+        assert profile.scientific_ratio == 0.0
+
+    def test_custom_scientific_domains_extend_the_list(self):
+        classifier = ReferenceClassifier(scientific_domains=["myjournal.org"])
+        assert classifier.classify("https://myjournal.org/paper", OUTLET) is ReferenceType.SCIENTIFIC
+        assert classifier.classify("https://nature.com/x", OUTLET) is ReferenceType.EXTERNAL
+
+
+class TestSiteStore:
+    def test_register_and_fetch(self):
+        store = SiteStore()
+        store.register("https://example.com/a", "<html><title>A</title></html>")
+        page = store.fetch("https://example.com/a/")
+        assert "A" in page.html
+        assert store.fetch_count == 1
+        assert "https://example.com/a" in store
+
+    def test_missing_page_raises(self):
+        with pytest.raises(ScrapingError):
+            SiteStore().fetch("https://example.com/missing")
+
+    def test_error_status_raises(self):
+        store = SiteStore()
+        store.register("https://example.com/gone", "<html></html>", status=404)
+        with pytest.raises(ScrapingError):
+            store.fetch("https://example.com/gone")
+
+    def test_pages_for_domain_and_remove(self):
+        store = SiteStore()
+        store.register("https://a.example.com/1", "x")
+        store.register("https://b.example.com/2", "y")
+        assert len(list(store.pages_for_domain("a.example.com"))) == 1
+        store.remove("https://a.example.com/1")
+        assert len(store) == 1
+
+
+class TestArticleScraper:
+    HTML = (
+        "<html><head><title>Vaccine study results</title>"
+        '<meta name="author" content="Jane Roe">'
+        '<meta property="article:published_time" content="2020-02-10T09:00:00"></head>'
+        "<body><p>Body text with <a href=\"https://nature.com/x\">a study</a> and "
+        '<a href="/relative">a relative link</a>.</p></body></html>'
+    )
+
+    def _scraper(self):
+        store = SiteStore()
+        store.register(f"https://{OUTLET}/2020/02/10/story", self.HTML)
+        store.register(f"https://{OUTLET}/empty", "<html></html>")
+        return ArticleScraper(store)
+
+    def test_scrape_extracts_everything(self):
+        scraped = self._scraper().scrape(f"https://{OUTLET}/2020/02/10/story")
+        assert scraped.title == "Vaccine study results"
+        assert scraped.author == "Jane Roe"
+        assert scraped.outlet_domain == OUTLET
+        assert scraped.links == ("https://nature.com/x",)
+        assert scraped.published_at is not None and scraped.published_at.year == 2020
+        assert scraped.has_byline
+        assert "<html>" in scraped.html
+
+    def test_scrape_empty_page_raises(self):
+        with pytest.raises(ScrapingError):
+            self._scraper().scrape(f"https://{OUTLET}/empty")
+
+    def test_try_scrape_returns_none_on_failure(self):
+        scraper = self._scraper()
+        assert scraper.try_scrape(f"https://{OUTLET}/missing") is None
+        assert scraper.try_scrape(f"https://{OUTLET}/2020/02/10/story") is not None
