@@ -48,9 +48,22 @@ class ArticlesService(MicroService):
         outlet_domain = request.param("outlet_domain")
         topic = request.param("topic")
         limit = int(request.param("limit", 100))
+        if topic is None:
+            # Hot path: the planner serves this as an index-backed count plus
+            # an ORDER BY published_at DESC + LIMIT scan — no full sort, and
+            # only ``limit`` articles are materialised.
+            total = self.platform.count_articles(outlet_domain=outlet_domain)
+            articles = self.platform.recent_articles(
+                outlet_domain=outlet_domain, limit=limit
+            )
+            return ServiceResponse.success(
+                {
+                    "total": total,
+                    "articles": [_article_payload(a) for a in articles],
+                }
+            )
         articles = self.platform.articles(outlet_domain=outlet_domain)
-        if topic is not None:
-            articles = [a for a in articles if topic in a.topics]
+        articles = [a for a in articles if topic in a.topics]
         articles.sort(key=lambda a: a.published_at, reverse=True)
         return ServiceResponse.success(
             {

@@ -6,11 +6,18 @@ import time
 from collections import OrderedDict
 from typing import Any, Hashable
 
+#: Sentinel distinguishing "not cached" from a cached ``None``/falsy value:
+#: ``cache.get(key, MISS) is MISS`` is a definitive miss test.
+MISS: Any = object()
+
 
 class TtlCache:
     """A small LRU cache whose entries expire after ``ttl_seconds``.
 
-    ``capacity=0`` disables caching entirely (every lookup misses).
+    ``capacity=0`` disables caching entirely (every lookup misses).  When a
+    :meth:`put` overflows capacity, expired entries are purged before any LRU
+    eviction, so stale entries never force the eviction of fresh ones (and
+    puts into a non-full cache stay O(1)).
     """
 
     def __init__(self, capacity: int = 1024, ttl_seconds: float = 300.0) -> None:
@@ -27,33 +34,60 @@ class TtlCache:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: Hashable) -> Any | None:
-        """Return the cached value or ``None`` on miss/expiry."""
+    def _expired(self, stored_at: float, now: float) -> bool:
+        return bool(self.ttl_seconds) and (now - stored_at) > self.ttl_seconds
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Return the cached value, or ``default`` on miss/expiry.
+
+        Pass :data:`MISS` as ``default`` to distinguish a cached ``None`` (or
+        other falsy value) from an absent entry.
+        """
         if self.capacity == 0:
             self.misses += 1
-            return None
+            return default
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
-            return None
+            return default
         stored_at, value = entry
-        if self.ttl_seconds and (time.monotonic() - stored_at) > self.ttl_seconds:
+        if self._expired(stored_at, time.monotonic()):
             del self._entries[key]
             self.misses += 1
-            return None
+            return default
         self._entries.move_to_end(key)
         self.hits += 1
         return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        """Store a value (evicting the least recently used entry when full)."""
+        """Store a value (evicting the least recently used entry when full).
+
+        On overflow, expired entries are dropped first; a live entry is only
+        LRU-evicted when the cache is genuinely full of fresh data.
+        """
         if self.capacity == 0:
             return
         if key in self._entries:
             self._entries.move_to_end(key)
         self._entries[key] = (time.monotonic(), value)
+        if len(self._entries) > self.capacity:
+            self.purge_expired()
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
+
+    def purge_expired(self) -> int:
+        """Drop every expired entry; returns how many were removed."""
+        if not self.ttl_seconds:
+            return 0
+        now = time.monotonic()
+        doomed = [
+            key
+            for key, (stored_at, _value) in self._entries.items()
+            if self._expired(stored_at, now)
+        ]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
 
     def invalidate(self, key: Hashable | None = None) -> None:
         """Drop one entry, or the whole cache when ``key`` is ``None``."""

@@ -2,11 +2,12 @@
 
 from __future__ import annotations
 
+import copy
 import json
 from typing import Any
 
 from ..errors import RouteNotFound
-from .cache import TtlCache
+from .cache import MISS, TtlCache
 from .service import MicroService, ServiceRequest, ServiceResponse
 
 
@@ -61,13 +62,16 @@ class ApiGateway:
         cache_key = None
         if route in self._cacheable:
             cache_key = (route, json.dumps(params, sort_keys=True, default=str))
-            cached = self.cache.get(cache_key)
-            if cached is not None:
-                return cached
+            cached = self.cache.get(cache_key, MISS)
+            if cached is not MISS:
+                # Hand every hit its own copy: the payload is mutable, and a
+                # shared instance would let one caller corrupt the cache (and
+                # every other caller's response).
+                return copy.deepcopy(cached)
 
         response = service.handle(operation, ServiceRequest(route=route, params=params))
         if cache_key is not None and response.ok:
-            self.cache.put(cache_key, response)
+            self.cache.put(cache_key, copy.deepcopy(response))
         return response
 
     def stats(self) -> dict[str, Any]:

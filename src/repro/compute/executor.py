@@ -30,10 +30,13 @@ class TaskMetrics:
 
 
 class LocalExecutor:
-    """Runs one task per partition on a thread pool.
+    """Runs one task per partition on a persistent thread pool.
 
-    ``max_workers=1`` degenerates to sequential execution, which is handy for
-    debugging and for deterministic benchmarks.
+    The pool is created lazily on the first parallel stage and reused for the
+    executor's whole lifetime, so multi-stage ``Dataset`` lineages do not pay
+    thread-pool construction/teardown on every stage.  ``max_workers=1``
+    degenerates to sequential execution, which is handy for debugging and for
+    deterministic benchmarks.
     """
 
     def __init__(self, max_workers: int = 4) -> None:
@@ -41,6 +44,14 @@ class LocalExecutor:
             raise ComputeError("max_workers must be >= 1")
         self.max_workers = max_workers
         self.metrics = TaskMetrics()
+        self._pool: ThreadPoolExecutor | None = None
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-executor"
+            )
+        return self._pool
 
     def run(
         self,
@@ -55,8 +66,28 @@ class LocalExecutor:
         elif self.max_workers == 1 or len(partitions) == 1:
             results = [task(list(partition)) for partition in partitions]
         else:
-            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
-                results = list(pool.map(lambda p: task(list(p)), partitions))
+            results = list(self._get_pool().map(lambda p: task(list(p)), partitions))
         elapsed = time.perf_counter() - start
         self.metrics.record(len(partitions), elapsed, description)
         return results
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Tear down the worker pool (it is recreated on the next stage)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
+            self._pool = None
+
+    def __enter__(self) -> "LocalExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __del__(self) -> None:
+        # Datasets often create executors implicitly; wind the worker threads
+        # down when the executor is garbage-collected so long-lived processes
+        # do not leak a pool per dataset.
+        try:
+            self.shutdown(wait=False)
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass

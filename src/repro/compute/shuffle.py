@@ -11,8 +11,27 @@ K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
 
+def _canonical_key(key: Hashable) -> Hashable:
+    """Collapse equal-but-differently-typed keys onto one canonical form.
+
+    Python's numeric tower makes ``1 == 1.0 == True``, but their ``repr``
+    differs, so hashing the repr directly would scatter equal keys across
+    partitions and make ``reduce_by_key``/``group_by_key``/``join`` emit
+    duplicate keys.  Booleans and integral floats are normalised to ``int``
+    (a float that equals an int is always exactly representable), and tuple
+    keys are canonicalised element-wise.
+    """
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, float) and key.is_integer():
+        return int(key)
+    if isinstance(key, tuple):
+        return tuple(_canonical_key(element) for element in key)
+    return key
+
+
 def _stable_hash(key: Hashable) -> int:
-    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
+    digest = hashlib.blake2b(repr(_canonical_key(key)).encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "little")
 
 

@@ -94,10 +94,15 @@ class SciLensPlatform:
         )
         for schema in all_schemas():
             self.database.create_table(schema, if_not_exists=True)
-        self.database.table("posts").create_index("article_url", kind="hash")
-        self.database.table("reactions").create_index("post_id", kind="hash")
-        self.database.table("articles").create_index("outlet_domain", kind="hash")
-        self.database.table("reviews").create_index("article_id", kind="hash")
+        # Equality indexes on the foreign-key-style lookup columns, plus
+        # sorted indexes on the hot ORDER BY / range columns so the query
+        # planner can serve the real-time services without full scans.
+        self.database.create_index("posts", "article_url", kind="hash")
+        self.database.create_index("posts", "followers", kind="sorted")
+        self.database.create_index("reactions", "post_id", kind="hash")
+        self.database.create_index("articles", "outlet_domain", kind="hash")
+        self.database.create_index("articles", "published_at", kind="sorted")
+        self.database.create_index("reviews", "article_id", kind="hash")
 
         self.dfs = DistributedFileSystem(
             n_nodes=3, replication=self.config.storage.warehouse_replication
@@ -291,6 +296,26 @@ class SciLensPlatform:
         if outlet_domain is not None:
             query = query.where(col("outlet_domain") == outlet_domain)
         return [_row_to_article(row) for row in query.execute().rows]
+
+    def count_articles(self, outlet_domain: str | None = None) -> int:
+        """Number of stored articles, optionally for one outlet (index-backed)."""
+        query = self.database.query("articles")
+        if outlet_domain is not None:
+            query = query.where(col("outlet_domain") == outlet_domain)
+        return query.count()
+
+    def recent_articles(self, outlet_domain: str | None = None, limit: int = 100) -> list[Article]:
+        """The most recently published articles, newest first.
+
+        Runs as an index-ordered scan over the sorted ``published_at`` index
+        (or a bounded top-k when that is unavailable), so only ``limit`` rows
+        are materialised instead of sorting the whole table.
+        """
+        query = self.database.query("articles")
+        if outlet_domain is not None:
+            query = query.where(col("outlet_domain") == outlet_domain)
+        rows = query.order_by("published_at", descending=True).limit(limit).execute().rows
+        return [_row_to_article(row) for row in rows]
 
     def posts_for_article(self, article_url: str) -> list[SocialPost]:
         rows = (

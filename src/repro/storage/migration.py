@@ -63,12 +63,19 @@ class MigrationJob:
         ingestion time), while ``partition_column`` decides how the warehouse
         table is laid out (typically the event time, e.g. the publication
         date of an article).  It defaults to the watermark column.
+
+        A sorted index is declared on the watermark column (unless the column
+        is already indexed) so each incremental run resolves its
+        ``timestamp > watermark`` filter as an index range scan instead of a
+        full table scan.
         """
         table = self.database.table(rdbms_table)
         if not table.schema.has_column(timestamp_column):
             raise StorageError(
                 f"table {rdbms_table!r} has no timestamp column {timestamp_column!r}"
             )
+        if not table.has_index(timestamp_column):
+            table.create_index(timestamp_column, kind="sorted")
         partition_column = partition_column or timestamp_column
         if not table.schema.has_column(partition_column):
             raise StorageError(

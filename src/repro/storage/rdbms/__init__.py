@@ -2,9 +2,10 @@
 
 from .types import ColumnType
 from .schema import Column, TableSchema
-from .expressions import Expression, col, lit
+from .expressions import Expression, col, extract_constraints, lit
 from .table import Table
 from .index import HashIndex, SortedIndex
+from .planner import AccessPlan, QueryPlan, plan_access
 from .query import Query, QueryResult
 from .database import Database
 from .sql import parse_sql
@@ -17,9 +18,13 @@ __all__ = [
     "Expression",
     "col",
     "lit",
+    "extract_constraints",
     "Table",
     "HashIndex",
     "SortedIndex",
+    "AccessPlan",
+    "QueryPlan",
+    "plan_access",
     "Query",
     "QueryResult",
     "Database",

@@ -61,6 +61,17 @@ class Database:
         del self._tables[name]
         self._log("drop_table", name, {})
 
+    def create_index(self, table_name: str, column: str, kind: str = "hash") -> None:
+        """Create a secondary index on ``table_name.column``.
+
+        ``kind`` is ``"hash"`` (equality only) or ``"sorted"`` (equality,
+        range scans and index-ordered ORDER BY).  Unlike
+        :meth:`Table.create_index`, indexes created here are WAL-logged and
+        therefore rebuilt automatically when the database reopens.
+        """
+        self.table(table_name).create_index(column, kind=kind)
+        self._log("create_index", table_name, {"column": column, "kind": kind})
+
     def table(self, name: str) -> Table:
         """Return the table named ``name`` or raise :class:`TableNotFound`."""
         try:
@@ -217,6 +228,12 @@ class Database:
                         self._tables[schema.name] = Table(schema)
                 elif record.operation == "drop_table":
                     self._tables.pop(record.table, None)
+                elif record.operation == "create_index":
+                    table = self._tables.get(record.table)
+                    if table is not None:
+                        table.create_index(
+                            record.payload["column"], kind=record.payload.get("kind", "hash")
+                        )
                 elif record.operation in ("insert", "upsert"):
                     table = self._tables.get(record.table)
                     if table is None:

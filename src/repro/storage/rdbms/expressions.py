@@ -8,6 +8,7 @@ evaluated against plain row dictionaries.
 from __future__ import annotations
 
 import operator
+from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping
 
 from ...errors import ColumnNotFound
@@ -290,25 +291,163 @@ def lit(value: Any) -> Literal:
     return Literal(value)
 
 
-def equality_lookup(expression: Expression | None) -> dict[str, Any]:
-    """Extract ``column = literal`` constraints from a predicate.
+@dataclass
+class RangeConstraint:
+    """A (possibly half-open) interval constraint on one column.
 
-    Used by the query planner to route simple lookups through an index.  Only
-    top-level comparisons and AND-combinations contribute.
+    ``low``/``high`` of ``None`` mean unbounded on that side.  Bounds are
+    *necessary* conditions implied by the predicate, so a planner may use them
+    to narrow candidates while still re-evaluating the full predicate.
     """
+
+    low: Any = None
+    high: Any = None
+    include_low: bool = True
+    include_high: bool = True
+
+    def tighten_low(self, value: Any, inclusive: bool) -> None:
+        if self.low is None:
+            self.low, self.include_low = value, inclusive
+            return
+        try:
+            if value > self.low:
+                self.low, self.include_low = value, inclusive
+            elif value == self.low:
+                self.include_low = self.include_low and inclusive
+        except TypeError:
+            # Heterogeneous bounds: keeping the existing (looser-or-equal)
+            # bound is always safe for a candidate superset.
+            pass
+
+    def tighten_high(self, value: Any, inclusive: bool) -> None:
+        if self.high is None:
+            self.high, self.include_high = value, inclusive
+            return
+        try:
+            if value < self.high:
+                self.high, self.include_high = value, inclusive
+            elif value == self.high:
+                self.include_high = self.include_high and inclusive
+        except TypeError:
+            pass
+
+    def is_bounded(self) -> bool:
+        return self.low is not None or self.high is not None
+
+
+@dataclass
+class PredicateConstraints:
+    """Index-usable constraints extracted from the top-level AND conjuncts.
+
+    * ``equalities`` — ``column = literal`` conjuncts.
+    * ``ranges`` — merged ``<``/``<=``/``>``/``>=`` bounds per column
+      (a BETWEEN-style ``(col >= a) & (col <= b)`` collapses to one range).
+    * ``disjunctions`` — conjuncts that are an OR of equalities (including
+      ``is_in`` lists), each as a list of ``(column, value)`` branches.
+
+    Every entry is a necessary condition of the predicate, so candidate rows
+    derived from any subset remain a superset of the true matches.
+    """
+
+    equalities: dict[str, Any] = field(default_factory=dict)
+    ranges: dict[str, RangeConstraint] = field(default_factory=dict)
+    disjunctions: list[list[tuple[str, Any]]] = field(default_factory=list)
+
+    def is_empty(self) -> bool:
+        return not (self.equalities or self.ranges or self.disjunctions)
+
+
+_RANGE_SYMBOLS = {"<", "<=", ">", ">="}
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def _column_literal(node: Comparison) -> tuple[str, Any, str] | None:
+    """Normalise a comparison to ``(column, literal, symbol)`` (column left)."""
+    if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
+        return node.left.name, node.right.value, node.symbol
+    if isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
+        symbol = _FLIPPED.get(node.symbol, node.symbol)
+        return node.right.name, node.left.value, symbol
+    return None
+
+
+def _equality_branches(node: Expression) -> list[tuple[str, Any]] | None:
+    """Flatten an OR subtree into ``(column, value)`` equality branches.
+
+    Returns ``None`` when any branch is not an indexable equality, in which
+    case the disjunction cannot be answered from indexes.
+    """
+    if isinstance(node, BooleanOp) and node.kind == "or":
+        branches: list[tuple[str, Any]] = []
+        for operand in node.operands:
+            sub = _equality_branches(operand)
+            if sub is None:
+                return None
+            branches.extend(sub)
+        return branches
+    if isinstance(node, Comparison) and node.symbol == "=":
+        normalized = _column_literal(node)
+        if normalized is None:
+            return None
+        column, value, _symbol = normalized
+        if value is None:
+            # ``col = NULL`` matches rows whose value IS NULL, and NULLs are
+            # never indexed — an index union would silently drop those rows.
+            return None
+        return [(column, value)]
+    if isinstance(node, InList) and isinstance(node.operand, ColumnRef):
+        # NULL list members are inert (IN never matches through NULL), so
+        # they are simply skipped rather than poisoning the whole branch.
+        return [(node.operand.name, value) for value in node.values if value is not None]
+    return None
+
+
+def extract_constraints(expression: Expression | None) -> PredicateConstraints:
+    """Extract every index-usable constraint from a predicate.
+
+    Walks the top-level AND tree and collects equalities, range bounds and
+    OR-of-equality disjunctions; anything else (NOT, LIKE, arithmetic,
+    column-to-column comparisons …) is ignored, which is safe because the
+    executor re-evaluates the full predicate on every candidate row.
+    """
+    constraints = PredicateConstraints()
     if expression is None:
-        return {}
-    constraints: dict[str, Any] = {}
+        return constraints
 
     def visit(node: Expression) -> None:
         if isinstance(node, BooleanOp) and node.kind == "and":
             for operand in node.operands:
                 visit(operand)
-        elif isinstance(node, Comparison) and node.symbol == "=":
-            if isinstance(node.left, ColumnRef) and isinstance(node.right, Literal):
-                constraints[node.left.name] = node.right.value
-            elif isinstance(node.right, ColumnRef) and isinstance(node.left, Literal):
-                constraints[node.right.name] = node.left.value
+            return
+        if isinstance(node, Comparison):
+            normalized = _column_literal(node)
+            if normalized is None:
+                return
+            column, value, symbol = normalized
+            if value is None:
+                return  # NULL comparisons never match through an index
+            if symbol == "=":
+                constraints.equalities[column] = value
+            elif symbol in _RANGE_SYMBOLS:
+                rng = constraints.ranges.setdefault(column, RangeConstraint())
+                if symbol in (">", ">="):
+                    rng.tighten_low(value, symbol == ">=")
+                else:
+                    rng.tighten_high(value, symbol == "<=")
+            return
+        branches = _equality_branches(node)
+        if branches:
+            constraints.disjunctions.append(branches)
 
     visit(expression)
     return constraints
+
+
+def equality_lookup(expression: Expression | None) -> dict[str, Any]:
+    """Extract ``column = literal`` constraints from a predicate.
+
+    Kept as the historical entry point; the planner now uses the richer
+    :func:`extract_constraints`.  Only top-level comparisons and
+    AND-combinations contribute.
+    """
+    return extract_constraints(expression).equalities

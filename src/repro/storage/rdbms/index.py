@@ -1,10 +1,15 @@
-"""Secondary indexes: hash indexes for equality and sorted indexes for ranges."""
+"""Secondary indexes: hash indexes for equality and sorted indexes for ranges.
+
+Hash indexes answer equality (and OR-of-equality / IN-list) lookups; sorted
+indexes additionally answer range scans and can stream row ids in column
+order, which the query planner uses for index-ordered ORDER BY execution.
+"""
 
 from __future__ import annotations
 
 import bisect
 from collections import defaultdict
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 
 class HashIndex:
@@ -32,6 +37,15 @@ class HashIndex:
     def lookup(self, value: Any) -> set[int]:
         """Row ids whose indexed column equals ``value``."""
         return set(self._buckets.get(value, set()))
+
+    def lookup_many(self, values: Iterable[Any]) -> set[int]:
+        """Union of row ids matching any of ``values`` (IN-list / OR lookup)."""
+        out: set[int] = set()
+        for value in values:
+            bucket = self._buckets.get(value)
+            if bucket:
+                out |= bucket
+        return out
 
     def values(self) -> list[Any]:
         """Distinct indexed values (unsorted)."""
@@ -94,6 +108,35 @@ class SortedIndex:
                 while stop > 0 and self._entries[stop - 1][0] == high:
                     stop -= 1
         return [row_id for _value, row_id in self._entries[start:stop]]
+
+    def lookup_many(self, values: Iterable[Any]) -> set[int]:
+        """Union of row ids matching any of ``values`` (IN-list / OR lookup)."""
+        out: set[int] = set()
+        for value in values:
+            out |= self.lookup(value)
+        return out
+
+    def iter_ids_ordered(self, descending: bool = False) -> Iterator[int]:
+        """Yield row ids in indexed-column order.
+
+        Ties (equal column values) are always yielded in ascending row-id
+        order — in both directions — so the stream matches what a *stable*
+        sort of the rows (which are stored in row-id order) would produce.
+        """
+        entries = self._entries
+        if not descending:
+            for _value, row_id in entries:
+                yield row_id
+            return
+        i = len(entries) - 1
+        while i >= 0:
+            j = i
+            value = entries[i][0]
+            while j >= 0 and entries[j][0] == value:
+                j -= 1
+            for k in range(j + 1, i + 1):
+                yield entries[k][1]
+            i = j
 
     def min_value(self) -> Any:
         return self._entries[0][0] if self._entries else None

@@ -1,0 +1,182 @@
+"""Index-aware access planning for the relational engine.
+
+The planner turns a predicate (via the constraint extractor of
+:mod:`.expressions`) plus the table's secondary indexes into an
+:class:`AccessPlan` — a candidate row-id set and a label describing how it was
+derived.  :class:`QueryPlan` extends that with the ordering strategy chosen by
+:meth:`~repro.storage.rdbms.query.Query.execute` and is what
+``Query.explain()`` returns.
+
+Access paths
+------------
+* ``full-scan``      — no usable index; every row is examined.
+* ``index-eq``       — hash/sorted index equality lookup.
+* ``index-range``    — sorted index range scan (``<``, ``<=``, ``>``, ``>=``,
+  BETWEEN-style AND pairs).
+* ``index-union``    — union of equality lookups for an OR-of-equality or
+  IN-list conjunct.
+* ``index-intersect``— several of the above intersected.
+
+Ordering strategies
+-------------------
+* ``sort``           — materialise matches and sort them.
+* ``top-k``          — bounded heap for ORDER BY + LIMIT (avoids a full sort).
+* ``index-ordered``  — stream rows straight from a sorted index, stopping as
+  soon as OFFSET + LIMIT matches are found.
+
+The executor always re-evaluates the predicate on candidate rows, so every
+plan produces exactly the rows a full scan would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from .expressions import Expression, extract_constraints
+from .index import SortedIndex
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .table import Table
+
+FULL_SCAN = "full-scan"
+INDEX_EQ = "index-eq"
+INDEX_RANGE = "index-range"
+INDEX_UNION = "index-union"
+INDEX_INTERSECT = "index-intersect"
+
+ORDER_SORT = "sort"
+ORDER_TOP_K = "top-k"
+ORDER_INDEX = "index-ordered"
+
+
+@dataclass
+class AccessPlan:
+    """How the planner narrows the rows a predicate must examine."""
+
+    path: str = FULL_SCAN
+    #: Human-readable per-index steps, e.g. ``("index-range(published_at)",)``.
+    steps: tuple[str, ...] = ()
+    #: Candidate row ids (unordered); ``None`` means every row is a candidate.
+    row_ids: set[int] | None = None
+
+    @property
+    def is_index_backed(self) -> bool:
+        return self.row_ids is not None
+
+    def candidate_count(self) -> int | None:
+        return len(self.row_ids) if self.row_ids is not None else None
+
+
+def plan_access(table: "Table", predicate: Any) -> AccessPlan:
+    """Choose an access path for ``predicate`` against ``table``.
+
+    Intersects the candidate sets of every index-answerable conjunct:
+    equalities through any index, ranges through sorted indexes, and
+    OR-of-equality disjunctions through an index union (only when *every*
+    branch column is indexed — otherwise the union would miss rows).
+    """
+    if not isinstance(predicate, Expression):
+        return AccessPlan()
+    constraints = extract_constraints(predicate)
+    if constraints.is_empty():
+        return AccessPlan()
+
+    candidate: set[int] | None = None
+    steps: list[str] = []
+    kinds: set[str] = set()
+
+    def intersect(matches: set[int]) -> None:
+        nonlocal candidate
+        candidate = matches if candidate is None else candidate & matches
+
+    for column, value in constraints.equalities.items():
+        if not table.has_index(column):
+            continue
+        intersect(table.index(column).lookup(value))
+        steps.append(f"{INDEX_EQ}({column})")
+        kinds.add(INDEX_EQ)
+
+    for column, rng in constraints.ranges.items():
+        if column in constraints.equalities or not rng.is_bounded():
+            continue  # equality already gave a tighter set
+        if not table.has_index(column):
+            continue
+        index = table.index(column)
+        if not isinstance(index, SortedIndex):
+            continue
+        matches = set(
+            index.range(
+                low=rng.low,
+                high=rng.high,
+                include_low=rng.include_low,
+                include_high=rng.include_high,
+            )
+        )
+        intersect(matches)
+        steps.append(f"{INDEX_RANGE}({column})")
+        kinds.add(INDEX_RANGE)
+
+    for branches in constraints.disjunctions:
+        by_column: dict[str, list[Any]] = {}
+        for column, value in branches:
+            by_column.setdefault(column, []).append(value)
+        if not all(table.has_index(column) for column in by_column):
+            continue
+        union: set[int] = set()
+        for column, values in by_column.items():
+            union |= table.index(column).lookup_many(values)
+        intersect(union)
+        steps.append(f"{INDEX_UNION}({','.join(sorted(by_column))})")
+        kinds.add(INDEX_UNION)
+
+    if candidate is None:
+        return AccessPlan()
+    path = kinds.pop() if len(kinds) == 1 and len(steps) == 1 else INDEX_INTERSECT
+    return AccessPlan(path=path, steps=tuple(steps), row_ids=candidate)
+
+
+@dataclass
+class QueryPlan:
+    """The full plan of one query, as reported by ``Query.explain()``."""
+
+    table: str
+    access_path: str
+    access_steps: tuple[str, ...] = ()
+    candidate_rows: int | None = None
+    table_rows: int = 0
+    order_strategy: str | None = None
+    order_column: str | None = None
+    projection_pushdown: tuple[str, ...] | None = None
+    uses_aggregation: bool = False
+    joined_tables: tuple[str, ...] = ()
+    limit: int | None = None
+    offset: int = 0
+    _access: AccessPlan = field(default=None, repr=False, compare=False)  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        """One-line, EXPLAIN-style summary of the plan."""
+        parts = [f"{self.table}: {self.access_path}"]
+        if self.access_steps:
+            parts.append("via " + " ∩ ".join(self.access_steps))
+        if self.candidate_rows is not None:
+            parts.append(f"~{self.candidate_rows}/{self.table_rows} rows")
+        if self.order_strategy:
+            order = self.order_strategy
+            if self.order_column:
+                order += f"({self.order_column})"
+            parts.append(f"order={order}")
+        if self.projection_pushdown is not None:
+            parts.append("project=" + ",".join(self.projection_pushdown))
+        if self.uses_aggregation:
+            parts.append("aggregate")
+        for joined in self.joined_tables:
+            parts.append(f"join({joined})")
+        if self.limit is not None:
+            parts.append(f"limit={self.limit}")
+        if self.offset:
+            parts.append(f"offset={self.offset}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.describe()

@@ -3,15 +3,29 @@
 Provides the fluent query interface the platform's services use for real-time
 operations (``db.query("articles").where(...).order_by(...).limit(...)``),
 including projections, aggregation with GROUP BY, and hash joins.
+
+Execution is planner-driven (see :mod:`.planner`): predicates are narrowed
+through the table's indexes, ORDER BY + LIMIT runs as an index-ordered scan or
+a bounded top-k heap instead of a full sort, and projections are pushed down
+so full row dicts are not copied through the pipeline.  ``Query.explain()``
+reports the chosen plan without executing the query.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence
 
 from ...errors import ColumnNotFound, StorageError
 from .expressions import Expression
+from .index import SortedIndex
+from .planner import (
+    ORDER_INDEX,
+    ORDER_SORT,
+    ORDER_TOP_K,
+    QueryPlan,
+)
 from .table import Table
 
 AGGREGATE_FUNCTIONS = ("count", "sum", "avg", "min", "max")
@@ -149,39 +163,136 @@ class Query:
         self._joins.append((other, left_column, right_column, prefix or other.name))
         return self
 
+    # --------------------------------------------------------------- planning
+
+    def _plan(self) -> QueryPlan:
+        """Choose access path, ordering strategy and projection pushdown."""
+        table = self._table
+        access = table.plan_access(self._predicate)
+        aggregated = bool(self._aggregates or self._group_by)
+
+        access_path = access.path
+        access_steps = access.steps
+        order_strategy: str | None = None
+        order_column: str | None = None
+        if self._order_by:
+            order_strategy = ORDER_SORT
+            if not aggregated and not self._joins:
+                if len(self._order_by) == 1 and not access.is_index_backed:
+                    column, _descending = self._order_by[0]
+                    if table.has_index(column):
+                        index = table.index(column)
+                        # The index only covers non-NULL values, so an ordered
+                        # scan is exact only when it covers every row.
+                        if isinstance(index, SortedIndex) and len(index) == table.row_count():
+                            order_strategy = ORDER_INDEX
+                            order_column = column
+                            access_path = ORDER_INDEX
+                            access_steps = (f"{ORDER_INDEX}({column})",)
+                if order_strategy == ORDER_SORT and self._limit is not None:
+                    order_strategy = ORDER_TOP_K
+
+        pushdown: tuple[str, ...] | None = None
+        if not self._joins:
+            if aggregated:
+                needed = list(self._group_by)
+                for _alias, (_function, column) in self._aggregates.items():
+                    if column != "*" and column not in needed:
+                        needed.append(column)
+                pushdown = tuple(c for c in needed if table.schema.has_column(c))
+            elif self._projection is not None:
+                needed = list(self._projection)
+                for column, _descending in self._order_by:
+                    if column not in needed and table.schema.has_column(column):
+                        needed.append(column)
+                pushdown = tuple(needed)
+
+        return QueryPlan(
+            table=table.name,
+            access_path=access_path,
+            access_steps=access_steps,
+            candidate_rows=access.candidate_count(),
+            table_rows=table.row_count(),
+            order_strategy=order_strategy,
+            order_column=order_column,
+            projection_pushdown=pushdown,
+            uses_aggregation=aggregated,
+            joined_tables=tuple(prefix for _t, _l, _r, prefix in self._joins),
+            limit=self._limit,
+            offset=self._offset,
+            _access=access,
+        )
+
+    def explain(self) -> QueryPlan:
+        """The plan :meth:`execute` would follow, without running the query.
+
+        The returned :class:`~repro.storage.rdbms.planner.QueryPlan` names the
+        access path (``full-scan`` / ``index-eq`` / ``index-range`` /
+        ``index-union`` / ``index-intersect`` / ``index-ordered``) and the
+        ordering strategy (``sort`` / ``top-k`` / ``index-ordered``).
+        """
+        return self._plan()
+
     # -------------------------------------------------------------- execution
 
-    def _base_rows(self) -> list[dict[str, Any]]:
-        rows = self._table.select(self._predicate)
+    def _base_rows(
+        self,
+        columns: Sequence[str] | None = None,
+        candidate_ids: Iterable[int] | None = None,
+    ) -> list[dict[str, Any]]:
+        rows = self._table.select(self._predicate, columns=columns, candidate_ids=candidate_ids)
         for other, left_column, right_column, prefix in self._joins:
             rows = _hash_join(rows, other.rows(), left_column, right_column, prefix)
         return rows
 
     def execute(self) -> QueryResult:
         """Run the query and materialise its result."""
-        rows = self._base_rows()
+        plan = self._plan()
+        aggregated = plan.uses_aggregation
 
-        if self._aggregates or self._group_by:
-            rows = self._run_aggregation(rows)
+        if plan.order_strategy == ORDER_INDEX:
+            column, descending = self._order_by[0]
+            needed = None if self._limit is None else self._offset + self._limit
+            rows = self._table.scan_index_ordered(
+                column,
+                descending=descending,
+                predicate=self._predicate,
+                limit=needed,
+                columns=plan.projection_pushdown,
+            )
+            if self._offset:
+                rows = rows[self._offset:]
+        else:
+            rows = self._base_rows(plan.projection_pushdown, plan._access.row_ids)
+            if aggregated:
+                rows = self._run_aggregation(rows)
+            if plan.order_strategy == ORDER_TOP_K:
+                rows = _top_k(rows, self._order_by, self._offset + self._limit)
+                rows = rows[self._offset:]
+            else:
+                # Ordering happens before projection so ORDER BY may reference
+                # columns that are not part of the SELECT list (SQL semantics).
+                for column, descending in reversed(self._order_by):
+                    rows.sort(key=lambda row: _sort_key(row.get(column)), reverse=descending)
+                if self._offset:
+                    rows = rows[self._offset:]
+                if self._limit is not None:
+                    rows = rows[: self._limit]
 
-        # Ordering happens before projection so ORDER BY may reference
-        # columns that are not part of the SELECT list (SQL semantics).
-        for column, descending in reversed(self._order_by):
-            rows.sort(key=lambda row: _sort_key(row.get(column)), reverse=descending)
-
-        if self._offset:
-            rows = rows[self._offset:]
-        if self._limit is not None:
-            rows = rows[: self._limit]
-
-        if self._projection is not None and not (self._aggregates or self._group_by):
-            rows = [_project(row, self._projection) for row in rows]
+        if self._projection is not None:
+            # Aggregated rows are projected here (the SELECT list refers to
+            # group columns and aggregate aliases); otherwise only trim when
+            # the pushdown carried extra ORDER BY columns or did not happen.
+            if aggregated or plan.projection_pushdown != tuple(self._projection):
+                rows = [_project(row, self._projection) for row in rows]
 
         columns = list(rows[0].keys()) if rows else list(self._projection or [])
         return QueryResult(rows=rows, columns=columns)
 
     def count(self) -> int:
         """Number of rows the query (ignoring projection/aggregation) matches."""
+        if not self._joins:
+            return self._table.count(self._predicate)
         return len(self._base_rows())
 
     def _run_aggregation(self, rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
@@ -233,6 +344,42 @@ def _sort_key(value: Any) -> tuple:
     if isinstance(value, (int, float)):
         return (2, value)
     return (3, str(value))
+
+
+class _Desc:
+    """Inverts the ordering of a wrapped sort key (for DESC columns in top-k)."""
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: tuple) -> None:
+        self.key = key
+
+    def __lt__(self, other: "_Desc") -> bool:
+        return other.key < self.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Desc) and self.key == other.key
+
+
+def _top_k(
+    rows: list[dict[str, Any]], order_by: list[tuple[str, bool]], keep: int
+) -> list[dict[str, Any]]:
+    """First ``keep`` rows under ``order_by`` via a bounded heap.
+
+    ``heapq.nsmallest`` is stable (equivalent to ``sorted(...)[:keep]``), so
+    the result matches the repeated-stable-sort path exactly, including tie
+    order, while only ever holding ``keep`` rows.
+    """
+    if keep <= 0:
+        return []
+
+    def composite_key(row: dict[str, Any]) -> tuple:
+        return tuple(
+            _Desc(_sort_key(row.get(column))) if descending else _sort_key(row.get(column))
+            for column, descending in order_by
+        )
+
+    return heapq.nsmallest(keep, rows, key=composite_key)
 
 
 def _hash_join(

@@ -1,12 +1,20 @@
-"""In-memory table with constraint checking and secondary indexes."""
+"""In-memory table with constraint checking and secondary indexes.
+
+Reads go through the access planner (:mod:`.planner`): equality, range and
+OR-of-equality conjuncts of an :class:`~.expressions.Expression` predicate are
+answered from the table's indexes before the predicate is re-evaluated on the
+surviving candidate rows, and sorted indexes can stream rows in column order
+for index-ordered ORDER BY execution.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Mapping
+from typing import Any, Callable, Iterator, Mapping, Sequence
 
-from ...errors import ConstraintViolation, StorageError
-from .expressions import Expression, equality_lookup
+from ...errors import ColumnNotFound, ConstraintViolation, StorageError
+from .expressions import Expression
 from .index import HashIndex, SortedIndex, build_index
+from .planner import AccessPlan, plan_access
 from .schema import TableSchema
 
 
@@ -162,38 +170,93 @@ class Table:
         return list(self.scan())
 
     def select(
-        self, predicate: Expression | Callable[[dict], bool] | None = None
+        self,
+        predicate: Expression | Callable[[dict], bool] | None = None,
+        columns: Sequence[str] | None = None,
+        candidate_ids: Iterable[int] | None = None,
     ) -> list[dict[str, Any]]:
-        """Rows matching ``predicate`` (all rows when ``None``)."""
-        return [dict(self._rows[row_id]) for row_id in self._iter_matching_ids(predicate)]
+        """Rows matching ``predicate`` (all rows when ``None``).
+
+        When ``columns`` is given only those columns are copied out of the
+        store (projection pushdown) — the predicate still sees the full row.
+        ``candidate_ids`` lets a caller that already planned the access path
+        (see :meth:`plan_access`) reuse its candidate set instead of planning
+        again; the predicate is still re-evaluated on every candidate.
+        """
+        matching = self._iter_matching_ids(predicate, candidate_ids)
+        if columns is None:
+            return [dict(self._rows[row_id]) for row_id in matching]
+        return [_project_row(self._rows[row_id], columns) for row_id in matching]
+
+    def scan_index_ordered(
+        self,
+        column: str,
+        descending: bool = False,
+        predicate: Expression | Callable[[dict], bool] | None = None,
+        limit: int | None = None,
+        columns: Sequence[str] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Rows matching ``predicate`` streamed in ``column`` order.
+
+        Requires a sorted index on ``column``; stops as soon as ``limit``
+        matches are collected, which makes ORDER BY + LIMIT queries run
+        without sorting (or even visiting) the rest of the table.
+        """
+        index = self.index(column)
+        if not isinstance(index, SortedIndex):
+            raise StorageError(
+                f"index on {column!r} of table {self.name!r} is not a sorted index"
+            )
+        if limit is not None and limit <= 0:
+            return []
+        matcher: Callable[[dict], bool] | None
+        if isinstance(predicate, Expression):
+            matcher = lambda row: bool(predicate.evaluate(row))
+        else:
+            matcher = predicate
+        out: list[dict[str, Any]] = []
+        for row_id in index.iter_ids_ordered(descending):
+            row = self._rows.get(row_id)
+            if row is None or (matcher is not None and not matcher(row)):
+                continue
+            out.append(dict(row) if columns is None else _project_row(row, columns))
+            if limit is not None and len(out) >= limit:
+                break
+        return out
 
     def count(self, predicate: Expression | Callable[[dict], bool] | None = None) -> int:
         """Number of rows matching ``predicate``."""
+        if predicate is None:
+            return len(self._rows)
         return sum(1 for _ in self._iter_matching_ids(predicate))
 
     # ------------------------------------------------------------- internals
 
+    def plan_access(self, predicate: Expression | Callable[[dict], bool] | None) -> AccessPlan:
+        """The access plan the planner chooses for ``predicate`` on this table."""
+        return plan_access(self, predicate)
+
     def _candidate_ids(self, predicate: Expression | None) -> list[int] | None:
         """Use indexes to narrow the rows a predicate must examine (or ``None``)."""
-        if not isinstance(predicate, Expression):
-            return None
-        constraints = equality_lookup(predicate)
-        candidate: set[int] | None = None
-        for column, value in constraints.items():
-            if column in self._indexes:
-                matches = self._indexes[column].lookup(value)
-                candidate = matches if candidate is None else candidate & matches
-        return sorted(candidate) if candidate is not None else None
+        plan = plan_access(self, predicate)
+        return sorted(plan.row_ids) if plan.row_ids is not None else None
 
     def _iter_matching_ids(
-        self, predicate: Expression | Callable[[dict], bool] | None
+        self,
+        predicate: Expression | Callable[[dict], bool] | None,
+        candidate_ids: Iterable[int] | None = None,
     ) -> Iterator[int]:
         if predicate is None:
             yield from sorted(self._rows)
             return
 
-        candidates = self._candidate_ids(predicate if isinstance(predicate, Expression) else None)
-        row_ids = candidates if candidates is not None else sorted(self._rows)
+        if candidate_ids is not None:
+            row_ids: list[int] = sorted(candidate_ids)
+        else:
+            candidates = self._candidate_ids(
+                predicate if isinstance(predicate, Expression) else None
+            )
+            row_ids = candidates if candidates is not None else sorted(self._rows)
 
         if isinstance(predicate, Expression):
             matcher: Callable[[dict], bool] = lambda row: bool(predicate.evaluate(row))
@@ -223,3 +286,10 @@ class Table:
             for row_id, row in self._rows.items():
                 index.add(row_id, row.get(column))
             self._indexes[column] = index
+
+
+def _project_row(row: Mapping[str, Any], columns: Sequence[str]) -> dict[str, Any]:
+    missing = [column for column in columns if column not in row]
+    if missing:
+        raise ColumnNotFound(f"row has no column(s) {missing!r}")
+    return {column: row[column] for column in columns}

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from datetime import datetime, timedelta
+from datetime import datetime, timedelta, timezone
 from typing import Any, Callable, Iterable
 
 from ..errors import StreamingError
@@ -31,10 +31,17 @@ class TumblingWindow:
 
 
 def window_start(ts: datetime, duration: timedelta, origin: datetime | None = None) -> datetime:
-    """Start of the tumbling window of width ``duration`` containing ``ts``."""
+    """Start of the tumbling window of width ``duration`` containing ``ts``.
+
+    The default origin is the epoch — UTC for timezone-aware timestamps and
+    naive for naive ones — so both kinds of event time are accepted without a
+    ``TypeError``, and the same instant expressed with different UTC offsets
+    always lands in the same window.
+    """
     if duration.total_seconds() <= 0:
         raise StreamingError("window duration must be positive")
-    origin = origin or datetime(1970, 1, 1)
+    if origin is None:
+        origin = datetime(1970, 1, 1, tzinfo=timezone.utc) if ts.tzinfo else datetime(1970, 1, 1)
     elapsed = (ts - origin).total_seconds()
     index = int(elapsed // duration.total_seconds())
     return origin + timedelta(seconds=index * duration.total_seconds())

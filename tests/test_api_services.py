@@ -53,6 +53,28 @@ class TestTtlCache:
         with pytest.raises(ValueError):
             TtlCache(ttl_seconds=-1)
 
+    def test_put_purges_expired_entries(self):
+        cache = TtlCache(capacity=2, ttl_seconds=0.01)
+        cache.put("stale1", 1)
+        cache.put("stale2", 2)
+        time.sleep(0.03)
+        # Without the purge, the two expired entries would fill capacity and
+        # force the eviction of the fresh one being inserted alongside them.
+        cache.put("fresh", 3)
+        assert len(cache) == 1
+        assert cache.get("fresh") == 3
+
+    def test_cached_falsy_values_are_hits(self):
+        from repro.api.cache import MISS
+
+        cache = TtlCache(capacity=4, ttl_seconds=100)
+        cache.put("none", None)
+        cache.put("empty", [])
+        assert cache.get("none", MISS) is None
+        assert cache.get("empty", MISS) == []
+        assert cache.get("absent", MISS) is MISS
+        assert cache.hits == 2 and cache.misses == 1
+
 
 class TestServiceFramework:
     def test_unknown_operation_is_404(self):
@@ -77,6 +99,33 @@ class TestServiceFramework:
             gateway.handle("nosuch.operation")
         with pytest.raises(RouteNotFound):
             gateway.handle("malformed-route")
+
+    def test_cache_hits_do_not_alias_responses(self):
+        calls = {"n": 0}
+
+        class Counting(MicroService):
+            name = "counting"
+            cacheable = ("fetch",)
+
+            def __init__(self):
+                super().__init__()
+                self.register("fetch", self._fetch)
+
+            def _fetch(self, request):
+                calls["n"] += 1
+                return ServiceResponse.success({"items": [1, 2, 3]})
+
+        gateway = ApiGateway()
+        gateway.mount(Counting())
+        first = gateway.handle("counting.fetch")
+        second = gateway.handle("counting.fetch")
+        assert calls["n"] == 1  # second call was a cache hit
+        assert second.payload == first.payload
+        assert second is not first and second.payload is not first.payload
+        # A caller mutating its response must not poison the cache.
+        second.payload["items"].append(99)
+        third = gateway.handle("counting.fetch")
+        assert third.payload == {"items": [1, 2, 3]}
 
 
 class TestArticlesService:

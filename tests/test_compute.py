@@ -100,6 +100,24 @@ class TestDataset:
         ds = Dataset.from_iterable(range(5), n_partitions=3, executor=executor)
         assert sorted(ds.map(lambda x: x).collect()) == list(range(5))
 
+    def test_executor_reuses_one_thread_pool(self):
+        executor = LocalExecutor(max_workers=2)
+        executor.run([[1], [2]], lambda part: part)
+        pool = executor._pool
+        assert pool is not None
+        executor.run([[3], [4]], lambda part: part)
+        assert executor._pool is pool  # no per-stage construction/teardown
+        executor.shutdown()
+        assert executor._pool is None
+        # The pool is recreated transparently after a shutdown.
+        assert executor.run([[5], [6]], lambda part: part) == [[5], [6]]
+
+    def test_executor_context_manager_shuts_down(self):
+        with LocalExecutor(max_workers=2) as executor:
+            executor.run([[1], [2]], lambda part: part)
+            assert executor._pool is not None
+        assert executor._pool is None
+
 
 class TestShuffle:
     def test_same_key_lands_in_same_partition(self):
@@ -115,6 +133,37 @@ class TestShuffle:
     def test_invalid_partition_count(self):
         with pytest.raises(ComputeError):
             hash_partition([("a", 1)], 0)
+
+    def test_equal_numeric_keys_share_a_partition(self):
+        # 1 == 1.0 == True in Python; they must co-partition or the keyed
+        # transformations (reduce_by_key/group_by_key/join) emit duplicates.
+        records = [(1, "int"), (1.0, "float"), (True, "bool"), (0, "zero"), (0.0, "fzero"), (False, "f")]
+        for n_partitions in (2, 3, 5, 7):
+            partitions = hash_partition(records, n_partitions)
+            location = {}
+            for index, partition in enumerate(partitions):
+                for key, _value in partition:
+                    location.setdefault(key, set()).add(index)
+            # dict key equality already collapses 1/1.0/True: one entry each
+            assert all(len(indexes) == 1 for indexes in location.values())
+
+    def test_equal_tuple_keys_share_a_partition(self):
+        records = [((1, 2.0), "a"), ((1.0, 2), "b")]
+        partitions = hash_partition(records, 5)
+        non_empty = [p for p in partitions if p]
+        assert len(non_empty) == 1 and len(non_empty[0]) == 2
+
+    def test_distinct_types_stay_distinct(self):
+        # "1" (a string) must not collide with the number 1 by canonicalisation.
+        from repro.compute.shuffle import _stable_hash
+
+        assert _stable_hash("1") != _stable_hash(1)
+        assert _stable_hash(1) == _stable_hash(1.0) == _stable_hash(True)
+
+    def test_reduce_by_key_merges_mixed_numeric_keys(self):
+        ds = Dataset.from_iterable([(1, 10), (1.0, 5), (True, 1)], n_partitions=3)
+        reduced = ds.reduce_by_key(lambda a, b: a + b).collect()
+        assert len(reduced) == 1 and reduced[0][1] == 16
 
 
 class TestJobTracker:

@@ -166,6 +166,27 @@ class TestWindowing:
         ts = datetime(2020, 1, 17, 13, 45)
         assert window_start(ts, timedelta(days=1), origin) == datetime(2020, 1, 17)
 
+    def test_window_start_accepts_timezone_aware_timestamps(self):
+        from datetime import timezone
+
+        ts = datetime(2020, 1, 17, 13, 45, tzinfo=timezone.utc)
+        start = window_start(ts, timedelta(days=1))
+        assert start == datetime(2020, 1, 17, tzinfo=timezone.utc)
+        assert start.tzinfo is timezone.utc
+        # The same instant with a different UTC offset lands in the same window.
+        shifted = ts.astimezone(timezone(timedelta(hours=5, minutes=30)))
+        assert window_start(shifted, timedelta(days=1)) == start
+        # Naive timestamps keep working exactly as before.
+        assert window_start(datetime(2020, 1, 17, 13, 45), timedelta(days=1)) == datetime(2020, 1, 17)
+
+    def test_windowed_counter_accepts_aware_events(self):
+        from datetime import timezone
+
+        counter = WindowedCounter(timedelta(hours=1))
+        counter.add(datetime(2020, 1, 15, 9, 30, tzinfo=timezone.utc), "low")
+        counter.add(datetime(2020, 1, 15, 9, 45, tzinfo=timezone.utc), "low")
+        assert counter.count(datetime(2020, 1, 15, 9, tzinfo=timezone.utc), "low") == 2
+
     def test_tumbling_window_contains(self):
         window = TumblingWindow(start=datetime(2020, 1, 15), duration=timedelta(days=1))
         assert window.contains(datetime(2020, 1, 15, 23, 59))
