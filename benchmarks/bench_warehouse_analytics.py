@@ -4,13 +4,26 @@ Measures the per-outlet / per-rating-class roll-ups that the analytics layer
 computes over the Distributed Storage with the batch-compute engine (the
 Spark-job equivalent), and checks that the warehouse-side view agrees with the
 paper's qualitative contrasts.
+
+The ``TestVectorizedEngineGate`` half is the CI gate for the columnar
+execution engine: on a >=100k-row table it requires the vectorised
+``aggregate``/``scan_columns`` path to run a filtered group-by-count roll-up
+at least 5x faster than the row-at-a-time ``scan`` baseline with *identical*
+results, and stats-only ``count``/``min``/``max`` aggregates to complete
+without a single DFS read.  Run just the gate with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_warehouse_analytics.py -q -s -k vectorized
 """
 
 from __future__ import annotations
 
+import random
+import time
+
 import pytest
 
 from repro.models import RatingClass
+from repro.storage.warehouse.warehouse import Warehouse
 
 
 @pytest.fixture(scope="module")
@@ -53,3 +66,112 @@ def test_warehouse_rating_class_summary(benchmark, analytics, paper_platform):
     # The warehouse-side roll-up agrees with the Figure 4/5 contrasts.
     assert mean_low_share > mean_high_share
     assert mean_low_reach > mean_high_reach
+
+
+# ======================================================================
+# Vectorised columnar engine gate (no pytest-benchmark dependency)
+# ======================================================================
+
+N_GATE_ROWS = 120_000
+REQUIRED_SPEEDUP = 5.0
+REACTION_THRESHOLD = 60_000  # keeps ~40% of rows: selective but not trivial
+
+
+@pytest.fixture(scope="module")
+def gate_table():
+    rng = random.Random(99)
+    warehouse = Warehouse(block_rows=8192)
+    table = warehouse.create_table(
+        "events", ["event_id", "outlet", "day", "reactions"], "day", partition_by="value"
+    )
+    table.append(
+        {
+            "event_id": i,
+            "outlet": f"outlet-{rng.randrange(40)}.example.com",
+            "day": f"2020-02-{1 + i % 28:02d}",
+            "reactions": rng.randrange(100_000),
+        }
+        for i in range(N_GATE_ROWS)
+    )
+    return warehouse, table
+
+
+def _best_seconds(fn, repeats: int = 3) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def test_vectorized_rollup_speedup_gate(gate_table):
+    _warehouse, table = gate_table
+    # The gate measures the full vectorized path the tentpole specifies:
+    # selection vectors over raw column arrays *plus* the decoded-block LRU
+    # cache serving repeated reads (scan(), the baseline, streams and bypasses
+    # the cache by design).  That requires the whole table to stay resident —
+    # fail loudly if a future resize silently turns this into a cold-read
+    # benchmark with a different (≈2x) profile.
+    assert table.block_count() <= table.cache_info()["capacity"], (
+        "gate table no longer fits the block cache; retune N_GATE_ROWS/block_rows"
+    )
+
+    def row_at_a_time() -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for row in table.scan(
+            columns=["outlet", "reactions"],
+            predicate=lambda r: r["reactions"] >= REACTION_THRESHOLD,
+        ):
+            counts[row["outlet"]] = counts.get(row["outlet"], 0) + 1
+        return counts
+
+    def vectorized() -> dict[str, int]:
+        grouped = table.aggregate(
+            {"n": ("count", "*")},
+            range_filters=[("reactions", REACTION_THRESHOLD, None)],
+            group_by="outlet",
+        )
+        return {outlet: row["n"] for outlet, row in grouped.items()}
+
+    baseline_result = row_at_a_time()
+    vectorized_result = vectorized()
+    assert vectorized_result == baseline_result  # identical roll-up, not just close
+
+    baseline = _best_seconds(row_at_a_time)
+    fast = _best_seconds(vectorized)
+    speedup = baseline / fast if fast > 0 else float("inf")
+    print(
+        f"\n=== vectorised columnar engine — filtered group-by-count over {N_GATE_ROWS} rows ===\n"
+        f"row-at-a-time: {baseline * 1e3:8.1f} ms   vectorised: {fast * 1e3:8.1f} ms   "
+        f"speedup: {speedup:5.1f}x (gate: >={REQUIRED_SPEEDUP}x)"
+    )
+    assert speedup >= REQUIRED_SPEEDUP
+
+
+def test_vectorized_stats_only_aggregates_zero_reads(gate_table):
+    warehouse, table = gate_table
+    before_reads = warehouse.dfs.read_count
+    before_cache = table.cache_info()
+    result = table.aggregate(
+        {
+            "total": ("count", "*"),
+            "events": ("count", "event_id"),
+            "lo": ("min", "reactions"),
+            "hi": ("max", "reactions"),
+        }
+    )
+    reads = warehouse.dfs.read_count - before_reads
+    after_cache = table.cache_info()
+    print(
+        f"\n=== stats-only aggregates over {N_GATE_ROWS} rows: "
+        f"{result} with {reads} DFS reads ==="
+    )
+    assert reads == 0
+    # The earlier speedup test warmed the block cache, so also prove no block
+    # was touched at all (cached or not) — the answer came from stats alone.
+    assert after_cache["hits"] == before_cache["hits"]
+    assert after_cache["misses"] == before_cache["misses"]
+    assert result["total"] == N_GATE_ROWS and result["events"] == N_GATE_ROWS
+    assert result["lo"] == min(table.read_column("reactions"))
+    assert result["hi"] == max(table.read_column("reactions"))

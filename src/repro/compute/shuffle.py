@@ -11,7 +11,7 @@ K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
 
 
-def _canonical_key(key: Hashable) -> Hashable:
+def canonical_key(key: Hashable) -> Hashable:
     """Collapse equal-but-differently-typed keys onto one canonical form.
 
     Python's numeric tower makes ``1 == 1.0 == True``, but their ``repr``
@@ -20,18 +20,25 @@ def _canonical_key(key: Hashable) -> Hashable:
     duplicate keys.  Booleans and integral floats are normalised to ``int``
     (a float that equals an int is always exactly representable), and tuple
     keys are canonicalised element-wise.
+
+    Shared with :func:`repro.storage.warehouse.warehouse.value_partitioner`,
+    which uses the same canonical form for partition keys.
     """
     if isinstance(key, bool):
         return int(key)
     if isinstance(key, float) and key.is_integer():
         return int(key)
     if isinstance(key, tuple):
-        return tuple(_canonical_key(element) for element in key)
+        return tuple(canonical_key(element) for element in key)
     return key
 
 
+#: Backwards-compatible alias (pre-publication name).
+_canonical_key = canonical_key
+
+
 def _stable_hash(key: Hashable) -> int:
-    digest = hashlib.blake2b(repr(_canonical_key(key)).encode("utf-8"), digest_size=8).digest()
+    digest = hashlib.blake2b(repr(canonical_key(key)).encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "little")
 
 

@@ -2,14 +2,17 @@
 
 The paper's analytics layer runs batch jobs (Spark in the original deployment)
 over the Distributed Storage: per-outlet activity profiles, per-day volumes and
-engagement roll-ups that feed the topic-insight views.  This module expresses
-those jobs against the :mod:`repro.compute` engine so they run as partitioned,
-lineage-tracked dataflows over warehouse scans.
+engagement roll-ups that feed the topic-insight views.  The group-by-count
+roll-ups run on the warehouse's vectorised columnar path
+(:meth:`WarehouseTable.scan_columns` / :meth:`WarehouseTable.aggregate`):
+predicates become selection vectors over raw column arrays and no row dicts
+are ever materialised.  :meth:`WarehouseAnalytics._table_dataset` remains the
+row-based on-ramp into the :mod:`repro.compute` engine for ad-hoc dataflows.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from collections import Counter, defaultdict
 from dataclasses import dataclass
 from datetime import date
 from typing import Mapping
@@ -57,86 +60,97 @@ class WarehouseAnalytics:
 
     # ------------------------------------------------------------- datasets
 
-    def _table_dataset(self, table_name: str, columns: list[str] | None = None) -> Dataset:
+    def _table(self, table_name: str):
         if not self.warehouse.has_table(table_name):
             raise WarehouseError(f"warehouse has no table {table_name!r}")
-        rows = list(self.warehouse.table(table_name).scan(columns=columns))
+        return self.warehouse.table(table_name)
+
+    def _table_dataset(self, table_name: str, columns: list[str] | None = None) -> Dataset:
+        rows = list(self._table(table_name).scan(columns=columns))
         return Dataset.from_iterable(rows, n_partitions=self.n_partitions, executor=self.executor)
 
     # ------------------------------------------------------------ roll-ups
 
     def daily_article_counts(self, topic_key: str | None = None) -> dict[date, int]:
-        """Number of (optionally topic-filtered) articles per publication day."""
-        dataset = self._table_dataset("articles", columns=["published_at", "topics"])
-        if topic_key is not None:
-            dataset = dataset.filter(lambda row: topic_key in (row.get("topics") or []))
-        per_day = (
-            dataset.key_by(lambda row: row["published_at"].date())
-            .map(lambda pair: (pair[0], 1))
-            .reduce_by_key(lambda a, b: a + b)
-            .to_dict()
+        """Number of (optionally topic-filtered) articles per publication day.
+
+        Runs column-at-a-time: the topic membership test is a selection vector
+        over the ``topics`` array, and only the surviving ``published_at``
+        values are ever touched.
+        """
+        table = self._table("articles")
+        predicates = (
+            {"topics": lambda topics: topic_key in (topics or [])}
+            if topic_key is not None
+            else None
         )
+        per_day: Counter = Counter()
+        for block in table.scan_columns(["published_at"], column_predicates=predicates):
+            per_day.update(ts.date() for ts in block["published_at"])
         return dict(sorted(per_day.items()))
 
     def articles_per_outlet(self) -> dict[str, int]:
         """Total article count per outlet over the full history."""
-        return dict(
-            sorted(
-                self._table_dataset("articles", columns=["outlet_domain"])
-                .key_by(lambda row: row["outlet_domain"])
-                .count_by_key()
-                .items()
-            )
+        grouped = self._table("articles").aggregate(
+            {"articles": ("count", "*")}, group_by="outlet_domain"
         )
+        return dict(sorted((outlet, row["articles"]) for outlet, row in grouped.items()))
 
     def outlet_activity_profiles(
         self, topic_key: str = "covid19"
     ) -> dict[str, OutletActivityProfile]:
-        """Join articles, posts and reactions into per-outlet activity profiles."""
-        articles = self._table_dataset(
-            "articles", columns=["article_id", "url", "outlet_domain", "published_at", "topics"]
-        ).collect()
-        url_to_outlet = {row["url"]: row["outlet_domain"] for row in articles}
+        """Join articles, posts and reactions into per-outlet activity profiles.
 
-        posts = (
-            self._table_dataset("posts", columns=["post_id", "article_url"]).collect()
-            if self.warehouse.has_table("posts")
-            else []
-        )
-        post_to_outlet = {
-            row["post_id"]: url_to_outlet.get(row["article_url"]) for row in posts
-        }
-        posts_per_outlet: dict[str, int] = defaultdict(int)
-        for row in posts:
-            outlet = url_to_outlet.get(row["article_url"])
-            if outlet:
-                posts_per_outlet[outlet] += 1
+        The joins run over per-block column arrays (vectorised scan): the
+        article/post/reaction rows are never materialised as dicts.
+        """
+        url_to_outlet: dict[str, str] = {}
+        articles_per_outlet: Counter = Counter()
+        topic_per_outlet: Counter = Counter()
+        active_days: dict[str, set] = defaultdict(set)
+        for block in self._table("articles").scan_columns(
+            ["url", "outlet_domain", "published_at", "topics"]
+        ):
+            for url, outlet, published_at, topics in zip(
+                block["url"], block["outlet_domain"], block["published_at"], block["topics"]
+            ):
+                url_to_outlet[url] = outlet
+                articles_per_outlet[outlet] += 1
+                if topic_key in (topics or []):
+                    topic_per_outlet[outlet] += 1
+                active_days[outlet].add(published_at.date())
 
-        reactions_per_outlet: dict[str, int] = defaultdict(int)
+        post_to_outlet: dict[str, str | None] = {}
+        posts_per_outlet: Counter = Counter()
+        if self.warehouse.has_table("posts"):
+            for block in self._table("posts").scan_columns(["post_id", "article_url"]):
+                for post_id, article_url in zip(block["post_id"], block["article_url"]):
+                    outlet = url_to_outlet.get(article_url)
+                    post_to_outlet[post_id] = outlet
+                    if outlet:
+                        posts_per_outlet[outlet] += 1
+
+        reactions_per_outlet: Counter = Counter()
         if self.warehouse.has_table("reactions"):
-            reaction_counts = (
-                self._table_dataset("reactions", columns=["post_id"])
-                .key_by(lambda row: row["post_id"])
-                .count_by_key()
+            reaction_counts = self._table("reactions").aggregate(
+                {"reactions": ("count", "*")}, group_by="post_id"
             )
-            for post_id, count in reaction_counts.items():
+            for post_id, row in reaction_counts.items():
                 outlet = post_to_outlet.get(post_id)
                 if outlet:
-                    reactions_per_outlet[outlet] += count
+                    reactions_per_outlet[outlet] += row["reactions"]
 
-        profiles: dict[str, OutletActivityProfile] = {}
-        grouped: dict[str, list[dict]] = defaultdict(list)
-        for row in articles:
-            grouped[row["outlet_domain"]].append(row)
-        for outlet, rows in grouped.items():
-            profiles[outlet] = OutletActivityProfile(
+        profiles = {
+            outlet: OutletActivityProfile(
                 outlet_domain=outlet,
-                articles=len(rows),
-                topic_articles=sum(1 for r in rows if topic_key in (r.get("topics") or [])),
-                active_days=len({r["published_at"].date() for r in rows}),
+                articles=count,
+                topic_articles=topic_per_outlet.get(outlet, 0),
+                active_days=len(active_days[outlet]),
                 posts=posts_per_outlet.get(outlet, 0),
                 reactions=reactions_per_outlet.get(outlet, 0),
             )
+            for outlet, count in articles_per_outlet.items()
+        }
         return dict(sorted(profiles.items()))
 
     def rating_class_summary(

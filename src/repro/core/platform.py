@@ -18,7 +18,7 @@ from __future__ import annotations
 import json
 from collections import defaultdict
 from datetime import datetime
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..config import PlatformConfig
 from ..errors import ArticleNotFound
@@ -470,22 +470,30 @@ class SciLensPlatform:
 
     def _run_training_job(self, now: datetime | None = None) -> dict[str, Any]:
         now = now or datetime.utcnow()
-        articles = self._training_articles()
-        trained: dict[str, Any] = {"n_articles": len(articles)}
-        if len(articles) < 10:
-            trained["skipped"] = True
-            return trained
-
-        # Click-bait model: titles labelled by the quality class of their outlet
-        # (low-quality outlets are the click-bait-positive class).
+        # Click-bait model inputs: titles labelled by the quality class of
+        # their outlet (low-quality outlets are the click-bait-positive
+        # class).  One streaming pass collects both model inputs, so the
+        # history is no longer held twice (row dicts and derived lists);
+        # the titles/texts accumulators themselves still scale with the
+        # corpus.
+        n_articles = 0
         titles: list[str] = []
         labels: list[int] = []
-        for row in articles:
+        texts: list[str] = []
+        for row in self._training_articles():
+            n_articles += 1
+            if row["text"]:
+                texts.append(row["text"])
             rating = self.outlet_ratings.get(row["outlet_domain"])
             if rating is None or rating is RatingClass.MIXED:
                 continue
             titles.append(row["title"])
             labels.append(1 if rating.is_low_quality else 0)
+        trained: dict[str, Any] = {"n_articles": n_articles}
+        if n_articles < 10:
+            trained["skipped"] = True
+            return trained
+
         if len(set(labels)) == 2:
             clickbait_model = TextClassifier(positive_class=1)
             clickbait_model.fit(titles, labels)
@@ -494,7 +502,6 @@ class SciLensPlatform:
             trained["clickbait_model_version"] = record.version
 
         # Topic model: probabilistic hierarchical clustering over the bodies.
-        texts = [row["text"] for row in articles if row["text"]]
         if len(texts) >= 20:
             topic_model = HierarchicalTopicModel(
                 depth=self.config.analytics.topic_tree_depth,
@@ -509,11 +516,18 @@ class SciLensPlatform:
             trained["topic_labels"] = topic_model.topic_labels()
         return trained
 
-    def _training_articles(self) -> list[dict[str, Any]]:
-        """Article history for training: the warehouse when populated, else the RDBMS."""
-        if self.warehouse.has_table("articles") and self.warehouse.table("articles").row_count() > 0:
-            return list(self.warehouse.table("articles").scan())
-        return self.database.query("articles").execute().rows
+    def _training_articles(self) -> Iterator[dict[str, Any]]:
+        """Stream the article history: the warehouse when populated, else the RDBMS.
+
+        The warehouse branch streams block-by-block from the table scan
+        (emptiness is decided from the in-memory ``block_count()`` partition
+        metadata, not a row-count walk), so the history is never held in
+        memory twice.
+        """
+        if self.warehouse.has_table("articles") and self.warehouse.table("articles").block_count() > 0:
+            yield from self.warehouse.table("articles").scan()
+        else:
+            yield from self.database.query("articles").execute().rows
 
     # ====================================================================== #
     # Topic insights (§4.2)

@@ -3,17 +3,23 @@
 A simulated block-replicated distributed file system (:class:`DistributedFileSystem`)
 plays the role of HDFS, and a partitioned columnar table format
 (:class:`WarehouseTable` inside a :class:`Warehouse`) plays the role of the
-Spark-managed warehouse tables the paper's analytics jobs read.
+Spark-managed warehouse tables the paper's analytics jobs read.  Tables expose
+both a row-at-a-time ``scan`` and the vectorised
+``scan_columns``/``scan_filtered``/``aggregate`` path (selection vectors over
+raw column arrays, stats-only aggregates, decoded-block LRU cache).
 """
 
 from .dfs import DataNode, DistributedFileSystem
-from .blocks import ColumnarBlock
-from .warehouse import Warehouse, WarehouseTable
+from .blocks import BLOCK_FORMAT_VERSION, ColumnarBlock
+from .warehouse import Warehouse, WarehouseTable, day_partitioner, value_partitioner
 
 __all__ = [
+    "BLOCK_FORMAT_VERSION",
     "DataNode",
     "DistributedFileSystem",
     "ColumnarBlock",
     "Warehouse",
     "WarehouseTable",
+    "day_partitioner",
+    "value_partitioner",
 ]

@@ -1,9 +1,25 @@
 """Columnar block format of the warehouse tables.
 
 Rows are grouped into blocks; inside a block each column is stored as its own
-array together with min/max statistics, enabling column pruning and predicate
-push-down during scans.  Blocks serialise to JSON bytes for storage on the
-simulated DFS.
+array together with min/max/null statistics, enabling column pruning and
+predicate push-down during scans.
+
+Blocks serialise to a **versioned** JSON byte format:
+
+* **Format 2** (current) encodes each column as a whole unit rather than
+  value-at-a-time.  Low-cardinality columns are dictionary-encoded (distinct
+  values once, plus an integer code per row), timestamp columns are encoded as
+  one ISO-string array, and plain JSON-safe columns are stored as-is with no
+  per-value transform.  Dictionary codes are type-tagged while encoding so
+  ``1``, ``1.0`` and ``True`` never collapse onto one dictionary slot.
+* **Format 1** (the seed format: ``{"n_rows", "columns", "stats"}`` with
+  per-value ``{"__ts__": ...}`` timestamp wrappers) is still read by
+  :meth:`ColumnarBlock.from_bytes`, so blocks written before the format bump
+  keep deserialising.
+
+The column arrays inside a decoded block (``ColumnarBlock.columns``) are the
+unit of vectorised execution: :mod:`repro.storage.warehouse.warehouse` builds
+selection vectors over them directly instead of materialising row dicts.
 """
 
 from __future__ import annotations
@@ -14,6 +30,9 @@ from datetime import datetime
 from typing import Any, Iterable, Sequence
 
 from ...errors import WarehouseError
+
+#: Current serialisation format version (legacy blocks carry no version key).
+BLOCK_FORMAT_VERSION = 2
 
 
 def _encode_value(value: Any) -> Any:
@@ -38,6 +57,76 @@ def _comparable(values: Iterable[Any]) -> list[Any]:
     if all(isinstance(v, first_type) for v in out):
         return out
     return []
+
+
+def _dictionary_budget(n_rows: int) -> int:
+    """Maximum dictionary size worth paying for a column of ``n_rows`` values."""
+    return max(16, n_rows // 4)
+
+
+#: Types eligible for dictionary encoding.  Scalars only: a shared dictionary
+#: slot decodes to one object per distinct value, which is only safe when that
+#: object is immutable (a tuple would decode to one *list* aliased across all
+#: equal rows — those fall through to the plain array, which JSON-decodes a
+#: fresh object per row).
+_DICT_ENCODABLE = (str, int, float, bool, datetime)
+
+
+def _encode_column(values: list[Any]) -> dict[str, Any]:
+    """Encode one whole column array for storage.
+
+    Tries dictionary encoding first (low-cardinality scalar columns shrink to
+    a small value dictionary plus integer codes); falls back to a typed array
+    when timestamps are present, and to the raw JSON array otherwise.
+    Non-scalar values (e.g. list-valued columns) skip the dictionary path.
+    """
+    budget = _dictionary_budget(len(values))
+    codes: list[int | None] | None = []
+    mapping: dict[Any, int] = {}
+    dictionary: list[Any] = []
+    for value in values:
+        if value is None:
+            codes.append(None)
+            continue
+        if not isinstance(value, _DICT_ENCODABLE):
+            codes = None
+            break
+        # Key on repr, not __eq__: equal-but-distinct values (tz-aware
+        # datetimes at the same instant, -0.0 vs 0.0) must keep their own
+        # dictionary slot or the round-trip would rewrite them.
+        key = (type(value).__name__, repr(value))
+        code = mapping.get(key)
+        if code is None:
+            if len(dictionary) >= budget:
+                codes = None
+                break
+            code = len(dictionary)
+            mapping[key] = code
+            dictionary.append(value)
+        codes.append(code)
+
+    if codes is not None and len(dictionary) < len(values):
+        return {
+            "enc": "dict",
+            "values": [_encode_value(v) for v in dictionary],
+            "codes": codes,
+        }
+    if any(isinstance(v, datetime) for v in values):
+        return {"enc": "typed", "data": [_encode_value(v) for v in values]}
+    return {"enc": "plain", "data": values}
+
+
+def _decode_column(spec: dict[str, Any]) -> list[Any]:
+    """Decode one format-2 column specification back into a value array."""
+    enc = spec.get("enc")
+    if enc == "plain":
+        return list(spec["data"])
+    if enc == "typed":
+        return [_decode_value(v) for v in spec["data"]]
+    if enc == "dict":
+        dictionary = [_decode_value(v) for v in spec["values"]]
+        return [None if code is None else dictionary[code] for code in spec["codes"]]
+    raise WarehouseError(f"unknown column encoding {enc!r}")
 
 
 @dataclass
@@ -78,10 +167,14 @@ class ColumnarBlock:
         ]
 
     def column(self, name: str) -> list[Any]:
-        """Values of one column."""
+        """Copy of one column's values (mutation-safe)."""
+        return list(self.column_array(name))
+
+    def column_array(self, name: str) -> list[Any]:
+        """The internal column array — treat as read-only (shared with caches)."""
         if name not in self.columns:
             raise WarehouseError(f"block has no column {name!r}")
-        return list(self.columns[name])
+        return self.columns[name]
 
     # ------------------------------------------------------------ statistics
 
@@ -106,31 +199,37 @@ class ColumnarBlock:
     # ---------------------------------------------------------- serialisation
 
     def to_bytes(self) -> bytes:
-        """Serialise the block to JSON bytes."""
+        """Serialise the block to versioned JSON bytes (format 2)."""
         payload = {
+            "format": BLOCK_FORMAT_VERSION,
             "n_rows": self.n_rows,
             "columns": {
-                name: [_encode_value(v) for v in values]
-                for name, values in self.columns.items()
+                name: _encode_column(values) for name, values in self.columns.items()
             },
             "stats": {
                 name: {key: _encode_value(value) for key, value in stat.items()}
                 for name, stat in self.stats.items()
             },
         }
-        return json.dumps(payload, sort_keys=True).encode("utf-8")
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ColumnarBlock":
-        """Deserialise a block produced by :meth:`to_bytes`."""
+        """Deserialise a block in the current *or* the legacy (seed) format."""
         try:
             payload = json.loads(data.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise WarehouseError(f"corrupt block data: {exc}") from exc
-        columns = {
-            name: [_decode_value(v) for v in values]
-            for name, values in payload["columns"].items()
-        }
+        if payload.get("format", 1) >= 2:
+            columns = {
+                name: _decode_column(spec)
+                for name, spec in payload["columns"].items()
+            }
+        else:
+            columns = {
+                name: [_decode_value(v) for v in values]
+                for name, values in payload["columns"].items()
+            }
         stats = {
             name: {key: _decode_value(value) for key, value in stat.items()}
             for name, stat in payload.get("stats", {}).items()

@@ -16,20 +16,29 @@ from ...errors import WarehouseError
 
 @dataclass
 class DataNode:
-    """One storage node holding block replicas."""
+    """One storage node holding block replicas.
+
+    ``used_bytes`` is a running counter maintained on every ``store``/``drop``
+    so placement decisions never have to re-sum all resident replicas.
+    """
 
     node_id: str
     alive: bool = True
     blocks: dict[str, bytes] = field(default_factory=dict)
+    used_bytes: int = 0
 
-    @property
-    def used_bytes(self) -> int:
-        return sum(len(data) for data in self.blocks.values())
+    def __post_init__(self) -> None:
+        # Seed the counter when a node is constructed with resident blocks.
+        self.used_bytes = sum(len(data) for data in self.blocks.values())
 
     def store(self, block_id: str, data: bytes) -> None:
         if not self.alive:
             raise WarehouseError(f"data node {self.node_id} is down")
+        previous = self.blocks.get(block_id)
+        if previous is not None:
+            self.used_bytes -= len(previous)
         self.blocks[block_id] = data
+        self.used_bytes += len(data)
 
     def read(self, block_id: str) -> bytes:
         if not self.alive:
@@ -39,7 +48,9 @@ class DataNode:
         return self.blocks[block_id]
 
     def drop(self, block_id: str) -> None:
-        self.blocks.pop(block_id, None)
+        data = self.blocks.pop(block_id, None)
+        if data is not None:
+            self.used_bytes -= len(data)
 
 
 @dataclass(frozen=True)
@@ -73,6 +84,9 @@ class DistributedFileSystem:
         # block id -> node ids holding a replica
         self._block_locations: dict[str, list[str]] = {}
         self._block_counter = 0
+        #: Number of read_file calls served (lets callers assert stats-only
+        #: warehouse aggregates never touch the data nodes).
+        self.read_count = 0
 
     # ------------------------------------------------------------- file API
 
@@ -106,6 +120,7 @@ class DistributedFileSystem:
         """Read ``path``, tolerating dead replicas as long as one copy survives."""
         if path not in self._files:
             raise WarehouseError(f"no such file: {path}")
+        self.read_count += 1
         chunks: list[bytes] = []
         for block in self._files[path]:
             chunks.append(self._read_block(block.block_id))

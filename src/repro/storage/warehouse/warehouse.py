@@ -2,20 +2,60 @@
 
 Each :class:`WarehouseTable` is partitioned by the value of one column
 (typically the calendar day of a timestamp); every partition holds one or more
-columnar blocks persisted as DFS files.  Scans support partition pruning,
-column projection and zone-map (min/max) predicate push-down — the access
-pattern of the platform's daily analytics and periodic training jobs.
+columnar blocks persisted as DFS files.
+
+Two access paths are offered:
+
+* **Row-at-a-time** — :meth:`WarehouseTable.scan` materialises row dicts and
+  applies an arbitrary row predicate.  This is the compatibility / streaming
+  path for one-shot full-row consumers (e.g. model training) and deliberately
+  bypasses the block cache so such streams don't churn it; the columnar reads
+  below — including :meth:`WarehouseTable.read_column` — are the repeated
+  analytics access pattern and are served through the cache.
+* **Vectorised** — :meth:`WarehouseTable.scan_columns`,
+  :meth:`WarehouseTable.scan_filtered` and :meth:`WarehouseTable.aggregate`
+  evaluate conjunctive range filters and per-column predicates as *selection
+  vectors* over the raw column arrays of each block.  Row dicts are only built
+  for surviving rows, and only when the caller asks for rows (late
+  materialisation).  Multi-column zone (min/max) statistics prune whole blocks
+  before any DFS read; pure ``count``/``min``/``max`` aggregates are answered
+  from block statistics without reading a single block; repeated reads are
+  served from a per-table LRU cache of decoded blocks that is invalidated on
+  :meth:`WarehouseTable.drop_partition` / :meth:`Warehouse.drop_table`.
 """
 
 from __future__ import annotations
 
+import copy
+import re
+from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from datetime import date, datetime
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+from ...compute.shuffle import canonical_key
 from ...errors import WarehouseError
 from .blocks import ColumnarBlock
 from .dfs import DistributedFileSystem
+
+#: ``(column, low, high)`` — inclusive bounds, ``None`` meaning unbounded.
+RangeFilter = tuple[str, Any, Any]
+
+
+def _unhashable_group(group_by: str | None, exc: TypeError) -> WarehouseError:
+    return WarehouseError(
+        f"group-by column {group_by!r} has unhashable values "
+        f"(pass group_key to map them): {exc}"
+    )
+
+
+def _own_value(value: Any) -> Any:
+    """Copy a mutable cell value so callers own it (cached blocks stay pristine).
+
+    A deep copy, so nested mutables (lists of dicts, ...) are owned too —
+    the same contract as the decode-fresh :meth:`WarehouseTable.scan` path.
+    """
+    return copy.deepcopy(value) if isinstance(value, (list, dict, set)) else value
 
 
 def day_partitioner(column: str) -> Callable[[dict[str, Any]], str]:
@@ -34,12 +74,34 @@ def day_partitioner(column: str) -> Callable[[dict[str, Any]], str]:
     return partition
 
 
+#: Strings shaped like a type tag ("int:1", "https://...") must themselves be
+#: tagged, or they would collide with tagged non-string keys.
+_TAG_SHAPED = re.compile(r"[A-Za-z_]\w*:")
+
+
 def value_partitioner(column: str) -> Callable[[dict[str, Any]], str]:
-    """Partition rows by the raw value of a column."""
+    """Partition rows by the value of a column.
+
+    Keys are canonicalised with the same scheme as :mod:`repro.compute.shuffle`
+    so equal-but-differently-typed values (``1``/``1.0``/``True``) share one
+    partition, while *unequal* values of different types (``1`` vs ``"1"``)
+    never collide: non-strings are tagged with their canonical type name, and
+    strings keep their natural partition name unless they are shaped like a
+    tag themselves (then they get an explicit ``str:`` tag).
+    """
 
     def partition(row: dict[str, Any]) -> str:
         value = row.get(column)
-        return "null" if value is None else str(value)
+        if value is None:
+            return "null"
+        if isinstance(value, str):
+            # Tag-shaped strings and the literal "null" would collide with
+            # tagged non-string keys / the None partition.
+            if _TAG_SHAPED.match(value) or value == "null":
+                return f"str:{value}"
+            return value
+        value = canonical_key(value)
+        return f"{type(value).__name__}:{value}"
 
     return partition
 
@@ -49,6 +111,47 @@ class _BlockRef:
     path: str
     n_rows: int
     stats: dict[str, dict[str, Any]]
+
+
+class _BlockCache:
+    """A small LRU cache of decoded :class:`ColumnarBlock` objects by DFS path."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[str, ColumnarBlock] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, path: str) -> ColumnarBlock | None:
+        block = self._entries.get(path)
+        if block is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(path)
+        self.hits += 1
+        return block
+
+    def put(self, path: str, block: ColumnarBlock) -> None:
+        if self.capacity < 1:
+            return
+        self._entries[path] = block
+        self._entries.move_to_end(path)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def invalidate(self, path: str) -> None:
+        self._entries.pop(path, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Aggregate functions answerable from block statistics alone.
+_STATS_ONLY_FUNCTIONS = {"count", "min", "max"}
+_AGGREGATE_FUNCTIONS = {"count", "min", "max", "sum", "avg"}
 
 
 class WarehouseTable:
@@ -61,6 +164,7 @@ class WarehouseTable:
         dfs: DistributedFileSystem,
         partitioner: Callable[[dict[str, Any]], str],
         block_rows: int = 4096,
+        cache_blocks: int = 64,
     ) -> None:
         if not columns:
             raise WarehouseError(f"table {name!r} needs at least one column")
@@ -73,6 +177,7 @@ class WarehouseTable:
         self.block_rows = block_rows
         self._partitions: dict[str, list[_BlockRef]] = {}
         self._block_counter = 0
+        self._cache = _BlockCache(cache_blocks)
 
     # ---------------------------------------------------------------- writes
 
@@ -104,6 +209,7 @@ class WarehouseTable:
         refs = self._partitions.pop(partition, [])
         removed = 0
         for ref in refs:
+            self._cache.invalidate(ref.path)
             self.dfs.delete_file(ref.path)
             removed += ref.n_rows
         return removed
@@ -127,7 +233,7 @@ class WarehouseTable:
         predicate: Callable[[dict[str, Any]], bool] | None = None,
         zone_filter: tuple[str, Any, Any] | None = None,
     ) -> Iterator[dict[str, Any]]:
-        """Scan the table.
+        """Row-at-a-time scan (streaming; bypasses the block cache).
 
         Parameters
         ----------
@@ -141,27 +247,407 @@ class WarehouseTable:
             ``(column, low, high)`` bounds used to skip blocks whose min/max
             statistics prove they contain no matching rows.
         """
+        zone_filters = [zone_filter] if zone_filter is not None else None
+        for _partition, ref in self._iter_refs(partitions, zone_filters):
+            block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
+            for row in block.to_rows(columns):
+                if predicate is None or predicate(row):
+                    yield row
+
+    def scan_columns(
+        self,
+        columns: Sequence[str],
+        partitions: Sequence[str] | None = None,
+        range_filters: Sequence[RangeFilter] | None = None,
+        column_predicates: Mapping[str, Callable[[Any], bool]] | None = None,
+    ) -> Iterator[dict[str, list[Any]]]:
+        """Vectorised scan: yield per-block column arrays for surviving rows.
+
+        Filters are evaluated column-at-a-time as a selection vector over the
+        block's raw arrays; only then are the projected columns compacted, so
+        non-surviving rows are never materialised.  ``range_filters`` are
+        conjunctive inclusive ``(column, low, high)`` bounds (``None`` bound =
+        unbounded; ``None`` values never match a bounded filter) that also
+        prune whole blocks via their zone statistics.  ``column_predicates``
+        maps column names to per-value predicates.  Filter columns need not be
+        projected.  Returned arrays are fresh lists owned by the caller, but
+        the cell values themselves are shared with the block cache — treat
+        nested mutable values (e.g. list-valued columns) as read-only, or use
+        :meth:`scan_filtered`, which copies them.
+        """
+        self._check_columns(columns)
+        self._check_columns(f[0] for f in range_filters or ())
+        self._check_columns(column_predicates or ())
+        for _partition, ref in self._iter_refs(partitions, range_filters):
+            block = self._load_block(ref)
+            selection = _selection_vector(block, range_filters, column_predicates)
+            if selection is None:
+                yield {name: list(block.columns[name]) for name in columns}
+            elif selection:
+                yield {
+                    name: [block.columns[name][i] for i in selection]
+                    for name in columns
+                }
+
+    def scan_filtered(
+        self,
+        columns: Sequence[str] | None = None,
+        partitions: Sequence[str] | None = None,
+        range_filters: Sequence[RangeFilter] | None = None,
+        column_predicates: Mapping[str, Callable[[Any], bool]] | None = None,
+    ) -> Iterator[dict[str, Any]]:
+        """Late-materialised row scan: dicts are built only for surviving rows.
+
+        Mutable cell values are copied so callers own the rows outright (the
+        same contract as :meth:`scan`) without corrupting the block cache.
+        """
+        names = list(columns) if columns is not None else list(self.columns)
+        for block_columns in self.scan_columns(
+            names, partitions, range_filters, column_predicates
+        ):
+            arrays = [block_columns[name] for name in names]
+            for values in zip(*arrays):
+                yield {name: _own_value(value) for name, value in zip(names, values)}
+
+    def aggregate(
+        self,
+        aggregates: Mapping[str, tuple[str, str]],
+        partitions: Sequence[str] | None = None,
+        range_filters: Sequence[RangeFilter] | None = None,
+        column_predicates: Mapping[str, Callable[[Any], bool]] | None = None,
+        group_by: str | None = None,
+        group_key: Callable[[Any], Any] | None = None,
+    ) -> dict[str, Any] | dict[Any, dict[str, Any]]:
+        """Aggregate over the table without materialising rows.
+
+        ``aggregates`` maps output aliases to ``(function, column)`` pairs with
+        functions ``count``/``min``/``max``/``sum``/``avg`` (``count`` of
+        ``"*"`` counts rows, of a column counts non-null values; the others
+        ignore nulls).  With ``group_by`` the result is ``{group: {alias:
+        value}}``, where the group is the (optionally ``group_key``-mapped)
+        value of the ``group_by`` column; without it, one ``{alias: value}``
+        dict.
+
+        Unfiltered, ungrouped ``count``/``min``/``max`` aggregates are answered
+        purely from the per-block statistics kept on the name-node side — no
+        DFS read happens at all (unless a block's statistics are inconclusive,
+        e.g. a mixed-type column, in which case that call falls back to the
+        block-reading path; values with no consistent ordering then raise
+        :class:`WarehouseError`).
+        """
+        for alias, (function, column) in aggregates.items():
+            if function not in _AGGREGATE_FUNCTIONS:
+                raise WarehouseError(f"unknown aggregate function {function!r} for {alias!r}")
+            if column == "*":
+                if function != "count":
+                    raise WarehouseError(f"aggregate {function!r} needs a column, not '*'")
+            else:
+                self._check_columns([column])
+        if group_by is not None:
+            self._check_columns([group_by])
+        self._check_columns(f[0] for f in range_filters or ())
+        self._check_columns(column_predicates or ())
+
+        unfiltered = not range_filters and not column_predicates
+        if group_by is None and unfiltered and all(
+            function in _STATS_ONLY_FUNCTIONS for function, _column in aggregates.values()
+        ):
+            result = self._aggregate_from_stats(aggregates, partitions)
+            if result is not None:
+                return result
+
+        return self._aggregate_blocks(
+            aggregates, partitions, range_filters, column_predicates, group_by, group_key
+        )
+
+    def read_column(self, column: str, partitions: Sequence[str] | None = None) -> list[Any]:
+        """All values of ``column``, read directly from the block column arrays.
+
+        Mutable values are copied so callers own the result outright (the
+        cached blocks stay pristine, matching the :meth:`scan` contract).
+        """
+        self._check_columns([column])
+        out: list[Any] = []
+        for _partition, ref in self._iter_refs(partitions, None):
+            out.extend(_own_value(v) for v in self._load_block(ref).columns[column])
+        return out
+
+    def block_count(self) -> int:
+        return sum(len(refs) for refs in self._partitions.values())
+
+    def cache_info(self) -> dict[str, int]:
+        """Block-cache statistics: hits, misses, resident entries, capacity."""
+        return {
+            "hits": self._cache.hits,
+            "misses": self._cache.misses,
+            "entries": len(self._cache),
+            "capacity": self._cache.capacity,
+        }
+
+    # ------------------------------------------------------------- internals
+
+    def _check_columns(self, columns: Iterable[str]) -> None:
+        missing = [c for c in columns if c not in self.columns]
+        if missing:
+            raise WarehouseError(f"table {self.name!r} has no column(s) {missing!r}")
+
+    def _iter_refs(
+        self,
+        partitions: Sequence[str] | None,
+        range_filters: Sequence[RangeFilter] | None,
+    ) -> Iterator[tuple[str, _BlockRef]]:
+        """Partition-pruned, zone-pruned iteration over block references."""
         wanted = set(partitions) if partitions is not None else None
         for partition in self.partitions():
             if wanted is not None and partition not in wanted:
                 continue
             for ref in self._partitions[partition]:
-                if zone_filter is not None:
-                    column, low, high = zone_filter
-                    block_stats = ref.stats.get(column)
-                    if block_stats is not None and not _zone_might_match(block_stats, low, high):
+                if range_filters and not _zones_might_match(ref.stats, range_filters):
+                    continue
+                yield partition, ref
+
+    def _load_block(self, ref: _BlockRef) -> ColumnarBlock:
+        block = self._cache.get(ref.path)
+        if block is None:
+            block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
+            self._cache.put(ref.path, block)
+        return block
+
+    def _aggregate_from_stats(
+        self,
+        aggregates: Mapping[str, tuple[str, str]],
+        partitions: Sequence[str] | None,
+    ) -> dict[str, Any] | None:
+        """Answer count/min/max from block statistics; ``None`` if inconclusive."""
+        out: dict[str, Any] = {}
+        refs = [ref for _partition, ref in self._iter_refs(partitions, None)]
+        for alias, (function, column) in aggregates.items():
+            if function == "count":
+                if column == "*":
+                    out[alias] = sum(ref.n_rows for ref in refs)
+                else:
+                    total = 0
+                    for ref in refs:
+                        stats = ref.stats.get(column)
+                        if stats is None:
+                            return None
+                        total += ref.n_rows - stats["nulls"]
+                    out[alias] = total
+            else:  # min / max
+                extremes = []
+                for ref in refs:
+                    stats = ref.stats.get(column)
+                    if stats is None:
+                        return None
+                    if stats[function] is None:
+                        if stats["nulls"] < ref.n_rows:
+                            # Non-null values exist but min/max were not
+                            # comparable (mixed types): stats are inconclusive.
+                            return None
                         continue
-                block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
-                for row in block.to_rows(columns):
-                    if predicate is None or predicate(row):
-                        yield row
+                    extremes.append(stats[function])
+                if not extremes:
+                    out[alias] = None
+                else:
+                    try:
+                        out[alias] = min(extremes) if function == "min" else max(extremes)
+                    except TypeError:
+                        return None
+        return out
 
-    def read_column(self, column: str, partitions: Sequence[str] | None = None) -> list[Any]:
-        """All values of ``column`` (optionally restricted to partitions)."""
-        return [row[column] for row in self.scan(columns=[column], partitions=partitions)]
+    def _aggregate_blocks(
+        self,
+        aggregates: Mapping[str, tuple[str, str]],
+        partitions: Sequence[str] | None,
+        range_filters: Sequence[RangeFilter] | None,
+        column_predicates: Mapping[str, Callable[[Any], bool]] | None,
+        group_by: str | None,
+        group_key: Callable[[Any], Any] | None,
+    ) -> dict[str, Any] | dict[Any, dict[str, Any]]:
+        states: dict[Any, dict[str, _AggState]] = {}
+        row_counter: Counter = Counter()  # fast path for grouped count(*)
+        only_row_counts = all(
+            function == "count" and column == "*" for function, column in aggregates.values()
+        )
+        for _partition, ref in self._iter_refs(partitions, range_filters):
+            block = self._load_block(ref)
+            selection = _selection_vector(block, range_filters, column_predicates)
+            if selection is not None and not selection:
+                continue
+            if group_by is None:
+                keys: list[Any] | None = None
+            else:
+                group_values = block.columns[group_by]
+                if selection is not None:
+                    group_values = [group_values[i] for i in selection]
+                if group_key is not None:
+                    group_values = [group_key(v) for v in group_values]
+                keys = group_values
+            n_selected = block.n_rows if selection is None else len(selection)
+            if only_row_counts:
+                if keys is None:
+                    row_counter[None] += n_selected
+                else:
+                    try:
+                        row_counter.update(keys)
+                    except TypeError as exc:
+                        raise _unhashable_group(group_by, exc) from exc
+                continue
 
-    def block_count(self) -> int:
-        return sum(len(refs) for refs in self._partitions.values())
+            # Compact each referenced column once per block, and partition the
+            # surviving rows by group key once per block — not once per alias.
+            compacted: dict[str, list[Any]] = {}
+
+            def selected_values(column: str) -> list[Any]:
+                if column not in compacted:
+                    array = block.columns[column]
+                    compacted[column] = (
+                        list(array) if selection is None else [array[i] for i in selection]
+                    )
+                return compacted[column]
+
+            group_positions: dict[Any, list[int]] | None = None
+            if keys is not None:
+                group_positions = {}
+                try:
+                    for position, key in enumerate(keys):
+                        group_positions.setdefault(key, []).append(position)
+                except TypeError as exc:
+                    raise _unhashable_group(group_by, exc) from exc
+
+            for alias, (function, column) in aggregates.items():
+                if group_positions is None:
+                    cell = states.setdefault(None, {}).setdefault(alias, _AggState())
+                    if column == "*":
+                        cell.update(function, [], n_selected, star=True)
+                    else:
+                        values = selected_values(column)
+                        cell.update(function, values, len(values), star=False)
+                elif column == "*":
+                    for key, positions in group_positions.items():
+                        cell = states.setdefault(key, {}).setdefault(alias, _AggState())
+                        cell.update(function, [], len(positions), star=True)
+                else:
+                    values = selected_values(column)
+                    for key, positions in group_positions.items():
+                        cell = states.setdefault(key, {}).setdefault(alias, _AggState())
+                        group_values = [values[p] for p in positions]
+                        cell.update(function, group_values, len(group_values), star=False)
+
+        if only_row_counts:
+            if group_by is None:
+                total = row_counter[None] if row_counter else 0
+                return {alias: total for alias in aggregates}
+            return {
+                key: {alias: count for alias in aggregates}
+                for key, count in row_counter.items()
+            }
+
+        def finalise(group_states: dict[str, _AggState]) -> dict[str, Any]:
+            return {
+                alias: group_states[alias].result(aggregates[alias][0])
+                for alias in aggregates
+            }
+
+        if group_by is None:
+            empty = {alias: _AggState() for alias in aggregates}
+            return finalise(states.get(None, empty))
+        return {key: finalise(group_states) for key, group_states in states.items()}
+
+
+class _AggState:
+    """Accumulator for one (group, aggregate) cell."""
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.minimum: Any = None
+        self.maximum: Any = None
+
+    def update(self, function: str, values: list[Any], n_selected: int, star: bool) -> None:
+        if function == "count":
+            self.count += n_selected if star else sum(1 for v in values if v is not None)
+            return
+        non_null = [v for v in values if v is not None]
+        if not non_null:
+            return
+        try:
+            if function in ("sum", "avg"):
+                self.count += len(non_null)
+                self.total += sum(non_null)
+            elif function == "min":
+                low = min(non_null)
+                self.minimum = low if self.minimum is None else min(self.minimum, low)
+            elif function == "max":
+                high = max(non_null)
+                self.maximum = high if self.maximum is None else max(self.maximum, high)
+        except TypeError as exc:
+            raise WarehouseError(f"column values have no consistent ordering for {function!r}: {exc}") from exc
+
+    def result(self, function: str) -> Any:
+        if function == "count":
+            return self.count
+        if function == "sum":
+            return self.total if self.count else None
+        if function == "avg":
+            return self.total / self.count if self.count else None
+        return self.minimum if function == "min" else self.maximum
+
+
+def _selection_vector(
+    block: ColumnarBlock,
+    range_filters: Sequence[RangeFilter] | None,
+    column_predicates: Mapping[str, Callable[[Any], bool]] | None,
+) -> list[int] | None:
+    """Row indices surviving all filters; ``None`` means every row survives."""
+    selection: list[int] | None = None
+    for column, low, high in range_filters or ():
+        if low is None and high is None:
+            continue
+        array = block.columns[column]
+        try:
+            if selection is None:
+                selection = [
+                    i for i, v in enumerate(array)
+                    if v is not None
+                    and (low is None or v >= low)
+                    and (high is None or v <= high)
+                ]
+            else:
+                selection = [
+                    i for i in selection
+                    if array[i] is not None
+                    and (low is None or array[i] >= low)
+                    and (high is None or array[i] <= high)
+                ]
+        except TypeError as exc:
+            raise WarehouseError(
+                f"column {column!r} values have no consistent ordering for range filter: {exc}"
+            ) from exc
+        if not selection:
+            return selection
+    for column, predicate in (column_predicates or {}).items():
+        array = block.columns[column]
+        if selection is None:
+            selection = [i for i, v in enumerate(array) if predicate(v)]
+        else:
+            selection = [i for i in selection if predicate(array[i])]
+        if not selection:
+            return selection
+    return selection
+
+
+def _zones_might_match(
+    stats: dict[str, dict[str, Any]], range_filters: Sequence[RangeFilter]
+) -> bool:
+    """Conjunctive zone-map check: every filter must possibly match the block."""
+    for column, low, high in range_filters:
+        column_stats = stats.get(column)
+        if column_stats is not None and not _zone_might_match(column_stats, low, high):
+            return False
+    return True
 
 
 def _zone_might_match(stats: dict[str, Any], low: Any, high: Any) -> bool:
@@ -180,9 +666,15 @@ def _zone_might_match(stats: dict[str, Any], low: Any, high: Any) -> bool:
 class Warehouse:
     """The collection of warehouse tables backed by one DFS."""
 
-    def __init__(self, dfs: DistributedFileSystem | None = None, block_rows: int = 4096) -> None:
+    def __init__(
+        self,
+        dfs: DistributedFileSystem | None = None,
+        block_rows: int = 4096,
+        cache_blocks: int = 64,
+    ) -> None:
         self.dfs = dfs or DistributedFileSystem()
         self.block_rows = block_rows
+        self.cache_blocks = cache_blocks
         self._tables: dict[str, WarehouseTable] = {}
 
     def create_table(
@@ -210,6 +702,7 @@ class Warehouse:
             dfs=self.dfs,
             partitioner=partitioner,
             block_rows=self.block_rows,
+            cache_blocks=self.cache_blocks,
         )
         self._tables[name] = table
         return table
