@@ -9,8 +9,8 @@ A from-scratch Python implementation of the system described in
 The top-level namespace re-exports the pieces most users need: the domain
 model, the platform orchestrator, the indicator engine, the evaluation
 pipeline, the insights engine, the Indicators-API gateway builder and the
-COVID-19 scenario generator.  See ``README.md`` for a quickstart and
-``DESIGN.md`` for the full system inventory.
+COVID-19 scenario generator.  See ``README.md`` for a quickstart and the
+subsystem map, and ``docs/`` for the storage-layer internals.
 """
 
 from .config import (

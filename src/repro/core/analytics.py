@@ -2,19 +2,24 @@
 
 The paper's analytics layer runs batch jobs (Spark in the original deployment)
 over the Distributed Storage: per-outlet activity profiles, per-day volumes and
-engagement roll-ups that feed the topic-insight views.  The group-by-count
-roll-ups run on the warehouse's vectorised columnar path
-(:meth:`WarehouseTable.scan_columns` / :meth:`WarehouseTable.aggregate`):
-predicates become selection vectors over raw column arrays and no row dicts
-are ever materialised.  :meth:`WarehouseAnalytics._table_dataset` remains the
-row-based on-ramp into the :mod:`repro.compute` engine for ad-hoc dataflows.
+engagement roll-ups that feed the topic-insight views.  Every counting roll-up
+is *pushed down* to the warehouse's grouped-aggregation path
+(:meth:`WarehouseTable.aggregate` with ``group_by``): grouping runs over
+selection vectors and dictionary codes inside the storage layer and no row
+dicts are ever materialised.  The only remaining column scans build the
+url→outlet / post→outlet join maps, and those run vectorised
+(:meth:`WarehouseTable.scan_columns`).  Block decode + filter work fans out
+across the analytics executor's workers with a deterministic merge, so results
+are identical at any worker count.  :meth:`WarehouseAnalytics._table_dataset`
+remains the row-based on-ramp into the :mod:`repro.compute` engine for ad-hoc
+dataflows.
 """
 
 from __future__ import annotations
 
 from collections import Counter, defaultdict
 from dataclasses import dataclass
-from datetime import date
+from datetime import date, datetime
 from typing import Mapping
 
 from ..compute.dataset import Dataset
@@ -69,14 +74,38 @@ class WarehouseAnalytics:
         rows = list(self._table(table_name).scan(columns=columns))
         return Dataset.from_iterable(rows, n_partitions=self.n_partitions, executor=self.executor)
 
+    @staticmethod
+    def _partitioned_by_day_of(table, column: str) -> bool:
+        """Whether every partition holds exactly one calendar day of ``column``.
+
+        Verified from the name-node block statistics (stats-only min/max
+        aggregates — zero DFS reads): a partition qualifies when its min and
+        max timestamps share one date and that date's ISO form *is* the
+        partition key.  Distinct partitions then correspond one-to-one to
+        distinct ``column`` days, so partition membership can stand in for
+        distinct-day counting.
+        """
+        for partition in table.partitions():
+            extremes = table.aggregate(
+                {"lo": ("min", column), "hi": ("max", column)},
+                partitions=[partition],
+            )
+            low, high = extremes.get("lo"), extremes.get("hi")
+            if not isinstance(low, datetime) or not isinstance(high, datetime):
+                return False
+            if low.date() != high.date() or low.date().isoformat() != partition:
+                return False
+        return True
+
     # ------------------------------------------------------------ roll-ups
 
     def daily_article_counts(self, topic_key: str | None = None) -> dict[date, int]:
         """Number of (optionally topic-filtered) articles per publication day.
 
-        Runs column-at-a-time: the topic membership test is a selection vector
-        over the ``topics`` array, and only the surviving ``published_at``
-        values are ever touched.
+        A grouped count pushed down to the warehouse: the topic membership
+        test is a selection vector over the ``topics`` array, grouping runs on
+        the surviving ``published_at`` values (mapped to their calendar day),
+        and no rows are materialised.
         """
         table = self._table("articles")
         predicates = (
@@ -84,15 +113,22 @@ class WarehouseAnalytics:
             if topic_key is not None
             else None
         )
-        per_day: Counter = Counter()
-        for block in table.scan_columns(["published_at"], column_predicates=predicates):
-            per_day.update(ts.date() for ts in block["published_at"])
-        return dict(sorted(per_day.items()))
+        grouped = table.aggregate(
+            {"articles": ("count", "*")},
+            column_predicates=predicates,
+            group_by="published_at",
+            group_key=lambda ts: ts.date() if ts is not None else None,
+            executor=self.executor,
+        )
+        return dict(sorted(
+            (day, row["articles"]) for day, row in grouped.items() if day is not None
+        ))
 
     def articles_per_outlet(self) -> dict[str, int]:
         """Total article count per outlet over the full history."""
         grouped = self._table("articles").aggregate(
-            {"articles": ("count", "*")}, group_by="outlet_domain"
+            {"articles": ("count", "*")}, group_by="outlet_domain",
+            executor=self.executor,
         )
         return dict(sorted((outlet, row["articles"]) for outlet, row in grouped.items()))
 
@@ -101,42 +137,93 @@ class WarehouseAnalytics:
     ) -> dict[str, OutletActivityProfile]:
         """Join articles, posts and reactions into per-outlet activity profiles.
 
-        The joins run over per-block column arrays (vectorised scan): the
-        article/post/reaction rows are never materialised as dicts.
+        Every count in the profile is a grouped aggregate pushed down to the
+        warehouse (per-outlet article totals, topic-filtered totals, active
+        days, per-url post counts and per-post reaction counts); only the two
+        join maps (url→outlet, post→outlet) are built from vectorised column
+        scans.  No article/post/reaction row is ever materialised as a dict.
         """
-        url_to_outlet: dict[str, str] = {}
-        articles_per_outlet: Counter = Counter()
-        topic_per_outlet: Counter = Counter()
-        active_days: dict[str, set] = defaultdict(set)
-        for block in self._table("articles").scan_columns(
-            ["url", "outlet_domain", "published_at", "topics"]
-        ):
-            for url, outlet, published_at, topics in zip(
-                block["url"], block["outlet_domain"], block["published_at"], block["topics"]
-            ):
-                url_to_outlet[url] = outlet
-                articles_per_outlet[outlet] += 1
-                if topic_key in (topics or []):
-                    topic_per_outlet[outlet] += 1
-                active_days[outlet].add(published_at.date())
+        articles = self._table("articles")
+        grouped_articles = articles.aggregate(
+            {"articles": ("count", "*")},
+            group_by="outlet_domain",
+            executor=self.executor,
+        )
+        articles_per_outlet = {
+            outlet: row["articles"] for outlet, row in grouped_articles.items()
+        }
+        topic_grouped = articles.aggregate(
+            {"articles": ("count", "*")},
+            column_predicates={"topics": lambda topics: topic_key in (topics or [])},
+            group_by="outlet_domain",
+            executor=self.executor,
+        )
+        topic_per_outlet = {
+            outlet: row["articles"] for outlet, row in topic_grouped.items()
+        }
+        # Distinct active days: the platform lays the articles table out in
+        # publication-day partitions (see ``SciLensPlatform``/``MigrationJob``),
+        # making an outlet's active days exactly the partitions it appears in —
+        # one cheap per-partition grouped count over dictionary codes, no
+        # per-timestamp grouping.  The layout is *verified* from name-node
+        # statistics first (zero DFS reads); any other layout falls back to
+        # grouping on the actual publication timestamps.
+        active_days: Counter = Counter()
+        if self._partitioned_by_day_of(articles, "published_at"):
+            for partition in articles.partitions():
+                in_partition = articles.aggregate(
+                    {"articles": ("count", "*")},
+                    partitions=[partition],
+                    group_by="outlet_domain",
+                    executor=self.executor,
+                )
+                active_days.update(in_partition.keys())
+        else:
+            day_groups = articles.aggregate(
+                {"articles": ("count", "*")},
+                group_by=["outlet_domain", "published_at"],
+                group_key=lambda key: (
+                    key[0], key[1].date() if key[1] is not None else None
+                ),
+                executor=self.executor,
+            )
+            for (outlet, day), _row in day_groups.items():
+                if day is not None:
+                    active_days[outlet] += 1
 
+        url_to_outlet: dict[str, str] = {}
+        for block in articles.scan_columns(
+            ["url", "outlet_domain"], executor=self.executor
+        ):
+            url_to_outlet.update(zip(block["url"], block["outlet_domain"]))
+
+        # Post counts ride the same single vectorised pass that builds the
+        # post → outlet join map (no second scan of the posts table).
         post_to_outlet: dict[str, str | None] = {}
         posts_per_outlet: Counter = Counter()
         if self.warehouse.has_table("posts"):
-            for block in self._table("posts").scan_columns(["post_id", "article_url"]):
+            for block in self._table("posts").scan_columns(
+                ["post_id", "article_url"], executor=self.executor
+            ):
                 for post_id, article_url in zip(block["post_id"], block["article_url"]):
                     outlet = url_to_outlet.get(article_url)
                     post_to_outlet[post_id] = outlet
                     if outlet:
                         posts_per_outlet[outlet] += 1
 
+        # The reaction → outlet join is pushed into the grouped aggregation
+        # itself: ``group_key`` maps each distinct post through the in-memory
+        # build side (a map-side hash join), so the storage layer folds
+        # straight into ~one group per outlet instead of handing back one
+        # group per post for re-mapping here.
         reactions_per_outlet: Counter = Counter()
         if self.warehouse.has_table("reactions"):
-            reaction_counts = self._table("reactions").aggregate(
-                {"reactions": ("count", "*")}, group_by="post_id"
+            reactions_by_outlet = self._table("reactions").aggregate(
+                {"reactions": ("count", "*")}, group_by="post_id",
+                group_key=post_to_outlet.get,
+                executor=self.executor,
             )
-            for post_id, row in reaction_counts.items():
-                outlet = post_to_outlet.get(post_id)
+            for outlet, row in reactions_by_outlet.items():
                 if outlet:
                     reactions_per_outlet[outlet] += row["reactions"]
 
@@ -145,7 +232,7 @@ class WarehouseAnalytics:
                 outlet_domain=outlet,
                 articles=count,
                 topic_articles=topic_per_outlet.get(outlet, 0),
-                active_days=len(active_days[outlet]),
+                active_days=active_days.get(outlet, 0),
                 posts=posts_per_outlet.get(outlet, 0),
                 reactions=reactions_per_outlet.get(outlet, 0),
             )
@@ -160,28 +247,47 @@ class WarehouseAnalytics:
 
         This is the warehouse-side counterpart of the §4.2 views: per rating
         class, the mean topic share, mean reactions per article and totals.
+        The per-outlet inputs come from :meth:`outlet_activity_profiles`,
+        i.e. from grouped aggregates pushed down to the warehouse; only the
+        final per-class combination (a handful of outlets per class) runs
+        here.
         """
         profiles = self.outlet_activity_profiles(topic_key)
-        grouped: dict[str, list[OutletActivityProfile]] = defaultdict(list)
-        for outlet, profile in profiles.items():
-            rating = outlet_ratings.get(outlet)
-            if rating is not None:
-                grouped[rating.value].append(profile)
+        return summarize_profiles_by_rating(profiles, outlet_ratings)
 
-        summary: dict[str, dict[str, float]] = {}
-        for rating_value, members in sorted(grouped.items()):
-            total_articles = sum(p.articles for p in members)
-            summary[rating_value] = {
-                "outlets": float(len(members)),
-                "articles": float(total_articles),
-                "topic_articles": float(sum(p.topic_articles for p in members)),
-                "mean_topic_share": (
-                    sum(p.topic_share for p in members) / len(members) if members else 0.0
-                ),
-                "mean_reactions_per_article": (
-                    sum(p.reactions_per_article for p in members) / len(members) if members else 0.0
-                ),
-                "posts": float(sum(p.posts for p in members)),
-                "reactions": float(sum(p.reactions for p in members)),
-            }
-        return summary
+
+def summarize_profiles_by_rating(
+    profiles: Mapping[str, OutletActivityProfile],
+    outlet_ratings: Mapping[str, RatingClass],
+) -> dict[str, dict[str, float]]:
+    """Combine per-outlet activity profiles into per-rating-class statistics.
+
+    Pure combination step (no storage access), shared by
+    :meth:`WarehouseAnalytics.rating_class_summary` and by benchmarks that
+    compare different ways of producing the same profiles: identical profile
+    inputs give bit-identical float outputs, because the accumulation order is
+    fixed by the sorted outlet/class iteration.
+    """
+    grouped: dict[str, list[OutletActivityProfile]] = defaultdict(list)
+    for outlet, profile in sorted(profiles.items()):
+        rating = outlet_ratings.get(outlet)
+        if rating is not None:
+            grouped[rating.value].append(profile)
+
+    summary: dict[str, dict[str, float]] = {}
+    for rating_value, members in sorted(grouped.items()):
+        total_articles = sum(p.articles for p in members)
+        summary[rating_value] = {
+            "outlets": float(len(members)),
+            "articles": float(total_articles),
+            "topic_articles": float(sum(p.topic_articles for p in members)),
+            "mean_topic_share": (
+                sum(p.topic_share for p in members) / len(members) if members else 0.0
+            ),
+            "mean_reactions_per_article": (
+                sum(p.reactions_per_article for p in members) / len(members) if members else 0.0
+            ),
+            "posts": float(sum(p.posts for p in members)),
+            "reactions": float(sum(p.reactions for p in members)),
+        }
+    return summary

@@ -111,7 +111,12 @@ class SciLensPlatform:
         self.migration = MigrationJob(self.database, self.warehouse)
         # Watermark on ingestion time; partitions follow event time (articles by
         # publication day, social objects and reviews by their own timestamps).
-        self.migration.add_table("articles", timestamp_column="ingested_at", partition_column="published_at")
+        # Articles are additionally clustered inside each day partition by
+        # publication time, so time-range scans prune and early-exit blocks.
+        self.migration.add_table(
+            "articles", timestamp_column="ingested_at",
+            partition_column="published_at", sort_key=["published_at"],
+        )
         for table_name in ("posts", "reactions", "reviews"):
             self.migration.add_table(table_name, timestamp_column="ingested_at", partition_column="created_at")
 
@@ -534,7 +539,12 @@ class SciLensPlatform:
     # ====================================================================== #
 
     def reactions_per_article(self, topic_key: str | None = None) -> dict[str, int]:
-        """Number of reactions per stored article (optionally only for one topic)."""
+        """Number of reactions per stored article (optionally only for one topic).
+
+        The per-post reaction roll-up is pushed down to the query engine as a
+        grouped aggregate (``GROUP BY post_id``) instead of counting reaction
+        rows one at a time here; only the post→article join map is walked.
+        """
         articles = self.database.query("articles").execute().rows
         if topic_key is not None:
             articles = [row for row in articles if topic_key in (row.get("topics") or [])]
@@ -547,10 +557,17 @@ class SciLensPlatform:
                 post_to_article[row["post_id"]] = article_id
 
         counts: dict[str, int] = {article_id: 0 for article_id in url_to_id.values()}
-        for row in self.database.query("reactions").execute().rows:
+        grouped = (
+            self.database.query("reactions")
+            .group_by("post_id")
+            .aggregate(reactions=("count", "*"))
+            .execute()
+            .rows
+        )
+        for row in grouped:
             article_id = post_to_article.get(row["post_id"])
             if article_id is not None:
-                counts[article_id] += 1
+                counts[article_id] += row["reactions"]
         return counts
 
     def scientific_ratio_per_article(self, topic_key: str | None = None) -> dict[str, float]:

@@ -56,6 +56,7 @@ class MigrationJob:
         warehouse_table: str | None = None,
         timestamp_column: str = "created_at",
         partition_column: str | None = None,
+        sort_key: list[str] | None = None,
     ) -> None:
         """Register a table to migrate; the warehouse table is created if needed.
 
@@ -63,6 +64,8 @@ class MigrationJob:
         ingestion time), while ``partition_column`` decides how the warehouse
         table is laid out (typically the event time, e.g. the publication
         date of an article).  It defaults to the watermark column.
+        ``sort_key`` optionally clusters each warehouse partition by those
+        columns (tight zone maps + early-exit range scans on the sort column).
 
         A sorted index is declared on the watermark column (unless the column
         is already indexed) so each incremental run resolves its
@@ -88,6 +91,7 @@ class MigrationJob:
                 columns=table.schema.column_names,
                 partition_column=partition_column,
                 partition_by="day",
+                sort_key=sort_key,
             )
         self._mappings.append(
             _TableMapping(

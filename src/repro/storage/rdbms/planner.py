@@ -26,6 +26,19 @@ Ordering strategies
 
 The executor always re-evaluates the predicate on candidate rows, so every
 plan produces exactly the rows a full scan would.
+
+Known limits
+------------
+* No cost model: every usable index is intersected, never chosen between.
+* Single-column indexes only (conjuncts intersect separate indexes).
+* ``index-ordered`` needs a single ORDER BY key whose sorted index covers
+  every row (the index skips NULLs), and no joins or aggregation.
+* OR pushdown needs *every* branch to be an indexed equality/IN.
+* No LIKE-prefix pushdown and no planner statistics (histograms, join
+  reordering).
+
+See ``docs/query-planner.md`` for the full vocabulary with examples, and
+``examples/explain_demo.py`` for a runnable tour of every plan shape.
 """
 
 from __future__ import annotations

@@ -8,7 +8,9 @@ Execution is planner-driven (see :mod:`.planner`): predicates are narrowed
 through the table's indexes, ORDER BY + LIMIT runs as an index-ordered scan or
 a bounded top-k heap instead of a full sort, and projections are pushed down
 so full row dicts are not copied through the pipeline.  ``Query.explain()``
-reports the chosen plan without executing the query.
+reports the chosen plan without executing the query; the access-path and
+ordering vocabulary it uses — and the planner's known limits — are documented
+in ``docs/query-planner.md`` (runnable tour: ``examples/explain_demo.py``).
 """
 
 from __future__ import annotations

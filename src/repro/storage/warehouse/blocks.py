@@ -4,26 +4,41 @@ Rows are grouped into blocks; inside a block each column is stored as its own
 array together with min/max/null statistics, enabling column pruning and
 predicate push-down during scans.
 
-Blocks serialise to a **versioned** JSON byte format:
+Blocks serialise to a **versioned** JSON byte format (the full wire layout is
+documented in ``docs/warehouse-format.md``):
 
-* **Format 2** (current) encodes each column as a whole unit rather than
-  value-at-a-time.  Low-cardinality columns are dictionary-encoded (distinct
-  values once, plus an integer code per row), timestamp columns are encoded as
-  one ISO-string array, and plain JSON-safe columns are stored as-is with no
-  per-value transform.  Dictionary codes are type-tagged while encoding so
-  ``1``, ``1.0`` and ``True`` never collapse onto one dictionary slot.
+* **Format 3** (current) adds two things on top of format 2:
+
+  - an optional **sort key**: rows may be sorted by one or more columns before
+    encoding, and the applied key is recorded in the payload.  Sorted blocks
+    have tight, often disjoint zone maps on the sort column and support
+    binary-search range filtering (:func:`sorted_range`) instead of a full
+    column pass.
+  - **run-length encoding** for sorted / low-change columns: a column whose
+    equal values cluster into few runs is stored as ``[count, value]`` pairs.
+
+* **Format 2** encodes each column as a whole unit rather than value-at-a-time.
+  Low-cardinality columns are dictionary-encoded (distinct values once, plus an
+  integer code per row), timestamp columns are encoded as one ISO-string array,
+  and plain JSON-safe columns are stored as-is with no per-value transform.
+  Dictionary codes are type-tagged while encoding so ``1``, ``1.0`` and
+  ``True`` never collapse onto one dictionary slot.
 * **Format 1** (the seed format: ``{"n_rows", "columns", "stats"}`` with
   per-value ``{"__ts__": ...}`` timestamp wrappers) is still read by
-  :meth:`ColumnarBlock.from_bytes`, so blocks written before the format bump
+  :meth:`ColumnarBlock.from_bytes`, so blocks written before the format bumps
   keep deserialising.
 
 The column arrays inside a decoded block (``ColumnarBlock.columns``) are the
 unit of vectorised execution: :mod:`repro.storage.warehouse.warehouse` builds
 selection vectors over them directly instead of materialising row dicts.
+Dictionary-encoded columns additionally keep their decoded dictionary and raw
+code array (:meth:`ColumnarBlock.dictionary`) so grouped aggregation can bucket
+rows by small integer codes instead of hashing the decoded values row-by-row.
 """
 
 from __future__ import annotations
 
+import bisect
 import json
 from dataclasses import dataclass, field
 from datetime import datetime
@@ -32,7 +47,7 @@ from typing import Any, Iterable, Sequence
 from ...errors import WarehouseError
 
 #: Current serialisation format version (legacy blocks carry no version key).
-BLOCK_FORMAT_VERSION = 2
+BLOCK_FORMAT_VERSION = 3
 
 
 def _encode_value(value: Any) -> Any:
@@ -59,27 +74,122 @@ def _comparable(values: Iterable[Any]) -> list[Any]:
     return []
 
 
+def ordering_token(value: Any) -> tuple[bool, Any]:
+    """Total-order token used for sort keys: ``None`` sorts before any value."""
+    return (value is not None, value)
+
+
+def sort_rows(
+    rows: Sequence[dict[str, Any]], sort_key: Sequence[str]
+) -> tuple[list[dict[str, Any]], tuple[str, ...] | None]:
+    """Sort rows by ``sort_key`` columns (``None`` first), best effort.
+
+    Returns ``(rows, applied_key)``.  When the key values have no consistent
+    ordering (mixed types), the rows come back in their original order and the
+    applied key is ``None`` — callers must not claim the data is clustered.
+    The sort is stable, so equal-key rows keep their insertion order.
+    """
+    key = tuple(sort_key)
+    if not key:
+        return list(rows), None
+    try:
+        ordered = sorted(
+            rows, key=lambda row: tuple(ordering_token(row.get(c)) for c in key)
+        )
+    except TypeError:
+        return list(rows), None
+    return ordered, key
+
+
+def sorted_range(array: Sequence[Any], low: Any, high: Any) -> tuple[int, int] | None:
+    """Index range ``[start, stop)`` of values in ``[low, high]`` of a sorted array.
+
+    The array must be sorted in :func:`ordering_token` order (``None`` values
+    first).  ``None`` bounds are unbounded on that side; ``None`` values never
+    match a bounded filter, so they are excluded from the range.  Returns
+    ``None`` when the bounds are not comparable with the array values — the
+    caller then falls back to a linear filter pass.
+    """
+    try:
+        if low is None:
+            # Skip the leading None run: None never matches a bounded filter.
+            start = bisect.bisect_left(array, True, key=lambda v: v is not None)
+        else:
+            start = bisect.bisect_left(array, (True, low), key=ordering_token)
+        if high is None:
+            stop = len(array)
+        else:
+            stop = bisect.bisect_right(array, (True, high), key=ordering_token)
+    except TypeError:
+        return None
+    return start, stop
+
+
 def _dictionary_budget(n_rows: int) -> int:
     """Maximum dictionary size worth paying for a column of ``n_rows`` values."""
     return max(16, n_rows // 4)
 
 
-#: Types eligible for dictionary encoding.  Scalars only: a shared dictionary
-#: slot decodes to one object per distinct value, which is only safe when that
-#: object is immutable (a tuple would decode to one *list* aliased across all
-#: equal rows — those fall through to the plain array, which JSON-decodes a
-#: fresh object per row).
+#: Types eligible for dictionary and run-length encoding.  Scalars only: a
+#: shared dictionary slot / run value decodes to one object reused across all
+#: equal rows, which is only safe when that object is immutable (a tuple would
+#: decode to one *list* aliased across all equal rows — those fall through to
+#: the plain array, which JSON-decodes a fresh object per row).
 _DICT_ENCODABLE = (str, int, float, bool, datetime)
+
+
+def _strict_key(value: Any) -> tuple[str, str]:
+    """Identity key for encoding: equal-but-distinct values stay distinct.
+
+    Keyed on repr, not ``__eq__``: values like ``1`` / ``1.0`` / ``True``,
+    ``-0.0`` vs ``0.0`` or tz-aware datetimes at the same instant must keep
+    their own dictionary slot / run, or the round-trip would rewrite them.
+    """
+    return (type(value).__name__, repr(value))
+
+
+def _rle_runs(values: list[Any]) -> list[list[Any]] | None:
+    """``[count, value]`` runs of the column, or ``None`` if RLE-ineligible.
+
+    Ineligible means non-scalar values *or* too many runs to be worth it
+    (``2 × runs`` must not exceed the row count) — the loop aborts the moment
+    the run budget is blown, so high-cardinality columns don't pay a full
+    repr() pass on the write path just to have the result thrown away.
+    """
+    budget = len(values) // 2
+    runs: list[list[Any]] = []
+    previous: Any = None
+    for value in values:
+        if value is not None and not isinstance(value, _DICT_ENCODABLE):
+            return None
+        key = None if value is None else _strict_key(value)
+        if runs and key == previous:
+            runs[-1][0] += 1
+        else:
+            if len(runs) >= budget:
+                return None
+            runs.append([1, value])
+            previous = key
+    return runs
 
 
 def _encode_column(values: list[Any]) -> dict[str, Any]:
     """Encode one whole column array for storage.
 
-    Tries dictionary encoding first (low-cardinality scalar columns shrink to
-    a small value dictionary plus integer codes); falls back to a typed array
-    when timestamps are present, and to the raw JSON array otherwise.
-    Non-scalar values (e.g. list-valued columns) skip the dictionary path.
+    Tries run-length encoding first (sorted / low-change columns collapse to
+    ``[count, value]`` runs), then dictionary encoding (low-cardinality scalar
+    columns shrink to a small value dictionary plus integer codes); falls back
+    to a typed array when timestamps are present, and to the raw JSON array
+    otherwise.  Non-scalar values (e.g. list-valued columns) skip both the RLE
+    and the dictionary path.
     """
+    runs = _rle_runs(values)
+    if runs is not None:
+        return {
+            "enc": "rle",
+            "runs": [[count, _encode_value(value)] for count, value in runs],
+        }
+
     budget = _dictionary_budget(len(values))
     codes: list[int | None] | None = []
     mapping: dict[Any, int] = {}
@@ -91,10 +201,7 @@ def _encode_column(values: list[Any]) -> dict[str, Any]:
         if not isinstance(value, _DICT_ENCODABLE):
             codes = None
             break
-        # Key on repr, not __eq__: equal-but-distinct values (tz-aware
-        # datetimes at the same instant, -0.0 vs 0.0) must keep their own
-        # dictionary slot or the round-trip would rewrite them.
-        key = (type(value).__name__, repr(value))
+        key = _strict_key(value)
         code = mapping.get(key)
         if code is None:
             if len(dictionary) >= budget:
@@ -116,32 +223,73 @@ def _encode_column(values: list[Any]) -> dict[str, Any]:
     return {"enc": "plain", "data": values}
 
 
+def _decode_dictionary(
+    spec: dict[str, Any]
+) -> tuple[list[Any], list[int | None]]:
+    """Decoded ``(values, codes)`` of a ``dict``-encoded column spec."""
+    return [_decode_value(v) for v in spec["values"]], spec["codes"]
+
+
+def _expand_dictionary(values: list[Any], codes: list[int | None]) -> list[Any]:
+    """Materialise a dictionary column back into its per-row value array."""
+    return [None if code is None else values[code] for code in codes]
+
+
 def _decode_column(spec: dict[str, Any]) -> list[Any]:
-    """Decode one format-2 column specification back into a value array."""
+    """Decode one format-2/3 column specification back into a value array."""
     enc = spec.get("enc")
     if enc == "plain":
         return list(spec["data"])
     if enc == "typed":
         return [_decode_value(v) for v in spec["data"]]
     if enc == "dict":
-        dictionary = [_decode_value(v) for v in spec["values"]]
-        return [None if code is None else dictionary[code] for code in spec["codes"]]
+        return _expand_dictionary(*_decode_dictionary(spec))
+    if enc == "rle":
+        out: list[Any] = []
+        for count, value in spec["runs"]:
+            # One decoded object per run, shared by every row of the run —
+            # safe because only immutable scalars are RLE-encoded.
+            out.extend([_decode_value(value)] * count)
+        return out
     raise WarehouseError(f"unknown column encoding {enc!r}")
 
 
 @dataclass
 class ColumnarBlock:
-    """One block of a warehouse table: column arrays + per-column statistics."""
+    """One block of a warehouse table: column arrays + per-column statistics.
+
+    ``sort_key`` names the columns the rows are physically sorted by (``None``
+    when unsorted); ``dictionaries`` maps dictionary-encoded column names to
+    their ``(values, codes)`` pair as read off the wire, giving aggregation a
+    code-level fast path (it is empty for blocks built straight from rows).
+    """
 
     columns: dict[str, list[Any]]
     n_rows: int
     stats: dict[str, dict[str, Any]] = field(default_factory=dict)
+    sort_key: tuple[str, ...] | None = None
+    dictionaries: dict[str, tuple[list[Any], list[int | None]]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @classmethod
-    def from_rows(cls, rows: Sequence[dict[str, Any]], column_names: Sequence[str]) -> "ColumnarBlock":
-        """Build a block from row dictionaries (missing columns become ``None``)."""
+    def from_rows(
+        cls,
+        rows: Sequence[dict[str, Any]],
+        column_names: Sequence[str],
+        sort_key: Sequence[str] | None = None,
+    ) -> "ColumnarBlock":
+        """Build a block from row dictionaries (missing columns become ``None``).
+
+        With ``sort_key`` the rows are sorted by those columns first (stable,
+        ``None`` first); if their values have no consistent ordering the block
+        is built unsorted and carries no sort key.
+        """
         if not rows:
             raise WarehouseError("cannot build a block from zero rows")
+        applied: tuple[str, ...] | None = None
+        if sort_key:
+            rows, applied = sort_rows(rows, sort_key)
         columns: dict[str, list[Any]] = {
             name: [row.get(name) for row in rows] for name in column_names
         }
@@ -153,7 +301,7 @@ class ColumnarBlock:
                 "min": min(comparable) if comparable else None,
                 "max": max(comparable) if comparable else None,
             }
-        return cls(columns=columns, n_rows=len(rows), stats=stats)
+        return cls(columns=columns, n_rows=len(rows), stats=stats, sort_key=applied)
 
     def to_rows(self, columns: Sequence[str] | None = None) -> list[dict[str, Any]]:
         """Materialise the block back into row dictionaries (optionally projected)."""
@@ -175,6 +323,22 @@ class ColumnarBlock:
         if name not in self.columns:
             raise WarehouseError(f"block has no column {name!r}")
         return self.columns[name]
+
+    def dictionary(self, name: str) -> tuple[list[Any], list[int | None]] | None:
+        """``(values, codes)`` of a dictionary-encoded column, else ``None``.
+
+        Only available on blocks decoded from bytes; the codes array is
+        positionally aligned with :meth:`column_array` (``None`` code = null).
+        """
+        return self.dictionaries.get(name)
+
+    def is_sorted_by(self, column: str) -> bool:
+        """Whether the block's rows are physically sorted by ``column``.
+
+        Only the *leading* sort-key column is totally ordered across the whole
+        block, so only it supports binary-search range filtering.
+        """
+        return bool(self.sort_key) and self.sort_key[0] == column
 
     # ------------------------------------------------------------ statistics
 
@@ -199,7 +363,7 @@ class ColumnarBlock:
     # ---------------------------------------------------------- serialisation
 
     def to_bytes(self) -> bytes:
-        """Serialise the block to versioned JSON bytes (format 2)."""
+        """Serialise the block to versioned JSON bytes (format 3)."""
         payload = {
             "format": BLOCK_FORMAT_VERSION,
             "n_rows": self.n_rows,
@@ -211,20 +375,27 @@ class ColumnarBlock:
                 for name, stat in self.stats.items()
             },
         }
+        if self.sort_key:
+            payload["sort_key"] = list(self.sort_key)
         return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "ColumnarBlock":
-        """Deserialise a block in the current *or* the legacy (seed) format."""
+        """Deserialise a block in the current *or* any legacy format."""
         try:
             payload = json.loads(data.decode("utf-8"))
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise WarehouseError(f"corrupt block data: {exc}") from exc
+        dictionaries: dict[str, tuple[list[Any], list[int | None]]] = {}
         if payload.get("format", 1) >= 2:
-            columns = {
-                name: _decode_column(spec)
-                for name, spec in payload["columns"].items()
-            }
+            columns: dict[str, list[Any]] = {}
+            for name, spec in payload["columns"].items():
+                if spec.get("enc") == "dict":
+                    values, codes = _decode_dictionary(spec)
+                    dictionaries[name] = (values, codes)
+                    columns[name] = _expand_dictionary(values, codes)
+                else:
+                    columns[name] = _decode_column(spec)
         else:
             columns = {
                 name: [_decode_value(v) for v in values]
@@ -234,4 +405,11 @@ class ColumnarBlock:
             name: {key: _decode_value(value) for key, value in stat.items()}
             for name, stat in payload.get("stats", {}).items()
         }
-        return cls(columns=columns, n_rows=int(payload["n_rows"]), stats=stats)
+        sort_key = payload.get("sort_key")
+        return cls(
+            columns=columns,
+            n_rows=int(payload["n_rows"]),
+            stats=stats,
+            sort_key=tuple(sort_key) if sort_key else None,
+            dictionaries=dictionaries,
+        )

@@ -9,6 +9,8 @@ and degraded-read paths the "distributed and robust fashion" claim implies.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 
 from ...errors import WarehouseError
@@ -67,6 +69,7 @@ class DistributedFileSystem:
         n_nodes: int = 3,
         replication: int = 2,
         block_size: int = 64 * 1024,
+        read_latency: float = 0.0,
     ) -> None:
         if n_nodes < 1:
             raise WarehouseError("the DFS needs at least one data node")
@@ -74,6 +77,8 @@ class DistributedFileSystem:
             raise WarehouseError("replication must be >= 1")
         if block_size < 1:
             raise WarehouseError("block_size must be >= 1")
+        if read_latency < 0:
+            raise WarehouseError("read_latency must be >= 0")
         self.replication = min(replication, n_nodes)
         self.block_size = block_size
         self.nodes: dict[str, DataNode] = {
@@ -84,9 +89,16 @@ class DistributedFileSystem:
         # block id -> node ids holding a replica
         self._block_locations: dict[str, list[str]] = {}
         self._block_counter = 0
+        #: Simulated network round-trip paid on every read_file call.  The
+        #: default of 0 keeps in-process tests instant; benchmarks set it to
+        #: model remote block fetches, which parallel scans then overlap
+        #: (the sleep releases the GIL, like real socket I/O would).
+        self.read_latency = read_latency
         #: Number of read_file calls served (lets callers assert stats-only
-        #: warehouse aggregates never touch the data nodes).
+        #: warehouse aggregates never touch the data nodes).  Guarded by a
+        #: lock: parallel warehouse scans read concurrently.
         self.read_count = 0
+        self._read_count_lock = threading.Lock()
 
     # ------------------------------------------------------------- file API
 
@@ -120,7 +132,10 @@ class DistributedFileSystem:
         """Read ``path``, tolerating dead replicas as long as one copy survives."""
         if path not in self._files:
             raise WarehouseError(f"no such file: {path}")
-        self.read_count += 1
+        with self._read_count_lock:
+            self.read_count += 1
+        if self.read_latency > 0:
+            time.sleep(self.read_latency)
         chunks: list[bytes] = []
         for block in self._files[path]:
             chunks.append(self._read_block(block.block_id))

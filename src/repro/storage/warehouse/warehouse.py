@@ -2,9 +2,14 @@
 
 Each :class:`WarehouseTable` is partitioned by the value of one column
 (typically the calendar day of a timestamp); every partition holds one or more
-columnar blocks persisted as DFS files.
+columnar blocks persisted as DFS files.  Tables may additionally declare a
+**sort key**: rows of each partition are then sorted by those columns before
+being cut into blocks, which clusters the layout — block zone maps on the sort
+column become tight and mostly disjoint, range scans early-exit as soon as the
+remaining blocks start past the filter bound, and inside each sorted block a
+range filter is a binary search instead of a column pass.
 
-Two access paths are offered:
+Three access paths are offered:
 
 * **Row-at-a-time** — :meth:`WarehouseTable.scan` materialises row dicts and
   applies an arbitrary row predicate.  This is the compatibility / streaming
@@ -22,29 +27,40 @@ Two access paths are offered:
   from block statistics without reading a single block; repeated reads are
   served from a per-table LRU cache of decoded blocks that is invalidated on
   :meth:`WarehouseTable.drop_partition` / :meth:`Warehouse.drop_table`.
+  :meth:`WarehouseTable.aggregate` supports grouped aggregation (GROUP BY one
+  or more columns) that buckets rows by dictionary *codes* — small integers —
+  whenever the group column is dictionary-encoded on the wire, instead of
+  hashing the decoded values row-by-row.
+* **Parallel** — the vectorised entry points accept an optional
+  :class:`~repro.compute.executor.LocalExecutor`; block fetch + decode +
+  filter then fan out across its workers (overlapping simulated DFS read
+  latency) while results are merged back in deterministic block order, so the
+  output is identical for any worker count, including ``max_workers=1``.
 """
 
 from __future__ import annotations
 
 import copy
 import re
+import threading
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from datetime import date, datetime
 from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
+from ...compute.executor import LocalExecutor
 from ...compute.shuffle import canonical_key
 from ...errors import WarehouseError
-from .blocks import ColumnarBlock
+from .blocks import ColumnarBlock, ordering_token, sort_rows, sorted_range
 from .dfs import DistributedFileSystem
 
 #: ``(column, low, high)`` — inclusive bounds, ``None`` meaning unbounded.
 RangeFilter = tuple[str, Any, Any]
 
 
-def _unhashable_group(group_by: str | None, exc: TypeError) -> WarehouseError:
+def _unhashable_group(group_cols: Sequence[str], exc: TypeError) -> WarehouseError:
     return WarehouseError(
-        f"group-by column {group_by!r} has unhashable values "
+        f"group-by column(s) {list(group_cols)!r} have unhashable values "
         f"(pass group_key to map them): {exc}"
     )
 
@@ -111,51 +127,61 @@ class _BlockRef:
     path: str
     n_rows: int
     stats: dict[str, dict[str, Any]]
+    sort_key: tuple[str, ...] | None = None
 
 
 class _BlockCache:
-    """A small LRU cache of decoded :class:`ColumnarBlock` objects by DFS path."""
+    """A small LRU cache of decoded :class:`ColumnarBlock` objects by DFS path.
+
+    Thread-safe: parallel scans load blocks from executor worker threads.
+    """
 
     def __init__(self, capacity: int) -> None:
         self.capacity = capacity
         self._entries: OrderedDict[str, ColumnarBlock] = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, path: str) -> ColumnarBlock | None:
-        block = self._entries.get(path)
-        if block is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(path)
-        self.hits += 1
-        return block
+        with self._lock:
+            block = self._entries.get(path)
+            if block is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(path)
+            self.hits += 1
+            return block
 
     def put(self, path: str, block: ColumnarBlock) -> None:
         if self.capacity < 1:
             return
-        self._entries[path] = block
-        self._entries.move_to_end(path)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[path] = block
+            self._entries.move_to_end(path)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def invalidate(self, path: str) -> None:
-        self._entries.pop(path, None)
+        with self._lock:
+            self._entries.pop(path, None)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
 
 #: Aggregate functions answerable from block statistics alone.
 _STATS_ONLY_FUNCTIONS = {"count", "min", "max"}
-_AGGREGATE_FUNCTIONS = {"count", "min", "max", "sum", "avg"}
+_AGGREGATE_FUNCTIONS = {"count", "count_distinct", "min", "max", "sum", "avg"}
 
 
 class WarehouseTable:
-    """One partitioned columnar table."""
+    """One partitioned columnar table (optionally clustered by a sort key)."""
 
     def __init__(
         self,
@@ -165,6 +191,7 @@ class WarehouseTable:
         partitioner: Callable[[dict[str, Any]], str],
         block_rows: int = 4096,
         cache_blocks: int = 64,
+        sort_key: Sequence[str] | None = None,
     ) -> None:
         if not columns:
             raise WarehouseError(f"table {name!r} needs at least one column")
@@ -175,14 +202,33 @@ class WarehouseTable:
         self.dfs = dfs
         self.partitioner = partitioner
         self.block_rows = block_rows
+        self._sort_key: tuple[str, ...] | None = tuple(sort_key) if sort_key else None
+        if self._sort_key:
+            missing = [c for c in self._sort_key if c not in self.columns]
+            if missing:
+                raise WarehouseError(
+                    f"table {name!r} sort key references unknown column(s) {missing!r}"
+                )
         self._partitions: dict[str, list[_BlockRef]] = {}
         self._block_counter = 0
         self._cache = _BlockCache(cache_blocks)
 
+    @property
+    def sort_key(self) -> tuple[str, ...] | None:
+        """The declared clustering columns (``None`` for unsorted tables)."""
+        return self._sort_key
+
     # ---------------------------------------------------------------- writes
 
     def append(self, rows: Iterable[dict[str, Any]]) -> int:
-        """Append rows, grouping them into per-partition blocks; returns rows written."""
+        """Append rows, grouping them into per-partition blocks; returns rows written.
+
+        On tables with a sort key, each partition's batch is sorted by the key
+        columns before being cut into blocks, so the blocks of one append are
+        clustered: their sort-column ranges are tight and mutually disjoint.
+        Rows whose key values have no consistent ordering are written unsorted
+        (the blocks then simply carry no sort-key metadata).
+        """
         grouped: dict[str, list[dict[str, Any]]] = {}
         count = 0
         for row in rows:
@@ -190,18 +236,29 @@ class WarehouseTable:
             grouped.setdefault(partition, []).append(row)
             count += 1
         for partition, partition_rows in grouped.items():
+            applied: tuple[str, ...] | None = None
+            if self._sort_key:
+                partition_rows, applied = sort_rows(partition_rows, self._sort_key)
             for start in range(0, len(partition_rows), self.block_rows):
                 chunk = partition_rows[start:start + self.block_rows]
-                self._write_block(partition, chunk)
+                self._write_block(partition, chunk, applied)
         return count
 
-    def _write_block(self, partition: str, rows: list[dict[str, Any]]) -> None:
-        block = ColumnarBlock.from_rows(rows, self.columns)
+    def _write_block(
+        self,
+        partition: str,
+        rows: list[dict[str, Any]],
+        sort_key: tuple[str, ...] | None = None,
+    ) -> None:
+        block = ColumnarBlock.from_rows(rows, self.columns, sort_key=sort_key)
         self._block_counter += 1
         path = f"/warehouse/{self.name}/{partition}/block-{self._block_counter:06d}.json"
         self.dfs.write_file(path, block.to_bytes())
         self._partitions.setdefault(partition, []).append(
-            _BlockRef(path=path, n_rows=block.n_rows, stats=block.stats)
+            _BlockRef(
+                path=path, n_rows=block.n_rows, stats=block.stats,
+                sort_key=block.sort_key,
+            )
         )
 
     def drop_partition(self, partition: str) -> int:
@@ -260,6 +317,7 @@ class WarehouseTable:
         partitions: Sequence[str] | None = None,
         range_filters: Sequence[RangeFilter] | None = None,
         column_predicates: Mapping[str, Callable[[Any], bool]] | None = None,
+        executor: LocalExecutor | None = None,
     ) -> Iterator[dict[str, list[Any]]]:
         """Vectorised scan: yield per-block column arrays for surviving rows.
 
@@ -268,26 +326,42 @@ class WarehouseTable:
         non-surviving rows are never materialised.  ``range_filters`` are
         conjunctive inclusive ``(column, low, high)`` bounds (``None`` bound =
         unbounded; ``None`` values never match a bounded filter) that also
-        prune whole blocks via their zone statistics.  ``column_predicates``
-        maps column names to per-value predicates.  Filter columns need not be
-        projected.  Returned arrays are fresh lists owned by the caller, but
-        the cell values themselves are shared with the block cache — treat
-        nested mutable values (e.g. list-valued columns) as read-only, or use
+        prune whole blocks via their zone statistics.  On clustered tables a
+        range filter on the leading sort-key column additionally early-exits
+        the block walk and binary-searches inside each sorted block.
+        ``column_predicates`` maps column names to per-value predicates.
+        Filter columns need not be projected.
+
+        With ``executor``, block fetch + decode + filter fan out across its
+        worker threads (the whole scan is materialised before the first yield);
+        blocks are still yielded in the exact order of the sequential scan, so
+        results are identical for any worker count.
+
+        Returned arrays are fresh lists owned by the caller, but the cell
+        values themselves are shared with the block cache — treat nested
+        mutable values (e.g. list-valued columns) as read-only, or use
         :meth:`scan_filtered`, which copies them.
         """
         self._check_columns(columns)
         self._check_columns(f[0] for f in range_filters or ())
         self._check_columns(column_predicates or ())
-        for _partition, ref in self._iter_refs(partitions, range_filters):
+
+        def project(ref: _BlockRef) -> dict[str, list[Any]] | None:
             block = self._load_block(ref)
             selection = _selection_vector(block, range_filters, column_predicates)
             if selection is None:
-                yield {name: list(block.columns[name]) for name in columns}
-            elif selection:
-                yield {
-                    name: [block.columns[name][i] for i in selection]
-                    for name in columns
-                }
+                return {name: list(block.columns[name]) for name in columns}
+            if not selection:
+                return None
+            return {
+                name: [block.columns[name][i] for i in selection]
+                for name in columns
+            }
+
+        refs = [ref for _partition, ref in self._iter_refs(partitions, range_filters)]
+        for block_columns in self._map_refs(refs, project, executor, "scan_columns"):
+            if block_columns is not None:
+                yield block_columns
 
     def scan_filtered(
         self,
@@ -295,6 +369,7 @@ class WarehouseTable:
         partitions: Sequence[str] | None = None,
         range_filters: Sequence[RangeFilter] | None = None,
         column_predicates: Mapping[str, Callable[[Any], bool]] | None = None,
+        executor: LocalExecutor | None = None,
     ) -> Iterator[dict[str, Any]]:
         """Late-materialised row scan: dicts are built only for surviving rows.
 
@@ -303,7 +378,7 @@ class WarehouseTable:
         """
         names = list(columns) if columns is not None else list(self.columns)
         for block_columns in self.scan_columns(
-            names, partitions, range_filters, column_predicates
+            names, partitions, range_filters, column_predicates, executor
         ):
             arrays = [block_columns[name] for name in names]
             for values in zip(*arrays):
@@ -315,18 +390,28 @@ class WarehouseTable:
         partitions: Sequence[str] | None = None,
         range_filters: Sequence[RangeFilter] | None = None,
         column_predicates: Mapping[str, Callable[[Any], bool]] | None = None,
-        group_by: str | None = None,
+        group_by: str | Sequence[str] | None = None,
         group_key: Callable[[Any], Any] | None = None,
+        executor: LocalExecutor | None = None,
     ) -> dict[str, Any] | dict[Any, dict[str, Any]]:
         """Aggregate over the table without materialising rows.
 
         ``aggregates`` maps output aliases to ``(function, column)`` pairs with
-        functions ``count``/``min``/``max``/``sum``/``avg`` (``count`` of
-        ``"*"`` counts rows, of a column counts non-null values; the others
-        ignore nulls).  With ``group_by`` the result is ``{group: {alias:
-        value}}``, where the group is the (optionally ``group_key``-mapped)
-        value of the ``group_by`` column; without it, one ``{alias: value}``
-        dict.
+        functions ``count``/``count_distinct``/``min``/``max``/``sum``/``avg``
+        (``count`` of ``"*"`` counts rows, of a column counts non-null values;
+        the others ignore nulls).  ``group_by`` is one column name or a
+        sequence of them: the result is then ``{group: {alias: value}}`` where
+        the group is the column value (single column) or the tuple of column
+        values (several), optionally mapped through ``group_key``; without
+        ``group_by``, one ``{alias: value}`` dict.  Grouping runs on the wire
+        encoding where possible: dictionary-encoded group columns are bucketed
+        by their integer codes and decoded (and ``group_key``-mapped) once per
+        distinct value per block, not once per row.
+
+        With ``executor``, per-block partial aggregation states are computed on
+        its worker threads and merged in deterministic block order, so results
+        are identical for any worker count (including float ``sum``/``avg``,
+        whose accumulation order is preserved).
 
         Unfiltered, ungrouped ``count``/``min``/``max`` aggregates are answered
         purely from the per-block statistics kept on the name-node side — no
@@ -343,13 +428,21 @@ class WarehouseTable:
                     raise WarehouseError(f"aggregate {function!r} needs a column, not '*'")
             else:
                 self._check_columns([column])
-        if group_by is not None:
-            self._check_columns([group_by])
+        if group_by is None:
+            group_cols: list[str] | None = None
+        elif isinstance(group_by, str):
+            group_cols = [group_by]
+        else:
+            group_cols = list(group_by)
+            if not group_cols:
+                raise WarehouseError("group_by needs at least one column")
+        if group_cols is not None:
+            self._check_columns(group_cols)
         self._check_columns(f[0] for f in range_filters or ())
         self._check_columns(column_predicates or ())
 
         unfiltered = not range_filters and not column_predicates
-        if group_by is None and unfiltered and all(
+        if group_cols is None and unfiltered and all(
             function in _STATS_ONLY_FUNCTIONS for function, _column in aggregates.values()
         ):
             result = self._aggregate_from_stats(aggregates, partitions)
@@ -357,7 +450,8 @@ class WarehouseTable:
                 return result
 
         return self._aggregate_blocks(
-            aggregates, partitions, range_filters, column_predicates, group_by, group_key
+            aggregates, partitions, range_filters, column_predicates,
+            group_cols, group_key, executor,
         )
 
     def read_column(self, column: str, partitions: Sequence[str] | None = None) -> list[Any]:
@@ -396,15 +490,79 @@ class WarehouseTable:
         partitions: Sequence[str] | None,
         range_filters: Sequence[RangeFilter] | None,
     ) -> Iterator[tuple[str, _BlockRef]]:
-        """Partition-pruned, zone-pruned iteration over block references."""
+        """Partition-pruned, zone-pruned iteration over block references.
+
+        On clustered tables the blocks of each partition are walked in
+        ascending order of their sort-column minimum (a deterministic clustered
+        read order); a range filter with an upper bound on the sort column then
+        stops the walk at the first block that starts past the bound — every
+        later block's minimum is even greater, so none can match.
+        """
         wanted = set(partitions) if partitions is not None else None
+        sort_col = self._sort_key[0] if self._sort_key else None
+        high_bound: Any = None
+        has_bound = False
+        if sort_col is not None and range_filters:
+            for column, _low, high in range_filters:
+                if column == sort_col and high is not None:
+                    high_bound = high
+                    has_bound = True
+                    break
         for partition in self.partitions():
             if wanted is not None and partition not in wanted:
                 continue
-            for ref in self._partitions[partition]:
+            refs = self._partitions[partition]
+            if sort_col is not None:
+                ordered = _refs_in_min_order(refs, sort_col)
+                if ordered is not None:
+                    for ref in ordered:
+                        if has_bound and _min_exceeds(ref, sort_col, high_bound):
+                            break  # clustered early-exit
+                        if range_filters and not _zones_might_match(ref.stats, range_filters):
+                            continue
+                        yield partition, ref
+                    continue
+            for ref in refs:
                 if range_filters and not _zones_might_match(ref.stats, range_filters):
                     continue
                 yield partition, ref
+
+    def _map_refs(
+        self,
+        refs: list[_BlockRef],
+        fn: Callable[[_BlockRef], Any],
+        executor: LocalExecutor | None,
+        description: str,
+    ) -> Iterator[Any]:
+        """Apply ``fn`` per block ref, serially or on executor workers.
+
+        The parallel path cuts the block list into a few chunks per worker —
+        enough tasks to overlap DFS read latency and decode work across the
+        pool, few enough that dispatch overhead stays negligible when there
+        are many small blocks — and relies on :meth:`LocalExecutor.run`
+        preserving task order, so results stream back in the exact order of
+        the sequential path.
+
+        Thread workers only pay off while a block fetch blocks *outside* the
+        GIL (DFS read latency standing in for the network round-trip of a real
+        distributed file system); decode and filter work is GIL-bound Python.
+        On a zero-latency in-memory DFS the fan-out is therefore skipped —
+        thread dispatch would add contention and win nothing.
+        """
+        if (
+            executor is None
+            or executor.max_workers <= 1
+            or len(refs) <= 1
+            or getattr(self.dfs, "read_latency", 0) <= 0
+        ):
+            return (fn(ref) for ref in refs)
+        chunk = max(1, -(-len(refs) // (executor.max_workers * 4)))
+        batches = executor.run(
+            [refs[i:i + chunk] for i in range(0, len(refs), chunk)],
+            lambda batch: [fn(ref) for ref in batch],
+            description=f"{description}({self.name})",
+        )
+        return (result for batch in batches for result in batch)
 
     def _load_block(self, ref: _BlockRef) -> ColumnarBlock:
         block = self._cache.get(ref.path)
@@ -461,81 +619,29 @@ class WarehouseTable:
         partitions: Sequence[str] | None,
         range_filters: Sequence[RangeFilter] | None,
         column_predicates: Mapping[str, Callable[[Any], bool]] | None,
-        group_by: str | None,
+        group_cols: list[str] | None,
         group_key: Callable[[Any], Any] | None,
+        executor: LocalExecutor | None,
     ) -> dict[str, Any] | dict[Any, dict[str, Any]]:
-        states: dict[Any, dict[str, _AggState]] = {}
-        row_counter: Counter = Counter()  # fast path for grouped count(*)
         only_row_counts = all(
             function == "count" and column == "*" for function, column in aggregates.values()
         )
-        for _partition, ref in self._iter_refs(partitions, range_filters):
-            block = self._load_block(ref)
-            selection = _selection_vector(block, range_filters, column_predicates)
-            if selection is not None and not selection:
-                continue
-            if group_by is None:
-                keys: list[Any] | None = None
-            else:
-                group_values = block.columns[group_by]
-                if selection is not None:
-                    group_values = [group_values[i] for i in selection]
-                if group_key is not None:
-                    group_values = [group_key(v) for v in group_values]
-                keys = group_values
-            n_selected = block.n_rows if selection is None else len(selection)
-            if only_row_counts:
-                if keys is None:
-                    row_counter[None] += n_selected
-                else:
-                    try:
-                        row_counter.update(keys)
-                    except TypeError as exc:
-                        raise _unhashable_group(group_by, exc) from exc
-                continue
+        refs = [ref for _partition, ref in self._iter_refs(partitions, range_filters)]
 
-            # Compact each referenced column once per block, and partition the
-            # surviving rows by group key once per block — not once per alias.
-            compacted: dict[str, list[Any]] = {}
+        def partial(ref: _BlockRef) -> Any:
+            return self._block_partial(
+                ref, aggregates, range_filters, column_predicates,
+                group_cols, group_key, only_row_counts,
+            )
 
-            def selected_values(column: str) -> list[Any]:
-                if column not in compacted:
-                    array = block.columns[column]
-                    compacted[column] = (
-                        list(array) if selection is None else [array[i] for i in selection]
-                    )
-                return compacted[column]
-
-            group_positions: dict[Any, list[int]] | None = None
-            if keys is not None:
-                group_positions = {}
-                try:
-                    for position, key in enumerate(keys):
-                        group_positions.setdefault(key, []).append(position)
-                except TypeError as exc:
-                    raise _unhashable_group(group_by, exc) from exc
-
-            for alias, (function, column) in aggregates.items():
-                if group_positions is None:
-                    cell = states.setdefault(None, {}).setdefault(alias, _AggState())
-                    if column == "*":
-                        cell.update(function, [], n_selected, star=True)
-                    else:
-                        values = selected_values(column)
-                        cell.update(function, values, len(values), star=False)
-                elif column == "*":
-                    for key, positions in group_positions.items():
-                        cell = states.setdefault(key, {}).setdefault(alias, _AggState())
-                        cell.update(function, [], len(positions), star=True)
-                else:
-                    values = selected_values(column)
-                    for key, positions in group_positions.items():
-                        cell = states.setdefault(key, {}).setdefault(alias, _AggState())
-                        group_values = [values[p] for p in positions]
-                        cell.update(function, group_values, len(group_values), star=False)
+        partials = self._map_refs(refs, partial, executor, "aggregate")
 
         if only_row_counts:
-            if group_by is None:
+            row_counter: Counter = Counter()
+            for counts in partials:
+                if counts:
+                    row_counter.update(counts)
+            if group_cols is None:
                 total = row_counter[None] if row_counter else 0
                 return {alias: total for alias in aggregates}
             return {
@@ -543,32 +649,147 @@ class WarehouseTable:
                 for key, count in row_counter.items()
             }
 
+        # Merge the per-block partial states in block order: the accumulation
+        # order (and therefore e.g. float-sum rounding) is identical to the
+        # sequential scan no matter how many workers computed the partials.
+        states: dict[Any, dict[str, _AggState]] = {}
+        for block_states in partials:
+            if not block_states:
+                continue
+            for key, group_states in block_states.items():
+                target = states.setdefault(key, {})
+                for alias, state in group_states.items():
+                    cell = target.get(alias)
+                    if cell is None:
+                        target[alias] = state
+                    else:
+                        cell.merge(state, aggregates[alias][0])
+
         def finalise(group_states: dict[str, _AggState]) -> dict[str, Any]:
             return {
                 alias: group_states[alias].result(aggregates[alias][0])
                 for alias in aggregates
             }
 
-        if group_by is None:
+        if group_cols is None:
             empty = {alias: _AggState() for alias in aggregates}
             return finalise(states.get(None, empty))
         return {key: finalise(group_states) for key, group_states in states.items()}
+
+    def _block_partial(
+        self,
+        ref: _BlockRef,
+        aggregates: Mapping[str, tuple[str, str]],
+        range_filters: Sequence[RangeFilter] | None,
+        column_predicates: Mapping[str, Callable[[Any], bool]] | None,
+        group_cols: list[str] | None,
+        group_key: Callable[[Any], Any] | None,
+        only_row_counts: bool,
+    ) -> dict[Any, Any] | None:
+        """Partial aggregation state of one block (``None`` if nothing survives).
+
+        Returns ``{group: row_count}`` when every aggregate is ``count(*)``
+        (so the merge is one ``Counter.update``), else
+        ``{group: {alias: _AggState}}``; the ungrouped case uses ``None`` as
+        its single group key.
+        """
+        block = self._load_block(ref)
+        selection = _selection_vector(block, range_filters, column_predicates)
+        if selection is not None and not selection:
+            return None
+        n_selected = block.n_rows if selection is None else len(selection)
+
+        group_positions: dict[Any, list[int]] | None = None
+        if group_cols is not None:
+            local_keys, decode = _local_group_keys(block, group_cols, selection)
+            if only_row_counts:
+                # Bucket once at C speed over codes/values, then decode and
+                # group_key-map each *distinct* local key exactly once.
+                try:
+                    local_counts = Counter(local_keys)
+                except TypeError as exc:
+                    if group_key is None:
+                        raise _unhashable_group(group_cols, exc) from exc
+                    # group_key is the escape hatch for unhashable values:
+                    # map every row through it before bucketing.
+                    try:
+                        return dict(Counter(
+                            group_key(decode(local_key)) for local_key in local_keys
+                        ))
+                    except TypeError as exc2:
+                        raise _unhashable_group(group_cols, exc2) from exc2
+                counts: dict[Any, int] = {}
+                for local_key, n in local_counts.items():
+                    key = decode(local_key)
+                    if group_key is not None:
+                        key = group_key(key)
+                    try:
+                        counts[key] = counts.get(key, 0) + n
+                    except TypeError as exc:
+                        raise _unhashable_group(group_cols, exc) from exc
+                return counts
+            group_positions = _group_positions(local_keys, decode, group_key, group_cols)
+        elif only_row_counts:
+            return {None: n_selected}
+
+        # Compact each referenced column once per block — not once per alias.
+        compacted: dict[str, list[Any]] = {}
+
+        def selected_values(column: str) -> list[Any]:
+            if column not in compacted:
+                array = block.columns[column]
+                compacted[column] = (
+                    list(array) if selection is None else [array[i] for i in selection]
+                )
+            return compacted[column]
+
+        states: dict[Any, dict[str, _AggState]] = {}
+        for alias, (function, column) in aggregates.items():
+            if group_positions is None:
+                cell = states.setdefault(None, {}).setdefault(alias, _AggState())
+                if column == "*":
+                    cell.update(function, [], n_selected, star=True)
+                else:
+                    values = selected_values(column)
+                    cell.update(function, values, len(values), star=False)
+            elif column == "*":
+                for key, positions in group_positions.items():
+                    cell = states.setdefault(key, {}).setdefault(alias, _AggState())
+                    cell.update(function, [], len(positions), star=True)
+            else:
+                values = selected_values(column)
+                for key, positions in group_positions.items():
+                    cell = states.setdefault(key, {}).setdefault(alias, _AggState())
+                    group_values = [values[p] for p in positions]
+                    cell.update(function, group_values, len(group_values), star=False)
+        return states
 
 
 class _AggState:
     """Accumulator for one (group, aggregate) cell."""
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "distinct")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0
         self.minimum: Any = None
         self.maximum: Any = None
+        self.distinct: set | None = None
 
     def update(self, function: str, values: list[Any], n_selected: int, star: bool) -> None:
         if function == "count":
             self.count += n_selected if star else sum(1 for v in values if v is not None)
+            return
+        if function == "count_distinct":
+            if self.distinct is None:
+                self.distinct = set()
+            try:
+                self.distinct.update(v for v in values if v is not None)
+            except TypeError as exc:
+                raise WarehouseError(
+                    f"column values are unhashable for 'count_distinct': {exc}"
+                ) from exc
             return
         non_null = [v for v in values if v is not None]
         if not non_null:
@@ -586,14 +807,140 @@ class _AggState:
         except TypeError as exc:
             raise WarehouseError(f"column values have no consistent ordering for {function!r}: {exc}") from exc
 
+    def merge(self, other: "_AggState", function: str) -> None:
+        """Fold another partial state in (same arithmetic as sequential updates)."""
+        self.count += other.count
+        self.total += other.total
+        if other.distinct is not None:
+            if self.distinct is None:
+                self.distinct = set()
+            self.distinct |= other.distinct
+        try:
+            if other.minimum is not None:
+                self.minimum = (
+                    other.minimum if self.minimum is None
+                    else min(self.minimum, other.minimum)
+                )
+            if other.maximum is not None:
+                self.maximum = (
+                    other.maximum if self.maximum is None
+                    else max(self.maximum, other.maximum)
+                )
+        except TypeError as exc:
+            raise WarehouseError(
+                f"column values have no consistent ordering for {function!r}: {exc}"
+            ) from exc
+
     def result(self, function: str) -> Any:
         if function == "count":
             return self.count
+        if function == "count_distinct":
+            return len(self.distinct) if self.distinct is not None else 0
         if function == "sum":
             return self.total if self.count else None
         if function == "avg":
             return self.total / self.count if self.count else None
         return self.minimum if function == "min" else self.maximum
+
+
+def _local_group_keys(
+    block: ColumnarBlock,
+    group_cols: Sequence[str],
+    selection: list[int] | None,
+) -> tuple[list[Any], Callable[[Any], Any]]:
+    """Per-row local group keys of a block plus their decoder.
+
+    Dictionary-encoded group columns contribute their integer *codes* (cheap
+    to hash, one small int per row) instead of the decoded values; the
+    returned ``decode`` maps one distinct local key back to the real group
+    key (single column: the value itself; several columns: their tuple).
+    """
+    arrays: list[list[Any]] = []
+    dictionaries: list[list[Any] | None] = []
+    for column in group_cols:
+        pair = block.dictionary(column)
+        if pair is not None:
+            values, codes = pair
+            arrays.append(codes if selection is None else [codes[i] for i in selection])
+            dictionaries.append(values)
+        else:
+            array = block.columns[column]
+            arrays.append(array if selection is None else [array[i] for i in selection])
+            dictionaries.append(None)
+
+    if len(arrays) == 1:
+        dictionary = dictionaries[0]
+        if dictionary is None:
+            return arrays[0], lambda key: key
+        return arrays[0], (
+            lambda code: None if code is None else dictionary[code]
+        )
+
+    def decode(key_tuple: tuple) -> tuple:
+        return tuple(
+            value if dictionary is None
+            else (None if value is None else dictionary[value])
+            for value, dictionary in zip(key_tuple, dictionaries)
+        )
+
+    return list(zip(*arrays)), decode
+
+
+def _group_positions(
+    local_keys: list[Any],
+    decode: Callable[[Any], Any],
+    group_key: Callable[[Any], Any] | None,
+    group_cols: Sequence[str],
+) -> dict[Any, list[int]]:
+    """Selected-row positions per (decoded, mapped) group key.
+
+    Buckets by the cheap local keys first, then decodes / ``group_key``-maps
+    each distinct local key exactly once.  When two local keys land on the
+    same mapped group (e.g. a ``group_key`` that coarsens values), the merged
+    position lists are re-sorted so downstream per-group value order matches a
+    sequential row scan exactly.
+    """
+    local: dict[Any, list[int]] = {}
+    try:
+        for position, local_key in enumerate(local_keys):
+            bucket = local.get(local_key)
+            if bucket is None:
+                local[local_key] = [position]
+            else:
+                bucket.append(position)
+    except TypeError as exc:
+        if group_key is None:
+            raise _unhashable_group(group_cols, exc) from exc
+        # group_key is the escape hatch for unhashable values: map every row
+        # through it before bucketing (positions stay naturally sorted).
+        out: dict[Any, list[int]] = {}
+        try:
+            for position, local_key in enumerate(local_keys):
+                key = group_key(decode(local_key))
+                out.setdefault(key, []).append(position)
+        except TypeError as exc2:
+            raise _unhashable_group(group_cols, exc2) from exc2
+        return out
+
+    out: dict[Any, list[int]] = {}
+    merged = False
+    for local_key, positions in local.items():
+        key = decode(local_key)
+        if group_key is not None:
+            key = group_key(key)
+        try:
+            existing = out.get(key)
+        except TypeError as exc:
+            raise _unhashable_group(group_cols, exc) from exc
+        if existing is None:
+            out[key] = positions
+        else:
+            existing.extend(positions)
+            merged = True
+    if merged:
+        for positions in out.values():
+            positions.sort()
+    return out
 
 
 def _selection_vector(
@@ -603,7 +950,25 @@ def _selection_vector(
 ) -> list[int] | None:
     """Row indices surviving all filters; ``None`` means every row survives."""
     selection: list[int] | None = None
-    for column, low, high in range_filters or ():
+    filters = list(range_filters or ())
+    # Sorted-block fast path: the leading sort-key column is totally ordered
+    # across the block, so its range filter is a binary search rather than a
+    # column pass.  Conjunctive filters commute, and both paths produce
+    # ascending index lists, so evaluating it first never changes the result.
+    if filters and block.sort_key:
+        lead = block.sort_key[0]
+        for index, (column, low, high) in enumerate(filters):
+            if column == lead and (low is not None or high is not None):
+                span = sorted_range(block.columns[column], low, high)
+                if span is not None:
+                    start, stop = span
+                    if start >= stop:
+                        return []
+                    if not (start == 0 and stop == block.n_rows):
+                        selection = list(range(start, stop))
+                    filters.pop(index)
+                break
+    for column, low, high in filters:
         if low is None and high is None:
             continue
         array = block.columns[column]
@@ -663,6 +1028,33 @@ def _zone_might_match(stats: dict[str, Any], low: Any, high: Any) -> bool:
     return True
 
 
+def _refs_in_min_order(refs: list[_BlockRef], column: str) -> list[_BlockRef] | None:
+    """Block refs ordered by their ``column`` minimum (``None``-stat blocks
+    first, path as tiebreak), or ``None`` when the minima are not mutually
+    comparable — callers then fall back to append order without early-exit."""
+
+    def key(ref: _BlockRef) -> tuple:
+        stats = ref.stats.get(column) or {}
+        return ordering_token(stats.get("min")) + (ref.path,)
+
+    try:
+        return sorted(refs, key=key)
+    except TypeError:
+        return None
+
+
+def _min_exceeds(ref: _BlockRef, column: str, bound: Any) -> bool:
+    """Whether the block's ``column`` minimum provably exceeds ``bound``."""
+    stats = ref.stats.get(column)
+    minimum = stats.get("min") if stats else None
+    if minimum is None:
+        return False
+    try:
+        return minimum > bound
+    except TypeError:
+        return False
+
+
 class Warehouse:
     """The collection of warehouse tables backed by one DFS."""
 
@@ -684,8 +1076,14 @@ class Warehouse:
         partition_column: str,
         partition_by: str = "day",
         if_not_exists: bool = False,
+        sort_key: Sequence[str] | None = None,
     ) -> WarehouseTable:
-        """Create a table partitioned by ``partition_column`` (by day or by value)."""
+        """Create a table partitioned by ``partition_column`` (by day or by value).
+
+        ``sort_key`` declares clustering columns: every appended partition
+        batch is sorted by them before being cut into blocks (see
+        :meth:`WarehouseTable.append`).
+        """
         if name in self._tables:
             if if_not_exists:
                 return self._tables[name]
@@ -703,6 +1101,7 @@ class Warehouse:
             partitioner=partitioner,
             block_rows=self.block_rows,
             cache_blocks=self.cache_blocks,
+            sort_key=sort_key,
         )
         self._tables[name] = table
         return table

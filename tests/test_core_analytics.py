@@ -69,6 +69,45 @@ class TestWarehouseAnalytics:
             analytics.daily_article_counts()
 
 
+class TestActiveDaysLayouts:
+    """active_days must be correct for any articles-table layout."""
+
+    ROWS = [
+        {"url": "u1", "outlet_domain": "a.com", "published_at": datetime(2020, 1, 1, 8), "topics": []},
+        {"url": "u2", "outlet_domain": "a.com", "published_at": datetime(2020, 1, 1, 21), "topics": []},
+        {"url": "u3", "outlet_domain": "a.com", "published_at": datetime(2020, 1, 3, 9), "topics": []},
+        {"url": "u4", "outlet_domain": "b.com", "published_at": datetime(2020, 1, 2, 9), "topics": []},
+    ]
+    EXPECTED = {"a.com": 2, "b.com": 1}
+
+    def _profiles(self, warehouse):
+        return WarehouseAnalytics(warehouse).outlet_activity_profiles()
+
+    def test_day_partitioned_table_uses_partition_counting(self):
+        warehouse = Warehouse()
+        table = warehouse.create_table(
+            "articles", ["url", "outlet_domain", "published_at", "topics"],
+            "published_at",
+        )
+        table.append(self.ROWS)
+        assert WarehouseAnalytics._partitioned_by_day_of(table, "published_at")
+        profiles = self._profiles(warehouse)
+        assert {o: p.active_days for o, p in profiles.items()} == self.EXPECTED
+
+    def test_non_day_partitioned_table_falls_back_to_timestamp_grouping(self):
+        # Partitioned by outlet value: partitions are NOT publication days, so
+        # counting partitions would report nonsense (1 active day per outlet).
+        warehouse = Warehouse()
+        table = warehouse.create_table(
+            "articles", ["url", "outlet_domain", "published_at", "topics"],
+            "outlet_domain", partition_by="value",
+        )
+        table.append(self.ROWS)
+        assert not WarehouseAnalytics._partitioned_by_day_of(table, "published_at")
+        profiles = self._profiles(warehouse)
+        assert {o: p.active_days for o, p in profiles.items()} == self.EXPECTED
+
+
 class TestMonitoringService:
     def test_status_jobs_models_and_stream(self, migrated):
         from repro.api import build_gateway

@@ -80,9 +80,11 @@ class TestBlockFormat:
         assert restored.stats["a"] == {"nulls": 50, "min": None, "max": None}
 
     def test_single_value_column_roundtrip(self):
+        # An all-equal column is the degenerate one-run RLE case (format 3);
+        # before RLE existed it would have been dictionary-encoded.
         rows = [{"a": "only"} for _ in range(40)]
         block = ColumnarBlock.from_rows(rows, ["a"])
-        assert json.loads(block.to_bytes())["columns"]["a"]["enc"] == "dict"
+        assert json.loads(block.to_bytes())["columns"]["a"]["enc"] == "rle"
         assert ColumnarBlock.from_bytes(block.to_bytes()).column("a") == ["only"] * 40
 
     def test_mixed_type_column_preserves_types(self):
@@ -454,3 +456,405 @@ class TestDataNodeByteCounter:
             sum(len(d) for d in node.blocks.values()) for node in dfs.nodes.values()
         )
         assert dfs.stats()["stored_bytes"] == float(expected)
+
+
+# ======================================================================
+# Format 3: run-length encoding + sort keys (clustered blocks)
+# ======================================================================
+
+
+class TestRunLengthEncoding:
+    def test_sorted_low_change_column_uses_rle_and_roundtrips(self):
+        rows = [{"k": "a"}] * 30 + [{"k": "b"}] * 20 + [{"k": None}] * 10
+        block = ColumnarBlock.from_rows(rows, ["k"])
+        spec = json.loads(block.to_bytes())["columns"]["k"]
+        assert spec["enc"] == "rle"
+        assert spec["runs"] == [[30, "a"], [20, "b"], [10, None]]
+        assert ColumnarBlock.from_bytes(block.to_bytes()).column("k") == [
+            r["k"] for r in rows
+        ]
+
+    def test_all_equal_column_is_a_single_run(self):
+        rows = [{"k": 7}] * 50
+        block = ColumnarBlock.from_rows(rows, ["k"])
+        spec = json.loads(block.to_bytes())["columns"]["k"]
+        assert spec == {"enc": "rle", "runs": [[50, 7]]}
+
+    def test_empty_and_zero_count_runs_decode_to_nothing(self):
+        from repro.storage.warehouse.blocks import _decode_column
+
+        assert _decode_column({"enc": "rle", "runs": []}) == []
+        assert _decode_column({"enc": "rle", "runs": [[0, "x"], [2, "y"]]}) == ["y", "y"]
+
+    def test_alternating_column_skips_rle(self):
+        rows = [{"k": i % 2} for i in range(40)]
+        block = ColumnarBlock.from_rows(rows, ["k"])
+        assert json.loads(block.to_bytes())["columns"]["k"]["enc"] == "dict"
+        assert ColumnarBlock.from_bytes(block.to_bytes()).column("k") == [
+            i % 2 for i in range(40)
+        ]
+
+    def test_mixed_types_keep_their_own_runs(self):
+        # 1, 1.0 and True are == but must not collapse into one run.
+        values = [1] * 10 + [1.0] * 10 + [True] * 10 + [0.0] * 5 + [-0.0] * 5
+        block = ColumnarBlock.from_rows([{"v": v} for v in values], ["v"])
+        assert json.loads(block.to_bytes())["columns"]["v"]["enc"] == "rle"
+        decoded = ColumnarBlock.from_bytes(block.to_bytes()).column("v")
+        assert [repr(v) for v in decoded] == [repr(v) for v in values]
+
+    def test_timestamp_runs_roundtrip(self):
+        ts = datetime(2020, 3, 1, 12)
+        rows = [{"ts": ts}] * 25 + [{"ts": ts + timedelta(days=1)}] * 25
+        block = ColumnarBlock.from_rows(rows, ["ts"])
+        assert json.loads(block.to_bytes())["columns"]["ts"]["enc"] == "rle"
+        assert ColumnarBlock.from_bytes(block.to_bytes()).column("ts") == [
+            r["ts"] for r in rows
+        ]
+
+    def test_list_values_are_not_rle_encoded(self):
+        # A shared run object would alias one list across rows.
+        rows = [{"topics": ["a"]}] * 30
+        block = ColumnarBlock.from_rows(rows, ["topics"])
+        assert json.loads(block.to_bytes())["columns"]["topics"]["enc"] == "plain"
+        decoded = ColumnarBlock.from_bytes(block.to_bytes()).column("topics")
+        assert decoded == [["a"]] * 30 and decoded[0] is not decoded[1]
+
+    def test_format2_payload_still_deserialises(self):
+        # A block written before the format-3 bump (no sort_key, no rle).
+        payload = {
+            "format": 2,
+            "n_rows": 3,
+            "columns": {
+                "k": {"enc": "dict", "values": ["x", "y"], "codes": [0, 1, 0]},
+                "n": {"enc": "plain", "data": [1, 2, None]},
+                "ts": {"enc": "typed", "data": [{"__ts__": "2020-01-01T00:00:00"}] * 3},
+            },
+            "stats": {},
+        }
+        block = ColumnarBlock.from_bytes(json.dumps(payload).encode())
+        assert block.sort_key is None
+        assert block.column("k") == ["x", "y", "x"]
+        assert block.column("n") == [1, 2, None]
+        assert block.column("ts") == [datetime(2020, 1, 1)] * 3
+        assert block.dictionary("k") == (["x", "y"], [0, 1, 0])
+        assert block.dictionary("n") is None
+
+
+class TestSortKeys:
+    ROWS = [
+        {"k": 3, "v": "c"}, {"k": 1, "v": "a"}, {"k": None, "v": "n"}, {"k": 2, "v": "b"},
+    ]
+
+    def test_from_rows_sorts_and_records_key(self):
+        block = ColumnarBlock.from_rows(self.ROWS, ["k", "v"], sort_key=["k"])
+        assert block.sort_key == ("k",)
+        assert block.column("k") == [None, 1, 2, 3]  # None sorts first
+        assert block.column("v") == ["n", "a", "b", "c"]
+        restored = ColumnarBlock.from_bytes(block.to_bytes())
+        assert restored.sort_key == ("k",)
+        assert restored.is_sorted_by("k") and not restored.is_sorted_by("v")
+
+    def test_unorderable_key_values_fall_back_to_unsorted(self):
+        rows = [{"k": 1}, {"k": "a"}]
+        block = ColumnarBlock.from_rows(rows, ["k"], sort_key=["k"])
+        assert block.sort_key is None
+        assert block.column("k") == [1, "a"]  # original order kept
+
+    def test_multi_column_sort_is_stable(self):
+        rows = [
+            {"a": 2, "b": 1}, {"a": 1, "b": 2}, {"a": 1, "b": 1}, {"a": 2, "b": 0},
+        ]
+        block = ColumnarBlock.from_rows(rows, ["a", "b"], sort_key=["a", "b"])
+        assert block.to_rows() == [
+            {"a": 1, "b": 1}, {"a": 1, "b": 2}, {"a": 2, "b": 0}, {"a": 2, "b": 1},
+        ]
+
+    def test_sorted_range_bisects_with_nulls_first(self):
+        from repro.storage.warehouse.blocks import sorted_range
+
+        array = [None, None, 1, 3, 3, 7, 9]
+        assert sorted_range(array, 3, 7) == (3, 6)
+        assert sorted_range(array, None, 3) == (2, 5)  # nulls excluded
+        assert sorted_range(array, 8, None) == (6, 7)
+        assert sorted_range(array, 10, None) == (7, 7)
+        assert sorted_range(array, None, None) == (2, 7)
+        assert sorted_range([None, 1, "x"], 0, 5) is None  # incomparable
+
+
+class TestClusteredTables:
+    def _make(self, read_latency=0.0, **kwargs):
+        from repro.storage.warehouse.warehouse import Warehouse as _Warehouse
+
+        dfs = DistributedFileSystem(read_latency=read_latency)
+        warehouse = _Warehouse(dfs=dfs, block_rows=kwargs.pop("block_rows", 100))
+        table = warehouse.create_table(
+            "m", ["day", "score", "tag"], "day", partition_by="value",
+            sort_key=["score"],
+        )
+        return warehouse, table
+
+    def test_sort_key_must_name_existing_columns(self):
+        warehouse = Warehouse()
+        with pytest.raises(WarehouseError):
+            warehouse.create_table("bad", ["a"], "a", sort_key=["nope"])
+
+    def test_append_clusters_each_partition(self):
+        _warehouse, table = self._make(block_rows=4)
+        table.append(
+            {"day": f"d{i % 2}", "score": (7 * i) % 20, "tag": f"t{i}"}
+            for i in range(16)
+        )
+        for partition in table.partitions():
+            scores = [
+                row["score"]
+                for row in table.scan(columns=["score"], partitions=[partition])
+            ]
+            # Blocks are walked in min-order and each block is sorted, and
+            # the single append batch was globally sorted per partition.
+            assert scores == sorted(scores)
+
+    def test_range_filter_on_sort_key_prunes_and_early_exits(self):
+        warehouse, table = self._make(block_rows=50)
+        table.append(
+            {"day": "d0", "score": i, "tag": f"t{i}"} for i in range(500)
+        )
+        assert table.block_count() == 10
+        before = warehouse.dfs.read_count
+        result = table.aggregate(
+            {"n": ("count", "*")}, range_filters=[("score", None, 49)]
+        )
+        assert result == {"n": 50}
+        assert warehouse.dfs.read_count - before == 1  # one block, then early-exit
+
+    def test_scan_results_identical_to_unsorted_table(self):
+        import random as _random
+
+        rng = _random.Random(5)
+        rows = [
+            {"day": f"d{rng.randrange(3)}", "score": rng.randrange(100), "tag": f"t{i}"}
+            for i in range(300)
+        ]
+        _w1, clustered = self._make(block_rows=64)
+        clustered.append(rows)
+        plain_wh = Warehouse(block_rows=64)
+        plain = plain_wh.create_table("m", ["day", "score", "tag"], "day", partition_by="value")
+        plain.append(rows)
+        key = lambda r: (r["day"], r["score"], r["tag"])
+        for low, high in [(None, None), (10, 60), (None, 5), (95, None)]:
+            filters = [("score", low, high)] if (low, high) != (None, None) else None
+            a = sorted(clustered.scan_filtered(range_filters=filters), key=key)
+            b = sorted(plain.scan_filtered(range_filters=filters), key=key)
+            assert a == b
+
+
+# ======================================================================
+# Grouped aggregation (multi-column, dictionary codes) + parallel scans
+# ======================================================================
+
+
+def _grouped_fixture(n=400, block_rows=64, read_latency=0.0, seed=11):
+    import random as _random
+
+    rng = _random.Random(seed)
+    dfs = DistributedFileSystem(read_latency=read_latency)
+    warehouse = Warehouse(dfs=dfs, block_rows=block_rows)
+    table = warehouse.create_table(
+        "g", ["day", "outlet", "kind", "score", "weight"], "day", partition_by="value"
+    )
+    table.append(
+        {
+            "day": f"d{i % 3}",
+            "outlet": f"outlet-{rng.randrange(6)}",          # dict-encoded
+            "kind": f"kind-{i}" if i % 7 == 0 else "common",  # sometimes high-card
+            "score": rng.randrange(1000) if i % 11 else None,
+            "weight": rng.random(),
+        }
+        for i in range(n)
+    )
+    return warehouse, table
+
+
+def _row_scan_groups(table, group_cols, filters=None):
+    """Reference grouped aggregation via the row-at-a-time scan."""
+    groups = {}
+    for row in table.scan():
+        if filters and not all(
+            row[c] is not None
+            and (lo is None or row[c] >= lo)
+            and (hi is None or row[c] <= hi)
+            for c, lo, hi in filters
+        ):
+            continue
+        key = row[group_cols[0]] if len(group_cols) == 1 else tuple(
+            row[c] for c in group_cols
+        )
+        agg = groups.setdefault(
+            key, {"n": 0, "scores": [], "weights": []}
+        )
+        agg["n"] += 1
+        if row["score"] is not None:
+            agg["scores"].append(row["score"])
+        if row["weight"] is not None:
+            agg["weights"].append(row["weight"])
+    return groups
+
+
+class TestGroupedAggregation:
+    AGGS = {
+        "n": ("count", "*"),
+        "scored": ("count", "score"),
+        "total": ("sum", "score"),
+        "lo": ("min", "score"),
+        "hi": ("max", "score"),
+        "mean_w": ("avg", "weight"),
+    }
+
+    def _check_parity(self, table, group_by, filters=None):
+        group_cols = [group_by] if isinstance(group_by, str) else list(group_by)
+        got = table.aggregate(self.AGGS, group_by=group_by, range_filters=filters)
+        want = _row_scan_groups(table, group_cols, filters)
+        assert set(got) == set(want)
+        for key, agg in want.items():
+            row = got[key]
+            assert row["n"] == agg["n"]
+            assert row["scored"] == len(agg["scores"])
+            assert row["total"] == (sum(agg["scores"]) if agg["scores"] else None)
+            assert row["lo"] == (min(agg["scores"]) if agg["scores"] else None)
+            assert row["hi"] == (max(agg["scores"]) if agg["scores"] else None)
+            if agg["weights"]:
+                assert row["mean_w"] == pytest.approx(
+                    sum(agg["weights"]) / len(agg["weights"])
+                )
+
+    def test_single_column_parity_with_row_scan(self):
+        _, table = _grouped_fixture()
+        self._check_parity(table, "outlet")
+
+    def test_multi_column_parity_with_row_scan(self):
+        _, table = _grouped_fixture()
+        self._check_parity(table, ["day", "outlet"])
+        self._check_parity(table, ["outlet", "kind"])
+
+    def test_filtered_multi_column_parity(self):
+        _, table = _grouped_fixture()
+        self._check_parity(table, ["day", "outlet"], filters=[("score", 100, 800)])
+
+    def test_group_key_maps_the_tuple(self):
+        _, table = _grouped_fixture()
+        grouped = table.aggregate(
+            {"n": ("count", "*")},
+            group_by=["day", "outlet"],
+            group_key=lambda key: f"{key[0]}/{key[1]}",
+        )
+        plain = table.aggregate({"n": ("count", "*")}, group_by=["day", "outlet"])
+        assert {f"{d}/{o}": row for (d, o), row in plain.items()} == grouped
+
+    def test_grouping_by_non_dict_column_matches_dict_column_path(self):
+        # "kind" is mostly one value + unique outliers → may or may not be
+        # dictionary-encoded per block; parity must hold either way.
+        _, table = _grouped_fixture()
+        got = table.aggregate({"n": ("count", "*")}, group_by="kind")
+        want = _row_scan_groups(table, ["kind"])
+        assert {k: row["n"] for k, row in got.items()} == {
+            k: agg["n"] for k, agg in want.items()
+        }
+
+    def test_count_distinct(self):
+        _, table = _grouped_fixture()
+        grouped = table.aggregate(
+            {"days": ("count_distinct", "day"), "outlets": ("count_distinct", "outlet")},
+            group_by="day",
+        )
+        for day, row in grouped.items():
+            assert row["days"] == 1
+            rows = [r for r in table.scan() if r["day"] == day]
+            assert row["outlets"] == len({r["outlet"] for r in rows})
+        total = table.aggregate({"outlets": ("count_distinct", "outlet")})
+        assert total["outlets"] == len({r["outlet"] for r in table.scan()})
+
+    def test_empty_group_by_list_rejected(self):
+        _, table = _grouped_fixture(n=10)
+        with pytest.raises(WarehouseError):
+            table.aggregate({"n": ("count", "*")}, group_by=[])
+
+    def test_unknown_group_column_rejected(self):
+        _, table = _grouped_fixture(n=10)
+        with pytest.raises(WarehouseError):
+            table.aggregate({"n": ("count", "*")}, group_by=["day", "nope"])
+
+
+class TestParallelScans:
+    def _executors(self):
+        from repro.compute.executor import LocalExecutor
+
+        return [None, LocalExecutor(max_workers=1), LocalExecutor(max_workers=4)]
+
+    def test_scan_columns_identical_at_any_worker_count(self):
+        _, table = _grouped_fixture(read_latency=0.0005)
+        results = [
+            list(
+                table.scan_columns(
+                    ["outlet", "score"],
+                    range_filters=[("score", 200, None)],
+                    executor=executor,
+                )
+            )
+            for executor in self._executors()
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_scan_filtered_identical_at_any_worker_count(self):
+        _, table = _grouped_fixture(read_latency=0.0005)
+        results = [
+            list(table.scan_filtered(range_filters=[("score", None, 700)], executor=ex))
+            for ex in self._executors()
+        ]
+        assert results[0] == results[1] == results[2]
+
+    def test_aggregate_identical_at_any_worker_count_including_float_sums(self):
+        _, table = _grouped_fixture(n=600, read_latency=0.0005)
+        results = [
+            table.aggregate(
+                {"n": ("count", "*"), "w": ("sum", "weight"), "mean": ("avg", "weight")},
+                group_by=["day", "outlet"],
+                executor=executor,
+            )
+            for executor in self._executors()
+        ]
+        # Bit-identical floats: per-block partials merge in block order.
+        assert results[0] == results[1] == results[2]
+        assert repr(results[0]) == repr(results[1]) == repr(results[2])
+
+    def test_parallel_scan_on_clustered_table_is_deterministic(self):
+        from repro.compute.executor import LocalExecutor
+
+        dfs = DistributedFileSystem(read_latency=0.0005)
+        warehouse = Warehouse(dfs=dfs, block_rows=32)
+        table = warehouse.create_table(
+            "s", ["day", "score"], "day", partition_by="value", sort_key=["score"]
+        )
+        table.append({"day": f"d{i % 2}", "score": (13 * i) % 200} for i in range(256))
+        serial = list(table.scan_columns(["score"], range_filters=[("score", 50, 150)]))
+        parallel = list(
+            table.scan_columns(
+                ["score"],
+                range_filters=[("score", 50, 150)],
+                executor=LocalExecutor(max_workers=4),
+            )
+        )
+        assert serial == parallel
+
+    def test_parallel_aggregate_shares_the_block_cache(self):
+        from repro.compute.executor import LocalExecutor
+
+        warehouse, table = _grouped_fixture(read_latency=0.0005)
+        table.aggregate(
+            {"n": ("count", "*")}, group_by="outlet",
+            executor=LocalExecutor(max_workers=4),
+        )
+        reads_after_first = warehouse.dfs.read_count
+        table.aggregate(
+            {"n": ("count", "*")}, group_by="outlet",
+            executor=LocalExecutor(max_workers=4),
+        )
+        assert warehouse.dfs.read_count == reads_after_first  # cache-served
