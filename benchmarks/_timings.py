@@ -1,0 +1,63 @@
+"""Shared gate-timing registry for the benchmark suites.
+
+A normal importable module (not ``conftest.py``) on purpose: benchmark
+modules import it by its unique basename, which stays unambiguous even when
+``benchmarks/`` and ``tests/`` — each with its own ``conftest.py`` — are
+collected in one pytest run.
+
+Gates register as ``gate -> {baseline_s, optimized_s, speedup}`` — the
+schema of the committed ``BENCH_warehouse.json`` trajectory seed — and the
+session fixture in ``benchmarks/conftest.py`` writes them to
+``$BENCH_TIMINGS_JSON`` at teardown.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from datetime import datetime
+
+#: Gate timings registered this session, keyed by suite name.  One shared
+#: registry + one writer, so running several suites in a single pytest
+#: session never overwrites one suite's gates with another's.
+_GATE_TIMINGS: dict[str, dict[str, dict[str, float]]] = {}
+
+
+def record_gate_timing(suite: str, gate: str, baseline_s: float, optimized_s: float) -> None:
+    """Register one gate's timings in the perf-trajectory schema."""
+    _GATE_TIMINGS.setdefault(suite, {})[gate] = {
+        "baseline_s": round(baseline_s, 6),
+        "optimized_s": round(optimized_s, 6),
+        "speedup": round(baseline_s / optimized_s, 3) if optimized_s > 0 else float("inf"),
+    }
+
+
+def write_timings_if_configured() -> None:
+    """Write all registered gate timings to ``$BENCH_TIMINGS_JSON``.
+
+    A single-suite session writes ``{"suite", "written_at", "gates"}``; a
+    multi-suite session writes ``{"written_at", "suites": {...}}`` — both
+    shapes are understood by ``benchmarks/merge_timings.py``.  The optional
+    ``$BENCH_SUITE_TAG`` namespaces the suite names (e.g. "py3.11-isolated")
+    so two CI jobs running the same gates both survive the downstream merge.
+    """
+    path = os.environ.get("BENCH_TIMINGS_JSON")
+    if not path or not _GATE_TIMINGS:
+        return
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    tag = os.environ.get("BENCH_SUITE_TAG")
+    timings = {
+        (f"{suite}@{tag}" if tag else suite): gates
+        for suite, gates in _GATE_TIMINGS.items()
+    }
+    written_at = datetime.utcnow().isoformat() + "Z"
+    if len(timings) == 1:
+        suite, gates = next(iter(timings.items()))
+        payload = {"suite": suite, "written_at": written_at, "gates": gates}
+    else:
+        payload = {"written_at": written_at, "suites": timings}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"\nwrote benchmark timings to {path}")

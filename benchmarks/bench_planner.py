@@ -5,6 +5,11 @@ measures the same queries through both, checking that the planner picks a
 non-full-scan access path, returns *identical* rows, and delivers at least a
 5x speedup for selective range queries and indexed ORDER BY + LIMIT.
 
+When ``BENCH_TIMINGS_JSON`` is set, every gate's wall-clock timings are
+written there as ``gate -> {baseline_s, optimized_s, speedup}`` JSON — the
+same schema as the warehouse bench, so CI merges all gate timings into one
+perf-trajectory artifact.
+
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_planner.py -s``.
 """
 
@@ -15,6 +20,7 @@ import time
 
 import pytest
 
+from _timings import record_gate_timing
 from repro.storage.rdbms.expressions import col
 from repro.storage.rdbms.planner import FULL_SCAN, ORDER_INDEX, ORDER_TOP_K
 from repro.storage.rdbms.query import Query
@@ -75,8 +81,12 @@ def _best_seconds(fn, repeats: int = 5) -> float:
     return best
 
 
-def _report(name: str, slow: float, fast: float) -> float:
+def _report(name: str, slow: float, fast: float, gate: str | None = None) -> float:
+    """Print one gate's numbers; with ``gate`` set, also register them for the
+    ``BENCH_TIMINGS_JSON`` artifact (written by the shared conftest fixture)."""
     speedup = slow / fast if fast > 0 else float("inf")
+    if gate is not None:
+        record_gate_timing("bench_planner", gate, slow, fast)
     print(
         f"\n=== planner microbenchmark — {name} ===\n"
         f"full scan: {slow * 1000:.2f} ms, planner: {fast * 1000:.2f} ms, "
@@ -99,7 +109,7 @@ def test_selective_range_query(indexed_table, plain_table):
 
     fast = _best_seconds(lambda: Query(indexed_table).where(predicate).execute())
     slow = _best_seconds(lambda: Query(plain_table).where(predicate).execute())
-    speedup = _report("selective range", slow, fast)
+    speedup = _report("selective range", slow, fast, gate="planner_selective_range")
     assert speedup >= REQUIRED_SPEEDUP
 
 
@@ -117,7 +127,7 @@ def test_indexed_order_by_limit(indexed_table, plain_table):
 
     fast = _best_seconds(lambda: build(indexed_table).execute())
     slow = _best_seconds(lambda: build(plain_table).execute())
-    speedup = _report("ORDER BY published_ts DESC LIMIT 20", slow, fast)
+    speedup = _report("ORDER BY published_ts DESC LIMIT 20", slow, fast, gate="planner_order_by_limit")
     assert speedup >= REQUIRED_SPEEDUP
 
 
@@ -141,7 +151,7 @@ def test_equality_plus_topk(indexed_table, plain_table):
 
     fast = _best_seconds(lambda: build(indexed_table).execute())
     slow = _best_seconds(lambda: build(plain_table).execute())
-    speedup = _report("outlet eq + top-k reactions", slow, fast)
+    speedup = _report("outlet eq + top-k reactions", slow, fast, gate="planner_eq_topk")
     # ~2% of rows survive the equality, so the ceiling is lower than for the
     # range scans above; 3x leaves headroom against timer noise.
     assert speedup >= 3.0

@@ -5,7 +5,7 @@ computes over the Distributed Storage with the batch-compute engine (the
 Spark-job equivalent), and checks that the warehouse-side view agrees with the
 paper's qualitative contrasts.
 
-Three CI gates live here (no pytest-benchmark dependency):
+Five CI gates live here (no pytest-benchmark dependency):
 
 * ``TestVectorizedEngineGate`` — the columnar execution engine: on a
   >=100k-row table the vectorised ``aggregate``/``scan_columns`` path must run
@@ -22,14 +22,24 @@ Three CI gates live here (no pytest-benchmark dependency):
   whose (simulated) DFS charges a per-read fetch latency, a cold columnar
   scan fanned out over ``compute/executor`` workers must beat the same scan at
   ``workers=1`` while returning byte-identical output.
+* ``TestCompressedDecodeGate`` — GIL-releasing block decode: with **zero**
+  DFS read latency, a cold grouped aggregate over zlib-compressed
+  format-4 blocks at ``workers=4`` must beat ``workers=1`` with
+  byte-identical results (the speedup half of the gate needs a second CPU
+  core and is skipped on single-core machines; byte-identity always runs).
+* ``TestCompactionGate`` — per-partition compaction: a table fragmented by
+  many small appends must shrink to at most a quarter of its block count,
+  the DFS must hand back the freed bytes, and scans/aggregates must return
+  byte-identical results before and after.
 
 Any roll-up mismatch fails with a per-group diff, not a bare ``assert``.
 When ``BENCH_TIMINGS_JSON`` is set, every gate's wall-clock timings are
-written there as JSON (CI uploads the file as a workflow artifact).  Run just
-the gates with::
+written there as ``gate -> {baseline_s, optimized_s, speedup}`` JSON — the
+same schema as the committed ``BENCH_warehouse.json`` trajectory seed, so CI
+artifacts append directly to it.  Run just the gates with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_warehouse_analytics.py \
-        -q -s -k "vectorized or grouped or parallel"
+        -q -s -k "vectorized or grouped or parallel or compressed or compaction"
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from datetime import datetime, timedelta
 
 import pytest
 
+from _timings import record_gate_timing
 from repro.compute.executor import LocalExecutor
 from repro.core.analytics import (
     OutletActivityProfile,
@@ -58,32 +69,16 @@ from repro.storage.warehouse.warehouse import Warehouse
 # Timing artifact + readable roll-up diffs
 # ----------------------------------------------------------------------
 
-_TIMINGS: dict[str, dict[str, float]] = {}
+def _record_gate(gate: str, baseline_s: float, optimized_s: float) -> None:
+    """Register a gate's timings in the trajectory schema.
 
-
-def _record_timing(gate: str, **seconds: float) -> None:
-    """Register a gate's wall-clock numbers for the JSON timing artifact."""
-    _TIMINGS[gate] = {key: round(value, 6) for key, value in seconds.items()}
-
-
-@pytest.fixture(scope="session", autouse=True)
-def _write_timings_json():
-    """Write collected gate timings to ``$BENCH_TIMINGS_JSON`` (CI artifact)."""
-    yield
-    path = os.environ.get("BENCH_TIMINGS_JSON")
-    if not path or not _TIMINGS:
-        return
-    directory = os.path.dirname(path)
-    if directory:
-        os.makedirs(directory, exist_ok=True)
-    payload = {
-        "suite": "bench_warehouse_analytics",
-        "written_at": datetime.utcnow().isoformat() + "Z",
-        "timings_seconds": _TIMINGS,
-    }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-    print(f"\nwrote benchmark timings to {path}")
+    Every gate lands as ``gate -> {baseline_s, optimized_s, speedup}`` —
+    the schema of the committed ``BENCH_warehouse.json`` seed, so each CI
+    run's artifact is one more point on the same perf trajectory.  The
+    shared session fixture in ``conftest.py`` writes the
+    ``BENCH_TIMINGS_JSON`` file.
+    """
+    record_gate_timing("bench_warehouse_analytics", gate, baseline_s, optimized_s)
 
 
 def _assert_rollups_equal(label: str, expected: dict, actual: dict, limit: int = 20) -> None:
@@ -233,9 +228,7 @@ def test_vectorized_rollup_speedup_gate(gate_table):
     baseline = _best_seconds(row_at_a_time)
     fast = _best_seconds(vectorized)
     speedup = baseline / fast if fast > 0 else float("inf")
-    _record_timing(
-        "vectorized_rollup", row_at_a_time=baseline, vectorized=fast, speedup=speedup
-    )
+    _record_gate("vectorized_rollup", baseline, fast)
     print(
         f"\n=== vectorised columnar engine — filtered group-by-count over {N_GATE_ROWS} rows ===\n"
         f"row-at-a-time: {baseline * 1e3:8.1f} ms   vectorised: {fast * 1e3:8.1f} ms   "
@@ -420,10 +413,7 @@ def test_grouped_pushdown_rating_summary_gate(pushdown_warehouse):
     baseline = _best_seconds(lambda: _row_at_a_time_rating_summary(warehouse, ratings))
     fast = _best_seconds(pushdown)
     speedup = baseline / fast if fast > 0 else float("inf")
-    _record_timing(
-        "grouped_pushdown_rating_summary",
-        row_at_a_time=baseline, pushdown=fast, speedup=speedup,
-    )
+    _record_gate("grouped_pushdown_rating_summary", baseline, fast)
     print(
         f"\n=== grouped pushdown — rating_class_summary over {n_rows} rows "
         f"({len(ratings)} outlets, {len(baseline_result)} rating classes) ===\n"
@@ -486,9 +476,7 @@ def test_parallel_scan_beats_serial_gate():
     serial = _best_seconds(lambda: scan(serial_executor))
     parallel = _best_seconds(lambda: scan(parallel_executor))
     speedup = serial / parallel if parallel > 0 else float("inf")
-    _record_timing(
-        "parallel_scan", workers_1=serial, workers_n=parallel, speedup=speedup,
-    )
+    _record_gate("parallel_scan", serial, parallel)
     print(
         f"\n=== parallel columnar scan — {N_PARALLEL_ROWS} rows, "
         f"{table.block_count()} blocks, {PARALLEL_READ_LATENCY * 1e3:.0f} ms/block fetch ===\n"
@@ -497,3 +485,197 @@ def test_parallel_scan_beats_serial_gate():
         f"(gate: >={PARALLEL_REQUIRED_SPEEDUP}x, byte-identical output)"
     )
     assert speedup >= PARALLEL_REQUIRED_SPEEDUP
+
+
+# ======================================================================
+# Compressed-decode gate: workers overlap zlib decode at zero latency
+# ======================================================================
+
+N_COMPRESSED_ROWS = 130_000
+COMPRESSED_WORKERS = 4
+#: zlib decompression + typed-array materialisation release the GIL, so the
+#: fan-out genuinely wins on multi-core machines even with instant (0 ms)
+#: block fetches.  The margin is deliberately modest: shared CI runners give
+#: 2-4 noisy cores and most per-block work (header JSON parse, selection,
+#: grouping) stays GIL-bound Python.
+COMPRESSED_REQUIRED_SPEEDUP = 1.05
+
+
+def _compressed_table() -> tuple[Warehouse, "object"]:
+    rng = random.Random(23)
+    # read_latency=0 (the default): any parallel win must come from decode
+    # overlap alone.  cache_blocks=0 keeps every run a cold decode.
+    warehouse = Warehouse(block_rows=8192, cache_blocks=0)
+    table = warehouse.create_table(
+        "events", ["event_id", "outlet", "day", "reactions"], "day", partition_by="value"
+    )
+    table.append(
+        {
+            "event_id": i,
+            "outlet": f"outlet-{rng.randrange(40)}.example.com",
+            "day": f"2020-02-{1 + i % 28:02d}",
+            "reactions": rng.randrange(100_000),
+        }
+        for i in range(N_COMPRESSED_ROWS)
+    )
+    return warehouse, table
+
+
+def _grouped_rollup_bytes(table, executor: LocalExecutor) -> bytes:
+    grouped = table.aggregate(
+        {"n": ("count", "*"), "hi": ("max", "reactions")},
+        range_filters=[("reactions", 30_000, None)],
+        group_by="outlet",
+        executor=executor,
+    )
+    return json.dumps(
+        {outlet: row for outlet, row in sorted(grouped.items())}
+    ).encode("utf-8")
+
+
+def _grouped_count_bytes(table, executor: LocalExecutor) -> bytes:
+    """The timed gate workload: a cold unfiltered grouped count.
+
+    Thanks to lazy column materialisation this touches only the group
+    column's dictionary codes per block, so roughly half of the per-block
+    work is GIL-releasing zlib decompression — the part worker threads can
+    genuinely overlap on a multi-core machine.
+    """
+    grouped = table.aggregate(
+        {"n": ("count", "*")}, group_by="outlet", executor=executor
+    )
+    return json.dumps(
+        {outlet: row for outlet, row in sorted(grouped.items())}
+    ).encode("utf-8")
+
+
+def test_compressed_blocks_shrink_the_wire():
+    _warehouse, table = _compressed_table()
+    stats = table.storage_stats()
+    ratio = stats["compression_ratio"]
+    print(
+        f"\n=== compressed block format — {N_COMPRESSED_ROWS} rows, "
+        f"{stats['block_count']} blocks ===\n"
+        f"uncompressed: {stats['uncompressed_bytes']:>10} B   "
+        f"wire: {stats['compressed_bytes']:>10} B   ratio: {ratio:.2f}x"
+    )
+    assert ratio >= 1.5, "zlib should shrink typical analytics blocks"
+
+
+def test_compressed_decode_workers_beat_serial_gate():
+    warehouse, table = _compressed_table()
+    assert warehouse.dfs.read_latency == 0
+    serial_executor = LocalExecutor(max_workers=1)
+    parallel_executor = LocalExecutor(max_workers=COMPRESSED_WORKERS)
+
+    # Byte-identical results at every worker count, always checked (the
+    # deterministic merge must hold regardless of core count) — on the timed
+    # grouped count and on a filtered + multi-aggregate variant.
+    assert _grouped_count_bytes(table, serial_executor) == _grouped_count_bytes(
+        table, parallel_executor
+    )
+    assert _grouped_rollup_bytes(table, serial_executor) == _grouped_rollup_bytes(
+        table, parallel_executor
+    )
+
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip(
+            "decode overlap needs a second core: zlib releases the GIL but a "
+            "single CPU cannot run two decompressions at once"
+        )
+
+    serial = _best_seconds(lambda: _grouped_count_bytes(table, serial_executor), repeats=5)
+    parallel = _best_seconds(lambda: _grouped_count_bytes(table, parallel_executor), repeats=5)
+    speedup = serial / parallel if parallel > 0 else float("inf")
+    _record_gate("compressed_decode", serial, parallel)
+    print(
+        f"\n=== compressed parallel decode — {N_COMPRESSED_ROWS} rows, "
+        f"{table.block_count()} blocks, 0 ms read latency ===\n"
+        f"workers=1: {serial * 1e3:8.1f} ms   workers={COMPRESSED_WORKERS}: "
+        f"{parallel * 1e3:8.1f} ms   speedup: {speedup:5.2f}x "
+        f"(gate: >={COMPRESSED_REQUIRED_SPEEDUP}x, byte-identical output)"
+    )
+    assert speedup >= COMPRESSED_REQUIRED_SPEEDUP
+
+
+# ======================================================================
+# Compaction gate: fewer blocks, less DFS space, identical results
+# ======================================================================
+
+N_COMPACTION_APPENDS = 40
+COMPACTION_ROWS_PER_APPEND = 600
+#: A fragmented partition must shrink to at most a quarter of its blocks.
+COMPACTION_MAX_BLOCK_FRACTION = 0.25
+
+
+def _fragmented_table() -> tuple[Warehouse, "object"]:
+    """A day-partitioned table fed by many small appends (no sort key, so row
+    order — and therefore scan output — is preserved bit-for-bit across
+    compaction)."""
+    rng = random.Random(51)
+    warehouse = Warehouse(block_rows=8192, cache_blocks=0)
+    table = warehouse.create_table(
+        "events", ["event_id", "outlet", "day", "reactions"], "day", partition_by="value"
+    )
+    for batch in range(N_COMPACTION_APPENDS):
+        table.append(
+            {
+                "event_id": batch * COMPACTION_ROWS_PER_APPEND + i,
+                "outlet": f"outlet-{rng.randrange(40)}.example.com",
+                "day": f"2020-02-{1 + i % 14:02d}",
+                "reactions": rng.randrange(100_000),
+            }
+            for i in range(COMPACTION_ROWS_PER_APPEND)
+        )
+    return warehouse, table
+
+
+def _scan_bytes(table) -> bytes:
+    return json.dumps(
+        list(
+            table.scan_filtered(
+                columns=["event_id", "outlet", "reactions"],
+                range_filters=[("reactions", 20_000, None)],
+            )
+        )
+    ).encode("utf-8")
+
+
+def test_compaction_shrinks_blocks_and_preserves_results_gate():
+    warehouse, table = _fragmented_table()
+    dfs = warehouse.dfs
+
+    blocks_before = table.block_count()
+    used_before = sum(node.used_bytes for node in dfs.nodes.values())
+    rollup_before = _grouped_rollup_bytes(table, LocalExecutor(max_workers=1))
+    scan_before = _scan_bytes(table)
+    fragmented_scan_s = _best_seconds(lambda: _scan_bytes(table))
+
+    reports = warehouse.compact()
+
+    blocks_after = table.block_count()
+    used_after = sum(node.used_bytes for node in dfs.nodes.values())
+    assert blocks_after <= blocks_before * COMPACTION_MAX_BLOCK_FRACTION, (
+        blocks_before, blocks_after,
+    )
+    assert used_after < used_before, "compaction must free DFS space"
+    # Every node's running counter still agrees with its resident replicas.
+    for node in dfs.nodes.values():
+        assert node.used_bytes == sum(len(data) for data in node.blocks.values())
+
+    # Identical results, byte for byte: grouped aggregate and filtered scan.
+    assert _grouped_rollup_bytes(table, LocalExecutor(max_workers=1)) == rollup_before
+    assert _scan_bytes(table) == scan_before
+
+    compacted_scan_s = _best_seconds(lambda: _scan_bytes(table))
+    speedup = fragmented_scan_s / compacted_scan_s if compacted_scan_s > 0 else float("inf")
+    _record_gate("compaction_scan", fragmented_scan_s, compacted_scan_s)
+    n_partitions = len(reports["events"])
+    print(
+        f"\n=== per-partition compaction — {table.row_count()} rows, "
+        f"{n_partitions} partitions rewritten ===\n"
+        f"blocks: {blocks_before} -> {blocks_after}   "
+        f"dfs bytes: {used_before} -> {used_after}   "
+        f"scan: {fragmented_scan_s * 1e3:.1f} ms -> {compacted_scan_s * 1e3:.1f} ms "
+        f"({speedup:.2f}x)"
+    )

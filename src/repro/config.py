@@ -38,6 +38,11 @@ class StorageConfig:
     data_dir: Path | None = None
     warehouse_replication: int = 2
     warehouse_block_rows: int = 4096
+    #: zlib level for warehouse block wire compression (0 stores raw bytes).
+    warehouse_compression_level: int = 6
+    #: Partitions holding at least this many blocks are rewritten by the
+    #: scheduled warehouse compaction job.
+    warehouse_compaction_min_blocks: int = 8
     wal_enabled: bool = True
 
     def validate(self) -> None:
@@ -45,6 +50,14 @@ class StorageConfig:
             raise ConfigurationError("storage.warehouse_replication must be >= 1")
         if self.warehouse_block_rows < 1:
             raise ConfigurationError("storage.warehouse_block_rows must be >= 1")
+        if not 0 <= self.warehouse_compression_level <= 9:
+            raise ConfigurationError(
+                "storage.warehouse_compression_level must be in [0, 9]"
+            )
+        if self.warehouse_compaction_min_blocks < 2:
+            raise ConfigurationError(
+                "storage.warehouse_compaction_min_blocks must be >= 2"
+            )
 
 
 @dataclass(frozen=True)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from dataclasses import dataclass
 from datetime import date, datetime
-from typing import Mapping
+from typing import Any, Mapping
 
 from ..compute.dataset import Dataset
 from ..compute.executor import LocalExecutor
@@ -254,6 +254,43 @@ class WarehouseAnalytics:
         """
         profiles = self.outlet_activity_profiles(topic_key)
         return summarize_profiles_by_rating(profiles, outlet_ratings)
+
+    # ---------------------------------------------------------- maintenance
+
+    def storage_overview(self) -> dict[str, Any]:
+        """Physical warehouse health: per-table block counts, fragmentation
+        and compression ratios, from name-node metadata only (no DFS reads).
+
+        ``fragmented_partitions`` counts partitions holding more than one
+        block — the partitions a compaction pass
+        (:meth:`~repro.storage.warehouse.warehouse.Warehouse.compact`) would
+        merge.  Roll-up jobs consult this to decide when re-clustering is
+        due.  Built from the constant-size
+        :meth:`~repro.storage.warehouse.warehouse.WarehouseTable.storage_totals`
+        of each table, so polling it never materialises per-block metadata.
+        """
+        tables: dict[str, dict[str, Any]] = {}
+        for name in self.warehouse.table_names():
+            totals = self.warehouse.table(name).storage_totals()
+            tables[name] = {
+                "rows": totals["row_count"],
+                "blocks": totals["block_count"],
+                "partitions": totals["partition_count"],
+                "fragmented_partitions": totals["fragmented_partitions"],
+                "compressed_bytes": totals["compressed_bytes"],
+                "uncompressed_bytes": totals["uncompressed_bytes"],
+                "compression_ratio": round(totals["compression_ratio"], 3),
+            }
+        compressed = sum(t["compressed_bytes"] for t in tables.values())
+        uncompressed = sum(t["uncompressed_bytes"] for t in tables.values())
+        return {
+            "tables": tables,
+            "total_compressed_bytes": compressed,
+            "total_uncompressed_bytes": uncompressed,
+            "overall_compression_ratio": round(
+                uncompressed / compressed, 3
+            ) if compressed else 1.0,
+        }
 
 
 def summarize_profiles_by_rating(

@@ -107,8 +107,16 @@ class SciLensPlatform:
         self.dfs = DistributedFileSystem(
             n_nodes=3, replication=self.config.storage.warehouse_replication
         )
-        self.warehouse = Warehouse(self.dfs, block_rows=self.config.storage.warehouse_block_rows)
-        self.migration = MigrationJob(self.database, self.warehouse)
+        self.warehouse = Warehouse(
+            self.dfs,
+            block_rows=self.config.storage.warehouse_block_rows,
+            compression_level=self.config.storage.warehouse_compression_level,
+        )
+        self.migration = MigrationJob(
+            self.database,
+            self.warehouse,
+            compaction_min_blocks=self.config.storage.warehouse_compaction_min_blocks,
+        )
         # Watermark on ingestion time; partitions follow event time (articles by
         # publication day, social objects and reviews by their own timestamps).
         # Articles are additionally clustered inside each day partition by
@@ -124,6 +132,7 @@ class SciLensPlatform:
         self.models = ModelRegistry()
         self.jobs = JobTracker()
         self.jobs.register("daily_migration", self._run_migration_job)
+        self.jobs.register("warehouse_compaction", self._run_compaction_job)
         self.jobs.register("train_models", self._run_training_job)
 
         # --- evaluation / serving --------------------------------------------
@@ -466,6 +475,21 @@ class SciLensPlatform:
     def _run_migration_job(self, now: datetime | None = None) -> MigrationReport:
         return self.migration.run(now=now)
 
+    def run_warehouse_compaction(self, now: datetime | None = None):
+        """Run the scheduled warehouse compaction pass (defragment partitions).
+
+        Daily migrations append small incremental blocks; this job merges
+        fragmented partitions back into few large sorted blocks, freeing DFS
+        space without changing any query result.
+        """
+        result = self.jobs.run("warehouse_compaction", now)
+        if not result.succeeded:
+            raise RuntimeError(f"compaction failed: {result.error}")
+        return result.result
+
+    def _run_compaction_job(self, now: datetime | None = None):
+        return self.migration.run_compaction(now=now)
+
     def train_models(self, now: datetime | None = None) -> dict[str, Any]:
         """Run the periodic model-training job over the full article history."""
         result = self.jobs.run("train_models", now)
@@ -612,6 +636,14 @@ class SciLensPlatform:
 
     def status(self) -> dict[str, Any]:
         """Operational snapshot: table sizes, stream lag, warehouse and job health."""
+        warehouse_storage: dict[str, dict[str, Any]] = {}
+        for name in self.warehouse.table_names():
+            totals = self.warehouse.table(name).storage_totals()
+            warehouse_storage[name] = {
+                "blocks": totals["block_count"],
+                "compressed_bytes": totals["compressed_bytes"],
+                "compression_ratio": round(totals["compression_ratio"], 3),
+            }
         return {
             "articles": self.database.table("articles").row_count(),
             "posts": self.database.table("posts").row_count(),
@@ -620,6 +652,7 @@ class SciLensPlatform:
             "outlets": self.database.table("outlets").row_count(),
             "stream_lag": self.extraction.lag(),
             "warehouse_rows": self.warehouse.total_rows(),
+            "warehouse_storage": warehouse_storage,
             "dfs": self.dfs.stats(),
             "jobs_success_rate": self.jobs.success_rate(),
             "registered_models": self.models.names(),

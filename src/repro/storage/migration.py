@@ -5,6 +5,15 @@ made through a daily data migration process" (§3.3).  :class:`MigrationJob`
 implements that process: it keeps a per-table watermark on a timestamp column
 and, on each run, copies every row newer than the watermark into the matching
 warehouse table.
+
+Incremental runs fragment the warehouse: every run appends its own (small)
+blocks to the partitions it touches, so a day partition that keeps receiving
+late rows ends up as many tiny blocks.  The job therefore also owns the
+**scheduled compaction** pass (:meth:`MigrationJob.run_compaction`, or
+``run(compact=True)`` to piggyback on the migration itself): fragmented
+partitions of the registered warehouse tables are merged back into few large
+blocks sorted by each table's sort key, freeing DFS space and restoring the
+clustered layout that scans prune best.
 """
 
 from __future__ import annotations
@@ -33,6 +42,44 @@ class MigrationReport:
 
 
 @dataclass(frozen=True)
+class CompactionReport:
+    """Result of one warehouse compaction pass.
+
+    ``compacted`` maps each warehouse table to the per-partition reports of
+    :meth:`~repro.storage.warehouse.warehouse.WarehouseTable.compact_partition`
+    (tables and partitions where nothing needed merging are absent).
+    """
+
+    run_at: datetime
+    compacted: dict[str, list[dict[str, int]]] = field(default_factory=dict)
+
+    def _total(self, key: str) -> int:
+        return sum(
+            report[key] for reports in self.compacted.values() for report in reports
+        )
+
+    @property
+    def blocks_before(self) -> int:
+        return self._total("blocks_before")
+
+    @property
+    def blocks_after(self) -> int:
+        return self._total("blocks_after")
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        """Net single-copy wire bytes freed by this pass.
+
+        The DFS stores every block ``replication`` times, so the raw
+        capacity handed back to the data nodes is this figure multiplied by
+        the effective replication factor.
+        """
+        return self._total("compressed_bytes_before") - self._total(
+            "compressed_bytes_after"
+        )
+
+
+@dataclass(frozen=True)
 class _TableMapping:
     rdbms_table: str
     warehouse_table: str
@@ -43,12 +90,23 @@ class _TableMapping:
 class MigrationJob:
     """Synchronises RDBMS tables into warehouse tables on demand (daily in production)."""
 
-    def __init__(self, database: Database, warehouse: Warehouse) -> None:
+    def __init__(
+        self,
+        database: Database,
+        warehouse: Warehouse,
+        compaction_min_blocks: int = 8,
+    ) -> None:
+        if compaction_min_blocks < 2:
+            raise StorageError("compaction_min_blocks must be >= 2")
         self.database = database
         self.warehouse = warehouse
+        #: A partition is considered fragmented — and worth rewriting on a
+        #: scheduled compaction pass — once it holds this many blocks.
+        self.compaction_min_blocks = compaction_min_blocks
         self._mappings: list[_TableMapping] = []
         self._watermarks: dict[str, datetime] = {}
         self.history: list[MigrationReport] = []
+        self.compaction_history: list[CompactionReport] = []
 
     def add_table(
         self,
@@ -102,12 +160,14 @@ class MigrationJob:
             )
         )
 
-    def run(self, now: datetime | None = None) -> MigrationReport:
+    def run(self, now: datetime | None = None, compact: bool = False) -> MigrationReport:
         """Migrate every registered table and return a report.
 
         Rows with a timestamp strictly greater than the table's watermark are
         copied; the watermark then advances to the newest migrated timestamp,
-        so re-running the job never duplicates rows.
+        so re-running the job never duplicates rows.  With ``compact=True``
+        a compaction pass (:meth:`run_compaction`) follows the migration, so
+        one scheduled job keeps the warehouse both fresh and defragmented.
         """
         now = now or datetime.utcnow()
         migrated: dict[str, int] = {}
@@ -133,6 +193,33 @@ class MigrationJob:
 
         report = MigrationReport(run_at=now, migrated_rows=migrated, watermarks=watermarks)
         self.history.append(report)
+        if compact:
+            self.run_compaction(now=now)
+        return report
+
+    def run_compaction(
+        self, now: datetime | None = None, min_blocks: int | None = None
+    ) -> CompactionReport:
+        """Compact fragmented partitions of every registered warehouse table.
+
+        ``min_blocks`` overrides :attr:`compaction_min_blocks` for this pass.
+        Partitions below the threshold are left untouched, so the pass is
+        cheap when the warehouse is already tidy; query results are identical
+        before and after (compaction only rewrites the physical layout).
+        """
+        now = now or datetime.utcnow()
+        threshold = self.compaction_min_blocks if min_blocks is None else min_blocks
+        compacted: dict[str, list[dict[str, int]]] = {}
+        seen: set[str] = set()
+        for mapping in self._mappings:
+            name = mapping.warehouse_table
+            if name in seen or not self.warehouse.has_table(name):
+                continue
+            seen.add(name)
+            result = self.warehouse.compact(table=name, min_blocks=threshold)
+            compacted.update(result)
+        report = CompactionReport(run_at=now, compacted=compacted)
+        self.compaction_history.append(report)
         return report
 
     def watermark(self, rdbms_table: str) -> datetime | None:

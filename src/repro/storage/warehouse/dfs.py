@@ -94,10 +94,12 @@ class DistributedFileSystem:
         #: model remote block fetches, which parallel scans then overlap
         #: (the sleep releases the GIL, like real socket I/O would).
         self.read_latency = read_latency
-        #: Number of read_file calls served (lets callers assert stats-only
-        #: warehouse aggregates never touch the data nodes).  Guarded by a
-        #: lock: parallel warehouse scans read concurrently.
+        #: Number of read_file calls served and the total bytes they returned
+        #: (lets callers assert stats-only warehouse aggregates never touch
+        #: the data nodes, and lets benchmarks report scan IO volume).
+        #: Guarded by a lock: parallel warehouse scans read concurrently.
         self.read_count = 0
+        self.bytes_read = 0
         self._read_count_lock = threading.Lock()
 
     # ------------------------------------------------------------- file API
@@ -134,6 +136,7 @@ class DistributedFileSystem:
             raise WarehouseError(f"no such file: {path}")
         with self._read_count_lock:
             self.read_count += 1
+            self.bytes_read += sum(block.size for block in self._files[path])
         if self.read_latency > 0:
             time.sleep(self.read_latency)
         chunks: list[bytes] = []

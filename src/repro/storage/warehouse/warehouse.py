@@ -34,8 +34,18 @@ Three access paths are offered:
 * **Parallel** — the vectorised entry points accept an optional
   :class:`~repro.compute.executor.LocalExecutor`; block fetch + decode +
   filter then fan out across its workers (overlapping simulated DFS read
-  latency) while results are merged back in deterministic block order, so the
-  output is identical for any worker count, including ``max_workers=1``.
+  latency *and*, on compressed block-format-4 tables, the GIL-releasing
+  zlib decompression itself) while results are merged back in deterministic
+  block order, so the output is identical for any worker count, including
+  ``max_workers=1``.
+
+Tables compress their blocks on the wire (``compression_level``, default
+zlib level 6; 0 stores raw bytes) and keep per-block compressed /
+uncompressed byte counts in the name-node metadata
+(:meth:`WarehouseTable.storage_stats`).  Partitions that fragmented into
+many small blocks across appends are merged back into few large sorted
+blocks by :meth:`WarehouseTable.compact_partition` /
+:meth:`Warehouse.compact`.
 """
 
 from __future__ import annotations
@@ -51,7 +61,15 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 from ...compute.executor import LocalExecutor
 from ...compute.shuffle import canonical_key
 from ...errors import WarehouseError
-from .blocks import ColumnarBlock, ordering_token, sort_rows, sorted_range
+from .blocks import (
+    DEFAULT_COMPRESSION_LEVEL,
+    ColumnarBlock,
+    ordering_token,
+    sort_rows,
+    sorted_range,
+    validate_compression_level,
+    wrap_payload,
+)
 from .dfs import DistributedFileSystem
 
 #: ``(column, low, high)`` — inclusive bounds, ``None`` meaning unbounded.
@@ -128,6 +146,11 @@ class _BlockRef:
     n_rows: int
     stats: dict[str, dict[str, Any]]
     sort_key: tuple[str, ...] | None = None
+    #: Wire bytes actually stored on the DFS (post-compression) and the
+    #: uncompressed payload bytes they decode to — the per-block compression
+    #: accounting surfaced by :meth:`WarehouseTable.storage_stats`.
+    compressed_bytes: int = 0
+    uncompressed_bytes: int = 0
 
 
 class _BlockCache:
@@ -166,6 +189,12 @@ class _BlockCache:
         with self._lock:
             self._entries.pop(path, None)
 
+    def resident(self, paths: Iterable[str]) -> bool:
+        """Whether every path is currently cached (a scheduling heuristic:
+        eviction may race the answer, which costs only a suboptimal choice)."""
+        with self._lock:
+            return all(path in self._entries for path in paths)
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -192,6 +221,7 @@ class WarehouseTable:
         block_rows: int = 4096,
         cache_blocks: int = 64,
         sort_key: Sequence[str] | None = None,
+        compression_level: int = DEFAULT_COMPRESSION_LEVEL,
     ) -> None:
         if not columns:
             raise WarehouseError(f"table {name!r} needs at least one column")
@@ -202,6 +232,7 @@ class WarehouseTable:
         self.dfs = dfs
         self.partitioner = partitioner
         self.block_rows = block_rows
+        self._compression_level = validate_compression_level(compression_level)
         self._sort_key: tuple[str, ...] | None = tuple(sort_key) if sort_key else None
         if self._sort_key:
             missing = [c for c in self._sort_key if c not in self.columns]
@@ -217,6 +248,11 @@ class WarehouseTable:
     def sort_key(self) -> tuple[str, ...] | None:
         """The declared clustering columns (``None`` for unsorted tables)."""
         return self._sort_key
+
+    @property
+    def compression_level(self) -> int:
+        """The zlib level newly written blocks are compressed at (0 = raw)."""
+        return self._compression_level
 
     # ---------------------------------------------------------------- writes
 
@@ -250,15 +286,28 @@ class WarehouseTable:
         rows: list[dict[str, Any]],
         sort_key: tuple[str, ...] | None = None,
     ) -> None:
-        block = ColumnarBlock.from_rows(rows, self.columns, sort_key=sort_key)
-        self._block_counter += 1
-        path = f"/warehouse/{self.name}/{partition}/block-{self._block_counter:06d}.json"
-        self.dfs.write_file(path, block.to_bytes())
         self._partitions.setdefault(partition, []).append(
-            _BlockRef(
-                path=path, n_rows=block.n_rows, stats=block.stats,
-                sort_key=block.sort_key,
-            )
+            self._store_block(partition, rows, sort_key)
+        )
+
+    def _store_block(
+        self,
+        partition: str,
+        rows: list[dict[str, Any]],
+        sort_key: tuple[str, ...] | None = None,
+    ) -> _BlockRef:
+        """Encode + persist one block on the DFS and return its (unregistered)
+        reference — callers decide when the block becomes visible."""
+        block = ColumnarBlock.from_rows(rows, self.columns, sort_key=sort_key)
+        payload = block.to_payload()
+        data = wrap_payload(payload, self._compression_level)
+        self._block_counter += 1
+        path = f"/warehouse/{self.name}/{partition}/block-{self._block_counter:06d}.blk"
+        self.dfs.write_file(path, data)
+        return _BlockRef(
+            path=path, n_rows=block.n_rows, stats=block.stats,
+            sort_key=block.sort_key,
+            compressed_bytes=len(data), uncompressed_bytes=len(payload),
         )
 
     def drop_partition(self, partition: str) -> int:
@@ -270,6 +319,60 @@ class WarehouseTable:
             self.dfs.delete_file(ref.path)
             removed += ref.n_rows
         return removed
+
+    def compact_partition(self, partition: str) -> dict[str, int]:
+        """Merge the partition's blocks into as few full blocks as possible.
+
+        Every append cuts its own blocks, so a partition that received many
+        small batches fragments into many small blocks.  Compaction reads the
+        whole partition back, re-sorts it by the table's sort key (one global
+        sort — data that arrived unsorted across appends is re-clustered into
+        disjoint sorted blocks), rewrites it as ``ceil(rows / block_rows)``
+        blocks, then deletes the old files (freeing their DFS space) and
+        invalidates their block-cache entries.  On tables without a sort key
+        the concatenated row order is preserved exactly.
+
+        Returns a report: ``rows``, ``blocks_before``/``blocks_after`` and
+        ``compressed_bytes_before``/``compressed_bytes_after``.
+        """
+        refs = self._partitions.get(partition)
+        if refs is None:
+            raise WarehouseError(
+                f"table {self.name!r} has no partition {partition!r}"
+            )
+        rows: list[dict[str, Any]] = []
+        for ref in refs:
+            # One-shot reads of doomed blocks: peek at the cache for blocks
+            # already resident, but never populate it — cycling a large
+            # fragmented partition through the LRU would evict the analytics
+            # working set for entries invalidated moments later.
+            block = self._cache.get(ref.path)
+            if block is None:
+                block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
+            rows.extend(block.to_rows())
+        applied: tuple[str, ...] | None = None
+        if self._sort_key:
+            rows, applied = sort_rows(rows, self._sort_key)
+        # Write every replacement block *before* touching the partition's
+        # visible refs: a write failure mid-compaction then leaves the old
+        # layout fully intact (the already-written replacements are merely
+        # unreferenced DFS files), never a truncated partition.
+        old_refs = refs
+        new_refs = [
+            self._store_block(partition, rows[start:start + self.block_rows], applied)
+            for start in range(0, len(rows), self.block_rows)
+        ]
+        self._partitions[partition] = new_refs
+        for ref in old_refs:
+            self._cache.invalidate(ref.path)
+            self.dfs.delete_file(ref.path)
+        return {
+            "rows": len(rows),
+            "blocks_before": len(old_refs),
+            "blocks_after": len(new_refs),
+            "compressed_bytes_before": sum(r.compressed_bytes for r in old_refs),
+            "compressed_bytes_after": sum(r.compressed_bytes for r in new_refs),
+        }
 
     # ----------------------------------------------------------------- reads
 
@@ -478,6 +581,60 @@ class WarehouseTable:
             "capacity": self._cache.capacity,
         }
 
+    def storage_totals(self) -> dict[str, Any]:
+        """Table-wide storage accounting (no per-partition breakdown).
+
+        The cheap variant of :meth:`storage_stats` for monitoring endpoints:
+        one pass over the block refs, constant-size output.
+        ``fragmented_partitions`` counts partitions holding more than one
+        block — the partitions a compaction pass would merge.
+        """
+        compressed = uncompressed = fragmented = 0
+        for refs in self._partitions.values():
+            if len(refs) > 1:
+                fragmented += 1
+            for ref in refs:
+                compressed += ref.compressed_bytes
+                uncompressed += ref.uncompressed_bytes
+        return {
+            "table": self.name,
+            "compression_level": self._compression_level,
+            "block_count": self.block_count(),
+            "row_count": self.row_count(),
+            "partition_count": len(self._partitions),
+            "fragmented_partitions": fragmented,
+            "compressed_bytes": compressed,
+            "uncompressed_bytes": uncompressed,
+            "compression_ratio": (uncompressed / compressed) if compressed else 1.0,
+        }
+
+    def storage_stats(self) -> dict[str, Any]:
+        """Physical storage accounting from the name-node block metadata.
+
+        Reports the table's compression level, totals, the table-wide
+        compression ratio (uncompressed / compressed) and a per-partition
+        breakdown listing every block's compressed / uncompressed byte
+        counts.  No DFS read happens — the sizes were recorded at write time.
+        """
+        partitions: dict[str, dict[str, Any]] = {}
+        for partition in self.partitions():
+            refs = self._partitions[partition]
+            partitions[partition] = {
+                "rows": sum(ref.n_rows for ref in refs),
+                "compressed_bytes": sum(ref.compressed_bytes for ref in refs),
+                "uncompressed_bytes": sum(ref.uncompressed_bytes for ref in refs),
+                "blocks": [
+                    {
+                        "path": ref.path,
+                        "rows": ref.n_rows,
+                        "compressed_bytes": ref.compressed_bytes,
+                        "uncompressed_bytes": ref.uncompressed_bytes,
+                    }
+                    for ref in refs
+                ],
+            }
+        return {**self.storage_totals(), "partitions": partitions}
+
     # ------------------------------------------------------------- internals
 
     def _check_columns(self, columns: Iterable[str]) -> None:
@@ -543,17 +700,27 @@ class WarehouseTable:
         preserving task order, so results stream back in the exact order of
         the sequential path.
 
-        Thread workers only pay off while a block fetch blocks *outside* the
-        GIL (DFS read latency standing in for the network round-trip of a real
-        distributed file system); decode and filter work is GIL-bound Python.
-        On a zero-latency in-memory DFS the fan-out is therefore skipped —
-        thread dispatch would add contention and win nothing.
+        Thread workers only pay off while per-block work happens *outside*
+        the GIL.  Two such sources exist: a DFS read latency (standing in for
+        the network round-trip of a real distributed file system) and —
+        since block format 4 — ``zlib`` decompression plus typed-array
+        materialisation, both of which release the GIL.  The fan-out
+        therefore engages when the DFS charges a latency *or* the table
+        writes compressed blocks; with neither (a zero-latency DFS holding
+        raw blocks), and likewise when every requested block is already
+        decoded in the cache, per-block work is GIL-bound Python and the
+        fan-out is skipped — thread dispatch would add contention and win
+        nothing.
         """
         if (
             executor is None
             or executor.max_workers <= 1
             or len(refs) <= 1
-            or getattr(self.dfs, "read_latency", 0) <= 0
+            or (
+                getattr(self.dfs, "read_latency", 0) <= 0
+                and self._compression_level == 0
+            )
+            or self._cache.resident(ref.path for ref in refs)
         ):
             return (fn(ref) for ref in refs)
         chunk = max(1, -(-len(refs) // (executor.max_workers * 4)))
@@ -1063,10 +1230,12 @@ class Warehouse:
         dfs: DistributedFileSystem | None = None,
         block_rows: int = 4096,
         cache_blocks: int = 64,
+        compression_level: int = DEFAULT_COMPRESSION_LEVEL,
     ) -> None:
         self.dfs = dfs or DistributedFileSystem()
         self.block_rows = block_rows
         self.cache_blocks = cache_blocks
+        self.compression_level = validate_compression_level(compression_level)
         self._tables: dict[str, WarehouseTable] = {}
 
     def create_table(
@@ -1077,12 +1246,14 @@ class Warehouse:
         partition_by: str = "day",
         if_not_exists: bool = False,
         sort_key: Sequence[str] | None = None,
+        compression_level: int | None = None,
     ) -> WarehouseTable:
         """Create a table partitioned by ``partition_column`` (by day or by value).
 
         ``sort_key`` declares clustering columns: every appended partition
         batch is sorted by them before being cut into blocks (see
-        :meth:`WarehouseTable.append`).
+        :meth:`WarehouseTable.append`).  ``compression_level`` overrides the
+        warehouse-wide block compression level for this table.
         """
         if name in self._tables:
             if if_not_exists:
@@ -1102,6 +1273,10 @@ class Warehouse:
             block_rows=self.block_rows,
             cache_blocks=self.cache_blocks,
             sort_key=sort_key,
+            compression_level=(
+                self.compression_level if compression_level is None
+                else compression_level
+            ),
         )
         self._tables[name] = table
         return table
@@ -1125,3 +1300,35 @@ class Warehouse:
 
     def total_rows(self) -> int:
         return sum(table.row_count() for table in self._tables.values())
+
+    def compact(
+        self, table: str | None = None, min_blocks: int = 2
+    ) -> dict[str, list[dict[str, Any]]]:
+        """Compact fragmented partitions (of one table, or of every table).
+
+        Only partitions holding at least ``min_blocks`` blocks are rewritten
+        — a single-block partition is already as merged as it can get.
+        Returns ``{table: [per-partition compaction reports]}``, listing only
+        tables where work happened; each report additionally carries the
+        partition key under ``"partition"``.
+        """
+        if min_blocks < 2:
+            raise WarehouseError("min_blocks must be >= 2")
+        names = [table] if table is not None else self.table_names()
+        out: dict[str, list[dict[str, Any]]] = {}
+        for name in names:
+            target = self.table(name)
+            reports = []
+            for partition in target.partitions():
+                if len(target._partitions[partition]) < min_blocks:
+                    continue
+                report = target.compact_partition(partition)
+                report["partition"] = partition
+                reports.append(report)
+            if reports:
+                out[name] = reports
+        return out
+
+    def storage_stats(self) -> dict[str, dict[str, Any]]:
+        """Per-table :meth:`WarehouseTable.storage_stats`, keyed by table name."""
+        return {name: self.table(name).storage_stats() for name in self.table_names()}

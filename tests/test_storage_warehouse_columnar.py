@@ -7,7 +7,11 @@ from datetime import datetime, timedelta
 import pytest
 
 from repro.errors import WarehouseError
-from repro.storage.warehouse.blocks import BLOCK_FORMAT_VERSION, ColumnarBlock
+from repro.storage.warehouse.blocks import (
+    BLOCK_FORMAT_VERSION,
+    ColumnarBlock,
+    wire_payload,
+)
 from repro.storage.warehouse.dfs import DataNode, DistributedFileSystem
 from repro.storage.warehouse.warehouse import Warehouse, value_partitioner
 
@@ -45,7 +49,7 @@ class TestBlockFormat:
     def test_new_format_roundtrip(self):
         block = ColumnarBlock.from_rows(self.ROWS, self.COLS)
         data = block.to_bytes()
-        assert json.loads(data)["format"] == BLOCK_FORMAT_VERSION
+        assert wire_payload(data)["format"] == BLOCK_FORMAT_VERSION
         restored = ColumnarBlock.from_bytes(data)
         assert restored.to_rows() == self.ROWS
         assert restored.stats == block.stats
@@ -69,7 +73,7 @@ class TestBlockFormat:
         new_size = len(block.to_bytes())
         seed_size = len(_legacy_bytes(rows, ["outlet", "rating"]))
         assert new_size < seed_size / 2, (new_size, seed_size)
-        encoded = json.loads(block.to_bytes())
+        encoded = wire_payload(block.to_bytes())
         assert encoded["columns"]["outlet"]["enc"] == "dict"
         assert len(encoded["columns"]["outlet"]["values"]) == 5
 
@@ -84,7 +88,7 @@ class TestBlockFormat:
         # before RLE existed it would have been dictionary-encoded.
         rows = [{"a": "only"} for _ in range(40)]
         block = ColumnarBlock.from_rows(rows, ["a"])
-        assert json.loads(block.to_bytes())["columns"]["a"]["enc"] == "rle"
+        assert wire_payload(block.to_bytes())["columns"]["a"]["enc"] == "rle"
         assert ColumnarBlock.from_bytes(block.to_bytes()).column("a") == ["only"] * 40
 
     def test_mixed_type_column_preserves_types(self):
@@ -112,7 +116,7 @@ class TestBlockFormat:
         # slot would alias one list across all equal rows.
         rows = [{"pair": (1, 2)} for _ in range(30)]
         block = ColumnarBlock.from_rows(rows, ["pair"])
-        assert json.loads(block.to_bytes())["columns"]["pair"]["enc"] == "plain"
+        assert wire_payload(block.to_bytes())["columns"]["pair"]["enc"] == "plain"
         decoded = ColumnarBlock.from_bytes(block.to_bytes()).column("pair")
         assert decoded == [[1, 2]] * 30
         assert decoded[0] is not decoded[1]  # every row owns its object
@@ -120,7 +124,7 @@ class TestBlockFormat:
     def test_unhashable_values_fall_back_to_plain(self):
         rows = [{"topics": ["covid19", "health"]} for _ in range(30)]
         block = ColumnarBlock.from_rows(rows, ["topics"])
-        assert json.loads(block.to_bytes())["columns"]["topics"]["enc"] == "plain"
+        assert wire_payload(block.to_bytes())["columns"]["topics"]["enc"] == "plain"
         assert ColumnarBlock.from_bytes(block.to_bytes()).column("topics") == [
             ["covid19", "health"]
         ] * 30
@@ -128,7 +132,7 @@ class TestBlockFormat:
     def test_high_cardinality_timestamps_use_typed_encoding(self):
         rows = [{"ts": datetime(2020, 1, 1) + timedelta(hours=i)} for i in range(200)]
         block = ColumnarBlock.from_rows(rows, ["ts"])
-        assert json.loads(block.to_bytes())["columns"]["ts"]["enc"] == "typed"
+        assert wire_payload(block.to_bytes())["columns"]["ts"]["enc"] == "typed"
         assert ColumnarBlock.from_bytes(block.to_bytes()).to_rows() == rows
 
 
@@ -467,7 +471,7 @@ class TestRunLengthEncoding:
     def test_sorted_low_change_column_uses_rle_and_roundtrips(self):
         rows = [{"k": "a"}] * 30 + [{"k": "b"}] * 20 + [{"k": None}] * 10
         block = ColumnarBlock.from_rows(rows, ["k"])
-        spec = json.loads(block.to_bytes())["columns"]["k"]
+        spec = wire_payload(block.to_bytes())["columns"]["k"]
         assert spec["enc"] == "rle"
         assert spec["runs"] == [[30, "a"], [20, "b"], [10, None]]
         assert ColumnarBlock.from_bytes(block.to_bytes()).column("k") == [
@@ -477,7 +481,7 @@ class TestRunLengthEncoding:
     def test_all_equal_column_is_a_single_run(self):
         rows = [{"k": 7}] * 50
         block = ColumnarBlock.from_rows(rows, ["k"])
-        spec = json.loads(block.to_bytes())["columns"]["k"]
+        spec = wire_payload(block.to_bytes())["columns"]["k"]
         assert spec == {"enc": "rle", "runs": [[50, 7]]}
 
     def test_empty_and_zero_count_runs_decode_to_nothing(self):
@@ -489,7 +493,7 @@ class TestRunLengthEncoding:
     def test_alternating_column_skips_rle(self):
         rows = [{"k": i % 2} for i in range(40)]
         block = ColumnarBlock.from_rows(rows, ["k"])
-        assert json.loads(block.to_bytes())["columns"]["k"]["enc"] == "dict"
+        assert wire_payload(block.to_bytes())["columns"]["k"]["enc"] == "dict"
         assert ColumnarBlock.from_bytes(block.to_bytes()).column("k") == [
             i % 2 for i in range(40)
         ]
@@ -498,7 +502,7 @@ class TestRunLengthEncoding:
         # 1, 1.0 and True are == but must not collapse into one run.
         values = [1] * 10 + [1.0] * 10 + [True] * 10 + [0.0] * 5 + [-0.0] * 5
         block = ColumnarBlock.from_rows([{"v": v} for v in values], ["v"])
-        assert json.loads(block.to_bytes())["columns"]["v"]["enc"] == "rle"
+        assert wire_payload(block.to_bytes())["columns"]["v"]["enc"] == "rle"
         decoded = ColumnarBlock.from_bytes(block.to_bytes()).column("v")
         assert [repr(v) for v in decoded] == [repr(v) for v in values]
 
@@ -506,7 +510,7 @@ class TestRunLengthEncoding:
         ts = datetime(2020, 3, 1, 12)
         rows = [{"ts": ts}] * 25 + [{"ts": ts + timedelta(days=1)}] * 25
         block = ColumnarBlock.from_rows(rows, ["ts"])
-        assert json.loads(block.to_bytes())["columns"]["ts"]["enc"] == "rle"
+        assert wire_payload(block.to_bytes())["columns"]["ts"]["enc"] == "rle"
         assert ColumnarBlock.from_bytes(block.to_bytes()).column("ts") == [
             r["ts"] for r in rows
         ]
@@ -515,7 +519,7 @@ class TestRunLengthEncoding:
         # A shared run object would alias one list across rows.
         rows = [{"topics": ["a"]}] * 30
         block = ColumnarBlock.from_rows(rows, ["topics"])
-        assert json.loads(block.to_bytes())["columns"]["topics"]["enc"] == "plain"
+        assert wire_payload(block.to_bytes())["columns"]["topics"]["enc"] == "plain"
         decoded = ColumnarBlock.from_bytes(block.to_bytes()).column("topics")
         assert decoded == [["a"]] * 30 and decoded[0] is not decoded[1]
 
