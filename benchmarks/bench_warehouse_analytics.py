@@ -31,6 +31,11 @@ Five CI gates live here (no pytest-benchmark dependency):
   many small appends must shrink to at most a quarter of its block count,
   the DFS must hand back the freed bytes, and scans/aggregates must return
   byte-identical results before and after.
+* ``TestMaterializedRollupGate`` — incremental materialized roll-ups: a warm
+  materialized read must answer a grouped roll-up at least 5x faster than
+  the direct grouped scan with identical per-group results, the
+  migration-style refresh after an append must re-read only the changed
+  partition, and the refreshed state must stay identical to the live path.
 
 Any roll-up mismatch fails with a per-group diff, not a bare ``assert``.
 When ``BENCH_TIMINGS_JSON`` is set, every gate's wall-clock timings are
@@ -39,7 +44,7 @@ same schema as the committed ``BENCH_warehouse.json`` trajectory seed, so CI
 artifacts append directly to it.  Run just the gates with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_warehouse_analytics.py \
-        -q -s -k "vectorized or grouped or parallel or compressed or compaction"
+        -q -s -k "vectorized or grouped or parallel or compressed or compaction or rollup"
 """
 
 from __future__ import annotations
@@ -62,6 +67,7 @@ from repro.core.analytics import (
 )
 from repro.models import RatingClass
 from repro.storage.warehouse.dfs import DistributedFileSystem
+from repro.storage.warehouse.rollups import RollupSpec
 from repro.storage.warehouse.warehouse import Warehouse
 
 
@@ -679,3 +685,83 @@ def test_compaction_shrinks_blocks_and_preserves_results_gate():
         f"scan: {fragmented_scan_s * 1e3:.1f} ms -> {compacted_scan_s * 1e3:.1f} ms "
         f"({speedup:.2f}x)"
     )
+
+
+# ======================================================================
+# Materialized roll-up gate: warm reads >=5x vs direct grouped scan
+# ======================================================================
+
+N_ROLLUP_ROWS = 120_000
+ROLLUP_REQUIRED_SPEEDUP = 5.0
+ROLLUP_AGGREGATES = {
+    "n": ("count", "*"),
+    "total": ("sum", "reactions"),
+    "hi": ("max", "reactions"),
+}
+
+
+def test_materialized_rollup_beats_direct_scan_gate():
+    rng = random.Random(67)
+    warehouse = Warehouse(block_rows=8192)
+    table = warehouse.create_table(
+        "events", ["event_id", "outlet", "day", "reactions"], "day", partition_by="value"
+    )
+    table.append(
+        {
+            "event_id": i,
+            "outlet": f"outlet-{rng.randrange(40)}.example.com",
+            "day": f"2020-02-{1 + i % 28:02d}",
+            "reactions": rng.randrange(100_000),
+        }
+        for i in range(N_ROLLUP_ROWS)
+    )
+    rollup = warehouse.register_rollup(
+        RollupSpec(
+            name="events_by_outlet", table="events",
+            aggregates=ROLLUP_AGGREGATES, group_by=("outlet",),
+        ),
+        refresh=True,
+    )
+
+    def direct() -> dict:
+        return table.aggregate(ROLLUP_AGGREGATES, group_by="outlet")
+
+    def materialized() -> dict:
+        result = rollup.result_if_fresh()
+        assert result is not None, "roll-up unexpectedly stale"
+        return result
+
+    # Identical per-group results (mismatches print a per-group diff) — on
+    # the initial state and again after a migration-style append + refresh.
+    _assert_rollups_equal("materialized roll-up", direct(), materialized())
+
+    reads_before = warehouse.dfs.read_count
+    table.append([{
+        "event_id": N_ROLLUP_ROWS, "outlet": "outlet-0.example.com",
+        "day": "2020-02-03", "reactions": 77,
+    }])
+    report = rollup.refresh()
+    incremental_reads = warehouse.dfs.read_count - reads_before
+    assert report.refreshed_partitions == ("2020-02-03",)
+    # Incremental refresh: only the changed partition's blocks may be read
+    # (served from cache here, so the DFS counter stays at 0-2 reads).
+    assert incremental_reads <= len(table.partition_signature("2020-02-03"))
+    _assert_rollups_equal("materialized roll-up after append", direct(), materialized())
+
+    # The direct baseline runs warm (whole table resident in the block
+    # cache), so the gate measures pure aggregation work vs the materialized
+    # read — not a cold-read artefact.
+    assert table.block_count() <= table.cache_info()["capacity"]
+    baseline = _best_seconds(direct)
+    fast = _best_seconds(materialized)
+    speedup = baseline / fast if fast > 0 else float("inf")
+    _record_gate("rollup_warm_read", baseline, fast)
+    print(
+        f"\n=== materialized roll-up — grouped roll-up over {table.row_count()} rows, "
+        f"{table.block_count()} blocks, {len(materialized())} groups ===\n"
+        f"direct grouped scan: {baseline * 1e3:8.1f} ms   "
+        f"warm materialized read: {fast * 1e3:8.3f} ms   "
+        f"speedup: {speedup:7.1f}x (gate: >={ROLLUP_REQUIRED_SPEEDUP}x, "
+        f"incremental refresh read {incremental_reads} block(s))"
+    )
+    assert speedup >= ROLLUP_REQUIRED_SPEEDUP

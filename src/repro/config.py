@@ -43,6 +43,13 @@ class StorageConfig:
     #: Partitions holding at least this many blocks are rewritten by the
     #: scheduled warehouse compaction job.
     warehouse_compaction_min_blocks: int = 8
+    #: Register the standing materialized roll-ups (daily article counts,
+    #: per-outlet totals, per-outlet topic totals) and refresh them from the
+    #: migration job.  Disabled, every dashboard read falls back to the live
+    #: grouped-aggregation scan — same results, no materialized state.
+    warehouse_rollups_enabled: bool = True
+    #: Topic key the standing topic-filtered roll-up is materialized for.
+    warehouse_rollup_topic: str = "covid19"
     wal_enabled: bool = True
 
     def validate(self) -> None:
@@ -57,6 +64,10 @@ class StorageConfig:
         if self.warehouse_compaction_min_blocks < 2:
             raise ConfigurationError(
                 "storage.warehouse_compaction_min_blocks must be >= 2"
+            )
+        if not self.warehouse_rollup_topic:
+            raise ConfigurationError(
+                "storage.warehouse_rollup_topic must be a non-empty topic key"
             )
 
 

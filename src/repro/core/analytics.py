@@ -13,6 +13,13 @@ across the analytics executor's workers with a deterministic merge, so results
 are identical at any worker count.  :meth:`WarehouseAnalytics._table_dataset`
 remains the row-based on-ramp into the :mod:`repro.compute` engine for ad-hoc
 dataflows.
+
+The standing dashboard roll-ups go one step further: the platform registers
+them as **materialized roll-ups** (:mod:`repro.storage.warehouse.rollups`,
+see :func:`standing_rollup_specs`) that the scheduled migration refreshes
+incrementally.  Readers serve from the materialized state whenever its block
+identity is fresh — zero DFS reads — and fall back to the live pushdown path
+otherwise, with byte-identical results either way.
 """
 
 from __future__ import annotations
@@ -26,7 +33,67 @@ from ..compute.dataset import Dataset
 from ..compute.executor import LocalExecutor
 from ..errors import WarehouseError
 from ..models import RatingClass
+from ..storage.warehouse.rollups import RollupSpec
 from ..storage.warehouse.warehouse import Warehouse
+
+#: Names of the standing materialized roll-ups the platform registers (see
+#: :func:`standing_rollup_specs`).  :class:`WarehouseAnalytics` serves its
+#: dashboard reads from these when they are fresh and falls back to the live
+#: grouped-pushdown path otherwise, so results are identical either way.
+DAILY_ARTICLE_COUNTS_ROLLUP = "daily_article_counts"
+ARTICLES_PER_OUTLET_ROLLUP = "articles_per_outlet"
+_TOPIC_ARTICLES_ROLLUP_PREFIX = "topic_articles_per_outlet"
+
+
+def topic_articles_rollup_name(topic_key: str) -> str:
+    """Roll-up name of the per-outlet count of ``topic_key`` articles."""
+    return f"{_TOPIC_ARTICLES_ROLLUP_PREFIX}:{topic_key}"
+
+
+def _publication_day(ts: Any) -> Any:
+    """Group-key mapper shared by the live aggregate and the roll-up spec —
+    one function, so both paths bucket timestamps identically."""
+    return ts.date() if ts is not None else None
+
+
+def _topic_membership(topic_key: str) -> Any:
+    def contains(topics: Any) -> bool:
+        return topic_key in (topics or [])
+
+    return contains
+
+
+def standing_rollup_specs(topic_key: str = "covid19") -> list[RollupSpec]:
+    """The standing roll-ups behind :meth:`WarehouseAnalytics.daily_article_counts`,
+    :meth:`~WarehouseAnalytics.articles_per_outlet` and
+    :meth:`~WarehouseAnalytics.rating_class_summary`.
+
+    Each spec mirrors the exact grouped aggregate its live fallback runs
+    (same group columns, same group-key mapping, same predicates), which is
+    what makes materialized and live results interchangeable byte for byte.
+    """
+    return [
+        RollupSpec(
+            name=DAILY_ARTICLE_COUNTS_ROLLUP,
+            table="articles",
+            aggregates={"articles": ("count", "*")},
+            group_by=("published_at",),
+            group_key=_publication_day,
+        ),
+        RollupSpec(
+            name=ARTICLES_PER_OUTLET_ROLLUP,
+            table="articles",
+            aggregates={"articles": ("count", "*")},
+            group_by=("outlet_domain",),
+        ),
+        RollupSpec(
+            name=topic_articles_rollup_name(topic_key),
+            table="articles",
+            aggregates={"articles": ("count", "*")},
+            group_by=("outlet_domain",),
+            column_predicates={"topics": _topic_membership(topic_key)},
+        ),
+    ]
 
 
 @dataclass(frozen=True)
@@ -99,17 +166,33 @@ class WarehouseAnalytics:
 
     # ------------------------------------------------------------ roll-ups
 
+    def _served_rollup(self, name: str) -> dict | None:
+        """Materialized roll-up result when registered *and* fresh, else
+        ``None`` (the caller then runs the live grouped aggregation)."""
+        return self.warehouse.rollups.serve(name)
+
     def daily_article_counts(self, topic_key: str | None = None) -> dict[date, int]:
         """Number of (optionally topic-filtered) articles per publication day.
 
-        A grouped count pushed down to the warehouse: the topic membership
-        test is a selection vector over the ``topics`` array, grouping runs on
-        the surviving ``published_at`` values (mapped to their calendar day),
+        The unfiltered view is served from the standing materialized roll-up
+        (:data:`DAILY_ARTICLE_COUNTS_ROLLUP`) whenever its state is fresh —
+        no block is read at all.  Otherwise (topic filter, no registered
+        roll-up, or state gone stale between migrations) it is a grouped
+        count pushed down to the warehouse: the topic membership test is a
+        selection vector over the ``topics`` array, grouping runs on the
+        surviving ``published_at`` values (mapped to their calendar day),
         and no rows are materialised.
         """
+        if topic_key is None:
+            served = self._served_rollup(DAILY_ARTICLE_COUNTS_ROLLUP)
+            if served is not None:
+                return dict(sorted(
+                    (day, row["articles"])
+                    for day, row in served.items() if day is not None
+                ))
         table = self._table("articles")
         predicates = (
-            {"topics": lambda topics: topic_key in (topics or [])}
+            {"topics": _topic_membership(topic_key)}
             if topic_key is not None
             else None
         )
@@ -117,7 +200,7 @@ class WarehouseAnalytics:
             {"articles": ("count", "*")},
             column_predicates=predicates,
             group_by="published_at",
-            group_key=lambda ts: ts.date() if ts is not None else None,
+            group_key=_publication_day,
             executor=self.executor,
         )
         return dict(sorted(
@@ -125,7 +208,13 @@ class WarehouseAnalytics:
         ))
 
     def articles_per_outlet(self) -> dict[str, int]:
-        """Total article count per outlet over the full history."""
+        """Total article count per outlet over the full history (served from
+        the standing materialized roll-up when fresh, else computed live)."""
+        served = self._served_rollup(ARTICLES_PER_OUTLET_ROLLUP)
+        if served is not None:
+            return dict(sorted(
+                (outlet, row["articles"]) for outlet, row in served.items()
+            ))
         grouped = self._table("articles").aggregate(
             {"articles": ("count", "*")}, group_by="outlet_domain",
             executor=self.executor,
@@ -142,22 +231,31 @@ class WarehouseAnalytics:
         days, per-url post counts and per-post reaction counts); only the two
         join maps (url→outlet, post→outlet) are built from vectorised column
         scans.  No article/post/reaction row is ever materialised as a dict.
+        The per-outlet article totals, the topic-filtered totals (when
+        ``topic_key`` matches the registered standing roll-up) and the
+        active-day partition membership are additionally served from the
+        materialized roll-up state whenever it is fresh — identical numbers,
+        zero block reads.
         """
         articles = self._table("articles")
-        grouped_articles = articles.aggregate(
-            {"articles": ("count", "*")},
-            group_by="outlet_domain",
-            executor=self.executor,
-        )
+        served_articles = self._served_rollup(ARTICLES_PER_OUTLET_ROLLUP)
+        if served_articles is None:
+            served_articles = articles.aggregate(
+                {"articles": ("count", "*")},
+                group_by="outlet_domain",
+                executor=self.executor,
+            )
         articles_per_outlet = {
-            outlet: row["articles"] for outlet, row in grouped_articles.items()
+            outlet: row["articles"] for outlet, row in served_articles.items()
         }
-        topic_grouped = articles.aggregate(
-            {"articles": ("count", "*")},
-            column_predicates={"topics": lambda topics: topic_key in (topics or [])},
-            group_by="outlet_domain",
-            executor=self.executor,
-        )
+        topic_grouped = self._served_rollup(topic_articles_rollup_name(topic_key))
+        if topic_grouped is None:
+            topic_grouped = articles.aggregate(
+                {"articles": ("count", "*")},
+                column_predicates={"topics": _topic_membership(topic_key)},
+                group_by="outlet_domain",
+                executor=self.executor,
+            )
         topic_per_outlet = {
             outlet: row["articles"] for outlet, row in topic_grouped.items()
         }
@@ -167,17 +265,28 @@ class WarehouseAnalytics:
         # one cheap per-partition grouped count over dictionary codes, no
         # per-timestamp grouping.  The layout is *verified* from name-node
         # statistics first (zero DFS reads); any other layout falls back to
-        # grouping on the actual publication timestamps.
+        # grouping on the actual publication timestamps.  A fresh per-outlet
+        # roll-up answers the partition membership straight from its stored
+        # per-partition group keys.
         active_days: Counter = Counter()
         if self._partitioned_by_day_of(articles, "published_at"):
-            for partition in articles.partitions():
-                in_partition = articles.aggregate(
-                    {"articles": ("count", "*")},
-                    partitions=[partition],
-                    group_by="outlet_domain",
-                    executor=self.executor,
-                )
-                active_days.update(in_partition.keys())
+            outlet_rollup = self.warehouse.rollups.get(ARTICLES_PER_OUTLET_ROLLUP)
+            partition_groups = (
+                outlet_rollup.fresh_partition_groups()
+                if outlet_rollup is not None else None
+            )
+            if partition_groups is not None:
+                for groups in partition_groups.values():
+                    active_days.update(groups)
+            else:
+                for partition in articles.partitions():
+                    in_partition = articles.aggregate(
+                        {"articles": ("count", "*")},
+                        partitions=[partition],
+                        group_by="outlet_domain",
+                        executor=self.executor,
+                    )
+                    active_days.update(in_partition.keys())
         else:
             day_groups = articles.aggregate(
                 {"articles": ("count", "*")},

@@ -40,7 +40,7 @@ from ..streaming.broker import MessageBroker
 from ..streaming.pipeline import ArticleExtractionPipeline
 from ..web.scraper import ArticleScraper
 from ..web.sitestore import SiteStore
-from .analytics import WarehouseAnalytics
+from .analytics import WarehouseAnalytics, standing_rollup_specs
 from .indicators.aggregate import IndicatorEngine
 from .indicators.context import ContextIndicatorComputer
 from .insights import InsightsEngine, TopicInsights
@@ -116,6 +116,7 @@ class SciLensPlatform:
             self.database,
             self.warehouse,
             compaction_min_blocks=self.config.storage.warehouse_compaction_min_blocks,
+            refresh_rollups=self.config.storage.warehouse_rollups_enabled,
         )
         # Watermark on ingestion time; partitions follow event time (articles by
         # publication day, social objects and reviews by their own timestamps).
@@ -127,6 +128,15 @@ class SciLensPlatform:
         )
         for table_name in ("posts", "reactions", "reviews"):
             self.migration.add_table(table_name, timestamp_column="ingested_at", partition_column="created_at")
+        # Standing materialized roll-ups: the grouped aggregates behind
+        # daily_article_counts / articles_per_outlet / rating_class_summary
+        # are materialised per partition and kept incrementally consistent by
+        # the migration job (only changed partitions re-aggregate).  Readers
+        # fall back to the live grouped-pushdown path whenever the state is
+        # stale, so disabling this changes cost, never results.
+        if self.config.storage.warehouse_rollups_enabled:
+            for spec in standing_rollup_specs(self.config.storage.warehouse_rollup_topic):
+                self.warehouse.register_rollup(spec)
 
         # --- analytics ------------------------------------------------------
         self.models = ModelRegistry()
@@ -653,6 +663,7 @@ class SciLensPlatform:
             "stream_lag": self.extraction.lag(),
             "warehouse_rows": self.warehouse.total_rows(),
             "warehouse_storage": warehouse_storage,
+            "warehouse_rollups": self.warehouse.rollups.overview(),
             "dfs": self.dfs.stats(),
             "jobs_success_rate": self.jobs.success_rate(),
             "registered_models": self.models.names(),

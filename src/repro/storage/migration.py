@@ -14,18 +14,47 @@ late rows ends up as many tiny blocks.  The job therefore also owns the
 partitions of the registered warehouse tables are merged back into few large
 blocks sorted by each table's sort key, freeing DFS space and restoring the
 clustered layout that scans prune best.
+
+The migration is also the scheduled owner of the warehouse's **materialized
+roll-ups** (:mod:`repro.storage.warehouse.rollups`): after appending (and
+after a compaction rewrite) it refreshes every registered roll-up, which
+re-aggregates only the partitions whose block set actually changed.
 """
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
-from datetime import datetime
+from datetime import datetime, timedelta, timezone
 from typing import Any
 
 from ..errors import StorageError
 from .rdbms.database import Database
 from .rdbms.expressions import col
 from .warehouse.warehouse import Warehouse
+
+
+def _utcnow() -> datetime:
+    """Timezone-aware UTC now (``datetime.utcnow`` is naive and deprecated)."""
+    return datetime.now(timezone.utc)
+
+
+def _match_zone(ts: datetime, reference: datetime) -> datetime:
+    """Coerce ``ts`` to the tz-awareness of ``reference`` (naive = UTC).
+
+    The migration's watermarks inherit their awareness from the row
+    timestamps they were read from, while "now" defaults to an aware UTC
+    instant; comparing the two directly raises ``TypeError``.  Normalising to
+    the watermark's convention keeps the resulting cutoff comparable to the
+    stored rows as well.
+    """
+    if reference.tzinfo is None:
+        if ts.tzinfo is None:
+            return ts
+        return ts.astimezone(timezone.utc).replace(tzinfo=None)
+    if ts.tzinfo is None:
+        return ts.replace(tzinfo=timezone.utc)
+    return ts
 
 
 @dataclass(frozen=True)
@@ -35,6 +64,9 @@ class MigrationReport:
     run_at: datetime
     migrated_rows: dict[str, int] = field(default_factory=dict)
     watermarks: dict[str, datetime | None] = field(default_factory=dict)
+    #: Materialized roll-up name → number of partitions re-aggregated by the
+    #: post-migration refresh (only roll-ups where something changed appear).
+    rollups_refreshed: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_rows(self) -> int:
@@ -52,6 +84,10 @@ class CompactionReport:
 
     run_at: datetime
     compacted: dict[str, list[dict[str, int]]] = field(default_factory=dict)
+    #: Materialized roll-up name → partitions re-aggregated after the rewrite
+    #: (compaction replaces block files, so every compacted partition's
+    #: roll-up state is refreshed from the new blocks).
+    rollups_refreshed: dict[str, int] = field(default_factory=dict)
 
     def _total(self, key: str) -> int:
         return sum(
@@ -85,6 +121,7 @@ class _TableMapping:
     warehouse_table: str
     timestamp_column: str
     partition_column: str
+    primary_key: str | None = None
 
 
 class MigrationJob:
@@ -95,6 +132,7 @@ class MigrationJob:
         database: Database,
         warehouse: Warehouse,
         compaction_min_blocks: int = 8,
+        refresh_rollups: bool = True,
     ) -> None:
         if compaction_min_blocks < 2:
             raise StorageError("compaction_min_blocks must be >= 2")
@@ -103,8 +141,20 @@ class MigrationJob:
         #: A partition is considered fragmented — and worth rewriting on a
         #: scheduled compaction pass — once it holds this many blocks.
         self.compaction_min_blocks = compaction_min_blocks
+        #: Refresh the warehouse's registered materialized roll-ups after each
+        #: migration / compaction pass (incremental: only changed partitions
+        #: are re-aggregated; a no-op when nothing is registered).
+        self.refresh_rollups = refresh_rollups
         self._mappings: list[_TableMapping] = []
         self._watermarks: dict[str, datetime] = {}
+        #: Multiset of row identities (primary keys, or row content for
+        #: key-less tables) migrated *at* each table's watermark timestamp:
+        #: re-reading the ``== watermark`` boundary on the next run picks up
+        #: late rows sharing that timestamp, and these counts keep the
+        #: already-migrated ones from being copied twice.  A multiset — not a
+        #: set — so a key-less table holding genuinely duplicate rows skips
+        #: exactly as many copies as were already migrated.
+        self._boundary_ids: dict[str, Counter] = {}
         self.history: list[MigrationReport] = []
         self.compaction_history: list[CompactionReport] = []
 
@@ -127,8 +177,9 @@ class MigrationJob:
 
         A sorted index is declared on the watermark column (unless the column
         is already indexed) so each incremental run resolves its
-        ``timestamp > watermark`` filter as an index range scan instead of a
-        full table scan.
+        ``timestamp >= watermark`` filter (boundary rows are re-read and
+        deduped by identity, see :meth:`run`) as an index range scan instead
+        of a full table scan.
         """
         table = self.database.table(rdbms_table)
         if not table.schema.has_column(timestamp_column):
@@ -157,45 +208,107 @@ class MigrationJob:
                 warehouse_table=warehouse_name,
                 timestamp_column=timestamp_column,
                 partition_column=partition_column,
+                primary_key=table.schema.primary_key,
             )
         )
 
     def run(self, now: datetime | None = None, compact: bool = False) -> MigrationReport:
         """Migrate every registered table and return a report.
 
-        Rows with a timestamp strictly greater than the table's watermark are
-        copied; the watermark then advances to the newest migrated timestamp,
-        so re-running the job never duplicates rows.  With ``compact=True``
-        a compaction pass (:meth:`run_compaction`) follows the migration, so
-        one scheduled job keeps the warehouse both fresh and defragmented.
+        Rows with a timestamp **at or after** the table's watermark are
+        re-read; rows already migrated at the exact watermark timestamp are
+        recognised by identity (primary key) and skipped, so a late-arriving
+        row that *shares* the watermark timestamp is picked up by the next run
+        — exactly once — instead of being lost behind a strict ``>`` filter.
+        The watermark then advances to the newest migrated timestamp.  With
+        ``compact=True`` a compaction pass (:meth:`run_compaction`) follows
+        the migration, so one scheduled job keeps the warehouse both fresh
+        and defragmented.  Registered materialized roll-ups are refreshed
+        incrementally afterwards (see :attr:`refresh_rollups`).
         """
-        now = now or datetime.utcnow()
+        now = now or _utcnow()
         migrated: dict[str, int] = {}
         watermarks: dict[str, datetime | None] = {}
 
         for mapping in self._mappings:
+            ts_column = mapping.timestamp_column
             watermark = self._watermarks.get(mapping.rdbms_table)
+            boundary = self._boundary_ids.get(mapping.rdbms_table, Counter())
             query = self.database.query(mapping.rdbms_table)
             if watermark is not None:
-                query = query.where(col(mapping.timestamp_column) > watermark)
+                query = query.where(col(ts_column) >= watermark)
             rows = query.execute().rows
+            if watermark is not None:
+                # Skip exactly as many boundary-timestamp copies of each
+                # identity as previous runs already migrated; any copies
+                # beyond that count are genuinely new rows.
+                seen: Counter = Counter()
+                fresh: list[dict[str, Any]] = []
+                for row in rows:
+                    if row.get(ts_column) == watermark:
+                        identity = self._row_identity(mapping, row)
+                        seen[identity] += 1
+                        if seen[identity] <= boundary[identity]:
+                            continue
+                    fresh.append(row)
+                rows = fresh
 
             if rows:
                 self.warehouse.table(mapping.warehouse_table).append(rows)
-                newest = max(
-                    row[mapping.timestamp_column]
-                    for row in rows
-                    if row.get(mapping.timestamp_column) is not None
-                )
-                self._watermarks[mapping.rdbms_table] = newest
+                stamps = [
+                    row[ts_column] for row in rows if row.get(ts_column) is not None
+                ]
+                if stamps:
+                    newest = max(stamps)
+                    at_newest = Counter(
+                        self._row_identity(mapping, row)
+                        for row in rows
+                        if row.get(ts_column) == newest
+                    )
+                    if newest == watermark:
+                        boundary = boundary + at_newest
+                    else:
+                        boundary = at_newest
+                    self._watermarks[mapping.rdbms_table] = newest
+                    self._boundary_ids[mapping.rdbms_table] = boundary
             migrated[mapping.rdbms_table] = len(rows)
             watermarks[mapping.rdbms_table] = self._watermarks.get(mapping.rdbms_table)
 
-        report = MigrationReport(run_at=now, migrated_rows=migrated, watermarks=watermarks)
+        rollups_refreshed: dict[str, int] = {}
+        if self.refresh_rollups and not compact:
+            # With compact=True the refresh runs once, after the rewrite —
+            # re-aggregating partitions that compaction is about to replace
+            # would be wasted work.
+            rollups_refreshed = self._refresh_registered_rollups()
+        report = MigrationReport(
+            run_at=now, migrated_rows=migrated, watermarks=watermarks,
+            rollups_refreshed=rollups_refreshed,
+        )
         self.history.append(report)
         if compact:
             self.run_compaction(now=now)
         return report
+
+    @staticmethod
+    def _row_identity(mapping: _TableMapping, row: dict[str, Any]) -> Any:
+        """A hashable identity for boundary dedup: the primary key when the
+        table declares one, else the row's canonical content."""
+        if mapping.primary_key is not None:
+            return row.get(mapping.primary_key)
+        return repr(sorted((key, repr(value)) for key, value in row.items()))
+
+    def _refresh_registered_rollups(self) -> dict[str, int]:
+        """Incrementally refresh the warehouse's materialized roll-ups.
+
+        Returns ``{rollup name: partitions re-aggregated}`` for roll-ups where
+        anything changed; untouched roll-ups cost one block-identity
+        comparison each and are omitted.
+        """
+        return {
+            name: len(report.refreshed_partitions)
+            for name, report in self.warehouse.rollups.refresh_all().items()
+            if report.changed
+        }
 
     def run_compaction(
         self, now: datetime | None = None, min_blocks: int | None = None
@@ -206,8 +319,11 @@ class MigrationJob:
         Partitions below the threshold are left untouched, so the pass is
         cheap when the warehouse is already tidy; query results are identical
         before and after (compaction only rewrites the physical layout).
+        Registered materialized roll-ups are refreshed afterwards: the
+        rewrite changes every compacted partition's block identity, and the
+        refresh re-aggregates exactly those partitions from the new blocks.
         """
-        now = now or datetime.utcnow()
+        now = now or _utcnow()
         threshold = self.compaction_min_blocks if min_blocks is None else min_blocks
         compacted: dict[str, list[dict[str, int]]] = {}
         seen: set[str] = set()
@@ -218,7 +334,12 @@ class MigrationJob:
             seen.add(name)
             result = self.warehouse.compact(table=name, min_blocks=threshold)
             compacted.update(result)
-        report = CompactionReport(run_at=now, compacted=compacted)
+        rollups_refreshed: dict[str, int] = {}
+        if self.refresh_rollups:
+            rollups_refreshed = self._refresh_registered_rollups()
+        report = CompactionReport(
+            run_at=now, compacted=compacted, rollups_refreshed=rollups_refreshed
+        )
         self.compaction_history.append(report)
         return report
 
@@ -239,12 +360,17 @@ def prune_migrated_rows(
     now: datetime | None = None,
 ) -> int:
     """Optional retention step: delete operational rows that are both migrated
-    and older than ``keep_days`` days, keeping the RDBMS small."""
-    from datetime import timedelta
+    and older than ``keep_days`` days, keeping the RDBMS small.
 
+    ``now`` defaults to an aware UTC instant and is normalised to the
+    watermark's tz-awareness before the comparison, so tz-aware watermarks
+    (rows ingested with aware timestamps) no longer raise ``TypeError``
+    against a naive default.
+    """
     watermark = migration.watermark(rdbms_table)
     if watermark is None:
         return 0
-    now = now or datetime.utcnow()
-    cutoff = min(watermark, now - timedelta(days=keep_days))
+    now = now or _utcnow()
+    age_cutoff = _match_zone(now, watermark) - timedelta(days=keep_days)
+    cutoff = min(watermark, age_cutoff)
     return database.delete(rdbms_table, col(timestamp_column) <= cutoff)

@@ -6,18 +6,31 @@ plays the role of HDFS, and a partitioned columnar table format
 Spark-managed warehouse tables the paper's analytics jobs read.  Tables expose
 both a row-at-a-time ``scan`` and the vectorised
 ``scan_columns``/``scan_filtered``/``aggregate`` path (selection vectors over
-raw column arrays, stats-only aggregates, decoded-block LRU cache).
+raw column arrays, stats-only aggregates, decoded-block LRU cache).  Standing
+grouped aggregations can additionally be registered as incremental
+materialized roll-ups (:mod:`.rollups`): materialised per partition, refreshed
+only where the partition's block set changed, served with zero DFS reads.
 """
 
 from .dfs import DataNode, DistributedFileSystem
 from .blocks import BLOCK_FORMAT_VERSION, ColumnarBlock
 from .warehouse import Warehouse, WarehouseTable, day_partitioner, value_partitioner
+from .rollups import (
+    MaterializedRollup,
+    RollupManager,
+    RollupRefreshReport,
+    RollupSpec,
+)
 
 __all__ = [
     "BLOCK_FORMAT_VERSION",
     "DataNode",
     "DistributedFileSystem",
     "ColumnarBlock",
+    "MaterializedRollup",
+    "RollupManager",
+    "RollupRefreshReport",
+    "RollupSpec",
     "Warehouse",
     "WarehouseTable",
     "day_partitioner",

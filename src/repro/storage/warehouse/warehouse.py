@@ -46,6 +46,12 @@ uncompressed byte counts in the name-node metadata
 many small blocks across appends are merged back into few large sorted
 blocks by :meth:`WarehouseTable.compact_partition` /
 :meth:`Warehouse.compact`.
+
+Standing grouped aggregations can be registered as **materialized roll-ups**
+(:mod:`repro.storage.warehouse.rollups`, reachable via
+:attr:`Warehouse.rollups`): :meth:`WarehouseTable.aggregate_states` hands out
+the mergeable per-group accumulators, :meth:`WarehouseTable.partition_signature`
+the block identity that drives their incremental refresh.
 """
 
 from __future__ import annotations
@@ -207,6 +213,27 @@ class _BlockCache:
 #: Aggregate functions answerable from block statistics alone.
 _STATS_ONLY_FUNCTIONS = {"count", "min", "max"}
 _AGGREGATE_FUNCTIONS = {"count", "count_distinct", "min", "max", "sum", "avg"}
+
+
+def validate_aggregate_functions(
+    aggregates: Mapping[str, tuple[str, str]], context: str = ""
+) -> None:
+    """Check every alias maps to a known function with a legal column spec.
+
+    The single source of the aggregate-function rules, shared by
+    :meth:`WarehouseTable.aggregate` / :meth:`WarehouseTable.aggregate_states`
+    and by :class:`~repro.storage.warehouse.rollups.RollupSpec` construction,
+    so a spec can never pass one check and fail the other.
+    """
+    for alias, (function, column) in aggregates.items():
+        if function not in _AGGREGATE_FUNCTIONS:
+            raise WarehouseError(
+                f"{context}unknown aggregate function {function!r} for {alias!r}"
+            )
+        if column == "*" and function != "count":
+            raise WarehouseError(
+                f"{context}aggregate {function!r} needs a column, not '*'"
+            )
 
 
 class WarehouseTable:
@@ -523,26 +550,9 @@ class WarehouseTable:
         block-reading path; values with no consistent ordering then raise
         :class:`WarehouseError`).
         """
-        for alias, (function, column) in aggregates.items():
-            if function not in _AGGREGATE_FUNCTIONS:
-                raise WarehouseError(f"unknown aggregate function {function!r} for {alias!r}")
-            if column == "*":
-                if function != "count":
-                    raise WarehouseError(f"aggregate {function!r} needs a column, not '*'")
-            else:
-                self._check_columns([column])
-        if group_by is None:
-            group_cols: list[str] | None = None
-        elif isinstance(group_by, str):
-            group_cols = [group_by]
-        else:
-            group_cols = list(group_by)
-            if not group_cols:
-                raise WarehouseError("group_by needs at least one column")
-        if group_cols is not None:
-            self._check_columns(group_cols)
-        self._check_columns(f[0] for f in range_filters or ())
-        self._check_columns(column_predicates or ())
+        group_cols = self._validate_aggregate_args(
+            aggregates, group_by, range_filters, column_predicates
+        )
 
         unfiltered = not range_filters and not column_predicates
         if group_cols is None and unfiltered and all(
@@ -556,6 +566,51 @@ class WarehouseTable:
             aggregates, partitions, range_filters, column_predicates,
             group_cols, group_key, executor,
         )
+
+    def aggregate_states(
+        self,
+        aggregates: Mapping[str, tuple[str, str]],
+        partitions: Sequence[str] | None = None,
+        range_filters: Sequence[RangeFilter] | None = None,
+        column_predicates: Mapping[str, Callable[[Any], bool]] | None = None,
+        group_by: str | Sequence[str] | None = None,
+        group_key: Callable[[Any], Any] | None = None,
+        executor: LocalExecutor | None = None,
+    ) -> dict[Any, dict[str, "_AggState"]]:
+        """Mergeable partial aggregation states per group (``None`` = ungrouped).
+
+        The building block of the materialized roll-up subsystem
+        (:mod:`repro.storage.warehouse.rollups`): same arguments, validation
+        and block walk as :meth:`aggregate`, but the per-group accumulators are
+        returned *unfinalised*, so states computed for disjoint partition sets
+        can later be combined with :func:`merge_states` and finalised with
+        :func:`finalise_states`.  Merging per-partition states in sorted
+        partition order reproduces the whole-table :meth:`aggregate` result
+        exactly — floats included, because both sides fold block states within
+        each partition first and partitions second (see :meth:`_fold_states`).
+        """
+        group_cols = self._validate_aggregate_args(
+            aggregates, group_by, range_filters, column_predicates
+        )
+        pairs = list(self._iter_refs(partitions, range_filters))
+        return self._fold_states(
+            pairs, aggregates, range_filters, column_predicates,
+            group_cols, group_key, executor,
+        )
+
+    def partition_signature(self, partition: str) -> tuple[str, ...]:
+        """The partition's block identity: its blocks' DFS paths, in ref order.
+
+        Appends add paths, compaction replaces them and drops remove the
+        partition entirely, so the signature changes exactly when the
+        partition's physical block set changes — the staleness test that
+        drives incremental roll-up refreshes.  Name-node metadata only; no
+        DFS read happens.
+        """
+        refs = self._partitions.get(partition)
+        if refs is None:
+            raise WarehouseError(f"table {self.name!r} has no partition {partition!r}")
+        return tuple(ref.path for ref in refs)
 
     def read_column(self, column: str, partitions: Sequence[str] | None = None) -> list[Any]:
         """All values of ``column``, read directly from the block column arrays.
@@ -641,6 +696,33 @@ class WarehouseTable:
         missing = [c for c in columns if c not in self.columns]
         if missing:
             raise WarehouseError(f"table {self.name!r} has no column(s) {missing!r}")
+
+    def _validate_aggregate_args(
+        self,
+        aggregates: Mapping[str, tuple[str, str]],
+        group_by: str | Sequence[str] | None,
+        range_filters: Sequence[RangeFilter] | None,
+        column_predicates: Mapping[str, Callable[[Any], bool]] | None,
+    ) -> list[str] | None:
+        """Shared argument validation of :meth:`aggregate` /
+        :meth:`aggregate_states`; returns the normalised group column list."""
+        validate_aggregate_functions(aggregates)
+        self._check_columns(
+            column for _function, column in aggregates.values() if column != "*"
+        )
+        if group_by is None:
+            group_cols: list[str] | None = None
+        elif isinstance(group_by, str):
+            group_cols = [group_by]
+        else:
+            group_cols = list(group_by)
+            if not group_cols:
+                raise WarehouseError("group_by needs at least one column")
+        if group_cols is not None:
+            self._check_columns(group_cols)
+        self._check_columns(f[0] for f in range_filters or ())
+        self._check_columns(column_predicates or ())
+        return group_cols
 
     def _iter_refs(
         self,
@@ -793,17 +875,17 @@ class WarehouseTable:
         only_row_counts = all(
             function == "count" and column == "*" for function, column in aggregates.values()
         )
-        refs = [ref for _partition, ref in self._iter_refs(partitions, range_filters)]
-
-        def partial(ref: _BlockRef) -> Any:
-            return self._block_partial(
-                ref, aggregates, range_filters, column_predicates,
-                group_cols, group_key, only_row_counts,
-            )
-
-        partials = self._map_refs(refs, partial, executor, "aggregate")
+        pairs = list(self._iter_refs(partitions, range_filters))
 
         if only_row_counts:
+            def counts_partial(ref: _BlockRef) -> Any:
+                return self._block_partial(
+                    ref, aggregates, range_filters, column_predicates,
+                    group_cols, group_key, True,
+                )
+
+            refs = [ref for _partition, ref in pairs]
+            partials = self._map_refs(refs, counts_partial, executor, "aggregate")
             row_counter: Counter = Counter()
             for counts in partials:
                 if counts:
@@ -816,32 +898,53 @@ class WarehouseTable:
                 for key, count in row_counter.items()
             }
 
-        # Merge the per-block partial states in block order: the accumulation
-        # order (and therefore e.g. float-sum rounding) is identical to the
-        # sequential scan no matter how many workers computed the partials.
+        states = self._fold_states(
+            pairs, aggregates, range_filters, column_predicates,
+            group_cols, group_key, executor,
+        )
+        return finalise_states(states, aggregates, grouped=group_cols is not None)
+
+    def _fold_states(
+        self,
+        pairs: list[tuple[str, _BlockRef]],
+        aggregates: Mapping[str, tuple[str, str]],
+        range_filters: Sequence[RangeFilter] | None,
+        column_predicates: Mapping[str, Callable[[Any], bool]] | None,
+        group_cols: list[str] | None,
+        group_key: Callable[[Any], Any] | None,
+        executor: LocalExecutor | None,
+    ) -> dict[Any, dict[str, _AggState]]:
+        """Fold per-block partial states into per-group accumulators.
+
+        The fold is two-level: block states merge within their partition first
+        (in the deterministic block walk order), then the per-partition states
+        merge in partition walk order.  Both levels are independent of the
+        worker count, and — more importantly — the whole-table fold becomes
+        bit-identical (floats included) to folding each partition on its own
+        and merging the per-partition states afterwards, which is exactly what
+        materialized roll-ups do on their incremental refresh path.
+        """
+        refs = [ref for _partition, ref in pairs]
+
+        def partial(ref: _BlockRef) -> Any:
+            return self._block_partial(
+                ref, aggregates, range_filters, column_predicates,
+                group_cols, group_key, False,
+            )
+
+        partials = self._map_refs(refs, partial, executor, "aggregate")
         states: dict[Any, dict[str, _AggState]] = {}
-        for block_states in partials:
-            if not block_states:
-                continue
-            for key, group_states in block_states.items():
-                target = states.setdefault(key, {})
-                for alias, state in group_states.items():
-                    cell = target.get(alias)
-                    if cell is None:
-                        target[alias] = state
-                    else:
-                        cell.merge(state, aggregates[alias][0])
-
-        def finalise(group_states: dict[str, _AggState]) -> dict[str, Any]:
-            return {
-                alias: group_states[alias].result(aggregates[alias][0])
-                for alias in aggregates
-            }
-
-        if group_cols is None:
-            empty = {alias: _AggState() for alias in aggregates}
-            return finalise(states.get(None, empty))
-        return {key: finalise(group_states) for key, group_states in states.items()}
+        partition_states: dict[Any, dict[str, _AggState]] = {}
+        current: str | None = None
+        for (partition, _ref), block_states in zip(pairs, partials):
+            if partition != current:
+                _adopt_states(states, partition_states, aggregates)
+                partition_states = {}
+                current = partition
+            if block_states:
+                _adopt_states(partition_states, block_states, aggregates)
+        _adopt_states(states, partition_states, aggregates)
+        return states
 
     def _block_partial(
         self,
@@ -1008,6 +1111,64 @@ class _AggState:
         if function == "avg":
             return self.total / self.count if self.count else None
         return self.minimum if function == "min" else self.maximum
+
+
+def _adopt_states(
+    target: dict[Any, dict[str, "_AggState"]],
+    source: dict[Any, dict[str, "_AggState"]],
+    aggregates: Mapping[str, tuple[str, str]],
+) -> None:
+    """Merge ``source`` group states into ``target``, adopting state objects
+    on first sight (``source`` states are throwaway per-block partials)."""
+    for key, group_states in source.items():
+        cells = target.setdefault(key, {})
+        for alias, state in group_states.items():
+            cell = cells.get(alias)
+            if cell is None:
+                cells[alias] = state
+            else:
+                cell.merge(state, aggregates[alias][0])
+
+
+def merge_states(
+    target: dict[Any, dict[str, "_AggState"]],
+    source: dict[Any, dict[str, "_AggState"]],
+    aggregates: Mapping[str, tuple[str, str]],
+) -> None:
+    """Merge ``source`` group states into ``target`` without mutating source.
+
+    Unlike the internal fold, every first-seen cell is merged into a *fresh*
+    accumulator, so long-lived states (e.g. the per-partition states a
+    materialized roll-up stores) can be combined repeatedly and still stay
+    pristine.  Merging per-partition states in sorted partition order yields
+    the exact :meth:`WarehouseTable.aggregate` result, floats included.
+    """
+    for key, group_states in source.items():
+        cells = target.setdefault(key, {})
+        for alias, state in group_states.items():
+            cell = cells.get(alias)
+            if cell is None:
+                cell = cells[alias] = _AggState()
+            cell.merge(state, aggregates[alias][0])
+
+
+def finalise_states(
+    states: dict[Any, dict[str, "_AggState"]],
+    aggregates: Mapping[str, tuple[str, str]],
+    grouped: bool,
+) -> dict[str, Any] | dict[Any, dict[str, Any]]:
+    """Turn merged group states into :meth:`WarehouseTable.aggregate` output."""
+
+    def one(group_states: dict[str, _AggState]) -> dict[str, Any]:
+        return {
+            alias: group_states[alias].result(aggregates[alias][0])
+            for alias in aggregates
+        }
+
+    if not grouped:
+        empty = {alias: _AggState() for alias in aggregates}
+        return one(states.get(None, empty))
+    return {key: one(group_states) for key, group_states in states.items()}
 
 
 def _local_group_keys(
@@ -1237,6 +1398,7 @@ class Warehouse:
         self.cache_blocks = cache_blocks
         self.compression_level = validate_compression_level(compression_level)
         self._tables: dict[str, WarehouseTable] = {}
+        self._rollup_manager: Any | None = None
 
     def create_table(
         self,
@@ -1297,6 +1459,28 @@ class Warehouse:
         for partition in list(table.partitions()):
             table.drop_partition(partition)
         del self._tables[name]
+        if self._rollup_manager is not None:
+            self._rollup_manager.discard_table(name)
+
+    @property
+    def rollups(self):
+        """The warehouse's materialized roll-up registry (created on demand).
+
+        See :mod:`repro.storage.warehouse.rollups`: specs register grouped
+        aggregates that are materialised per partition and refreshed
+        incrementally (only partitions whose block identity changed are
+        re-aggregated, typically by the scheduled migration job).
+        """
+        if self._rollup_manager is None:
+            from .rollups import RollupManager  # deferred: rollups imports us
+
+            self._rollup_manager = RollupManager(self)
+        return self._rollup_manager
+
+    def register_rollup(self, spec, refresh: bool = False):
+        """Register a :class:`~repro.storage.warehouse.rollups.RollupSpec`
+        on this warehouse (convenience for ``warehouse.rollups.register``)."""
+        return self.rollups.register(spec, refresh=refresh)
 
     def total_rows(self) -> int:
         return sum(table.row_count() for table in self._tables.values())

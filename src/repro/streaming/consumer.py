@@ -32,26 +32,82 @@ class Consumer:
         self.topics = list(topics)
         self.checkpoints = checkpoints
         self.consumed_count = 0
+        self._poll_cursor = 0
         if self.checkpoints is not None:
             self._restore_checkpoints()
 
     def _restore_checkpoints(self) -> None:
         assert self.checkpoints is not None
         for topic in self.topics:
+            # A consumer may subscribe before its producer ever created the
+            # topic; there is nothing to restore onto yet.
+            if not self.broker.has_topic(topic):
+                continue
+            end_offsets = self.broker.topic_stats(topic).end_offsets
             for partition, offset in self.checkpoints.offsets(self.group, topic).items():
-                self.broker.commit(self.group, topic, partition, offset)
+                # A checkpoint file and the broker can disagree in both
+                # directions.  Behind (offsets committed after the file's
+                # last write): apply the same monotonic guard as
+                # :meth:`commit` — never rewind the group, a rewind would
+                # redeliver every message past the stale checkpoint.  Ahead
+                # (the in-memory broker restarted with a shorter — typically
+                # empty — log, or the topic was re-created narrower): clamp
+                # to the partition's high-water mark instead of letting
+                # ``broker.commit`` raise ``OffsetOutOfRange`` out of the
+                # constructor.
+                if partition >= len(end_offsets):
+                    continue
+                offset = min(offset, end_offsets[partition])
+                current = self.broker.committed_offset(self.group, topic, partition)
+                if offset > current:
+                    self.broker.commit(self.group, topic, partition, offset)
 
     def poll(self, max_messages: int = 100) -> list[Message]:
-        """Fetch up to ``max_messages`` messages across the subscribed topics."""
-        out: list[Message] = []
-        for topic in self.topics:
-            budget = max_messages - len(out)
-            if budget <= 0:
-                break
-            messages = self.broker.poll(
-                self.group, topic, max_messages=budget, auto_commit=False
+        """Fetch up to ``max_messages`` messages across the subscribed topics.
+
+        The budget is split fairly instead of being consumed in subscription
+        order: topics are walked round-robin from a cursor that rotates
+        across calls, and each backlogged topic is granted an equal share of
+        the remaining budget (shares a topic cannot fill flow to the topics
+        that can), so a busy first topic can no longer starve the rest under
+        sustained load.
+        """
+        n_topics = len(self.topics)
+        order = self.topics[self._poll_cursor:] + self.topics[:self._poll_cursor]
+        self._poll_cursor = (self._poll_cursor + 1) % n_topics
+        # Plan per-topic allocations against the current backlog first (each
+        # topic must be polled at most once per call: an uncommitted re-poll
+        # would return the same messages again).  Topics the broker does not
+        # hold yet (subscribe-before-create) simply have no backlog.
+        backlog = {
+            topic: (
+                self.broker.lag(self.group, topic)
+                if self.broker.has_topic(topic) else 0
             )
-            out.extend(messages)
+            for topic in order
+        }
+        allocation = {topic: 0 for topic in order}
+        budget = max_messages
+        pending = [topic for topic in order if backlog[topic] > 0]
+        while budget > 0 and pending:
+            share = max(1, budget // len(pending))
+            still_pending = []
+            for topic in pending:
+                take = min(share, backlog[topic] - allocation[topic], budget)
+                allocation[topic] += take
+                budget -= take
+                if allocation[topic] < backlog[topic]:
+                    still_pending.append(topic)
+            pending = still_pending
+        out: list[Message] = []
+        for topic in order:
+            if allocation[topic] > 0:
+                out.extend(
+                    self.broker.poll(
+                        self.group, topic,
+                        max_messages=allocation[topic], auto_commit=False,
+                    )
+                )
         return out
 
     def commit(self, messages: list[Message]) -> None:
@@ -70,8 +126,13 @@ class Consumer:
         self.consumed_count += len(messages)
 
     def lag(self) -> int:
-        """Total unconsumed messages across the subscribed topics."""
-        return sum(self.broker.lag(self.group, topic) for topic in self.topics)
+        """Total unconsumed messages across the subscribed topics
+        (not-yet-created topics count as empty)."""
+        return sum(
+            self.broker.lag(self.group, topic)
+            for topic in self.topics
+            if self.broker.has_topic(topic)
+        )
 
     def process(
         self,

@@ -32,6 +32,17 @@ def test_storage_config_rejects_bad_replication():
         StorageConfig(warehouse_block_rows=0).validate()
 
 
+def test_storage_config_rollup_knobs():
+    # Defaults: standing roll-ups on, materialized for the paper's topic.
+    config = StorageConfig()
+    config.validate()
+    assert config.warehouse_rollups_enabled is True
+    assert config.warehouse_rollup_topic == "covid19"
+    StorageConfig(warehouse_rollups_enabled=False).validate()
+    with pytest.raises(ConfigurationError):
+        StorageConfig(warehouse_rollup_topic="").validate()
+
+
 def test_analytics_config_rejects_bad_values():
     with pytest.raises(ConfigurationError):
         AnalyticsConfig(migration_interval_days=0).validate()

@@ -1,0 +1,207 @@
+"""Regression tests for the migration freshness path.
+
+Covers the PR-5 correctness fixes: the ``== watermark`` boundary (late rows
+sharing the watermark timestamp used to be skipped forever), and tz-aware
+datetime handling in ``prune_migrated_rows`` / the migration job's default
+"now" (``datetime.utcnow()`` is naive and deprecated).
+"""
+
+from datetime import datetime, timedelta, timezone
+
+import pytest
+
+from repro.storage.migration import MigrationJob, prune_migrated_rows
+from repro.storage.rdbms.database import Database
+from repro.storage.rdbms.schema import Column, ColumnType, TableSchema
+from repro.storage.warehouse import Warehouse
+
+
+def _db(rows=()):
+    db = Database()
+    schema = TableSchema(
+        name="articles",
+        primary_key="article_id",
+        columns=(
+            Column("article_id", ColumnType.TEXT, nullable=False),
+            Column("outlet", ColumnType.TEXT),
+            Column("created_at", ColumnType.TIMESTAMP, nullable=False),
+        ),
+    )
+    db.create_table(schema)
+    for row in rows:
+        db.insert("articles", row)
+    return db
+
+
+def _row(article_id, created_at, outlet="x.example.com"):
+    return {"article_id": article_id, "outlet": outlet, "created_at": created_at}
+
+
+class TestWatermarkBoundary:
+    def test_late_row_sharing_the_watermark_timestamp_is_not_lost(self):
+        ts = datetime(2020, 2, 1, 12, 30)
+        db = _db([_row("a0", ts - timedelta(hours=1)), _row("a1", ts)])
+        warehouse = Warehouse()
+        job = MigrationJob(db, warehouse)
+        job.add_table("articles")
+        assert job.run().migrated_rows["articles"] == 2
+        assert job.watermark("articles") == ts
+
+        # A late row arrives with *exactly* the watermark timestamp (e.g. two
+        # events ingested in the same clock tick, one committed after the
+        # run).  The old ``timestamp > watermark`` filter skipped it forever.
+        db.insert("articles", _row("a2-late", ts))
+        report = job.run()
+        assert report.migrated_rows["articles"] == 1
+        assert warehouse.table("articles").row_count() == 3
+
+    def test_boundary_rows_are_never_duplicated(self):
+        ts = datetime(2020, 2, 1, 12, 30)
+        db = _db([_row("a0", ts)])
+        warehouse = Warehouse()
+        job = MigrationJob(db, warehouse)
+        job.add_table("articles")
+        job.run()
+        # Re-running without new data re-reads the boundary but migrates
+        # nothing: the boundary row is recognised by its primary key.
+        for _ in range(3):
+            assert job.run().migrated_rows["articles"] == 0
+        assert warehouse.table("articles").row_count() == 1
+
+        # Several late rows at the same boundary, over several runs.
+        db.insert("articles", _row("a1", ts))
+        assert job.run().migrated_rows["articles"] == 1
+        db.insert("articles", _row("a2", ts))
+        assert job.run().migrated_rows["articles"] == 1
+        assert job.run().migrated_rows["articles"] == 0
+        assert warehouse.table("articles").row_count() == 3
+        ids = sorted(warehouse.table("articles").read_column("article_id"))
+        assert ids == ["a0", "a1", "a2"]
+
+    def test_watermark_still_advances_past_the_boundary(self):
+        ts = datetime(2020, 2, 1, 12)
+        db = _db([_row("a0", ts)])
+        warehouse = Warehouse()
+        job = MigrationJob(db, warehouse)
+        job.add_table("articles")
+        job.run()
+
+        db.insert("articles", _row("a1", ts))                      # boundary
+        db.insert("articles", _row("a2", ts + timedelta(hours=2)))  # newer
+        assert job.run().migrated_rows["articles"] == 2
+        assert job.watermark("articles") == ts + timedelta(hours=2)
+        # The old boundary is strictly below the new watermark now; nothing
+        # at the old timestamp can be re-read, nothing new is duplicated.
+        assert job.run().migrated_rows["articles"] == 0
+        assert warehouse.table("articles").row_count() == 3
+
+
+class TestTimezoneHandling:
+    def test_prune_with_aware_watermark_and_default_now(self):
+        ts = datetime(2020, 2, 1, 12, tzinfo=timezone.utc)
+        db = _db([_row("a0", ts)])
+        job = MigrationJob(db, Warehouse())
+        job.add_table("articles")
+        job.run()
+        assert job.watermark("articles").tzinfo is not None
+        # The old code compared the aware watermark against a naive
+        # ``datetime.utcnow()`` default and raised TypeError.
+        deleted = prune_migrated_rows(db, job, "articles", keep_days=1)
+        assert deleted == 1
+        assert db.table("articles").row_count() == 0
+
+    def test_prune_with_naive_watermark_and_aware_now(self):
+        ts = datetime(2020, 2, 1, 12)
+        db = _db([_row("a0", ts)])
+        job = MigrationJob(db, Warehouse())
+        job.add_table("articles")
+        job.run()
+        deleted = prune_migrated_rows(
+            db, job, "articles", keep_days=1,
+            now=datetime(2020, 3, 1, tzinfo=timezone.utc),
+        )
+        assert deleted == 1
+
+    def test_prune_keeps_recent_rows_regardless_of_awareness(self):
+        now = datetime(2020, 2, 10, tzinfo=timezone.utc)
+        ts_old = datetime(2020, 2, 1, 12, tzinfo=timezone.utc)
+        ts_new = datetime(2020, 2, 9, 12, tzinfo=timezone.utc)
+        db = _db([_row("old", ts_old), _row("new", ts_new)])
+        job = MigrationJob(db, Warehouse())
+        job.add_table("articles")
+        job.run()
+        assert prune_migrated_rows(db, job, "articles", keep_days=7, now=now) == 1
+        assert [r["article_id"] for r in db.query("articles").execute().rows] == ["new"]
+
+    def test_run_and_compaction_default_now_is_tz_aware(self):
+        db = _db([_row("a0", datetime(2020, 2, 1))])
+        job = MigrationJob(db, Warehouse())
+        job.add_table("articles")
+        report = job.run()
+        assert report.run_at.tzinfo is not None
+        compaction = job.run_compaction()
+        assert compaction.run_at.tzinfo is not None
+
+    def test_explicit_now_is_preserved(self):
+        db = _db([_row("a0", datetime(2020, 2, 1))])
+        job = MigrationJob(db, Warehouse())
+        job.add_table("articles")
+        stamp = datetime(2020, 2, 2, 3)
+        assert job.run(now=stamp).run_at == stamp
+
+
+class TestNoPrimaryKeyFallback:
+    def test_boundary_dedup_without_primary_key_uses_row_content(self):
+        db = Database()
+        schema = TableSchema(
+            name="events",
+            columns=(
+                Column("name", ColumnType.TEXT),
+                Column("created_at", ColumnType.TIMESTAMP, nullable=False),
+            ),
+        )
+        db.create_table(schema)
+        ts = datetime(2020, 2, 1, 12)
+        db.insert("events", {"name": "e0", "created_at": ts})
+        warehouse = Warehouse()
+        job = MigrationJob(db, warehouse)
+        job.add_table("events")
+        assert job.run().migrated_rows["events"] == 1
+        assert job.run().migrated_rows["events"] == 0
+        # A *different* row at the boundary timestamp still migrates.
+        db.insert("events", {"name": "e1", "created_at": ts})
+        assert job.run().migrated_rows["events"] == 1
+        assert warehouse.table("events").row_count() == 2
+
+    def test_genuine_duplicate_rows_all_migrate(self):
+        # Without a primary key, two identical rows are two real events; the
+        # boundary bookkeeping is a multiset, so only the already-migrated
+        # number of copies is skipped and later duplicates still land.
+        db = Database()
+        schema = TableSchema(
+            name="events",
+            columns=(
+                Column("name", ColumnType.TEXT),
+                Column("created_at", ColumnType.TIMESTAMP, nullable=False),
+            ),
+        )
+        db.create_table(schema)
+        ts = datetime(2020, 2, 1, 12)
+        db.insert("events", {"name": "dup", "created_at": ts})
+        warehouse = Warehouse()
+        job = MigrationJob(db, warehouse)
+        job.add_table("events")
+        assert job.run().migrated_rows["events"] == 1
+
+        # An identical duplicate event arrives late at the boundary.
+        db.insert("events", {"name": "dup", "created_at": ts})
+        assert job.run().migrated_rows["events"] == 1
+        assert job.run().migrated_rows["events"] == 0
+        assert warehouse.table("events").row_count() == 2
+
+        # Two more identical copies in one batch migrate as two rows.
+        db.insert("events", {"name": "dup", "created_at": ts})
+        db.insert("events", {"name": "dup", "created_at": ts})
+        assert job.run().migrated_rows["events"] == 2
+        assert job.run().migrated_rows["events"] == 0
+        assert warehouse.table("events").row_count() == 4

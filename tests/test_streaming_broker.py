@@ -159,6 +159,127 @@ class TestProducerConsumer:
         assert count == 25
         assert consumer.lag() == 0
 
+    def test_stale_checkpoint_restore_never_rewinds_the_group(self, tmp_path):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        for i in range(6):
+            broker.produce("t", {"i": i})
+        # The checkpoint file lags the broker: it recorded offset 2, but the
+        # group later committed up to 5 (e.g. offsets committed after the
+        # store's last write).
+        store = CheckpointStore(tmp_path / "offsets.json")
+        store.save("g", "t", 0, 2)
+        broker.commit("g", "t", 0, 5)
+
+        consumer = Consumer(broker, "g", ["t"], checkpoints=store)
+        # Restoring must keep the higher broker offset — the old code blindly
+        # committed 2 and redelivered messages 2..4.
+        assert broker.committed_offset("g", "t", 0) == 5
+        assert [m.value["i"] for m in consumer.poll(10)] == [5]
+
+    def test_checkpoint_ahead_of_broker_is_clamped_not_fatal(self, tmp_path):
+        # The broker is in-memory while checkpoints persist: after a restart
+        # the log is shorter (here: empty) than the checkpointed offset.
+        store = CheckpointStore(tmp_path / "offsets.json")
+        store.save("g", "t", 0, 5)
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        consumer = Consumer(broker, "g", ["t"], checkpoints=store)  # no raise
+        assert broker.committed_offset("g", "t", 0) == 0
+        broker.produce("t", {"i": "fresh"})
+        assert [m.value["i"] for m in consumer.poll(10)] == ["fresh"]
+        # A checkpoint for a partition the re-created topic no longer has is
+        # ignored rather than fatal.
+        store.save("g", "t", 7, 3)
+        Consumer(broker, "g", ["t"], checkpoints=store)
+
+    def test_checkpointed_consumer_can_subscribe_before_topic_exists(self, tmp_path):
+        store = CheckpointStore(tmp_path / "offsets.json")
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("early")
+        broker.produce("early", {"i": 0})
+        consumer = Consumer(broker, "g", ["early", "later"], checkpoints=store)
+        # The existing topic drains even while the other is still missing.
+        batch = consumer.poll(10)
+        assert [m.value["i"] for m in batch] == [0]
+        consumer.commit(batch)
+        assert consumer.lag() == 0
+        broker.create_topic("later")
+        broker.produce("later", {"i": 1})
+        assert [m.value["i"] for m in consumer.poll(10)] == [1]
+
+    def test_checkpoint_restore_still_advances_a_fresh_group(self, tmp_path):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("t")
+        for i in range(4):
+            broker.produce("t", {"i": i})
+        store = CheckpointStore(tmp_path / "offsets.json")
+        store.save("g", "t", 0, 3)
+        Consumer(broker, "g", ["t"], checkpoints=store)
+        assert broker.committed_offset("g", "t", 0) == 3
+
+    def test_poll_budget_is_shared_across_topics(self):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("busy")
+        broker.create_topic("quiet")
+        for i in range(100):
+            broker.produce("busy", {"i": i})
+        for i in range(3):
+            broker.produce("quiet", {"i": i})
+        consumer = Consumer(broker, "g", ["busy", "quiet"])
+        batch = consumer.poll(max_messages=10)
+        topics = {m.topic for m in batch}
+        # The old code filled the whole budget from the first topic.
+        assert topics == {"busy", "quiet"}
+        assert len(batch) == 10
+        # The quiet topic's unused share flows back to the busy one.
+        assert sum(1 for m in batch if m.topic == "busy") == 7
+        assert sum(1 for m in batch if m.topic == "quiet") == 3
+
+    def test_no_topic_starves_under_sustained_load(self):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("a")
+        broker.create_topic("b")
+        broker.create_topic("c")
+        for i in range(500):
+            broker.produce("a", {"i": i})
+        for i in range(5):
+            broker.produce("b", {"i": i})
+            broker.produce("c", {"i": i})
+        consumer = Consumer(broker, "g", ["a", "b", "c"])
+
+        # Sustained load: topic "a" keeps receiving more than one batch can
+        # hold.  Every subscribed topic must still drain within a few cycles.
+        drained_at: dict[str, int] = {}
+        for cycle in range(1, 5):
+            consumer.commit(consumer.poll(max_messages=12))
+            broker.produce("a", {"refill": cycle})
+            for topic in ("b", "c"):
+                if topic not in drained_at and broker.lag("g", topic) == 0:
+                    drained_at[topic] = cycle
+        assert drained_at.get("b") is not None, "topic b starved"
+        assert drained_at.get("c") is not None, "topic c starved"
+
+    def test_poll_budget_never_exceeded_and_order_preserved_per_topic(self):
+        broker = MessageBroker(default_partitions=1)
+        broker.create_topic("x")
+        broker.create_topic("y")
+        for i in range(20):
+            broker.produce("x", {"i": i})
+            broker.produce("y", {"i": i})
+        consumer = Consumer(broker, "g", ["x", "y"])
+        seen: dict[str, list[int]] = {"x": [], "y": []}
+        while True:
+            batch = consumer.poll(max_messages=7)
+            if not batch:
+                break
+            assert len(batch) <= 7
+            for message in batch:
+                seen[message.topic].append(message.value["i"])
+            consumer.commit(batch)
+        assert seen["x"] == list(range(20))
+        assert seen["y"] == list(range(20))
+
 
 class TestWindowing:
     def test_window_start_alignment(self):
