@@ -5,7 +5,7 @@ computes over the Distributed Storage with the batch-compute engine (the
 Spark-job equivalent), and checks that the warehouse-side view agrees with the
 paper's qualitative contrasts.
 
-Five CI gates live here (no pytest-benchmark dependency):
+Seven CI gates live here (no pytest-benchmark dependency):
 
 * ``TestVectorizedEngineGate`` — the columnar execution engine: on a
   >=100k-row table the vectorised ``aggregate``/``scan_columns`` path must run
@@ -36,6 +36,12 @@ Five CI gates live here (no pytest-benchmark dependency):
   the direct grouped scan with identical per-group results, the
   migration-style refresh after an append must re-read only the changed
   partition, and the refreshed state must stay identical to the live path.
+* ``TestCdcFreshnessGate`` — continuous change-data capture: after each burst
+  of operational writes, one WAL-tail publish + delta apply must make every
+  row visible in the warehouse within ``CDC_MAX_VISIBLE_LATENCY_S`` (the
+  write→visible freshness budget), beat a full batch re-copy of the table,
+  and leave merged base+delta reads bit-identical to a fresh batch copy of
+  the final RDBMS state.
 
 Any roll-up mismatch fails with a per-group diff, not a bare ``assert``.
 When ``BENCH_TIMINGS_JSON`` is set, every gate's wall-clock timings are
@@ -44,7 +50,8 @@ same schema as the committed ``BENCH_warehouse.json`` trajectory seed, so CI
 artifacts append directly to it.  Run just the gates with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_warehouse_analytics.py \
-        -q -s -k "vectorized or grouped or parallel or compressed or compaction or rollup"
+        -q -s -k "vectorized or grouped or parallel or compressed or compaction \
+        or rollup or freshness"
 """
 
 from __future__ import annotations
@@ -66,9 +73,15 @@ from repro.core.analytics import (
     summarize_profiles_by_rating,
 )
 from repro.models import RatingClass
+from repro.storage.cdc import CdcPublisher, DeltaApplier
+from repro.storage.migration import MigrationJob
+from repro.storage.rdbms.database import Database
+from repro.storage.rdbms.expressions import col
+from repro.storage.rdbms.schema import Column, ColumnType, TableSchema
 from repro.storage.warehouse.dfs import DistributedFileSystem
 from repro.storage.warehouse.rollups import RollupSpec
 from repro.storage.warehouse.warehouse import Warehouse
+from repro.streaming.broker import MessageBroker
 
 
 # ----------------------------------------------------------------------
@@ -765,3 +778,119 @@ def test_materialized_rollup_beats_direct_scan_gate():
         f"incremental refresh read {incremental_reads} block(s))"
     )
     assert speedup >= ROLLUP_REQUIRED_SPEEDUP
+
+
+# ======================================================================
+# CDC freshness gate: write -> visible latency + delta-merge identity
+# ======================================================================
+
+N_CDC_BASE_ROWS = 30_000
+N_CDC_PASSES = 6
+CDC_ROWS_PER_PASS = 400
+#: Freshness budget: worst write -> warehouse-visible latency over all CDC
+#: passes, measured from the WAL record's commit stamp to the moment the
+#: delta applier lands it (``CdcApplyReport.max_latency_s``).
+CDC_MAX_VISIBLE_LATENCY_S = 0.5
+#: One publish + apply pass must beat re-running the batch copy of the whole
+#: table (the pre-CDC nightly-migration alternative) by a wide margin.
+CDC_REQUIRED_SPEEDUP = 2.0
+
+
+def _cdc_schema() -> TableSchema:
+    return TableSchema(
+        name="events",
+        primary_key="event_id",
+        columns=(
+            Column("event_id", ColumnType.INTEGER, nullable=False),
+            Column("outlet", ColumnType.TEXT),
+            Column("reactions", ColumnType.FLOAT),
+            Column("created_at", ColumnType.TIMESTAMP, nullable=False),
+        ),
+    )
+
+
+def test_cdc_freshness_gate():
+    rng = random.Random(83)
+    start = datetime(2020, 2, 1)
+    db = Database()
+    db.create_table(_cdc_schema())
+
+    def event(i: int) -> dict:
+        return {
+            "event_id": i,
+            "outlet": f"outlet-{rng.randrange(40)}.example.com",
+            # non-terminating binary expansions so bit-level float drift in
+            # the merge path would break the identity check below
+            "reactions": rng.randrange(1_000_000) / 7,
+            "created_at": start + timedelta(days=i % 28, minutes=i % 1440),
+        }
+
+    for i in range(N_CDC_BASE_ROWS):
+        db.insert("events", event(i))
+
+    def wire(warehouse: Warehouse) -> MigrationJob:
+        job = MigrationJob(db, warehouse)
+        job.add_table("events", partition_column="created_at")
+        return job
+
+    warehouse = Warehouse(block_rows=8192)
+    job = wire(warehouse)
+    broker = MessageBroker(default_partitions=4)
+    publisher = CdcPublisher(db, broker)
+    for mapping in job.mappings():
+        publisher.add_mapping(mapping)
+    applier = DeltaApplier(warehouse, broker, job.mappings())
+    bootstrap = job.run()
+    publisher.skip_to(bootstrap.cursor_lsn)
+
+    # Bursts of operational writes (inserts + an update + a delete each), each
+    # followed by exactly one publish + apply pass — the continuous loop the
+    # platform's cdc_sync job runs.
+    worst_latency = 0.0
+    apply_s = 0.0
+    next_id = N_CDC_BASE_ROWS
+    for burst in range(N_CDC_PASSES):
+        for _ in range(CDC_ROWS_PER_PASS):
+            db.insert("events", event(next_id))
+            next_id += 1
+        db.update("events", col("event_id") == next_id - 1, {"reactions": 99.0 / 7})
+        db.delete("events", col("event_id") == burst)
+        began = time.perf_counter()
+        publisher.publish()
+        report = applier.apply()
+        apply_s += time.perf_counter() - began
+        assert report.rows > 0
+        worst_latency = max(worst_latency, report.max_latency_s)
+    apply_s /= N_CDC_PASSES
+
+    # Merged base+delta reads must be bit-identical to a fresh batch copy of
+    # the final RDBMS state — per partition and on a float aggregate.
+    merged = warehouse.table("events")
+    copied_warehouse = Warehouse(block_rows=8192)
+    wire(copied_warehouse).run()
+    copied = copied_warehouse.table("events")
+    assert merged.partitions() == copied.partitions()
+    for partition in copied.partitions():
+        assert repr(list(merged.scan(partitions=[partition]))) == repr(
+            list(copied.scan(partitions=[partition]))
+        )
+    aggregates = {"total": ("sum", "reactions"), "n": ("count", "*")}
+    assert repr(merged.aggregate(aggregates)) == repr(copied.aggregate(aggregates))
+
+    # The batch alternative: how long making those rows visible used to take.
+    def batch_recopy() -> None:
+        wire(Warehouse(block_rows=8192)).run()
+
+    baseline = _best_seconds(batch_recopy)
+    speedup = baseline / apply_s if apply_s > 0 else float("inf")
+    _record_gate("cdc_freshness", baseline, apply_s)
+    print(
+        f"\n=== CDC freshness — {N_CDC_PASSES} bursts of {CDC_ROWS_PER_PASS} writes "
+        f"over a {N_CDC_BASE_ROWS}-row base ===\n"
+        f"batch re-copy: {baseline * 1e3:8.1f} ms   publish+apply: {apply_s * 1e3:8.1f} ms   "
+        f"speedup: {speedup:5.1f}x (gate: >={CDC_REQUIRED_SPEEDUP}x)\n"
+        f"worst write->visible latency: {worst_latency * 1e3:.1f} ms "
+        f"(gate: <={CDC_MAX_VISIBLE_LATENCY_S * 1e3:.0f} ms, merged reads bit-identical)"
+    )
+    assert worst_latency <= CDC_MAX_VISIBLE_LATENCY_S
+    assert speedup >= CDC_REQUIRED_SPEEDUP

@@ -8,7 +8,9 @@ CI runs this script over the directory of downloaded per-job artifacts to
 produce a single merged file, and — when a committed trajectory seed such as
 ``BENCH_warehouse.json`` (schema: ``gate -> {baseline_s, optimized_s,
 speedup}``) is given — prints the speedup trajectory of every warehouse gate
-against that seed, so a perf regression is visible right in the job log.
+against that seed, so a perf regression is visible right in the job log, and
+exits non-zero if any committed seed gate is absent from the merged output
+(a deleted or silently-skipped benchmark must fail the trajectory job).
 
 Usage::
 
@@ -97,6 +99,18 @@ def main(argv: list[str] | None = None) -> int:
         current = suites.get(args.seed_suite, {})
         print(f"\nperf trajectory vs {args.seed}:")
         print_trajectory(seed, current)
+        # Every committed gate must keep reporting: a gate that vanished from
+        # the merged artifact means a benchmark was deleted, deselected or
+        # silently skipped — fail the trajectory job rather than letting the
+        # perf history go dark one gate at a time.
+        missing = sorted(seed.keys() - current.keys())
+        if missing:
+            print(
+                f"ERROR: committed seed gate(s) absent from merged timings: "
+                f"{', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 1
     return 0
 
 

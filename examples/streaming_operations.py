@@ -2,9 +2,10 @@
 
 Simulates two weeks of operation: every day the streaming pipeline ingests the
 day's postings and reactions, articles are extracted into the operational
-RDBMS, and the daily migration job synchronises the history into the
-Distributed Storage; every seventh day the periodic model-training job runs
-over the warehouse.
+RDBMS, and a sync pass drains the change-data-capture stream into the
+Distributed Storage (day one is a bootstrap copy; later days land as CDC
+delta blocks merged into the base at read time); every seventh day the
+periodic model-training job runs over the warehouse.
 
 Run with::
 
@@ -51,7 +52,8 @@ def main() -> None:
         platform.ingest_reaction_events(day_reactions)
         platform.process_stream()
 
-        # End of day: synchronise the operational store into the warehouse.
+        # End of day: drain the CDC stream into the warehouse (a bootstrap
+        # copy the first time, row deltas afterwards).
         migration = platform.run_daily_migration(now=day_end)
 
         # Periodic (weekly) model training over the full history.

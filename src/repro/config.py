@@ -51,6 +51,14 @@ class StorageConfig:
     #: Topic key the standing topic-filtered roll-up is materialized for.
     warehouse_rollup_topic: str = "covid19"
     wal_enabled: bool = True
+    #: Continuous change-data capture: tail the WAL, publish row deltas onto
+    #: per-table broker topics and land them as warehouse delta blocks.
+    #: Disabled, warehouse freshness falls back to batch full refreshes.
+    cdc_enabled: bool = True
+    #: Broker topic prefix for the per-table CDC topics (``cdc.articles``, …).
+    cdc_topic_prefix: str = "cdc."
+    #: Delta rows the CDC applier lands per warehouse write batch.
+    cdc_batch_rows: int = 500
 
     def validate(self) -> None:
         if self.warehouse_replication < 1:
@@ -69,6 +77,12 @@ class StorageConfig:
             raise ConfigurationError(
                 "storage.warehouse_rollup_topic must be a non-empty topic key"
             )
+        if not self.cdc_topic_prefix:
+            raise ConfigurationError(
+                "storage.cdc_topic_prefix must be a non-empty prefix"
+            )
+        if self.cdc_batch_rows < 1:
+            raise ConfigurationError("storage.cdc_batch_rows must be >= 1")
 
 
 @dataclass(frozen=True)

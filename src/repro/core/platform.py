@@ -3,8 +3,10 @@
 Wires every substrate into the three-component architecture of Figure 2:
 
 * **Data collection & storage** — the message broker + article-extraction
-  pipeline feed the operational RDBMS; the daily migration job copies history
-  into the warehouse (simulated DFS + columnar tables).
+  pipeline feed the operational RDBMS; continuous change-data capture tails
+  the RDBMS write-ahead log and lands row deltas in the warehouse (simulated
+  DFS + columnar tables), with the migration job reduced to bootstrap
+  backfills and scheduled compaction.
 * **Data management & model training** — content-based topic segmentation,
   outlet quality-based segmentation, and periodic model training over the full
   history (click-bait model, topic model) registered in the model registry.
@@ -31,6 +33,7 @@ from ..compute.jobs import JobTracker
 from ..models import Article, ExpertReview, Outlet, RatingClass, Reaction, ReactionKind, SocialPost
 from ..nlp.tokenize import word_tokens
 from ..social.accounts import AccountRegistry
+from ..storage.cdc import CdcPublisher, DeltaApplier
 from ..storage.migration import MigrationJob, MigrationReport
 from ..storage.rdbms.database import Database
 from ..storage.rdbms.expressions import col
@@ -88,9 +91,16 @@ class SciLensPlatform:
             self.broker.create_topic(topic)
 
         # --- data layer -----------------------------------------------------
+        # Without a data directory the WAL runs in memory: no durability, but
+        # CDC can still tail the committed mutations.  It is only absent when
+        # explicitly disabled (and then CDC is too).
         self.database = Database(
             data_dir=self.config.storage.data_dir,
-            wal_enabled=self.config.storage.wal_enabled and self.config.storage.data_dir is not None,
+            wal_enabled=self.config.storage.wal_enabled
+            and (
+                self.config.storage.data_dir is not None
+                or self.config.storage.cdc_enabled
+            ),
         )
         for schema in all_schemas():
             self.database.create_table(schema, if_not_exists=True)
@@ -118,10 +128,11 @@ class SciLensPlatform:
             compaction_min_blocks=self.config.storage.warehouse_compaction_min_blocks,
             refresh_rollups=self.config.storage.warehouse_rollups_enabled,
         )
-        # Watermark on ingestion time; partitions follow event time (articles by
-        # publication day, social objects and reviews by their own timestamps).
-        # Articles are additionally clustered inside each day partition by
-        # publication time, so time-range scans prune and early-exit blocks.
+        # Freshness follows ingestion time; partitions follow event time
+        # (articles by publication day, social objects and reviews by their
+        # own timestamps).  Articles are additionally clustered inside each
+        # day partition by publication time, so time-range scans prune and
+        # early-exit blocks.
         self.migration.add_table(
             "articles", timestamp_column="ingested_at",
             partition_column="published_at", sort_key=["published_at"],
@@ -138,10 +149,39 @@ class SciLensPlatform:
             for spec in standing_rollup_specs(self.config.storage.warehouse_rollup_topic):
                 self.warehouse.register_rollup(spec)
 
+        # Continuous change-data capture: the publisher tails the RDBMS WAL
+        # onto per-table broker topics, the applier lands those row deltas as
+        # warehouse delta blocks.  The migration job above keeps only the
+        # bootstrap backfill and the compaction schedule.
+        self.cdc_publisher: CdcPublisher | None = None
+        self.cdc_applier: DeltaApplier | None = None
+        if self.config.storage.cdc_enabled and self.database.wal is not None:
+            cursor_path = (
+                self.config.storage.data_dir / "cdc-cursor.json"
+                if self.config.storage.data_dir is not None
+                else None
+            )
+            self.cdc_publisher = CdcPublisher(
+                self.database,
+                self.broker,
+                topic_prefix=self.config.storage.cdc_topic_prefix,
+                cursor_path=cursor_path,
+            )
+            for mapping in self.migration.mappings():
+                self.cdc_publisher.add_mapping(mapping)
+            self.cdc_applier = DeltaApplier(
+                self.warehouse,
+                self.broker,
+                self.migration.mappings(),
+                topic_prefix=self.config.storage.cdc_topic_prefix,
+                batch_rows=self.config.storage.cdc_batch_rows,
+            )
+
         # --- analytics ------------------------------------------------------
         self.models = ModelRegistry()
         self.jobs = JobTracker()
         self.jobs.register("daily_migration", self._run_migration_job)
+        self.jobs.register("cdc_sync", self._run_cdc_job)
         self.jobs.register("warehouse_compaction", self._run_compaction_job)
         self.jobs.register("train_models", self._run_training_job)
 
@@ -476,14 +516,92 @@ class SciLensPlatform:
         return dict(segments)
 
     def run_daily_migration(self, now: datetime | None = None) -> MigrationReport:
-        """Run the daily RDBMS → warehouse migration."""
+        """Synchronise the warehouse with the RDBMS (bootstrap + CDC drain).
+
+        Empty warehouse tables are bootstrap-backfilled; everything newer
+        reaches the warehouse through the CDC delta stream, which this job
+        drains before returning.  The report combines both paths, so callers
+        keep the old contract: rows move on the first run, a re-run with no
+        new operational writes reports zero.
+        """
         result = self.jobs.run("daily_migration", now)
         if not result.succeeded:
             raise RuntimeError(f"migration failed: {result.error}")
         return result.result
 
     def _run_migration_job(self, now: datetime | None = None) -> MigrationReport:
-        return self.migration.run(now=now)
+        if self.cdc_publisher is None or self.cdc_applier is None:
+            # CDC disabled: batch fallback — re-copy registered tables
+            # wholesale whenever the warehouse already holds data.
+            return self.migration.run(
+                now=now, full_refresh=self.warehouse.total_rows() > 0
+            )
+        # Bootstrap pass first; the roll-up refresh is deferred until the
+        # CDC deltas have landed so it sees the post-sync block identity.
+        refresh = self.migration.refresh_rollups
+        self.migration.refresh_rollups = False
+        try:
+            bootstrap = self.migration.run(now=now)
+        finally:
+            self.migration.refresh_rollups = refresh
+        if set(bootstrap.bootstrapped) == set(self.migration.registered_tables()):
+            # Every registered table was copied wholesale, so the WAL records
+            # up to the pre-copy LSN are already reflected — skip them instead
+            # of republishing.  (On partial bootstraps the cursor stays put;
+            # redelivery is safe because delta application is idempotent.)
+            self.cdc_publisher.skip_to(bootstrap.cursor_lsn)
+        sync = self.process_cdc(refresh_rollups=False)
+        rollups_refreshed: dict[str, int] = {}
+        if refresh:
+            rollups_refreshed = self.migration.refresh_standing_rollups()
+        migrated = dict(bootstrap.migrated_rows)
+        for rdbms_table, rows in sync["applied_tables"].items():
+            migrated[rdbms_table] = migrated.get(rdbms_table, 0) + rows
+        report = MigrationReport(
+            run_at=bootstrap.run_at,
+            migrated_rows=migrated,
+            bootstrapped=bootstrap.bootstrapped,
+            cursor_lsn=bootstrap.cursor_lsn,
+            rollups_refreshed=rollups_refreshed,
+        )
+        self.migration.history[-1] = report
+        return report
+
+    def process_cdc(self, refresh_rollups: bool = True) -> dict[str, Any]:
+        """Publish pending WAL records and land them as warehouse deltas.
+
+        The continuous freshness path: cheap enough to run after every ingest
+        batch, no daily schedule required.  Returns a summary with the
+        messages published, rows applied per RDBMS table and the worst
+        write→visible latency observed (seconds).
+        """
+        if self.cdc_publisher is None or self.cdc_applier is None:
+            return {
+                "enabled": False, "published": 0, "applied_rows": 0,
+                "applied_tables": {}, "max_latency_s": 0.0,
+            }
+        published = self.cdc_publisher.publish()
+        report = self.cdc_applier.apply()
+        for rdbms_table, stamp in report.synced.items():
+            self.migration.note_synced(rdbms_table, stamp)
+        if refresh_rollups and report.rows and self.migration.refresh_rollups:
+            self.migration.refresh_standing_rollups()
+        by_rdbms_table = {
+            m.warehouse_table: m.rdbms_table for m in self.migration.mappings()
+        }
+        return {
+            "enabled": True,
+            "published": published,
+            "applied_rows": report.rows,
+            "applied_tables": {
+                by_rdbms_table.get(table, table): rows
+                for table, rows in report.tables.items()
+            },
+            "max_latency_s": report.max_latency_s,
+        }
+
+    def _run_cdc_job(self, now: datetime | None = None) -> dict[str, Any]:
+        return self.process_cdc()
 
     def run_warehouse_compaction(self, now: datetime | None = None):
         """Run the scheduled warehouse compaction pass (defragment partitions).
@@ -651,9 +769,24 @@ class SciLensPlatform:
             totals = self.warehouse.table(name).storage_totals()
             warehouse_storage[name] = {
                 "blocks": totals["block_count"],
+                "delta_blocks": totals.get("delta_block_count", 0),
                 "compressed_bytes": totals["compressed_bytes"],
                 "compression_ratio": round(totals["compression_ratio"], 3),
             }
+        cdc: dict[str, Any] = {"enabled": self.cdc_publisher is not None}
+        if self.cdc_publisher is not None and self.cdc_applier is not None:
+            cdc.update(
+                {
+                    "wal_lsn": self.database.wal_lsn(),
+                    "published_lsn": self.cdc_publisher.cursor,
+                    "pending_records": self.cdc_publisher.pending(),
+                    "apply_lag": self.cdc_applier.lag(),
+                    "applied_rows": self.cdc_applier.applied_rows,
+                    # Write→visible freshness: worst latency ever / last pass.
+                    "max_latency_s": round(self.cdc_applier.max_latency_s, 6),
+                    "last_latency_s": round(self.cdc_applier.last_latency_s, 6),
+                }
+            )
         return {
             "articles": self.database.table("articles").row_count(),
             "posts": self.database.table("posts").row_count(),
@@ -663,6 +796,7 @@ class SciLensPlatform:
             "stream_lag": self.extraction.lag(),
             "warehouse_rows": self.warehouse.total_rows(),
             "warehouse_storage": warehouse_storage,
+            "cdc": cdc,
             "warehouse_rollups": self.warehouse.rollups.overview(),
             "dfs": self.dfs.stats(),
             "jobs_success_rate": self.jobs.success_rate(),

@@ -8,8 +8,11 @@ here as from-scratch substrates:
   indexes, a small SQL dialect, transactions, write-ahead log);
 * :mod:`repro.storage.warehouse` — a partitioned columnar store on top of a
   simulated block-replicated distributed file system;
-* :mod:`repro.storage.migration` — the daily migration job that synchronises
-  the two.
+* :mod:`repro.storage.cdc` — continuous change-data capture: the WAL is
+  tailed onto per-table broker topics and landed as warehouse delta blocks,
+  keeping the two stores in sync without a batch copy;
+* :mod:`repro.storage.migration` — the bootstrap backfill and scheduled
+  compaction that remain around the CDC stream.
 """
 
 from .rdbms import (
@@ -21,6 +24,7 @@ from .rdbms import (
     lit,
 )
 from .warehouse import DistributedFileSystem, Warehouse, WarehouseTable
+from .cdc import CdcApplyReport, CdcPublisher, DeltaApplier, TableMapping
 from .migration import MigrationJob, MigrationReport
 
 __all__ = [
@@ -33,6 +37,10 @@ __all__ = [
     "DistributedFileSystem",
     "Warehouse",
     "WarehouseTable",
+    "CdcApplyReport",
+    "CdcPublisher",
+    "DeltaApplier",
+    "TableMapping",
     "MigrationJob",
     "MigrationReport",
 ]

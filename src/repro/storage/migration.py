@@ -1,37 +1,45 @@
-"""Daily migration from the operational RDBMS to the warehouse.
+"""Bootstrap backfill and scheduled compaction for the warehouse.
 
 "The data synchronization between the RDBMS and the Distributed Storage is
-made through a daily data migration process" (§3.3).  :class:`MigrationJob`
-implements that process: it keeps a per-table watermark on a timestamp column
-and, on each run, copies every row newer than the watermark into the matching
-warehouse table.
+made through a daily data migration process" (§3.3).  The platform now keeps
+the warehouse fresh *continuously* through change-data capture
+(:mod:`repro.storage.cdc`: WAL → broker → delta blocks); what remains here is
+everything CDC cannot do by construction:
 
-Incremental runs fragment the warehouse: every run appends its own (small)
-blocks to the partitions it touches, so a day partition that keeps receiving
-late rows ends up as many tiny blocks.  The job therefore also owns the
-**scheduled compaction** pass (:meth:`MigrationJob.run_compaction`, or
-``run(compact=True)`` to piggyback on the migration itself): fragmented
-partitions of the registered warehouse tables are merged back into few large
-blocks sorted by each table's sort key, freeing DFS space and restoring the
-clustered layout that scans prune best.
+* **Bootstrap backfill** — :meth:`MigrationJob.run` copies a registered RDBMS
+  table wholesale into its (empty) warehouse table, seeding the base blocks
+  that subsequent deltas merge against.  Rows that existed before CDC started
+  tailing are never replayed by the WAL, so the first sync is always a batch
+  copy.  (The old watermark-based incremental copy is gone — deltas carry the
+  increments now.)
+* **Scheduled compaction** — :meth:`MigrationJob.run_compaction` folds landed
+  delta blocks into the base and merges fragmented partitions back into few
+  large sorted blocks (see :meth:`Warehouse.compact`), bounding merge-on-read
+  cost and restoring the clustered layout that scans prune best.
 
-The migration is also the scheduled owner of the warehouse's **materialized
-roll-ups** (:mod:`repro.storage.warehouse.rollups`): after appending (and
+The job is also the scheduled owner of the warehouse's **materialized
+roll-ups** (:mod:`repro.storage.warehouse.rollups`): after a backfill (and
 after a compaction rewrite) it refreshes every registered roll-up, which
-re-aggregates only the partitions whose block set actually changed.
+re-aggregates only the partitions whose block identity actually changed —
+landed delta blocks are part of that identity, so roll-ups consume CDC
+deltas for free.
 """
 
 from __future__ import annotations
 
-from collections import Counter
 from dataclasses import dataclass, field
 from datetime import datetime, timedelta, timezone
 from typing import Any
 
 from ..errors import StorageError
+from .cdc import TableMapping
 from .rdbms.database import Database
 from .rdbms.expressions import col
 from .warehouse.warehouse import Warehouse
+
+#: Backwards-compatible alias — the mapping now lives with the CDC pipeline,
+#: which shares it (same transforms for bootstrap copies and delta messages).
+_TableMapping = TableMapping
 
 
 def _utcnow() -> datetime:
@@ -42,11 +50,10 @@ def _utcnow() -> datetime:
 def _match_zone(ts: datetime, reference: datetime) -> datetime:
     """Coerce ``ts`` to the tz-awareness of ``reference`` (naive = UTC).
 
-    The migration's watermarks inherit their awareness from the row
-    timestamps they were read from, while "now" defaults to an aware UTC
-    instant; comparing the two directly raises ``TypeError``.  Normalising to
-    the watermark's convention keeps the resulting cutoff comparable to the
-    stored rows as well.
+    Sync markers inherit their awareness from the row timestamps they were
+    read from, while "now" defaults to an aware UTC instant; comparing the
+    two directly raises ``TypeError``.  Normalising to the marker's
+    convention keeps the resulting cutoff comparable to the stored rows.
     """
     if reference.tzinfo is None:
         if ts.tzinfo is None:
@@ -59,11 +66,17 @@ def _match_zone(ts: datetime, reference: datetime) -> datetime:
 
 @dataclass(frozen=True)
 class MigrationReport:
-    """Result of one migration run."""
+    """Result of one bootstrap/backfill run."""
 
     run_at: datetime
     migrated_rows: dict[str, int] = field(default_factory=dict)
-    watermarks: dict[str, datetime | None] = field(default_factory=dict)
+    #: RDBMS tables that were (re)copied wholesale this run — their warehouse
+    #: tables were empty (or a full refresh was forced).
+    bootstrapped: tuple[str, ...] = ()
+    #: The database's WAL LSN captured when the copy started.  When *every*
+    #: registered table bootstrapped, the CDC cursor can skip to this LSN:
+    #: the copied rows already reflect all mutations up to it.
+    cursor_lsn: int = 0
     #: Materialized roll-up name → number of partitions re-aggregated by the
     #: post-migration refresh (only roll-ups where something changed appear).
     rollups_refreshed: dict[str, int] = field(default_factory=dict)
@@ -115,17 +128,8 @@ class CompactionReport:
         )
 
 
-@dataclass(frozen=True)
-class _TableMapping:
-    rdbms_table: str
-    warehouse_table: str
-    timestamp_column: str
-    partition_column: str
-    primary_key: str | None = None
-
-
 class MigrationJob:
-    """Synchronises RDBMS tables into warehouse tables on demand (daily in production)."""
+    """Bootstraps warehouse tables from the RDBMS and schedules compaction."""
 
     def __init__(
         self,
@@ -140,21 +144,18 @@ class MigrationJob:
         self.warehouse = warehouse
         #: A partition is considered fragmented — and worth rewriting on a
         #: scheduled compaction pass — once it holds this many blocks.
+        #: (Partitions with outstanding CDC deltas are always folded.)
         self.compaction_min_blocks = compaction_min_blocks
         #: Refresh the warehouse's registered materialized roll-ups after each
-        #: migration / compaction pass (incremental: only changed partitions
+        #: backfill / compaction pass (incremental: only changed partitions
         #: are re-aggregated; a no-op when nothing is registered).
         self.refresh_rollups = refresh_rollups
-        self._mappings: list[_TableMapping] = []
-        self._watermarks: dict[str, datetime] = {}
-        #: Multiset of row identities (primary keys, or row content for
-        #: key-less tables) migrated *at* each table's watermark timestamp:
-        #: re-reading the ``== watermark`` boundary on the next run picks up
-        #: late rows sharing that timestamp, and these counts keep the
-        #: already-migrated ones from being copied twice.  A multiset — not a
-        #: set — so a key-less table holding genuinely duplicate rows skips
-        #: exactly as many copies as were already migrated.
-        self._boundary_ids: dict[str, Counter] = {}
+        self._mappings: list[TableMapping] = []
+        #: Newest timestamp-column value known to be visible in the warehouse,
+        #: per RDBMS table (fed by bootstrap copies and by the CDC applier via
+        #: :meth:`note_synced`) — the retention cutoff for
+        #: :func:`prune_migrated_rows`.
+        self._synced: dict[str, datetime] = {}
         self.history: list[MigrationReport] = []
         self.compaction_history: list[CompactionReport] = []
 
@@ -166,20 +167,19 @@ class MigrationJob:
         partition_column: str | None = None,
         sort_key: list[str] | None = None,
     ) -> None:
-        """Register a table to migrate; the warehouse table is created if needed.
+        """Register a table to synchronise; the warehouse table is created if needed.
 
-        ``timestamp_column`` drives the incremental watermark (typically the
-        ingestion time), while ``partition_column`` decides how the warehouse
-        table is laid out (typically the event time, e.g. the publication
-        date of an article).  It defaults to the watermark column.
-        ``sort_key`` optionally clusters each warehouse partition by those
-        columns (tight zone maps + early-exit range scans on the sort column).
+        ``timestamp_column`` is the freshness column (typically the ingestion
+        time) that drives retention pruning and freshness reporting, while
+        ``partition_column`` decides how the warehouse table is laid out
+        (typically the event time, e.g. the publication date of an article).
+        It defaults to the timestamp column.  ``sort_key`` optionally
+        clusters each warehouse partition by those columns (tight zone maps +
+        early-exit range scans on the sort column).
 
-        A sorted index is declared on the watermark column (unless the column
-        is already indexed) so each incremental run resolves its
-        ``timestamp >= watermark`` filter (boundary rows are re-read and
-        deduped by identity, see :meth:`run`) as an index range scan instead
-        of a full table scan.
+        A sorted index is declared on the timestamp column (unless the column
+        is already indexed) so retention pruning resolves its cutoff filter
+        as an index range scan instead of a full table scan.
         """
         table = self.database.table(rdbms_table)
         if not table.schema.has_column(timestamp_column):
@@ -201,9 +201,10 @@ class MigrationJob:
                 partition_column=partition_column,
                 partition_by="day",
                 sort_key=sort_key,
+                primary_key=table.schema.primary_key,
             )
         self._mappings.append(
-            _TableMapping(
+            TableMapping(
                 rdbms_table=rdbms_table,
                 warehouse_table=warehouse_name,
                 timestamp_column=timestamp_column,
@@ -212,67 +213,50 @@ class MigrationJob:
             )
         )
 
-    def run(self, now: datetime | None = None, compact: bool = False) -> MigrationReport:
-        """Migrate every registered table and return a report.
+    def run(
+        self,
+        now: datetime | None = None,
+        compact: bool = False,
+        full_refresh: bool = False,
+    ) -> MigrationReport:
+        """Bootstrap-backfill registered tables and return a report.
 
-        Rows with a timestamp **at or after** the table's watermark are
-        re-read; rows already migrated at the exact watermark timestamp are
-        recognised by identity (primary key) and skipped, so a late-arriving
-        row that *shares* the watermark timestamp is picked up by the next run
-        — exactly once — instead of being lost behind a strict ``>`` filter.
-        The watermark then advances to the newest migrated timestamp.  With
-        ``compact=True`` a compaction pass (:meth:`run_compaction`) follows
-        the migration, so one scheduled job keeps the warehouse both fresh
-        and defragmented.  Registered materialized roll-ups are refreshed
-        incrementally afterwards (see :attr:`refresh_rollups`).
+        Each registered table whose warehouse table is still **empty** is
+        copied wholesale — the seed the CDC delta stream merges against.
+        Tables that already hold rows are left alone: their increments arrive
+        as deltas (:mod:`repro.storage.cdc`), not as copies.  With
+        ``full_refresh=True`` every table is dropped and re-copied (the
+        batch fallback when CDC is disabled).  With ``compact=True`` a
+        compaction pass (:meth:`run_compaction`) follows, so one scheduled
+        job keeps the warehouse both folded and defragmented.  Registered
+        materialized roll-ups are refreshed incrementally afterwards (see
+        :attr:`refresh_rollups`).
         """
         now = now or _utcnow()
+        cursor_lsn = self.database.wal_lsn()
         migrated: dict[str, int] = {}
-        watermarks: dict[str, datetime | None] = {}
+        bootstrapped: list[str] = []
 
         for mapping in self._mappings:
-            ts_column = mapping.timestamp_column
-            watermark = self._watermarks.get(mapping.rdbms_table)
-            boundary = self._boundary_ids.get(mapping.rdbms_table, Counter())
-            query = self.database.query(mapping.rdbms_table)
-            if watermark is not None:
-                query = query.where(col(ts_column) >= watermark)
-            rows = query.execute().rows
-            if watermark is not None:
-                # Skip exactly as many boundary-timestamp copies of each
-                # identity as previous runs already migrated; any copies
-                # beyond that count are genuinely new rows.
-                seen: Counter = Counter()
-                fresh: list[dict[str, Any]] = []
-                for row in rows:
-                    if row.get(ts_column) == watermark:
-                        identity = self._row_identity(mapping, row)
-                        seen[identity] += 1
-                        if seen[identity] <= boundary[identity]:
-                            continue
-                    fresh.append(row)
-                rows = fresh
-
+            table = self.warehouse.table(mapping.warehouse_table)
+            if full_refresh:
+                for partition in list(table.partitions()):
+                    table.drop_partition(partition)
+            elif table.row_count() > 0:
+                migrated[mapping.rdbms_table] = 0
+                continue
+            rows = self.database.query(mapping.rdbms_table).execute().rows
             if rows:
-                self.warehouse.table(mapping.warehouse_table).append(rows)
-                stamps = [
-                    row[ts_column] for row in rows if row.get(ts_column) is not None
-                ]
-                if stamps:
-                    newest = max(stamps)
-                    at_newest = Counter(
-                        self._row_identity(mapping, row)
-                        for row in rows
-                        if row.get(ts_column) == newest
-                    )
-                    if newest == watermark:
-                        boundary = boundary + at_newest
-                    else:
-                        boundary = at_newest
-                    self._watermarks[mapping.rdbms_table] = newest
-                    self._boundary_ids[mapping.rdbms_table] = boundary
+                table.append(rows)
             migrated[mapping.rdbms_table] = len(rows)
-            watermarks[mapping.rdbms_table] = self._watermarks.get(mapping.rdbms_table)
+            bootstrapped.append(mapping.rdbms_table)
+            stamps = [
+                row[mapping.timestamp_column]
+                for row in rows
+                if row.get(mapping.timestamp_column) is not None
+            ]
+            if stamps:
+                self.note_synced(mapping.rdbms_table, max(stamps))
 
         rollups_refreshed: dict[str, int] = {}
         if self.refresh_rollups and not compact:
@@ -281,28 +265,22 @@ class MigrationJob:
             # would be wasted work.
             rollups_refreshed = self._refresh_registered_rollups()
         report = MigrationReport(
-            run_at=now, migrated_rows=migrated, watermarks=watermarks,
-            rollups_refreshed=rollups_refreshed,
+            run_at=now, migrated_rows=migrated, bootstrapped=tuple(bootstrapped),
+            cursor_lsn=cursor_lsn, rollups_refreshed=rollups_refreshed,
         )
         self.history.append(report)
         if compact:
             self.run_compaction(now=now)
         return report
 
-    @staticmethod
-    def _row_identity(mapping: _TableMapping, row: dict[str, Any]) -> Any:
-        """A hashable identity for boundary dedup: the primary key when the
-        table declares one, else the row's canonical content."""
-        if mapping.primary_key is not None:
-            return row.get(mapping.primary_key)
-        return repr(sorted((key, repr(value)) for key, value in row.items()))
-
-    def _refresh_registered_rollups(self) -> dict[str, int]:
+    def refresh_standing_rollups(self) -> dict[str, int]:
         """Incrementally refresh the warehouse's materialized roll-ups.
 
         Returns ``{rollup name: partitions re-aggregated}`` for roll-ups where
         anything changed; untouched roll-ups cost one block-identity
-        comparison each and are omitted.
+        comparison each and are omitted.  (Landed delta blocks are part of a
+        partition's block identity, so the CDC applier's work is picked up
+        exactly like a rewrite.)
         """
         return {
             name: len(report.refreshed_partitions)
@@ -310,18 +288,23 @@ class MigrationJob:
             if report.changed
         }
 
+    # Backwards-compatible internal alias.
+    _refresh_registered_rollups = refresh_standing_rollups
+
     def run_compaction(
         self, now: datetime | None = None, min_blocks: int | None = None
     ) -> CompactionReport:
         """Compact fragmented partitions of every registered warehouse table.
 
         ``min_blocks`` overrides :attr:`compaction_min_blocks` for this pass.
-        Partitions below the threshold are left untouched, so the pass is
-        cheap when the warehouse is already tidy; query results are identical
-        before and after (compaction only rewrites the physical layout).
-        Registered materialized roll-ups are refreshed afterwards: the
-        rewrite changes every compacted partition's block identity, and the
-        refresh re-aggregates exactly those partitions from the new blocks.
+        Partitions below the threshold are left untouched — unless they hold
+        CDC delta blocks, which are always folded into the base — so the pass
+        is cheap when the warehouse is already tidy; query results are
+        identical before and after (compaction only rewrites the physical
+        layout).  Registered materialized roll-ups are refreshed afterwards:
+        the rewrite changes every compacted partition's block identity, and
+        the refresh re-aggregates exactly those partitions from the new
+        blocks.
         """
         now = now or _utcnow()
         threshold = self.compaction_min_blocks if min_blocks is None else min_blocks
@@ -343,9 +326,21 @@ class MigrationJob:
         self.compaction_history.append(report)
         return report
 
-    def watermark(self, rdbms_table: str) -> datetime | None:
-        """Current watermark of ``rdbms_table`` (``None`` before the first run)."""
-        return self._watermarks.get(rdbms_table)
+    def synced_through(self, rdbms_table: str) -> datetime | None:
+        """Newest timestamp-column value known to be warehouse-visible for
+        ``rdbms_table`` (``None`` before the first sync)."""
+        return self._synced.get(rdbms_table)
+
+    def note_synced(self, rdbms_table: str, stamp: datetime) -> None:
+        """Record that rows up to ``stamp`` are visible in the warehouse
+        (monotonic; called by bootstrap copies and the CDC applier)."""
+        known = self._synced.get(rdbms_table)
+        if known is None or _match_zone(stamp, known) > known:
+            self._synced[rdbms_table] = stamp
+
+    def mappings(self) -> list[TableMapping]:
+        """The registered table mappings (shared with the CDC pipeline)."""
+        return list(self._mappings)
 
     def registered_tables(self) -> list[str]:
         return [mapping.rdbms_table for mapping in self._mappings]
@@ -359,18 +354,20 @@ def prune_migrated_rows(
     keep_days: int = 7,
     now: datetime | None = None,
 ) -> int:
-    """Optional retention step: delete operational rows that are both migrated
-    and older than ``keep_days`` days, keeping the RDBMS small.
+    """Optional retention step: delete operational rows that are both
+    warehouse-visible and older than ``keep_days`` days, keeping the RDBMS
+    small.
 
-    ``now`` defaults to an aware UTC instant and is normalised to the
-    watermark's tz-awareness before the comparison, so tz-aware watermarks
-    (rows ingested with aware timestamps) no longer raise ``TypeError``
-    against a naive default.
+    "Visible" is judged by the job's sync marker (bootstrap copies and the
+    CDC applier both advance it).  ``now`` defaults to an aware UTC instant
+    and is normalised to the marker's tz-awareness before the comparison, so
+    tz-aware markers (rows ingested with aware timestamps) never raise
+    ``TypeError`` against a naive default.
     """
-    watermark = migration.watermark(rdbms_table)
-    if watermark is None:
+    synced = migration.synced_through(rdbms_table)
+    if synced is None:
         return 0
     now = now or _utcnow()
-    age_cutoff = _match_zone(now, watermark) - timedelta(days=keep_days)
-    cutoff = min(watermark, age_cutoff)
+    age_cutoff = _match_zone(now, synced) - timedelta(days=keep_days)
+    cutoff = min(synced, age_cutoff)
     return database.delete(rdbms_table, col(timestamp_column) <= cutoff)

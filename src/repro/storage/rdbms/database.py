@@ -37,9 +37,14 @@ class Database:
         self._active_transaction: Transaction | None = None
         self._wal: WriteAheadLog | None = None
         self._replaying = False
-        if self.data_dir is not None and wal_enabled:
-            self._wal = WriteAheadLog(self.data_dir / "wal.jsonl")
-            self._replay_wal()
+        if wal_enabled:
+            if self.data_dir is not None:
+                self._wal = WriteAheadLog(self.data_dir / "wal.jsonl")
+                self._replay_wal()
+            else:
+                # In-memory WAL: no durability, but every committed mutation
+                # still carries an LSN so CDC can tail the database.
+                self._wal = WriteAheadLog()
 
     # ----------------------------------------------------------------- tables
 
@@ -129,12 +134,16 @@ class Database:
         table = self.table(table_name)
         self._capture(table_name)
         pk = table.schema.primary_key
-        doomed_keys: list[Any] = []
+        doomed: list[tuple[Any, dict[str, Any]]] = []
         if pk is not None and self._wal is not None:
-            doomed_keys = [row[pk] for row in table.select(predicate)]
+            doomed = [
+                (row[pk], _row_to_payload(table, row)) for row in table.select(predicate)
+            ]
         deleted = table.delete_rows(predicate)
-        for key in doomed_keys:
-            self._log("delete_pk", table_name, {"primary_key": key})
+        # The deleted row travels with the record so CDC consumers can route
+        # the tombstone to the right warehouse partition.
+        for key, payload in doomed:
+            self._log("delete_pk", table_name, {"primary_key": key, "row": payload})
         return deleted
 
     # ------------------------------------------------------------------ reads
@@ -212,6 +221,15 @@ class Database:
             self._active_transaction = None
 
     # -------------------------------------------------------------------- WAL
+
+    @property
+    def wal(self) -> WriteAheadLog | None:
+        """The write-ahead log (``None`` only when WAL is disabled)."""
+        return self._wal
+
+    def wal_lsn(self) -> int:
+        """The LSN of the most recent committed mutation (0 without a WAL)."""
+        return self._wal.last_lsn if self._wal is not None else 0
 
     def _log(self, operation: str, table: str, payload: dict[str, Any]) -> None:
         if self._wal is not None and not self._replaying:

@@ -519,12 +519,16 @@ class ColumnarBlock:
     when unsorted); ``dictionaries`` maps dictionary-encoded column names to
     their ``(values, codes)`` pair as read off the wire, giving aggregation a
     code-level fast path (it is empty for blocks built straight from rows).
+    ``role`` distinguishes ordinary ``"base"`` blocks from CDC ``"delta"``
+    blocks (row versions merged into the base at read time); it rides in the
+    JSON header, leaving the format-4 wire layout unchanged.
     """
 
     columns: Mapping[str, list[Any]]
     n_rows: int
     stats: dict[str, dict[str, Any]] = field(default_factory=dict)
     sort_key: tuple[str, ...] | None = None
+    role: str = "base"
     dictionaries: dict[str, tuple[list[Any], Sequence[int | None]]] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -540,6 +544,7 @@ class ColumnarBlock:
         rows: Sequence[dict[str, Any]],
         column_names: Sequence[str],
         sort_key: Sequence[str] | None = None,
+        role: str = "base",
     ) -> "ColumnarBlock":
         """Build a block from row dictionaries (missing columns become ``None``).
 
@@ -563,7 +568,9 @@ class ColumnarBlock:
                 "min": min(comparable) if comparable else None,
                 "max": max(comparable) if comparable else None,
             }
-        return cls(columns=columns, n_rows=len(rows), stats=stats, sort_key=applied)
+        return cls(
+            columns=columns, n_rows=len(rows), stats=stats, sort_key=applied, role=role
+        )
 
     def to_rows(self, columns: Sequence[str] | None = None) -> list[dict[str, Any]]:
         """Materialise the block back into row dictionaries (optionally projected)."""
@@ -664,6 +671,8 @@ class ColumnarBlock:
         }
         if self.sort_key:
             header["sort_key"] = list(self.sort_key)
+        if self.role != "base":
+            header["role"] = self.role
         encoded = json.dumps(header, sort_keys=True, separators=(",", ":")).encode("utf-8")
         return len(encoded).to_bytes(4, "big") + encoded + bytes(body)
 
@@ -729,6 +738,7 @@ class ColumnarBlock:
                 n_rows=int(header["n_rows"]),
                 stats=stats,
                 sort_key=tuple(sort_key) if sort_key else None,
+                role=str(header.get("role", "base")),
                 _dict_loaders=dict_loaders,
             )
             block_cell.append(block)
@@ -762,5 +772,6 @@ class ColumnarBlock:
             n_rows=int(payload["n_rows"]),
             stats=stats,
             sort_key=tuple(sort_key) if sort_key else None,
+            role=str(payload.get("role", "base")),
             dictionaries=dictionaries,
         )

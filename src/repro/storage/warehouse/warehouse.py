@@ -157,6 +157,28 @@ class _BlockRef:
     #: accounting surfaced by :meth:`WarehouseTable.storage_stats`.
     compressed_bytes: int = 0
     uncompressed_bytes: int = 0
+    #: ``"base"`` or ``"delta"`` — mirrors the block-header role.
+    role: str = "base"
+    #: In-memory block of a *synthetic* ref (the merged base+delta view of a
+    #: partition).  Synthetic refs are never persisted: ``_load_block``
+    #: returns this object directly and the path is only an identity token.
+    block: ColumnarBlock | None = None
+
+
+@dataclass
+class _DeltaEntry:
+    """Latest CDC version of one primary key (last-writer-wins by LSN).
+
+    ``partition`` is where that version lives (for deletes: where the deleted
+    row lived); ``folded`` flips when a compaction folds the version into the
+    partition's base blocks, after which the base row *is* the latest version
+    and must no longer be suppressed at merge time.
+    """
+
+    lsn: int
+    partition: str
+    op: str  # "u" (upsert) | "d" (delete)
+    folded: bool = False
 
 
 class _BlockCache:
@@ -249,6 +271,7 @@ class WarehouseTable:
         cache_blocks: int = 64,
         sort_key: Sequence[str] | None = None,
         compression_level: int = DEFAULT_COMPRESSION_LEVEL,
+        primary_key: str | None = None,
     ) -> None:
         if not columns:
             raise WarehouseError(f"table {name!r} needs at least one column")
@@ -267,9 +290,35 @@ class WarehouseTable:
                 raise WarehouseError(
                     f"table {name!r} sort key references unknown column(s) {missing!r}"
                 )
+        if primary_key is not None and primary_key not in self.columns:
+            raise WarehouseError(
+                f"table {name!r} primary key {primary_key!r} is not a column"
+            )
+        self.primary_key = primary_key
         self._partitions: dict[str, list[_BlockRef]] = {}
         self._block_counter = 0
         self._cache = _BlockCache(cache_blocks)
+        # --- CDC delta state (only populated on tables receiving deltas) ---
+        #: Small sorted delta blocks per partition, merged into the base at
+        #: read time and folded into it by :meth:`compact_partition`.
+        self._delta_partitions: dict[str, list[_BlockRef]] = {}
+        #: Latest landed version per primary key (canonical form) — the
+        #: last-writer-wins index.  Never pruned: it is also the exactly-once
+        #: guard against redelivered deltas.
+        self._delta_info: dict[Any, _DeltaEntry] = {}
+        #: Current partition of each primary key (maintained once a primary
+        #: key is known), used to detect cross-partition row moves.
+        self._pk_partition: dict[Any, str] = {}
+        #: Bumped when a delta moves/updates a key *away* from a partition:
+        #: that partition's bytes did not change but its merged view did, so
+        #: the epoch is folded into its signature and merge-cache key.
+        self._suppression_epoch: dict[str, int] = {}
+        #: Cached merged view per partition: ``(cache key, synthetic refs)``.
+        self._merged_refs: dict[str, tuple[tuple, list[_BlockRef]]] = {}
+        self._merge_counter = 0
+        #: Per-partition read counters (how often a scan/aggregate touched the
+        #: partition) — drives hot-first compaction ordering.
+        self._read_counts: Counter[str] = Counter()
 
     @property
     def sort_key(self) -> tuple[str, ...] | None:
@@ -297,6 +346,8 @@ class WarehouseTable:
         for row in rows:
             partition = self.partitioner(row)
             grouped.setdefault(partition, []).append(row)
+            if self.primary_key is not None:
+                self._pk_partition[canonical_key(row.get(self.primary_key))] = partition
             count += 1
         for partition, partition_rows in grouped.items():
             applied: tuple[str, ...] | None = None
@@ -337,6 +388,219 @@ class WarehouseTable:
             compressed_bytes=len(data), uncompressed_bytes=len(payload),
         )
 
+    def append_deltas(
+        self,
+        entries: Sequence[tuple[int, str, dict[str, Any]]],
+        primary_key: str | None = None,
+    ) -> int:
+        """Land CDC row deltas as small sorted delta blocks; returns rows applied.
+
+        ``entries`` are ``(lsn, op, row)`` triples with ``op`` one of
+        ``"insert"``/``"upsert"``/``"u"`` (latest row version) or
+        ``"delete"``/``"d"`` (tombstone; ``row`` is the deleted row, used for
+        partition routing).  Application is **idempotent**: an entry whose LSN
+        is not strictly greater than the latest landed version of its primary
+        key is dropped, so redelivered broker batches (consumer restart,
+        checkpoint replay) never land twice — regardless of delivery order
+        across broker partitions.
+
+        Reads merge these deltas into the base blocks with last-writer-wins
+        by primary key/LSN (see :meth:`_effective_refs`);
+        :meth:`compact_partition` folds them into the base for good.
+        """
+        if primary_key is not None:
+            if self.primary_key is None:
+                if primary_key not in self.columns:
+                    raise WarehouseError(
+                        f"table {self.name!r} primary key {primary_key!r} is not a column"
+                    )
+                self.primary_key = primary_key
+            elif primary_key != self.primary_key:
+                raise WarehouseError(
+                    f"table {self.name!r} primary key is {self.primary_key!r}, "
+                    f"not {primary_key!r}"
+                )
+        if self.primary_key is None:
+            raise WarehouseError(
+                f"table {self.name!r} needs a primary key to apply CDC deltas"
+            )
+        fresh: dict[str, list[tuple[int, str, dict[str, Any]]]] = {}
+        applied = 0
+        for lsn, op, row in sorted(entries, key=lambda entry: entry[0]):
+            opcode = "d" if op in ("d", "delete") else "u"
+            key = canonical_key(row.get(self.primary_key))
+            existing = self._delta_info.get(key)
+            if existing is not None and lsn <= existing.lsn:
+                continue  # duplicate or stale redelivery
+            target = self.partitioner(row)
+            previous = self._pk_partition.get(key)
+            if previous is not None and previous != target:
+                # The key's old partition keeps its bytes but loses the row
+                # from its merged view — bump its epoch so signatures and
+                # cached merges notice.
+                self._suppression_epoch[previous] = (
+                    self._suppression_epoch.get(previous, 0) + 1
+                )
+                self._merged_refs.pop(previous, None)
+            self._delta_info[key] = _DeltaEntry(lsn=lsn, partition=target, op=opcode)
+            if opcode == "d":
+                self._pk_partition.pop(key, None)
+            else:
+                self._pk_partition[key] = target
+            fresh.setdefault(target, []).append((lsn, opcode, row))
+            applied += 1
+        for partition, items in fresh.items():
+            delta_rows = [
+                {
+                    **{name: row.get(name) for name in self.columns},
+                    "_cdc_lsn": lsn,
+                    "_cdc_op": opcode,
+                }
+                for lsn, opcode, row in items
+            ]
+            applied_key: tuple[str, ...] | None = None
+            if self._sort_key:
+                delta_rows, applied_key = sort_rows(delta_rows, self._sort_key)
+            for start in range(0, len(delta_rows), self.block_rows):
+                chunk = delta_rows[start:start + self.block_rows]
+                self._delta_partitions.setdefault(partition, []).append(
+                    self._store_delta_block(partition, chunk, applied_key)
+                )
+            self._merged_refs.pop(partition, None)
+        return applied
+
+    def _store_delta_block(
+        self,
+        partition: str,
+        rows: list[dict[str, Any]],
+        sort_key: tuple[str, ...] | None = None,
+    ) -> _BlockRef:
+        block = ColumnarBlock.from_rows(
+            rows, self.columns + ["_cdc_lsn", "_cdc_op"],
+            sort_key=sort_key, role="delta",
+        )
+        payload = block.to_payload()
+        data = wrap_payload(payload, self._compression_level)
+        self._block_counter += 1
+        path = f"/warehouse/{self.name}/{partition}/delta-{self._block_counter:06d}.blk"
+        self.dfs.write_file(path, data)
+        return _BlockRef(
+            path=path, n_rows=block.n_rows, stats=block.stats,
+            sort_key=block.sort_key,
+            compressed_bytes=len(data), uncompressed_bytes=len(payload),
+            role="delta",
+        )
+
+    def delta_block_count(self, partition: str | None = None) -> int:
+        """Physical delta blocks awaiting a fold (optionally of one partition)."""
+        if partition is not None:
+            return len(self._delta_partitions.get(partition, []))
+        return sum(len(refs) for refs in self._delta_partitions.values())
+
+    def _effective_refs(self, partition: str) -> list[_BlockRef]:
+        """The partition's readable block refs: base blocks as stored, or the
+        merged base+delta view when deltas (or away-moves) are outstanding.
+
+        The merged view is rebuilt from rows and cut into ``block_rows``
+        chunks exactly like an append of the same rows, so its blocks — and
+        therefore zone statistics, stats-only aggregates and float fold order
+        — are indistinguishable from a fresh batch copy of the merged data.
+        """
+        base = self._partitions.get(partition, [])
+        deltas = self._delta_partitions.get(partition, [])
+        epoch = self._suppression_epoch.get(partition, 0)
+        if not deltas and not epoch:
+            return base
+        cache_key = (
+            tuple(ref.path for ref in base),
+            tuple(ref.path for ref in deltas),
+            epoch,
+        )
+        cached = self._merged_refs.get(partition)
+        if cached is not None and cached[0] == cache_key:
+            return cached[1]
+        refs = self._build_merged_refs(partition, base, deltas)
+        self._merged_refs[partition] = (cache_key, refs)
+        return refs
+
+    def _merged_rows(
+        self,
+        partition: str,
+        base_refs: list[_BlockRef],
+        delta_refs: list[_BlockRef],
+    ) -> list[dict[str, Any]]:
+        """Last-writer-wins merge of a partition's base and delta rows.
+
+        Base rows are walked in stored order; a row whose key has a newer
+        delta version is substituted in place (targeting this partition) or
+        dropped (delete, or moved to another partition).  Surviving delta
+        rows with no base predecessor here are appended in LSN order — the
+        position a fresh batch copy would have given them.
+        """
+        assert self.primary_key is not None
+        pk = self.primary_key
+        latest: dict[Any, tuple[int, dict[str, Any]]] = {}
+        for ref in delta_refs:
+            block = self._cache.get(ref.path)
+            if block is None:
+                block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
+            for row in block.to_rows():
+                lsn = row.pop("_cdc_lsn")
+                opcode = row.pop("_cdc_op")
+                entry = self._delta_info.get(canonical_key(row.get(pk)))
+                if entry is not None and lsn == entry.lsn and opcode == "u":
+                    latest[canonical_key(row.get(pk))] = (lsn, row)
+        merged: list[dict[str, Any]] = []
+        for ref in base_refs:
+            block = self._cache.get(ref.path)
+            if block is None:
+                block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
+            for row in block.to_rows():
+                key = canonical_key(row.get(pk))
+                entry = self._delta_info.get(key)
+                if entry is None:
+                    merged.append(row)
+                elif entry.folded and entry.partition == partition:
+                    merged.append(row)  # base row already is the latest version
+                elif entry.partition == partition and entry.op == "u":
+                    replacement = latest.pop(key, None)
+                    merged.append(row if replacement is None else replacement[1])
+                # else: deleted, or moved to another partition — drop.
+        merged.extend(row for _lsn, row in sorted(latest.values(), key=lambda v: v[0]))
+        return merged
+
+    def _build_merged_refs(
+        self,
+        partition: str,
+        base_refs: list[_BlockRef],
+        delta_refs: list[_BlockRef],
+    ) -> list[_BlockRef]:
+        rows = self._merged_rows(partition, base_refs, delta_refs)
+        if not rows:
+            return []
+        applied: tuple[str, ...] | None = None
+        if self._sort_key:
+            rows, applied = sort_rows(rows, self._sort_key)
+        self._merge_counter += 1
+        refs: list[_BlockRef] = []
+        for index, start in enumerate(range(0, len(rows), self.block_rows)):
+            chunk = rows[start:start + self.block_rows]
+            # Sorted column order: the wire header is serialised with sorted
+            # keys, so durable blocks decode — and scan — alphabetically.
+            # The in-memory merged view must be indistinguishable from one.
+            block = ColumnarBlock.from_rows(
+                chunk, sorted(self.columns), sort_key=applied
+            )
+            refs.append(_BlockRef(
+                path=(
+                    f"/warehouse/{self.name}/{partition}/"
+                    f"merged-{self._merge_counter:06d}-{index:04d}.mem"
+                ),
+                n_rows=block.n_rows, stats=block.stats, sort_key=block.sort_key,
+                block=block,
+            ))
+        return refs
+
     def drop_partition(self, partition: str) -> int:
         """Delete every block of ``partition``; returns the number of rows removed."""
         refs = self._partitions.pop(partition, [])
@@ -345,6 +609,18 @@ class WarehouseTable:
             self._cache.invalidate(ref.path)
             self.dfs.delete_file(ref.path)
             removed += ref.n_rows
+        for ref in self._delta_partitions.pop(partition, []):
+            self._cache.invalidate(ref.path)
+            self.dfs.delete_file(ref.path)
+            removed += ref.n_rows
+        self._merged_refs.pop(partition, None)
+        self._suppression_epoch.pop(partition, None)
+        doomed = [k for k, e in self._delta_info.items() if e.partition == partition]
+        for key in doomed:
+            del self._delta_info[key]
+        orphans = [k for k, p in self._pk_partition.items() if p == partition]
+        for key in orphans:
+            del self._pk_partition[key]
         return removed
 
     def compact_partition(self, partition: str) -> dict[str, int]:
@@ -359,24 +635,37 @@ class WarehouseTable:
         invalidates their block-cache entries.  On tables without a sort key
         the concatenated row order is preserved exactly.
 
+        With outstanding CDC deltas (or rows moved away by deltas), compaction
+        additionally **folds** them: the merged last-writer-wins view is what
+        gets rewritten as base blocks, the delta blocks are deleted and the
+        folded key versions are marked so reads stop suppressing the (now
+        up-to-date) base rows.
+
         Returns a report: ``rows``, ``blocks_before``/``blocks_after`` and
-        ``compressed_bytes_before``/``compressed_bytes_after``.
+        ``compressed_bytes_before``/``compressed_bytes_after``
+        (delta blocks count as blocks/bytes before the rewrite).
         """
         refs = self._partitions.get(partition)
-        if refs is None:
+        delta_refs = self._delta_partitions.get(partition, [])
+        if refs is None and not delta_refs:
             raise WarehouseError(
                 f"table {self.name!r} has no partition {partition!r}"
             )
-        rows: list[dict[str, Any]] = []
-        for ref in refs:
-            # One-shot reads of doomed blocks: peek at the cache for blocks
-            # already resident, but never populate it — cycling a large
-            # fragmented partition through the LRU would evict the analytics
-            # working set for entries invalidated moments later.
-            block = self._cache.get(ref.path)
-            if block is None:
-                block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
-            rows.extend(block.to_rows())
+        base_refs = refs or []
+        folding = bool(delta_refs) or bool(self._suppression_epoch.get(partition))
+        if folding:
+            rows = self._merged_rows(partition, base_refs, delta_refs)
+        else:
+            rows = []
+            for ref in base_refs:
+                # One-shot reads of doomed blocks: peek at the cache for blocks
+                # already resident, but never populate it — cycling a large
+                # fragmented partition through the LRU would evict the analytics
+                # working set for entries invalidated moments later.
+                block = self._cache.get(ref.path)
+                if block is None:
+                    block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
+                rows.extend(block.to_rows())
         applied: tuple[str, ...] | None = None
         if self._sort_key:
             rows, applied = sort_rows(rows, self._sort_key)
@@ -384,7 +673,7 @@ class WarehouseTable:
         # visible refs: a write failure mid-compaction then leaves the old
         # layout fully intact (the already-written replacements are merely
         # unreferenced DFS files), never a truncated partition.
-        old_refs = refs
+        old_refs = base_refs + delta_refs
         new_refs = [
             self._store_block(partition, rows[start:start + self.block_rows], applied)
             for start in range(0, len(rows), self.block_rows)
@@ -393,6 +682,15 @@ class WarehouseTable:
         for ref in old_refs:
             self._cache.invalidate(ref.path)
             self.dfs.delete_file(ref.path)
+        if folding:
+            self._delta_partitions.pop(partition, None)
+            self._merged_refs.pop(partition, None)
+            self._suppression_epoch.pop(partition, None)
+            for key, entry in self._delta_info.items():
+                if entry.partition == partition:
+                    # The base now holds (or, for deletes, lacks) exactly this
+                    # version; only a strictly newer delta may override it.
+                    entry.folded = True
         return {
             "rows": len(rows),
             "blocks_before": len(old_refs),
@@ -404,14 +702,21 @@ class WarehouseTable:
     # ----------------------------------------------------------------- reads
 
     def partitions(self) -> list[str]:
-        """All partition keys, sorted."""
-        return sorted(self._partitions)
+        """All partition keys, sorted (delta-only partitions included)."""
+        if not self._delta_partitions:
+            return sorted(self._partitions)
+        return sorted(set(self._partitions) | set(self._delta_partitions))
 
     def row_count(self, partition: str | None = None) -> int:
-        """Total rows (optionally of a single partition)."""
+        """Total *visible* rows (optionally of a single partition): with
+        outstanding deltas this is the merged row count, not the physical one."""
         if partition is not None:
-            return sum(ref.n_rows for ref in self._partitions.get(partition, []))
-        return sum(ref.n_rows for refs in self._partitions.values() for ref in refs)
+            return sum(ref.n_rows for ref in self._effective_refs(partition))
+        return sum(
+            ref.n_rows
+            for partition in self.partitions()
+            for ref in self._effective_refs(partition)
+        )
 
     def scan(
         self,
@@ -436,7 +741,10 @@ class WarehouseTable:
         """
         zone_filters = [zone_filter] if zone_filter is not None else None
         for _partition, ref in self._iter_refs(partitions, zone_filters):
-            block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
+            block = (
+                ref.block if ref.block is not None
+                else ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
+            )
             for row in block.to_rows(columns):
                 if predicate is None or predicate(row):
                     yield row
@@ -604,13 +912,23 @@ class WarehouseTable:
         Appends add paths, compaction replaces them and drops remove the
         partition entirely, so the signature changes exactly when the
         partition's physical block set changes — the staleness test that
-        drives incremental roll-up refreshes.  Name-node metadata only; no
-        DFS read happens.
+        drives incremental roll-up refreshes.  CDC state is part of the
+        identity: landed delta-block paths are appended, and a suppression
+        epoch marker is added when deltas moved rows *away* without touching
+        this partition's bytes — so incremental refresh consumes deltas for
+        free.  Name-node metadata only; no DFS read happens.
         """
         refs = self._partitions.get(partition)
-        if refs is None:
+        delta_refs = self._delta_partitions.get(partition)
+        if refs is None and delta_refs is None:
             raise WarehouseError(f"table {self.name!r} has no partition {partition!r}")
-        return tuple(ref.path for ref in refs)
+        signature = tuple(ref.path for ref in refs or []) + tuple(
+            ref.path for ref in delta_refs or []
+        )
+        epoch = self._suppression_epoch.get(partition, 0)
+        if epoch:
+            signature += (f"#suppression-epoch={epoch}",)
+        return signature
 
     def read_column(self, column: str, partitions: Sequence[str] | None = None) -> list[Any]:
         """All values of ``column``, read directly from the block column arrays.
@@ -625,7 +943,11 @@ class WarehouseTable:
         return out
 
     def block_count(self) -> int:
-        return sum(len(refs) for refs in self._partitions.values())
+        """Physical blocks on the DFS (base + not-yet-folded delta blocks)."""
+        return (
+            sum(len(refs) for refs in self._partitions.values())
+            + self.delta_block_count()
+        )
 
     def cache_info(self) -> dict[str, int]:
         """Block-cache statistics: hits, misses, resident entries, capacity."""
@@ -645,7 +967,10 @@ class WarehouseTable:
         block — the partitions a compaction pass would merge.
         """
         compressed = uncompressed = fragmented = 0
-        for refs in self._partitions.values():
+        for partition in self.partitions():
+            refs = self._partitions.get(partition, []) + self._delta_partitions.get(
+                partition, []
+            )
             if len(refs) > 1:
                 fragmented += 1
             for ref in refs:
@@ -655,8 +980,9 @@ class WarehouseTable:
             "table": self.name,
             "compression_level": self._compression_level,
             "block_count": self.block_count(),
+            "delta_block_count": self.delta_block_count(),
             "row_count": self.row_count(),
-            "partition_count": len(self._partitions),
+            "partition_count": len(self.partitions()),
             "fragmented_partitions": fragmented,
             "compressed_bytes": compressed,
             "uncompressed_bytes": uncompressed,
@@ -673,15 +999,19 @@ class WarehouseTable:
         """
         partitions: dict[str, dict[str, Any]] = {}
         for partition in self.partitions():
-            refs = self._partitions[partition]
+            refs = self._partitions.get(partition, []) + self._delta_partitions.get(
+                partition, []
+            )
             partitions[partition] = {
                 "rows": sum(ref.n_rows for ref in refs),
+                "reads": self._read_counts.get(partition, 0),
                 "compressed_bytes": sum(ref.compressed_bytes for ref in refs),
                 "uncompressed_bytes": sum(ref.uncompressed_bytes for ref in refs),
                 "blocks": [
                     {
                         "path": ref.path,
                         "rows": ref.n_rows,
+                        "role": ref.role,
                         "compressed_bytes": ref.compressed_bytes,
                         "uncompressed_bytes": ref.uncompressed_bytes,
                     }
@@ -750,7 +1080,8 @@ class WarehouseTable:
         for partition in self.partitions():
             if wanted is not None and partition not in wanted:
                 continue
-            refs = self._partitions[partition]
+            refs = self._effective_refs(partition)
+            self._read_counts[partition] += 1
             if sort_col is not None:
                 ordered = _refs_in_min_order(refs, sort_col)
                 if ordered is not None:
@@ -814,6 +1145,10 @@ class WarehouseTable:
         return (result for batch in batches for result in batch)
 
     def _load_block(self, ref: _BlockRef) -> ColumnarBlock:
+        if ref.block is not None:
+            # Synthetic merged ref: the block lives in memory with the ref
+            # (and is cached by ``_merged_refs``), not in the LRU.
+            return ref.block
         block = self._cache.get(ref.path)
         if block is None:
             block = ColumnarBlock.from_bytes(self.dfs.read_file(ref.path))
@@ -1409,6 +1744,7 @@ class Warehouse:
         if_not_exists: bool = False,
         sort_key: Sequence[str] | None = None,
         compression_level: int | None = None,
+        primary_key: str | None = None,
     ) -> WarehouseTable:
         """Create a table partitioned by ``partition_column`` (by day or by value).
 
@@ -1416,6 +1752,9 @@ class Warehouse:
         batch is sorted by them before being cut into blocks (see
         :meth:`WarehouseTable.append`).  ``compression_level`` overrides the
         warehouse-wide block compression level for this table.
+        ``primary_key`` names the row-identity column required for CDC delta
+        application (:meth:`WarehouseTable.append_deltas`); declare it at
+        creation so base appends track row locations from the start.
         """
         if name in self._tables:
             if if_not_exists:
@@ -1439,6 +1778,7 @@ class Warehouse:
                 self.compression_level if compression_level is None
                 else compression_level
             ),
+            primary_key=primary_key,
         )
         self._tables[name] = table
         return table
@@ -1490,8 +1830,17 @@ class Warehouse:
     ) -> dict[str, list[dict[str, Any]]]:
         """Compact fragmented partitions (of one table, or of every table).
 
-        Only partitions holding at least ``min_blocks`` blocks are rewritten
-        — a single-block partition is already as merged as it can get.
+        Only partitions holding at least ``min_blocks`` physical blocks are
+        rewritten — a single-block partition is already as merged as it can
+        get — except that partitions with outstanding CDC delta blocks (or
+        rows suppressed by away-moves) are always folded, whatever their
+        block count: folding bounds the merge-on-read cost.
+
+        Partitions are visited hottest-first (by the per-partition read
+        counters surfaced in :meth:`WarehouseTable.storage_stats`), so the
+        partitions analytics actually touches get their merged layout back
+        first if a pass is interrupted.
+
         Returns ``{table: [per-partition compaction reports]}``, listing only
         tables where work happened; each report additionally carries the
         partition key under ``"partition"``.
@@ -1503,8 +1852,15 @@ class Warehouse:
         for name in names:
             target = self.table(name)
             reports = []
-            for partition in target.partitions():
-                if len(target._partitions[partition]) < min_blocks:
+            ordered = sorted(
+                target.partitions(),
+                key=lambda p: (-target._read_counts.get(p, 0), p),
+            )
+            for partition in ordered:
+                physical = len(target._partitions.get(partition, ()))
+                deltas = target.delta_block_count(partition)
+                dirty = deltas > 0 or bool(target._suppression_epoch.get(partition))
+                if physical + deltas < min_blocks and not dirty:
                     continue
                 report = target.compact_partition(partition)
                 report["partition"] = partition

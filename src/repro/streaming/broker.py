@@ -45,6 +45,9 @@ class MessageBroker:
         self.default_partitions = default_partitions
         self._topics: dict[str, list[list[Message]]] = {}
         self._committed: dict[tuple[str, str, int], int] = {}
+        #: Per-(group, topic) partition where the next poll starts its
+        #: round-robin — rotated so short polls don't starve high partitions.
+        self._poll_start: dict[tuple[str, str], int] = {}
         self._lock = threading.RLock()
 
     # ---------------------------------------------------------------- topics
@@ -140,6 +143,10 @@ class MessageBroker:
         """Fetch up to ``max_messages`` uncommitted messages for a consumer group.
 
         Messages are taken round-robin across partitions in offset order.
+        Each poll starts the rotation one partition past where the previous
+        poll for this ``(group, topic)`` started, so a capped poll that cuts
+        off mid-round spreads the cutoff across partitions instead of always
+        draining partition 0 first and starving the highest ids.
         With ``auto_commit`` the returned messages are immediately marked as
         consumed; otherwise call :meth:`commit` explicitly for at-least-once
         processing.
@@ -148,19 +155,25 @@ class MessageBroker:
             raise StreamingError("max_messages must be >= 1")
         with self._lock:
             partitions = self._partitions_of(topic)
+            n = len(partitions)
             out: list[Message] = []
             positions = {
-                p: self.committed_offset(group, topic, p) for p in range(len(partitions))
+                p: self.committed_offset(group, topic, p) for p in range(n)
             }
+            start = self._poll_start.get((group, topic), 0) % n
+            order = [(start + i) % n for i in range(n)]
             progress = True
             while len(out) < max_messages and progress:
                 progress = False
-                for partition_id, log in enumerate(partitions):
+                for partition_id in order:
+                    log = partitions[partition_id]
                     position = positions[partition_id]
                     if position < len(log) and len(out) < max_messages:
                         out.append(log[position])
                         positions[partition_id] = position + 1
                         progress = True
+            if out:
+                self._poll_start[(group, topic)] = (start + 1) % n
             if auto_commit:
                 for partition_id, position in positions.items():
                     self._committed[(group, topic, partition_id)] = position

@@ -1,19 +1,26 @@
-"""Regression tests for the migration freshness path.
+"""Regression tests for the warehouse freshness path.
 
-Covers the PR-5 correctness fixes: the ``== watermark`` boundary (late rows
-sharing the watermark timestamp used to be skipped forever), and tz-aware
-datetime handling in ``prune_migrated_rows`` / the migration job's default
-"now" (``datetime.utcnow()`` is naive and deprecated).
+PR 6 replaced the watermark-based incremental copy with continuous CDC:
+``MigrationJob.run`` only bootstrap-backfills empty warehouse tables, and
+every later mutation reaches the warehouse through the WAL → broker → delta
+pipeline.  These tests cover the bootstrap contract, the CDC analogue of the
+old boundary bugs (late rows sharing a timestamp — trivially safe now, since
+nothing filters by timestamp anymore), sync-marker bookkeeping and tz-aware
+handling in ``prune_migrated_rows``.
 """
 
 from datetime import datetime, timedelta, timezone
 
 import pytest
 
+from repro.errors import StorageError
+from repro.storage.cdc import CdcPublisher, DeltaApplier
 from repro.storage.migration import MigrationJob, prune_migrated_rows
 from repro.storage.rdbms.database import Database
+from repro.storage.rdbms.expressions import col
 from repro.storage.rdbms.schema import Column, ColumnType, TableSchema
 from repro.storage.warehouse import Warehouse
+from repro.streaming.broker import MessageBroker
 
 
 def _db(rows=()):
@@ -37,80 +44,156 @@ def _row(article_id, created_at, outlet="x.example.com"):
     return {"article_id": article_id, "outlet": outlet, "created_at": created_at}
 
 
-class TestWatermarkBoundary:
-    def test_late_row_sharing_the_watermark_timestamp_is_not_lost(self):
+def _wire_cdc(db, warehouse, job, bootstrap=True):
+    """Bootstrap the warehouse and attach a publisher + applier to it."""
+    broker = MessageBroker(default_partitions=2)
+    publisher = CdcPublisher(db, broker)
+    for mapping in job.mappings():
+        publisher.add_mapping(mapping)
+    applier = DeltaApplier(warehouse, broker, job.mappings())
+    if bootstrap:
+        report = job.run()
+        publisher.skip_to(report.cursor_lsn)
+    return publisher, applier
+
+
+def _sync(publisher, applier):
+    """One CDC pass: publish pending WAL records, land them as deltas."""
+    publisher.publish()
+    return applier.apply()
+
+
+class TestBootstrap:
+    def test_bootstrap_copies_once_then_defers_to_cdc(self):
         ts = datetime(2020, 2, 1, 12, 30)
         db = _db([_row("a0", ts - timedelta(hours=1)), _row("a1", ts)])
         warehouse = Warehouse()
         job = MigrationJob(db, warehouse)
         job.add_table("articles")
-        assert job.run().migrated_rows["articles"] == 2
-        assert job.watermark("articles") == ts
 
-        # A late row arrives with *exactly* the watermark timestamp (e.g. two
-        # events ingested in the same clock tick, one committed after the
-        # run).  The old ``timestamp > watermark`` filter skipped it forever.
+        first = job.run()
+        assert first.migrated_rows["articles"] == 2
+        assert first.bootstrapped == ("articles",)
+        assert first.cursor_lsn == db.wal_lsn()
+        # The warehouse already holds rows: later runs copy nothing, even
+        # though the RDBMS grew — increments belong to the CDC stream now.
         db.insert("articles", _row("a2-late", ts))
-        report = job.run()
-        assert report.migrated_rows["articles"] == 1
-        assert warehouse.table("articles").row_count() == 3
+        second = job.run()
+        assert second.migrated_rows["articles"] == 0
+        assert second.bootstrapped == ()
+        assert warehouse.table("articles").row_count() == 2
 
-    def test_boundary_rows_are_never_duplicated(self):
-        ts = datetime(2020, 2, 1, 12, 30)
-        db = _db([_row("a0", ts)])
-        warehouse = Warehouse()
-        job = MigrationJob(db, warehouse)
-        job.add_table("articles")
-        job.run()
-        # Re-running without new data re-reads the boundary but migrates
-        # nothing: the boundary row is recognised by its primary key.
-        for _ in range(3):
-            assert job.run().migrated_rows["articles"] == 0
-        assert warehouse.table("articles").row_count() == 1
-
-        # Several late rows at the same boundary, over several runs.
-        db.insert("articles", _row("a1", ts))
-        assert job.run().migrated_rows["articles"] == 1
-        db.insert("articles", _row("a2", ts))
-        assert job.run().migrated_rows["articles"] == 1
-        assert job.run().migrated_rows["articles"] == 0
-        assert warehouse.table("articles").row_count() == 3
-        ids = sorted(warehouse.table("articles").read_column("article_id"))
-        assert ids == ["a0", "a1", "a2"]
-
-    def test_watermark_still_advances_past_the_boundary(self):
+    def test_full_refresh_recopies_everything(self):
         ts = datetime(2020, 2, 1, 12)
         db = _db([_row("a0", ts)])
         warehouse = Warehouse()
         job = MigrationJob(db, warehouse)
         job.add_table("articles")
         job.run()
+        db.insert("articles", _row("a1", ts + timedelta(hours=1)))
 
-        db.insert("articles", _row("a1", ts))                      # boundary
-        db.insert("articles", _row("a2", ts + timedelta(hours=2)))  # newer
-        assert job.run().migrated_rows["articles"] == 2
-        assert job.watermark("articles") == ts + timedelta(hours=2)
-        # The old boundary is strictly below the new watermark now; nothing
-        # at the old timestamp can be re-read, nothing new is duplicated.
-        assert job.run().migrated_rows["articles"] == 0
+        report = job.run(full_refresh=True)
+        assert report.migrated_rows["articles"] == 2
+        assert report.bootstrapped == ("articles",)
+        assert warehouse.table("articles").row_count() == 2
+        ids = sorted(warehouse.table("articles").read_column("article_id"))
+        assert ids == ["a0", "a1"]
+
+    def test_bootstrap_records_sync_marker(self):
+        ts = datetime(2020, 2, 1, 12, 30)
+        db = _db([_row("a0", ts - timedelta(hours=1)), _row("a1", ts)])
+        job = MigrationJob(db, Warehouse())
+        job.add_table("articles")
+        assert job.synced_through("articles") is None
+        job.run()
+        assert job.synced_through("articles") == ts
+
+
+class TestCdcFreshness:
+    def test_late_row_sharing_a_timestamp_is_not_lost(self):
+        # The old watermark filter (``timestamp > watermark``) skipped late
+        # rows sharing the boundary timestamp forever.  CDC never looks at
+        # timestamps: every committed mutation carries an LSN and flows.
+        ts = datetime(2020, 2, 1, 12, 30)
+        db = _db([_row("a0", ts - timedelta(hours=1)), _row("a1", ts)])
+        warehouse = Warehouse()
+        job = MigrationJob(db, warehouse)
+        job.add_table("articles")
+        publisher, applier = _wire_cdc(db, warehouse, job)
+
+        db.insert("articles", _row("a2-late", ts))
+        assert _sync(publisher, applier).rows == 1
         assert warehouse.table("articles").row_count() == 3
+
+    def test_sync_is_idempotent_and_never_duplicates(self):
+        ts = datetime(2020, 2, 1, 12, 30)
+        db = _db([_row("a0", ts)])
+        warehouse = Warehouse()
+        job = MigrationJob(db, warehouse)
+        job.add_table("articles")
+        publisher, applier = _wire_cdc(db, warehouse, job)
+
+        for _ in range(3):
+            assert _sync(publisher, applier).rows == 0
+        assert warehouse.table("articles").row_count() == 1
+
+        # Several late rows at the same timestamp, over several passes.
+        db.insert("articles", _row("a1", ts))
+        assert _sync(publisher, applier).rows == 1
+        db.insert("articles", _row("a2", ts))
+        assert _sync(publisher, applier).rows == 1
+        assert _sync(publisher, applier).rows == 0
+        assert warehouse.table("articles").row_count() == 3
+        ids = sorted(warehouse.table("articles").read_column("article_id"))
+        assert ids == ["a0", "a1", "a2"]
+
+    def test_updates_and_deletes_flow_through(self):
+        ts = datetime(2020, 2, 1, 12)
+        db = _db([_row("a0", ts), _row("a1", ts + timedelta(hours=2))])
+        warehouse = Warehouse()
+        job = MigrationJob(db, warehouse)
+        job.add_table("articles")
+        publisher, applier = _wire_cdc(db, warehouse, job)
+
+        db.update("articles", col("article_id") == "a0", {"outlet": "y.example.com"})
+        db.delete("articles", col("article_id") == "a1")
+        _sync(publisher, applier)
+        rows = list(warehouse.table("articles").scan())
+        assert [r["article_id"] for r in rows] == ["a0"]
+        assert rows[0]["outlet"] == "y.example.com"
+
+    def test_applier_advances_the_sync_marker(self):
+        ts = datetime(2020, 2, 1, 12)
+        db = _db([_row("a0", ts)])
+        warehouse = Warehouse()
+        job = MigrationJob(db, warehouse)
+        job.add_table("articles")
+        publisher, applier = _wire_cdc(db, warehouse, job)
+        assert job.synced_through("articles") == ts
+
+        late = ts + timedelta(hours=3)
+        db.insert("articles", _row("a1", late))
+        report = _sync(publisher, applier)
+        assert report.synced["articles"] == late
+        job.note_synced("articles", report.synced["articles"])
+        assert job.synced_through("articles") == late
 
 
 class TestTimezoneHandling:
-    def test_prune_with_aware_watermark_and_default_now(self):
+    def test_prune_with_aware_marker_and_default_now(self):
         ts = datetime(2020, 2, 1, 12, tzinfo=timezone.utc)
         db = _db([_row("a0", ts)])
         job = MigrationJob(db, Warehouse())
         job.add_table("articles")
         job.run()
-        assert job.watermark("articles").tzinfo is not None
-        # The old code compared the aware watermark against a naive
+        assert job.synced_through("articles").tzinfo is not None
+        # The old code compared the aware marker against a naive
         # ``datetime.utcnow()`` default and raised TypeError.
         deleted = prune_migrated_rows(db, job, "articles", keep_days=1)
         assert deleted == 1
         assert db.table("articles").row_count() == 0
 
-    def test_prune_with_naive_watermark_and_aware_now(self):
+    def test_prune_with_naive_marker_and_aware_now(self):
         ts = datetime(2020, 2, 1, 12)
         db = _db([_row("a0", ts)])
         job = MigrationJob(db, Warehouse())
@@ -150,8 +233,8 @@ class TestTimezoneHandling:
         assert job.run(now=stamp).run_at == stamp
 
 
-class TestNoPrimaryKeyFallback:
-    def test_boundary_dedup_without_primary_key_uses_row_content(self):
+class TestNoPrimaryKey:
+    def _events_db(self):
         db = Database()
         schema = TableSchema(
             name="events",
@@ -161,47 +244,33 @@ class TestNoPrimaryKeyFallback:
             ),
         )
         db.create_table(schema)
+        return db
+
+    def test_bootstrap_works_without_a_primary_key(self):
+        db = self._events_db()
         ts = datetime(2020, 2, 1, 12)
         db.insert("events", {"name": "e0", "created_at": ts})
+        db.insert("events", {"name": "e0", "created_at": ts})  # real duplicate
         warehouse = Warehouse()
         job = MigrationJob(db, warehouse)
         job.add_table("events")
-        assert job.run().migrated_rows["events"] == 1
-        assert job.run().migrated_rows["events"] == 0
-        # A *different* row at the boundary timestamp still migrates.
-        db.insert("events", {"name": "e1", "created_at": ts})
-        assert job.run().migrated_rows["events"] == 1
-        assert warehouse.table("events").row_count() == 2
-
-    def test_genuine_duplicate_rows_all_migrate(self):
-        # Without a primary key, two identical rows are two real events; the
-        # boundary bookkeeping is a multiset, so only the already-migrated
-        # number of copies is skipped and later duplicates still land.
-        db = Database()
-        schema = TableSchema(
-            name="events",
-            columns=(
-                Column("name", ColumnType.TEXT),
-                Column("created_at", ColumnType.TIMESTAMP, nullable=False),
-            ),
-        )
-        db.create_table(schema)
-        ts = datetime(2020, 2, 1, 12)
-        db.insert("events", {"name": "dup", "created_at": ts})
-        warehouse = Warehouse()
-        job = MigrationJob(db, warehouse)
-        job.add_table("events")
-        assert job.run().migrated_rows["events"] == 1
-
-        # An identical duplicate event arrives late at the boundary.
-        db.insert("events", {"name": "dup", "created_at": ts})
-        assert job.run().migrated_rows["events"] == 1
-        assert job.run().migrated_rows["events"] == 0
-        assert warehouse.table("events").row_count() == 2
-
-        # Two more identical copies in one batch migrate as two rows.
-        db.insert("events", {"name": "dup", "created_at": ts})
-        db.insert("events", {"name": "dup", "created_at": ts})
         assert job.run().migrated_rows["events"] == 2
         assert job.run().migrated_rows["events"] == 0
-        assert warehouse.table("events").row_count() == 4
+        assert warehouse.table("events").row_count() == 2
+
+    def test_cdc_refuses_tables_without_a_primary_key(self):
+        # Last-writer-wins has no row identity without a primary key, so the
+        # publisher rejects the mapping instead of silently corrupting data.
+        db = self._events_db()
+        job = MigrationJob(db, Warehouse())
+        job.add_table("events")
+        publisher = CdcPublisher(db, MessageBroker(default_partitions=2))
+        (mapping,) = job.mappings()
+        assert mapping.primary_key is None
+        with pytest.raises(StorageError):
+            publisher.add_mapping(mapping)
+
+    def test_cdc_needs_a_wal(self):
+        db = Database(wal_enabled=False)
+        with pytest.raises(StorageError):
+            CdcPublisher(db, MessageBroker(default_partitions=2))

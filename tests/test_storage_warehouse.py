@@ -5,6 +5,7 @@ from datetime import datetime, timedelta
 import pytest
 
 from repro.errors import WarehouseError
+from repro.storage.cdc import CdcPublisher, DeltaApplier
 from repro.storage.migration import MigrationJob, prune_migrated_rows
 from repro.storage.rdbms.database import Database
 from repro.storage.rdbms.schema import Column, TableSchema
@@ -12,6 +13,7 @@ from repro.storage.rdbms.types import ColumnType
 from repro.storage.warehouse.blocks import ColumnarBlock
 from repro.storage.warehouse.dfs import DistributedFileSystem
 from repro.storage.warehouse.warehouse import Warehouse
+from repro.streaming.broker import MessageBroker
 
 
 class TestDistributedFileSystem:
@@ -163,7 +165,7 @@ class TestMigration:
                                    "created_at": base + timedelta(days=i)})
         return db
 
-    def test_incremental_migration_never_duplicates(self):
+    def test_bootstrap_then_cdc_never_duplicates(self):
         db = self._db()
         warehouse = Warehouse()
         job = MigrationJob(db, warehouse)
@@ -175,12 +177,20 @@ class TestMigration:
         assert second.migrated_rows["articles"] == 0
         assert warehouse.table("articles").row_count() == 6
 
+        # Increments flow through the CDC pipeline, not a second copy.
+        publisher = CdcPublisher(db, MessageBroker(default_partitions=2))
+        for mapping in job.mappings():
+            publisher.add_mapping(mapping)
+        applier = DeltaApplier(warehouse, publisher.broker, job.mappings())
+        publisher.skip_to(first.cursor_lsn)
         db.insert("articles", {"article_id": "a9", "outlet": "x.example.com",
                                "created_at": datetime(2020, 1, 25)})
-        third = job.run()
-        assert third.migrated_rows["articles"] == 1
+        publisher.publish()
+        report = applier.apply()
+        assert report.rows == 1
         assert warehouse.table("articles").row_count() == 7
-        assert job.watermark("articles") == datetime(2020, 1, 25)
+        job.note_synced("articles", report.synced["articles"])
+        assert job.synced_through("articles") == datetime(2020, 1, 25)
 
     def test_missing_timestamp_column_rejected(self):
         db = Database()

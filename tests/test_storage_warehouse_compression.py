@@ -10,6 +10,7 @@ import pytest
 from repro.compute.executor import LocalExecutor
 from repro.core.analytics import WarehouseAnalytics
 from repro.errors import WarehouseError
+from repro.storage.cdc import CdcPublisher, DeltaApplier
 from repro.storage.migration import MigrationJob
 from repro.storage.rdbms.database import Database
 from repro.storage.rdbms.schema import Column, TableSchema
@@ -25,6 +26,7 @@ from repro.storage.warehouse.blocks import (
 )
 from repro.storage.warehouse.dfs import DistributedFileSystem
 from repro.storage.warehouse.warehouse import Warehouse
+from repro.streaming.broker import MessageBroker
 
 
 # ======================================================================
@@ -484,13 +486,17 @@ def _migrated_platform(n_days=5, per_day=40):
     db.create_table(schema)
     warehouse = Warehouse(block_rows=4096)
     job = MigrationJob(db, warehouse, compaction_min_blocks=4)
-    # Watermark on ingestion time, partitions on event time — the platform's
-    # layout.  Every incremental run then lands a few late rows in *every*
-    # publication-day partition, fragmenting each into one block per run.
+    # Freshness on ingestion time, partitions on event time — the platform's
+    # layout.  The first run bootstrap-copies the initial batch; every later
+    # CDC pass lands a few late rows in *every* publication-day partition,
+    # fragmenting each with one delta block per pass.
     job.add_table(
         "articles", timestamp_column="ingested_at",
         partition_column="published_at", sort_key=["published_at"],
     )
+    broker = MessageBroker(default_partitions=2)
+    publisher = CdcPublisher(db, broker)
+    applier = None
     base = datetime(2020, 1, 15, 6)
     counter = 0
     for run in range(8):
@@ -504,7 +510,15 @@ def _migrated_platform(n_days=5, per_day=40):
                     "topics": ["covid19"] if counter % 3 == 0 else ["politics"],
                 })
                 counter += 1
-        job.run(now=base + timedelta(days=n_days, hours=run))
+        if applier is None:
+            report = job.run(now=base + timedelta(days=n_days, hours=run))
+            for mapping in job.mappings():
+                publisher.add_mapping(mapping)
+            applier = DeltaApplier(warehouse, broker, job.mappings())
+            publisher.skip_to(report.cursor_lsn)
+        else:
+            publisher.publish()
+            applier.apply()
     return db, warehouse, job
 
 

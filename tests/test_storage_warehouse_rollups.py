@@ -23,10 +23,12 @@ from repro.core.analytics import (
 from repro.core.platform import SciLensPlatform
 from repro.errors import WarehouseError
 from repro.models import Article, Outlet, RatingClass
+from repro.storage.cdc import CdcPublisher, DeltaApplier
 from repro.storage.migration import MigrationJob
 from repro.storage.rdbms.database import Database
 from repro.storage.rdbms.schema import Column, ColumnType, TableSchema
 from repro.storage.warehouse import RollupSpec, Warehouse
+from repro.streaming.broker import MessageBroker
 
 AGGS = {
     "n": ("count", "*"),
@@ -338,6 +340,8 @@ class TestMigrationRefresh:
 
     def test_run_with_compaction_refreshes_after_the_rewrite(self):
         db, warehouse, job, rollup = self._job()
+        publisher = CdcPublisher(db, MessageBroker(default_partitions=2))
+        applier = None
         base = datetime(2020, 2, 1, 9)
         for batch in range(3):
             for i in range(4):
@@ -345,7 +349,16 @@ class TestMigrationRefresh:
                     "article_id": f"a{batch}-{i}", "outlet": f"o{i % 2}",
                     "created_at": base + timedelta(hours=batch * 4 + i),
                 })
-            job.run()
+            if applier is None:
+                # First batch bootstraps; later batches land as delta blocks.
+                report = job.run()
+                for mapping in job.mappings():
+                    publisher.add_mapping(mapping)
+                applier = DeltaApplier(warehouse, publisher.broker, job.mappings())
+                publisher.skip_to(report.cursor_lsn)
+            else:
+                publisher.publish()
+                applier.apply()
         table = warehouse.table("articles")
         assert table.block_count() > 1
         report = job.run(compact=True)

@@ -8,6 +8,7 @@ from repro.errors import OffsetOutOfRange, StreamingError, TopicNotFound
 from repro.streaming.broker import MessageBroker
 from repro.streaming.checkpoint import CheckpointStore
 from repro.streaming.consumer import Consumer
+from repro.streaming.message import Message
 from repro.streaming.producer import Producer
 from repro.streaming.windowing import TumblingWindow, WindowedCounter, aggregate_by_window, window_start
 
@@ -76,6 +77,29 @@ class TestBroker:
         broker.poll("g", "t")
         broker.seek_to_beginning("g", "t")
         assert len(broker.poll("g", "t")) == 1
+
+    def test_capped_polls_rotate_across_partitions(self):
+        # Each poll starts its round-robin one partition later than the
+        # previous one, so short polls don't repeatedly favour partition 0
+        # while higher partitions starve behind the cap.
+        broker = MessageBroker(default_partitions=3)
+        broker.create_topic("t")
+        for partition in range(3):
+            for i in range(4):
+                message = Message(topic="t", value={"p": partition, "i": i})
+                broker._topics["t"][partition].append(
+                    message.with_position(partition, i)
+                )
+        first_served = []
+        for _ in range(3):
+            batch = broker.poll("g", "t", max_messages=1)
+            first_served.append(batch[0].partition)
+        # Three single-message polls touch three different partitions.
+        assert sorted(first_served) == [0, 1, 2]
+        # And nothing is lost or duplicated overall.
+        remaining = broker.poll("g", "t", max_messages=100)
+        assert len(remaining) == 9
+        assert broker.lag("g", "t") == 0
 
     def test_read_all_preserves_messages(self):
         broker = MessageBroker(default_partitions=2)
