@@ -5,7 +5,7 @@ computes over the Distributed Storage with the batch-compute engine (the
 Spark-job equivalent), and checks that the warehouse-side view agrees with the
 paper's qualitative contrasts.
 
-Seven CI gates live here (no pytest-benchmark dependency):
+Eight CI gates live here (no pytest-benchmark dependency):
 
 * ``TestVectorizedEngineGate`` — the columnar execution engine: on a
   >=100k-row table the vectorised ``aggregate``/``scan_columns`` path must run
@@ -42,6 +42,11 @@ Seven CI gates live here (no pytest-benchmark dependency):
   write→visible freshness budget), beat a full batch re-copy of the table,
   and leave merged base+delta reads bit-identical to a fresh batch copy of
   the final RDBMS state.
+* ``TestWarehouseRecoveryGate`` — restart recovery: reopening a table over
+  its existing DFS blocks via the persisted manifest must be at least 5x
+  faster than the cold bootstrap batch copy of the same rows, rebuild the
+  exactly-once delta index (a redelivered delta batch lands zero rows), and
+  serve bit-identical merged reads.
 
 Any roll-up mismatch fails with a per-group diff, not a bare ``assert``.
 When ``BENCH_TIMINGS_JSON`` is set, every gate's wall-clock timings are
@@ -894,3 +899,89 @@ def test_cdc_freshness_gate():
     )
     assert worst_latency <= CDC_MAX_VISIBLE_LATENCY_S
     assert speedup >= CDC_REQUIRED_SPEEDUP
+
+
+# ======================================================================
+# Restart-recovery gate: manifest reopen vs cold bootstrap copy
+# ======================================================================
+
+N_RECOVERY_ROWS = 30_000
+N_RECOVERY_DELTAS = 800
+#: Reopening from the persisted manifest must beat re-copying the rows.
+RECOVERY_REQUIRED_SPEEDUP = 5.0
+
+_RECOVERY_COLUMNS = ["item_id", "day", "score"]
+
+
+def _recovery_create(warehouse: Warehouse, recover: bool = True):
+    return warehouse.create_table(
+        "items", _RECOVERY_COLUMNS, "day", partition_by="value",
+        primary_key="item_id", recover=recover,
+    )
+
+
+def test_warehouse_restart_recovery_gate():
+    rng = random.Random(73)
+    rows = [
+        {
+            "item_id": i,
+            "day": f"2020-02-{1 + i % 10:02d}",
+            # non-terminating binary expansions: bit drift would fail identity
+            "score": rng.randrange(1_000_000) / 7,
+        }
+        for i in range(N_RECOVERY_ROWS)
+    ]
+    warehouse = Warehouse(block_rows=2048, cache_blocks=0)
+    table = _recovery_create(warehouse)
+    table.append(rows)
+    # A delta tail on top of the base, so recovery has an exactly-once
+    # index to rebuild, not just block metadata.
+    deltas = [
+        (N_RECOVERY_ROWS + j, "u",
+         {**rows[rng.randrange(N_RECOVERY_ROWS)], "score": rng.randrange(1_000_000) / 7})
+        for j in range(N_RECOVERY_DELTAS)
+    ]
+    table.append_deltas(deltas, primary_key="item_id")
+    expected = repr(sorted(
+        (r["item_id"], r["day"], r["score"]) for r in table.scan()
+    ))
+    final_rows = list(table.scan())
+
+    # Baseline: the restart strategy without persisted state — bootstrap a
+    # fresh table by batch-copying the final rows.
+    def cold_bootstrap() -> None:
+        fresh = Warehouse(block_rows=2048, cache_blocks=0)
+        _recovery_create(fresh).append(final_rows)
+
+    baseline = _best_seconds(cold_bootstrap)
+
+    # Optimized: reopen over the existing DFS blocks via the manifest.
+    def reopen():
+        reopened_wh = Warehouse(warehouse.dfs, block_rows=2048, cache_blocks=0)
+        reopened = _recovery_create(reopened_wh, recover=False)
+        return reopened, reopened.recover()
+
+    optimized = _best_seconds(lambda: reopen())
+    recovered, report = reopen()
+    assert report["source"] == "manifest"
+    assert report["delta_high_water"] == N_RECOVERY_ROWS + N_RECOVERY_DELTAS - 1
+
+    # Bit-identical merged reads, exactly-once index intact: redelivering
+    # the full delta tail against the recovered table lands zero rows.
+    assert repr(sorted(
+        (r["item_id"], r["day"], r["score"]) for r in recovered.scan()
+    )) == expected
+    assert recovered.append_deltas(deltas, primary_key="item_id") == 0
+    ids = [r["item_id"] for r in recovered.scan()]
+    assert len(ids) == len(set(ids))
+
+    speedup = baseline / optimized if optimized > 0 else float("inf")
+    _record_gate("warehouse_recovery", baseline, optimized)
+    print(
+        f"\n=== restart recovery — {N_RECOVERY_ROWS} base rows + "
+        f"{N_RECOVERY_DELTAS} deltas ===\n"
+        f"cold bootstrap copy: {baseline * 1e3:8.1f} ms   "
+        f"manifest reopen: {optimized * 1e3:8.1f} ms   "
+        f"speedup: {speedup:5.1f}x (gate: >={RECOVERY_REQUIRED_SPEEDUP}x)"
+    )
+    assert speedup >= RECOVERY_REQUIRED_SPEEDUP

@@ -59,6 +59,21 @@ class StorageConfig:
     cdc_topic_prefix: str = "cdc."
     #: Delta rows the CDC applier lands per warehouse write batch.
     cdc_batch_rows: int = 500
+    #: Shared retry discipline for transient storage/streaming faults
+    #: (DFS reads/writes, broker publish/poll, checkpoint saves).
+    retry_max_attempts: int = 4
+    retry_base_delay_s: float = 0.01
+    retry_max_delay_s: float = 1.0
+    #: Serve base blocks (stale but correct) when the merge-on-read path
+    #: fails transiently, instead of failing the query.
+    warehouse_degraded_reads: bool = True
+    #: Consecutive CDC landing failures that open the applier's circuit
+    #: breaker, and the cooldown before a half-open probe.
+    cdc_breaker_threshold: int = 5
+    cdc_breaker_cooldown_s: float = 30.0
+    #: Quarantine a batch the warehouse keeps rejecting (commit its offsets,
+    #: keep it on ``DeltaApplier.quarantined``) instead of blocking the topic.
+    cdc_skip_poisoned: bool = False
 
     def validate(self) -> None:
         if self.warehouse_replication < 1:
@@ -83,6 +98,18 @@ class StorageConfig:
             )
         if self.cdc_batch_rows < 1:
             raise ConfigurationError("storage.cdc_batch_rows must be >= 1")
+        if self.retry_max_attempts < 1:
+            raise ConfigurationError("storage.retry_max_attempts must be >= 1")
+        if self.retry_base_delay_s < 0:
+            raise ConfigurationError("storage.retry_base_delay_s must be >= 0")
+        if self.retry_max_delay_s < self.retry_base_delay_s:
+            raise ConfigurationError(
+                "storage.retry_max_delay_s must be >= retry_base_delay_s"
+            )
+        if self.cdc_breaker_threshold < 1:
+            raise ConfigurationError("storage.cdc_breaker_threshold must be >= 1")
+        if self.cdc_breaker_cooldown_s < 0:
+            raise ConfigurationError("storage.cdc_breaker_cooldown_s must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from datetime import datetime
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..config import PlatformConfig
-from ..errors import ArticleNotFound
+from ..errors import ArticleNotFound, CircuitOpenError
 from ..experts.aggregation import ReviewAggregator
 from ..experts.reviews import ReviewStore
 from ..ml.clustering import HierarchicalTopicModel
@@ -34,12 +34,19 @@ from ..models import Article, ExpertReview, Outlet, RatingClass, Reaction, React
 from ..nlp.tokenize import word_tokens
 from ..social.accounts import AccountRegistry
 from ..storage.cdc import CdcPublisher, DeltaApplier
+from ..storage.faults import (
+    CircuitBreaker,
+    FaultInjector,
+    HealthMonitor,
+    RetryPolicy,
+)
 from ..storage.migration import MigrationJob, MigrationReport
 from ..storage.rdbms.database import Database
 from ..storage.rdbms.expressions import col
 from ..storage.warehouse.dfs import DistributedFileSystem
 from ..storage.warehouse.warehouse import Warehouse
 from ..streaming.broker import MessageBroker
+from ..streaming.checkpoint import CheckpointStore
 from ..streaming.pipeline import ArticleExtractionPipeline
 from ..web.scraper import ArticleScraper
 from ..web.sitestore import SiteStore
@@ -79,11 +86,27 @@ class SciLensPlatform:
     ) -> None:
         self.config = (config or PlatformConfig()).validate()
 
+        # --- fault tolerance ------------------------------------------------
+        # One injector, retry policy and health monitor are threaded through
+        # every storage/streaming layer.  The injector is inert unless a test
+        # (or the chaos CI job) arms a fault site; the seeded RNG makes an
+        # armed run replay identically.
+        self.health = HealthMonitor()
+        self.fault_injector = FaultInjector(seed=self.config.random_seed)
+        self.retry_policy = RetryPolicy(
+            max_attempts=self.config.storage.retry_max_attempts,
+            base_delay=self.config.storage.retry_base_delay_s,
+            max_delay=self.config.storage.retry_max_delay_s,
+        )
+
         # --- data collection ------------------------------------------------
         self.site_store = site_store if site_store is not None else SiteStore()
         self.scraper = ArticleScraper(self.site_store)
         self.accounts = account_registry if account_registry is not None else AccountRegistry()
-        self.broker = MessageBroker(default_partitions=self.config.streaming.partitions)
+        self.broker = MessageBroker(
+            default_partitions=self.config.streaming.partitions,
+            fault_injector=self.fault_injector,
+        )
         for topic in (
             self.config.streaming.postings_topic,
             self.config.streaming.reactions_topic,
@@ -115,12 +138,18 @@ class SciLensPlatform:
         self.database.create_index("reviews", "article_id", kind="hash")
 
         self.dfs = DistributedFileSystem(
-            n_nodes=3, replication=self.config.storage.warehouse_replication
+            n_nodes=3,
+            replication=self.config.storage.warehouse_replication,
+            fault_injector=self.fault_injector,
+            retry_policy=self.retry_policy,
+            health=self.health.subsystem("dfs"),
         )
         self.warehouse = Warehouse(
             self.dfs,
             block_rows=self.config.storage.warehouse_block_rows,
             compression_level=self.config.storage.warehouse_compression_level,
+            degraded_reads=self.config.storage.warehouse_degraded_reads,
+            health=self.health.subsystem("warehouse"),
         )
         self.migration = MigrationJob(
             self.database,
@@ -161,21 +190,46 @@ class SciLensPlatform:
                 if self.config.storage.data_dir is not None
                 else None
             )
+            offsets_path = (
+                self.config.storage.data_dir / "cdc-offsets.json"
+                if self.config.storage.data_dir is not None
+                else None
+            )
             self.cdc_publisher = CdcPublisher(
                 self.database,
                 self.broker,
                 topic_prefix=self.config.storage.cdc_topic_prefix,
                 cursor_path=cursor_path,
+                retry_policy=self.retry_policy,
+                health=self.health.subsystem("cdc-publisher"),
             )
             for mapping in self.migration.mappings():
                 self.cdc_publisher.add_mapping(mapping)
+            self.cdc_checkpoints = CheckpointStore(
+                path=offsets_path,
+                fault_injector=self.fault_injector,
+                retry_policy=self.retry_policy,
+            )
             self.cdc_applier = DeltaApplier(
                 self.warehouse,
                 self.broker,
                 self.migration.mappings(),
                 topic_prefix=self.config.storage.cdc_topic_prefix,
+                checkpoints=self.cdc_checkpoints,
                 batch_rows=self.config.storage.cdc_batch_rows,
+                retry_policy=self.retry_policy,
+                health=self.health.subsystem("cdc-applier"),
+                breaker=CircuitBreaker(
+                    failure_threshold=self.config.storage.cdc_breaker_threshold,
+                    cooldown=self.config.storage.cdc_breaker_cooldown_s,
+                ),
+                skip_poisoned=self.config.storage.cdc_skip_poisoned,
             )
+            # A restart over an existing data directory leaves a durable
+            # cursor (and offsets file) behind; reconcile them with the WAL
+            # and broker this process actually holds before the first sync.
+            if self.config.storage.data_dir is not None:
+                self.recover_storage()
 
         # --- analytics ------------------------------------------------------
         self.models = ModelRegistry()
@@ -581,7 +635,19 @@ class SciLensPlatform:
                 "applied_tables": {}, "max_latency_s": 0.0,
             }
         published = self.cdc_publisher.publish()
-        report = self.cdc_applier.apply()
+        try:
+            report = self.cdc_applier.apply()
+        except CircuitOpenError as exc:
+            # The applier's breaker is open (a batch kept failing): surface
+            # the backoff through health instead of crashing the sync job.
+            # Published messages stay on the broker, uncommitted, until the
+            # cooldown lets a probe through.
+            self.health.subsystem("cdc-applier").degrade(exc)
+            return {
+                "enabled": True, "published": published, "applied_rows": 0,
+                "applied_tables": {}, "max_latency_s": 0.0,
+                "breaker_open": True,
+            }
         for rdbms_table, stamp in report.synced.items():
             self.migration.note_synced(rdbms_table, stamp)
         if refresh_rollups and report.rows and self.migration.refresh_rollups:
@@ -602,6 +668,23 @@ class SciLensPlatform:
 
     def _run_cdc_job(self, now: datetime | None = None) -> dict[str, Any]:
         return self.process_cdc()
+
+    def recover_storage(self, redeliver: bool = False) -> dict[str, Any]:
+        """Reconcile durable CDC state with the live WAL/broker/warehouse.
+
+        Runs automatically when the platform is constructed over an existing
+        data directory; call it explicitly (optionally with
+        ``redeliver=True`` to replay every CDC topic from offset 0 — the
+        warehouse's exactly-once delta index absorbs the redelivery) after
+        restoring state by hand.  Returns the publisher and applier recovery
+        reports.
+        """
+        report: dict[str, Any] = {"publisher": None, "applier": None}
+        if self.cdc_publisher is not None:
+            report["publisher"] = self.cdc_publisher.recover()
+        if self.cdc_applier is not None:
+            report["applier"] = self.cdc_applier.recover(redeliver=redeliver)
+        return report
 
     def run_warehouse_compaction(self, now: datetime | None = None):
         """Run the scheduled warehouse compaction pass (defragment partitions).
@@ -785,6 +868,11 @@ class SciLensPlatform:
                     # Write→visible freshness: worst latency ever / last pass.
                     "max_latency_s": round(self.cdc_applier.max_latency_s, 6),
                     "last_latency_s": round(self.cdc_applier.last_latency_s, 6),
+                    "breaker": (
+                        self.cdc_applier.breaker.state
+                        if self.cdc_applier.breaker is not None else None
+                    ),
+                    "quarantined_batches": len(self.cdc_applier.quarantined),
                 }
             )
         return {
@@ -797,6 +885,7 @@ class SciLensPlatform:
             "warehouse_rows": self.warehouse.total_rows(),
             "warehouse_storage": warehouse_storage,
             "cdc": cdc,
+            "health": self.health.report(),
             "warehouse_rollups": self.warehouse.rollups.overview(),
             "dfs": self.dfs.stats(),
             "jobs_success_rate": self.jobs.success_rate(),

@@ -51,6 +51,35 @@ class WarehouseError(StorageError):
     """Raised by the distributed-storage (warehouse) layer."""
 
 
+class TransientFaultError(StorageError):
+    """A fault that may succeed on retry (injected or simulated-environmental).
+
+    Raised at the fault-injection sites (DFS read/write, broker publish/poll,
+    checkpoint I/O).  :class:`repro.storage.faults.RetryPolicy` treats this
+    class — plus whatever extra classes a call site registers — as retryable.
+    """
+
+
+class RetryExhaustedError(StorageError):
+    """Every retry attempt failed (or the timeout budget ran out).
+
+    Carries the last underlying error as ``__cause__`` and the attempt count
+    in :attr:`attempts` so health reporting can surface both.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 0) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class CircuitOpenError(StorageError):
+    """The circuit breaker is open: the operation was refused, not attempted.
+
+    Protects a repeatedly-failing dependency (e.g. a poisoned CDC batch) from
+    being hot-looped; callers back off until the cooldown lets a probe through.
+    """
+
+
 class StreamingError(SciLensError):
     """Base class for streaming-layer errors."""
 

@@ -12,9 +12,19 @@ here as from-scratch substrates:
   tailed onto per-table broker topics and landed as warehouse delta blocks,
   keeping the two stores in sync without a batch copy;
 * :mod:`repro.storage.migration` — the bootstrap backfill and scheduled
-  compaction that remain around the CDC stream.
+  compaction that remain around the CDC stream;
+* :mod:`repro.storage.faults` — the shared fault-injection, retry,
+  circuit-breaker and health primitives the layers above wire together.
 """
 
+from .faults import (
+    FAULT_SITES,
+    CircuitBreaker,
+    FaultInjector,
+    HealthMonitor,
+    RetryPolicy,
+    SubsystemHealth,
+)
 from .rdbms import (
     Column,
     ColumnType,
@@ -28,6 +38,12 @@ from .cdc import CdcApplyReport, CdcPublisher, DeltaApplier, TableMapping
 from .migration import MigrationJob, MigrationReport
 
 __all__ = [
+    "FAULT_SITES",
+    "CircuitBreaker",
+    "FaultInjector",
+    "HealthMonitor",
+    "RetryPolicy",
+    "SubsystemHealth",
     "Column",
     "ColumnType",
     "Database",

@@ -21,6 +21,19 @@ Reads merge base and delta blocks on the fly — bit-identical to a fresh
 batch copy — and the scheduled compaction folds deltas into the base.
 :class:`~repro.storage.migration.MigrationJob` remains only as the
 bootstrap/backfill and compaction scheduler.
+
+**Fault tolerance.**  Both ends carry explicit ``recover()`` paths for
+process restarts: the publisher reconciles its durable cursor with the WAL
+it tails (rewinding when the WAL's LSN counter restarted behind the cursor),
+and the applier reconciles broker offsets against the warehouse's recovered
+per-table LSN high-water marks — redelivery past the high-water mark is
+dropped by the exactly-once delta index, so a crash at any point lands zero
+duplicate rows.  Transient broker faults are absorbed by an attached
+:class:`~repro.storage.faults.RetryPolicy`; a
+:class:`~repro.storage.faults.CircuitBreaker` stops the applier from
+hot-looping on a batch that keeps failing (optionally quarantining it and
+moving on), and a :class:`~repro.storage.faults.SubsystemHealth` record
+surfaces every degradation with counters.
 """
 
 from __future__ import annotations
@@ -31,13 +44,20 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from ..compute.shuffle import canonical_key
-from ..errors import StorageError
+from ..errors import (
+    CircuitOpenError,
+    RetryExhaustedError,
+    StorageError,
+    TransientFaultError,
+)
+from .faults import CircuitBreaker, RetryPolicy, SubsystemHealth
 from .rdbms.database import Database, _row_from_payload
 from .rdbms.wal import WalTailer
 
 if TYPE_CHECKING:  # imported for type hints only — avoids hard coupling
     from ..streaming.broker import MessageBroker
     from ..streaming.checkpoint import CheckpointStore
+    from ..streaming.message import Message
     from .warehouse.warehouse import Warehouse
 
 #: WAL operations that CDC turns into row-delta messages.
@@ -64,6 +84,8 @@ class CdcPublisher:
         broker: "MessageBroker",
         topic_prefix: str = "cdc.",
         cursor_path: Path | str | None = None,
+        retry_policy: RetryPolicy | None = None,
+        health: SubsystemHealth | None = None,
     ) -> None:
         if database.wal is None:
             raise StorageError("CDC needs a database with its WAL enabled")
@@ -73,6 +95,13 @@ class CdcPublisher:
         self.tailer = WalTailer(database.wal, cursor_path=cursor_path)
         self._mappings: dict[str, TableMapping] = {}
         self.published = 0
+        #: Optional fault-tolerance wiring: transient ``broker.publish``
+        #: faults are retried under ``retry_policy``; with ``health``
+        #: attached, an exhausted publish degrades the subsystem and the
+        #: pass stops cleanly (cursor at the last published record — the
+        #: next pass resumes there, nothing lost) instead of raising.
+        self.retry_policy = retry_policy
+        self.health = health
 
     def topic_for(self, mapping: TableMapping) -> str:
         return f"{self.topic_prefix}{mapping.rdbms_table}"
@@ -110,6 +139,46 @@ class CdcPublisher:
         self.tailer.advance(lsn)
         self._prune()
 
+    def recover(self) -> dict[str, Any]:
+        """Reconcile the durable cursor with the WAL after a restart.
+
+        The cursor file is loaded tolerantly (a torn cursor restarts from 0
+        with a logged warning — see :class:`WalTailer`); what remains to be
+        reconciled is a cursor *ahead* of the log it tails, which happens
+        when the WAL's LSN counter restarted (an in-memory WAL in a new
+        process).  Left alone, every new record would sit below the cursor
+        and never publish — so the cursor rewinds to the WAL head.  Any
+        over-publication this causes is dropped by the warehouse's
+        exactly-once index.
+        """
+        wal_lsn = self.database.wal_lsn()
+        cursor = self.tailer.cursor
+        rewound = cursor > wal_lsn
+        if rewound:
+            self.tailer.reset(wal_lsn)
+        return {
+            "cursor": self.tailer.cursor,
+            "wal_lsn": wal_lsn,
+            "rewound": rewound,
+            "pending": self.pending(),
+        }
+
+    def _produce(self, topic: str, key: str, value: dict[str, Any]) -> None:
+        """One message hand-off, retried under the attached policy."""
+        if self.retry_policy is None:
+            self.broker.produce(topic, key=key, value=value)
+            return
+
+        def note(_attempt: int, exc: BaseException) -> None:
+            if self.health is not None:
+                self.health.note_retry(exc)
+
+        self.retry_policy.call(
+            lambda: self.broker.produce(topic, key=key, value=value),
+            description=f"cdc publish to {topic}",
+            on_retry=note,
+        )
+
     def publish(self) -> int:
         """Publish every WAL record past the cursor; returns messages produced.
 
@@ -117,37 +186,52 @@ class CdcPublisher:
         advance the cursor without producing anything.  Rows are decoded back
         to live values through the table schema, so what the warehouse lands
         is exactly what a batch copy would have read.
+
+        The cursor only moves past a record once its message is handed to
+        the broker, so a publish failure mid-pass loses nothing: the next
+        pass resumes at the failed record.  With a health record attached
+        the failure degrades the subsystem and the pass returns what it
+        managed; without one it raises after securing the cursor.
         """
         produced = 0
         high = self.tailer.cursor
+        failure: BaseException | None = None
         for record in self.tailer.tail():
+            if record.operation in _CAPTURED_OPS:
+                mapping = self._mappings.get(record.table)
+                if mapping is not None:
+                    table = self.database.table(record.table)
+                    payload = record.payload.get("row")
+                    if payload is None:  # legacy delete record without the doomed row
+                        payload = {mapping.primary_key: record.payload.get("primary_key")}
+                    row = _row_from_payload(table, payload)
+                    op = "d" if record.operation == "delete_pk" else "u"
+                    try:
+                        self._produce(
+                            self.topic_for(mapping),
+                            key=str(canonical_key(row.get(mapping.primary_key))),
+                            value={
+                                "op": op,
+                                "table": mapping.warehouse_table,
+                                "lsn": record.sequence,
+                                "ts": record.ts,
+                                "row": row,
+                            },
+                        )
+                    except (TransientFaultError, RetryExhaustedError) as exc:
+                        failure = exc
+                        break  # cursor stays before this record — no loss
+                    produced += 1
             high = record.sequence
-            if record.operation not in _CAPTURED_OPS:
-                continue
-            mapping = self._mappings.get(record.table)
-            if mapping is None:
-                continue
-            table = self.database.table(record.table)
-            payload = record.payload.get("row")
-            if payload is None:  # legacy delete record without the doomed row
-                payload = {mapping.primary_key: record.payload.get("primary_key")}
-            row = _row_from_payload(table, payload)
-            op = "d" if record.operation == "delete_pk" else "u"
-            self.broker.produce(
-                self.topic_for(mapping),
-                key=str(canonical_key(row.get(mapping.primary_key))),
-                value={
-                    "op": op,
-                    "table": mapping.warehouse_table,
-                    "lsn": record.sequence,
-                    "ts": record.ts,
-                    "row": row,
-                },
-            )
-            produced += 1
         self.tailer.advance(high)
         self._prune()
         self.published += produced
+        if failure is not None:
+            if self.health is None:
+                raise failure
+            self.health.degrade(failure)
+        elif self.health is not None and self.health.state != "ok":
+            self.health.recover()
         return produced
 
     def _prune(self) -> None:
@@ -183,10 +267,15 @@ class DeltaApplier:
         group: str = "delta-applier",
         checkpoints: "CheckpointStore | None" = None,
         batch_rows: int = 500,
+        retry_policy: RetryPolicy | None = None,
+        health: SubsystemHealth | None = None,
+        breaker: CircuitBreaker | None = None,
+        skip_poisoned: bool = False,
     ) -> None:
         from ..streaming.consumer import Consumer  # deferred: streaming is optional here
 
         self.warehouse = warehouse
+        self.broker = broker
         self.batch_rows = max(1, batch_rows)
         self._by_topic = {
             f"{topic_prefix}{m.rdbms_table}": m for m in mappings
@@ -199,16 +288,95 @@ class DeltaApplier:
         self.applied_rows = 0
         self.max_latency_s = 0.0
         self.last_latency_s = 0.0
+        #: Fault-tolerance wiring.  ``retry_policy`` absorbs transient
+        #: ``broker.poll`` faults; ``breaker`` opens after repeated landing
+        #: failures so a poisoned batch cannot hot-loop the applier; with
+        #: ``skip_poisoned`` a batch the warehouse rejects is quarantined
+        #: (offsets committed, batch kept for inspection) instead of
+        #: blocking the topic.
+        self.retry_policy = retry_policy
+        self.health = health
+        self.breaker = breaker
+        self.skip_poisoned = skip_poisoned
+        #: Batches set aside by ``skip_poisoned``: ``{"messages", "error"}``.
+        self.quarantined: list[dict[str, Any]] = []
 
     def lag(self) -> int:
         """Messages published but not yet landed."""
         return self.consumer.lag()
 
+    def recover(self, redeliver: bool = False) -> dict[str, Any]:
+        """Reconcile broker offsets with the warehouse after a restart.
+
+        Reports, per warehouse table, the recovered delta-index high-water
+        LSN next to the consumer group's committed offsets.  When the broker
+        outlived the warehouse process the committed offsets already point
+        past everything landed and nothing needs to move.  When the *offsets*
+        were lost (no checkpoint store, or the broker restarted with its
+        commit map empty) pass ``redeliver=True``: the group seeks every CDC
+        topic back to offset 0 and the next :meth:`apply` replays the full
+        log — the warehouse's exactly-once index drops every LSN at or below
+        its high-water mark, so the replay lands zero duplicate rows.
+        """
+        tables: dict[str, dict[str, Any]] = {}
+        for topic, mapping in sorted(self._by_topic.items()):
+            if redeliver:
+                self.broker.seek_to_beginning(self.consumer.group, topic)
+            high_water = 0
+            if self.warehouse.has_table(mapping.warehouse_table):
+                high_water = self.warehouse.table(
+                    mapping.warehouse_table
+                ).delta_high_water()
+            stats = (
+                self.broker.topic_stats(topic)
+                if self.broker.has_topic(topic) else None
+            )
+            committed = {
+                partition: self.broker.committed_offset(
+                    self.consumer.group, topic, partition
+                )
+                for partition in range(stats.partitions if stats else 0)
+            }
+            tables[mapping.warehouse_table] = {
+                "topic": topic,
+                "delta_high_water": high_water,
+                "committed_offsets": committed,
+            }
+        return {
+            "redelivered": redeliver,
+            "lag": self.lag(),
+            "tables": tables,
+        }
+
+    def _poll(self) -> list["Message"]:
+        """One consumer poll, retried under the attached policy."""
+        if self.retry_policy is None:
+            return self.consumer.poll(max_messages=self.batch_rows)
+
+        def note(_attempt: int, exc: BaseException) -> None:
+            if self.health is not None:
+                self.health.note_retry(exc)
+
+        return self.retry_policy.call(
+            lambda: self.consumer.poll(max_messages=self.batch_rows),
+            description="cdc poll",
+            on_retry=note,
+        )
+
     def apply(self) -> CdcApplyReport:
-        """Drain the topics, landing deltas in ``batch_rows``-sized batches."""
+        """Drain the topics, landing deltas in ``batch_rows``-sized batches.
+
+        With a :class:`~repro.storage.faults.CircuitBreaker` attached, the
+        pass refuses to start while the breaker is open
+        (:class:`~repro.errors.CircuitOpenError` propagates to the caller)
+        and every failed landing counts against the breaker — so a batch
+        that keeps failing backs the applier off instead of hot-looping.
+        """
+        if self.breaker is not None:
+            self.breaker.allow("cdc apply")
         report = CdcApplyReport()
         while True:
-            messages = self.consumer.poll(max_messages=self.batch_rows)
+            messages = self._poll()
             if not messages:
                 break
             batches: dict[str, list[tuple[int, str, dict[str, Any]]]] = {}
@@ -226,15 +394,32 @@ class DeltaApplier:
                         known = report.synced.get(mapping.rdbms_table)
                         if known is None or stamp > known:
                             report.synced[mapping.rdbms_table] = stamp
-            for table_name, entries in batches.items():
-                applied = self.warehouse.table(table_name).append_deltas(
-                    entries, primary_key=keys[table_name] or None
-                )
-                report.rows += applied
-                if applied:
-                    report.tables[table_name] = (
-                        report.tables.get(table_name, 0) + applied
+            try:
+                for table_name, entries in batches.items():
+                    applied = self.warehouse.table(table_name).append_deltas(
+                        entries, primary_key=keys[table_name] or None
                     )
+                    report.rows += applied
+                    if applied:
+                        report.tables[table_name] = (
+                            report.tables.get(table_name, 0) + applied
+                        )
+            except Exception as exc:
+                # The batch did not land (append_deltas is transactional per
+                # table; a partial landing re-applies idempotently on the
+                # redelivery).  Offsets stay put unless the batch is
+                # explicitly quarantined.
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if self.health is not None:
+                    self.health.degrade(exc)
+                if self.skip_poisoned:
+                    self.quarantined.append({"messages": messages, "error": exc})
+                    self.consumer.commit(messages)
+                    continue
+                raise
+            if self.breaker is not None:
+                self.breaker.record_success()
             # The batch is durably landed (idempotently so) — commit offsets.
             self.consumer.commit(messages)
             now = time.time()
@@ -246,4 +431,6 @@ class DeltaApplier:
         if report.max_latency_s:
             self.last_latency_s = report.max_latency_s
             self.max_latency_s = max(self.max_latency_s, report.max_latency_s)
+        if self.health is not None and self.health.state != "ok":
+            self.health.recover()
         return report

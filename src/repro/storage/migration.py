@@ -31,7 +31,8 @@ from dataclasses import dataclass, field
 from datetime import datetime, timedelta, timezone
 from typing import Any
 
-from ..errors import StorageError
+from ..errors import RetryExhaustedError, StorageError, TransientFaultError
+from ..logging_utils import get_logger
 from .cdc import TableMapping
 from .rdbms.database import Database
 from .rdbms.expressions import col
@@ -40,6 +41,8 @@ from .warehouse.warehouse import Warehouse
 #: Backwards-compatible alias — the mapping now lives with the CDC pipeline,
 #: which shares it (same transforms for bootstrap copies and delta messages).
 _TableMapping = TableMapping
+
+logger = get_logger("storage.migration")
 
 
 def _utcnow() -> datetime:
@@ -305,6 +308,13 @@ class MigrationJob:
         the rewrite changes every compacted partition's block identity, and
         the refresh re-aggregates exactly those partitions from the new
         blocks.
+
+        A *transient* storage failure while compacting one table (an
+        injected/retry-exhausted DFS fault) skips that table for this pass
+        with a logged warning instead of aborting the schedule: compaction
+        only rewrites layout, the partition stays readable via merge-on-read
+        (``compact_partition`` cleans up its half-written replacements), and
+        the next pass retries it.
         """
         now = now or _utcnow()
         threshold = self.compaction_min_blocks if min_blocks is None else min_blocks
@@ -315,7 +325,14 @@ class MigrationJob:
             if name in seen or not self.warehouse.has_table(name):
                 continue
             seen.add(name)
-            result = self.warehouse.compact(table=name, min_blocks=threshold)
+            try:
+                result = self.warehouse.compact(table=name, min_blocks=threshold)
+            except (TransientFaultError, RetryExhaustedError) as exc:
+                logger.warning(
+                    "compaction of %s skipped this pass (transient fault: %s)",
+                    name, exc,
+                )
+                continue
             compacted.update(result)
         rollups_refreshed: dict[str, int] = {}
         if self.refresh_rollups:

@@ -21,6 +21,9 @@ from pathlib import Path
 from typing import Any, Iterator
 
 from ...errors import StorageError
+from ...logging_utils import get_logger
+
+logger = get_logger("storage.wal")
 
 
 @dataclass(frozen=True)
@@ -198,8 +201,17 @@ class WalTailer:
             return 0
         try:
             return int(json.loads(self.cursor_path.read_text(encoding="utf-8"))["lsn"])
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
-            raise StorageError(f"corrupt WAL cursor at {self.cursor_path}: {exc}") from exc
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            # A torn/garbage cursor file (crash mid-write) must not take the
+            # CDC sync job down: restart from the last durable position (LSN
+            # 0 — everything still in the WAL re-publishes, and the
+            # warehouse's exactly-once index absorbs the redelivery).
+            logger.warning(
+                "corrupt WAL cursor at %s (%s); restarting tail from LSN 0",
+                self.cursor_path,
+                exc,
+            )
+            return 0
 
     @property
     def cursor(self) -> int:
@@ -219,6 +231,23 @@ class WalTailer:
         if lsn <= self._cursor:
             return
         self._cursor = lsn
+        self._persist_cursor()
+
+    def reset(self, lsn: int) -> None:
+        """Force the cursor to ``lsn`` — recovery only, rewinds allowed.
+
+        Used when the cursor got ahead of the WAL it tails (the WAL's LSN
+        counter restarted, e.g. an in-memory log in a new process): leaving
+        the cursor up high would silently skip every new record.
+        """
+        if lsn < 0:
+            raise StorageError("WAL cursor cannot be negative")
+        self._cursor = lsn
+        self._persist_cursor()
+
+    def _persist_cursor(self) -> None:
         if self.cursor_path is not None:
             self.cursor_path.parent.mkdir(parents=True, exist_ok=True)
-            self.cursor_path.write_text(json.dumps({"lsn": lsn}), encoding="utf-8")
+            self.cursor_path.write_text(
+                json.dumps({"lsn": self._cursor}), encoding="utf-8"
+            )

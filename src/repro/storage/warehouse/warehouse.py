@@ -52,11 +52,23 @@ Standing grouped aggregations can be registered as **materialized roll-ups**
 :attr:`Warehouse.rollups`): :meth:`WarehouseTable.aggregate_states` hands out
 the mergeable per-group accumulators, :meth:`WarehouseTable.partition_signature`
 the block identity that drives their incremental refresh.
+
+**Restart recovery** — every state-changing operation also writes a small
+per-table *manifest* file next to the blocks (``_manifest.json`` under the
+table's DFS prefix) recording the block refs, the CDC per-key newest-LSN
+index, suppression epochs and folded flags.  :meth:`WarehouseTable.recover`
+(called automatically by :meth:`Warehouse.create_table` when the DFS already
+holds files for the table) rebuilds the in-memory state from that manifest in
+O(manifest) — falling back to a full block rescan when the manifest is
+missing, torn, or disagrees with the actual file listing — so
+:meth:`WarehouseTable.append_deltas` stays exactly-once across process
+restarts.
 """
 
 from __future__ import annotations
 
 import copy
+import json
 import re
 import threading
 from collections import Counter, OrderedDict
@@ -66,13 +78,17 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from ...compute.executor import LocalExecutor
 from ...compute.shuffle import canonical_key
-from ...errors import WarehouseError
+from ...errors import RetryExhaustedError, TransientFaultError, WarehouseError
+from ..faults import SubsystemHealth
 from .blocks import (
     DEFAULT_COMPRESSION_LEVEL,
     ColumnarBlock,
+    _decode_value,
+    _encode_value,
     ordering_token,
     sort_rows,
     sorted_range,
+    unwrap_payload,
     validate_compression_level,
     wrap_payload,
 )
@@ -181,6 +197,62 @@ class _DeltaEntry:
     folded: bool = False
 
 
+#: Version stamp of the per-table manifest document.  Bump on layout changes:
+#: an unknown version makes :meth:`WarehouseTable.recover` fall back to the
+#: full block rescan, never misread a newer manifest.
+_MANIFEST_VERSION = 1
+
+
+def _encode_key(key: Any) -> Any:
+    """JSON-encode a canonical primary key (tuples and datetimes round-trip)."""
+    if isinstance(key, tuple):
+        return {"__tuple__": [_encode_key(item) for item in key]}
+    return _encode_value(key)
+
+
+def _decode_key(obj: Any) -> Any:
+    if isinstance(obj, dict) and set(obj) == {"__tuple__"}:
+        return tuple(_decode_key(item) for item in obj["__tuple__"])
+    return _decode_value(obj)
+
+
+def _encode_ref(ref: "_BlockRef") -> dict[str, Any]:
+    return {
+        "path": ref.path,
+        "n_rows": ref.n_rows,
+        "stats": {
+            column: {name: _encode_value(value) for name, value in stat.items()}
+            for column, stat in ref.stats.items()
+        },
+        "sort_key": list(ref.sort_key) if ref.sort_key else None,
+        "compressed_bytes": ref.compressed_bytes,
+        "uncompressed_bytes": ref.uncompressed_bytes,
+        "role": ref.role,
+    }
+
+
+def _decode_ref(obj: Mapping[str, Any]) -> "_BlockRef":
+    sort_key = obj["sort_key"]
+    return _BlockRef(
+        path=obj["path"],
+        n_rows=int(obj["n_rows"]),
+        stats={
+            column: {name: _decode_value(value) for name, value in stat.items()}
+            for column, stat in obj["stats"].items()
+        },
+        sort_key=tuple(sort_key) if sort_key else None,
+        compressed_bytes=int(obj["compressed_bytes"]),
+        uncompressed_bytes=int(obj["uncompressed_bytes"]),
+        role=obj["role"],
+    )
+
+
+def _block_file_counter(path: str) -> int:
+    """The allocation counter embedded in a block filename (0 if unparsable)."""
+    match = re.search(r"(?:block|delta)-(\d+)\.blk$", path)
+    return int(match.group(1)) if match else 0
+
+
 class _BlockCache:
     """A small LRU cache of decoded :class:`ColumnarBlock` objects by DFS path.
 
@@ -272,6 +344,9 @@ class WarehouseTable:
         sort_key: Sequence[str] | None = None,
         compression_level: int = DEFAULT_COMPRESSION_LEVEL,
         primary_key: str | None = None,
+        durable_manifest: bool = True,
+        degraded_reads: bool = False,
+        health: SubsystemHealth | None = None,
     ) -> None:
         if not columns:
             raise WarehouseError(f"table {name!r} needs at least one column")
@@ -319,6 +394,17 @@ class WarehouseTable:
         #: Per-partition read counters (how often a scan/aggregate touched the
         #: partition) — drives hot-first compaction ordering.
         self._read_counts: Counter[str] = Counter()
+        #: Write the per-table recovery manifest after every state change.
+        #: The manifest is an accelerator, not the source of truth — a failed
+        #: manifest write degrades health and the next open rescans blocks.
+        self.durable_manifest = durable_manifest
+        #: With degraded reads enabled, a partition whose delta blocks cannot
+        #: be read (after retries) serves its base blocks instead of raising —
+        #: stale-but-available, surfaced through ``health``.
+        self.degraded_reads = degraded_reads
+        #: Optional health record (usually the platform monitor's
+        #: ``"warehouse"`` subsystem) fed by degraded reads + manifest faults.
+        self.health = health
 
     @property
     def sort_key(self) -> tuple[str, ...] | None:
@@ -356,6 +442,8 @@ class WarehouseTable:
             for start in range(0, len(partition_rows), self.block_rows):
                 chunk = partition_rows[start:start + self.block_rows]
                 self._write_block(partition, chunk, applied)
+        if count:
+            self._write_manifest()
         return count
 
     def _write_block(
@@ -467,6 +555,8 @@ class WarehouseTable:
                     self._store_delta_block(partition, chunk, applied_key)
                 )
             self._merged_refs.pop(partition, None)
+        if applied:
+            self._write_manifest()
         return applied
 
     def _store_delta_block(
@@ -519,7 +609,17 @@ class WarehouseTable:
         cached = self._merged_refs.get(partition)
         if cached is not None and cached[0] == cache_key:
             return cached[1]
-        refs = self._build_merged_refs(partition, base, deltas)
+        try:
+            refs = self._build_merged_refs(partition, base, deltas)
+        except (TransientFaultError, RetryExhaustedError, WarehouseError) as exc:
+            if not self.degraded_reads:
+                raise
+            # Degradation ladder: the merged view is unavailable (delta blocks
+            # unreadable after retries) — serve the base blocks, stale but
+            # consistent, and surface the downgrade instead of dying.
+            if self.health is not None:
+                self.health.degrade(exc)
+            return base
         self._merged_refs[partition] = (cache_key, refs)
         return refs
 
@@ -621,6 +721,7 @@ class WarehouseTable:
         orphans = [k for k, p in self._pk_partition.items() if p == partition]
         for key in orphans:
             del self._pk_partition[key]
+        self._write_manifest()
         return removed
 
     def compact_partition(self, partition: str) -> dict[str, int]:
@@ -671,13 +772,24 @@ class WarehouseTable:
             rows, applied = sort_rows(rows, self._sort_key)
         # Write every replacement block *before* touching the partition's
         # visible refs: a write failure mid-compaction then leaves the old
-        # layout fully intact (the already-written replacements are merely
-        # unreferenced DFS files), never a truncated partition.
+        # layout fully intact — and the replacements written so far are
+        # deleted again, so an aborted compaction leaks no orphan blocks.
         old_refs = base_refs + delta_refs
-        new_refs = [
-            self._store_block(partition, rows[start:start + self.block_rows], applied)
-            for start in range(0, len(rows), self.block_rows)
-        ]
+        new_refs: list[_BlockRef] = []
+        try:
+            for start in range(0, len(rows), self.block_rows):
+                new_refs.append(
+                    self._store_block(
+                        partition, rows[start:start + self.block_rows], applied
+                    )
+                )
+        except Exception:
+            for ref in new_refs:
+                try:
+                    self.dfs.delete_file(ref.path)
+                except WarehouseError:
+                    pass  # best-effort cleanup of an already-failing pass
+            raise
         self._partitions[partition] = new_refs
         for ref in old_refs:
             self._cache.invalidate(ref.path)
@@ -691,6 +803,7 @@ class WarehouseTable:
                     # The base now holds (or, for deletes, lacks) exactly this
                     # version; only a strictly newer delta may override it.
                     entry.folded = True
+        self._write_manifest()
         return {
             "rows": len(rows),
             "blocks_before": len(old_refs),
@@ -698,6 +811,244 @@ class WarehouseTable:
             "compressed_bytes_before": sum(r.compressed_bytes for r in old_refs),
             "compressed_bytes_after": sum(r.compressed_bytes for r in new_refs),
         }
+
+    # -------------------------------------------------- durability & recovery
+
+    def delta_high_water(self) -> int:
+        """The highest CDC LSN landed in this table (0 when none).
+
+        After :meth:`recover`, this is the warehouse-side high-water mark the
+        CDC applier reconciles its broker offsets against: messages at or
+        below it are already landed and will be dropped by the exactly-once
+        index on redelivery.
+        """
+        return max((entry.lsn for entry in self._delta_info.values()), default=0)
+
+    def _manifest_path(self) -> str:
+        return f"/warehouse/{self.name}/_manifest.json"
+
+    def _manifest_payload(self) -> dict[str, Any]:
+        return {
+            "version": _MANIFEST_VERSION,
+            "table": self.name,
+            "primary_key": self.primary_key,
+            "block_counter": self._block_counter,
+            "partitions": {
+                partition: [_encode_ref(ref) for ref in refs]
+                for partition, refs in self._partitions.items()
+            },
+            "delta_partitions": {
+                partition: [_encode_ref(ref) for ref in refs]
+                for partition, refs in self._delta_partitions.items()
+            },
+            "suppression_epoch": dict(self._suppression_epoch),
+            "delta_info": [
+                [_encode_key(key), entry.lsn, entry.partition, entry.op, entry.folded]
+                for key, entry in self._delta_info.items()
+            ],
+            "pk_partition": [
+                [_encode_key(key), partition]
+                for key, partition in self._pk_partition.items()
+            ],
+        }
+
+    def _write_manifest(self) -> None:
+        """Persist the recovery manifest (atomic via the DFS write path).
+
+        The manifest accelerates :meth:`recover` to O(manifest) instead of
+        O(read every block); it is *not* the source of truth — recovery
+        cross-checks it against the actual file listing and rescans on any
+        disagreement.  A manifest write failure therefore degrades health
+        rather than failing the data operation that triggered it.
+        """
+        if not self.durable_manifest:
+            return
+        data = json.dumps(self._manifest_payload(), sort_keys=True).encode("utf-8")
+        try:
+            self.dfs.write_file(self._manifest_path(), data)
+        except (TransientFaultError, RetryExhaustedError, WarehouseError) as exc:
+            if self.health is not None:
+                self.health.degrade(exc)
+
+    def recover(self) -> dict[str, Any]:
+        """Rebuild in-memory state from the DFS after a process restart.
+
+        Fast path: parse the per-table manifest and adopt it when its block
+        paths agree exactly with the DFS file listing.  Fallback (manifest
+        missing, torn, unknown version, or stale vs the listing): read every
+        ``block-``/``delta-`` file back, rebuilding block refs from the block
+        headers, the per-key newest-LSN index and partition map from the
+        delta/base rows, and suppression epochs from keys whose base row
+        lives in a partition their latest version moved away from.  Folded
+        flags are unrecoverable by rescan — safe, because a redelivered
+        folded version re-applies content identical to the base row.
+
+        Returns a report: ``source`` (``"manifest"``/``"scan"``/``"empty"``),
+        block/key counts and the recovered ``delta_high_water``.
+        """
+        prefix = f"/warehouse/{self.name}/"
+        manifest_path = self._manifest_path()
+        block_paths = [
+            path
+            for path in self.dfs.list_files(prefix)
+            if path != manifest_path and path.endswith(".blk")
+        ]
+        source = "scan"
+        if self.dfs.exists(manifest_path):
+            payload: dict[str, Any] | None
+            try:
+                payload = json.loads(self.dfs.read_file(manifest_path))
+            except (
+                ValueError,
+                UnicodeDecodeError,
+                TransientFaultError,
+                RetryExhaustedError,
+                WarehouseError,
+            ):
+                payload = None  # torn or unreadable manifest → rescan
+            if payload is not None and self._adopt_manifest(payload, block_paths):
+                source = "manifest"
+        if source != "manifest":
+            if block_paths:
+                self._recover_from_scan(prefix, block_paths)
+                # Re-seed the manifest so the *next* open takes the fast path.
+                self._write_manifest()
+            else:
+                source = "empty"
+        self._cache.clear()
+        self._merged_refs.clear()
+        return {
+            "source": source,
+            "base_blocks": sum(len(refs) for refs in self._partitions.values()),
+            "delta_blocks": self.delta_block_count(),
+            "tracked_keys": len(self._delta_info),
+            "delta_high_water": self.delta_high_water(),
+        }
+
+    def _adopt_manifest(
+        self, payload: dict[str, Any], block_paths: list[str]
+    ) -> bool:
+        """Parse + validate a manifest document; adopt it only when its block
+        paths agree exactly with the DFS listing.  Returns adoption success."""
+        if not isinstance(payload, dict):
+            return False
+        if payload.get("version") != _MANIFEST_VERSION or payload.get("table") != self.name:
+            return False
+        try:
+            partitions = {
+                partition: [_decode_ref(obj) for obj in refs]
+                for partition, refs in payload["partitions"].items()
+            }
+            delta_partitions = {
+                partition: [_decode_ref(obj) for obj in refs]
+                for partition, refs in payload["delta_partitions"].items()
+            }
+            suppression = {
+                partition: int(epoch)
+                for partition, epoch in payload["suppression_epoch"].items()
+                if int(epoch)
+            }
+            delta_info = {
+                _decode_key(key): _DeltaEntry(
+                    lsn=int(lsn), partition=partition, op=op, folded=bool(folded)
+                )
+                for key, lsn, partition, op, folded in payload["delta_info"]
+            }
+            pk_partition = {
+                _decode_key(key): partition
+                for key, partition in payload["pk_partition"]
+            }
+            block_counter = int(payload["block_counter"])
+            primary_key = payload["primary_key"]
+        except (KeyError, TypeError, ValueError, AttributeError):
+            return False  # structurally torn manifest → rescan
+        manifest_paths = {
+            ref.path
+            for refs in list(partitions.values()) + list(delta_partitions.values())
+            for ref in refs
+        }
+        if manifest_paths != set(block_paths):
+            return False  # blocks landed after the last manifest write → rescan
+        if primary_key is not None and self.primary_key is None:
+            if primary_key in self.columns:
+                self.primary_key = primary_key
+        self._partitions = partitions
+        self._delta_partitions = delta_partitions
+        self._suppression_epoch = suppression
+        self._delta_info = delta_info
+        self._pk_partition = pk_partition
+        self._block_counter = max(
+            block_counter, max(map(_block_file_counter, block_paths), default=0)
+        )
+        return True
+
+    def _recover_from_scan(self, prefix: str, block_paths: list[str]) -> None:
+        """Full fallback: rebuild all state by reading every block back."""
+        partitions: dict[str, list[_BlockRef]] = {}
+        delta_partitions: dict[str, list[_BlockRef]] = {}
+        delta_info: dict[Any, _DeltaEntry] = {}
+        pk_partition: dict[Any, str] = {}
+        base_keys: list[tuple[Any, str]] = []
+        max_counter = 0
+        for path in sorted(block_paths):
+            relative = path[len(prefix):]
+            partition, _, filename = relative.rpartition("/")
+            if not partition:
+                continue  # stray file outside a partition directory
+            data = self.dfs.read_file(path)
+            block = ColumnarBlock.from_bytes(data)
+            ref = _BlockRef(
+                path=path, n_rows=block.n_rows, stats=block.stats,
+                sort_key=block.sort_key,
+                compressed_bytes=len(data),
+                uncompressed_bytes=len(unwrap_payload(data)),
+                role=block.role,
+            )
+            max_counter = max(max_counter, _block_file_counter(path))
+            if filename.startswith("delta-") or block.role == "delta":
+                if self.primary_key is None:
+                    raise WarehouseError(
+                        f"table {self.name!r} needs a primary key to recover "
+                        "its CDC delta state from a block rescan"
+                    )
+                delta_partitions.setdefault(partition, []).append(ref)
+                for row in block.to_rows():
+                    lsn = row["_cdc_lsn"]
+                    opcode = row["_cdc_op"]
+                    key = canonical_key(row.get(self.primary_key))
+                    existing = delta_info.get(key)
+                    if existing is None or lsn > existing.lsn:
+                        delta_info[key] = _DeltaEntry(
+                            lsn=lsn, partition=partition, op=opcode
+                        )
+            else:
+                partitions.setdefault(partition, []).append(ref)
+                if self.primary_key is not None:
+                    for value in block.columns[self.primary_key]:
+                        base_keys.append((canonical_key(value), partition))
+        # Base rows record where each key physically lives; the newest delta
+        # version then overrides (or, for deletes, removes) that location.
+        for key, partition in base_keys:
+            pk_partition[key] = partition
+        for key, entry in delta_info.items():
+            if entry.op == "d":
+                pk_partition.pop(key, None)
+            else:
+                pk_partition[key] = entry.partition
+        # A base row whose latest version moved to another partition must be
+        # suppressed at merge time even though its partition has no delta
+        # blocks — recover those partitions' suppression epochs.
+        suppression: dict[str, int] = {}
+        for key, base_partition in base_keys:
+            entry = delta_info.get(key)
+            if entry is not None and entry.op == "u" and entry.partition != base_partition:
+                suppression[base_partition] = 1
+        self._partitions = partitions
+        self._delta_partitions = delta_partitions
+        self._delta_info = delta_info
+        self._pk_partition = pk_partition
+        self._suppression_epoch = suppression
+        self._block_counter = max(self._block_counter, max_counter)
 
     # ----------------------------------------------------------------- reads
 
@@ -1727,11 +2078,17 @@ class Warehouse:
         block_rows: int = 4096,
         cache_blocks: int = 64,
         compression_level: int = DEFAULT_COMPRESSION_LEVEL,
+        durable_manifest: bool = True,
+        degraded_reads: bool = False,
+        health: SubsystemHealth | None = None,
     ) -> None:
         self.dfs = dfs or DistributedFileSystem()
         self.block_rows = block_rows
         self.cache_blocks = cache_blocks
         self.compression_level = validate_compression_level(compression_level)
+        self.durable_manifest = durable_manifest
+        self.degraded_reads = degraded_reads
+        self.health = health
         self._tables: dict[str, WarehouseTable] = {}
         self._rollup_manager: Any | None = None
 
@@ -1745,6 +2102,7 @@ class Warehouse:
         sort_key: Sequence[str] | None = None,
         compression_level: int | None = None,
         primary_key: str | None = None,
+        recover: bool = True,
     ) -> WarehouseTable:
         """Create a table partitioned by ``partition_column`` (by day or by value).
 
@@ -1755,6 +2113,12 @@ class Warehouse:
         ``primary_key`` names the row-identity column required for CDC delta
         application (:meth:`WarehouseTable.append_deltas`); declare it at
         creation so base appends track row locations from the start.
+
+        With ``recover`` (the default), a table whose DFS prefix already
+        holds files — this process is reopening a warehouse another process
+        (or a crashed run) wrote — rebuilds its in-memory state via
+        :meth:`WarehouseTable.recover` before being returned, so the
+        exactly-once CDC index survives restarts transparently.
         """
         if name in self._tables:
             if if_not_exists:
@@ -1779,7 +2143,12 @@ class Warehouse:
                 else compression_level
             ),
             primary_key=primary_key,
+            durable_manifest=self.durable_manifest,
+            degraded_reads=self.degraded_reads,
+            health=self.health,
         )
+        if recover and self.dfs.list_files(f"/warehouse/{name}/"):
+            table.recover()
         self._tables[name] = table
         return table
 
@@ -1798,6 +2167,7 @@ class Warehouse:
         table = self.table(name)
         for partition in list(table.partitions()):
             table.drop_partition(partition)
+        self.dfs.delete_file(table._manifest_path())
         del self._tables[name]
         if self._rollup_manager is not None:
             self._rollup_manager.discard_table(name)

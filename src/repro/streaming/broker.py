@@ -37,12 +37,20 @@ def _partition_for(key: str | None, n_partitions: int) -> int:
 
 
 class MessageBroker:
-    """Thread-safe in-memory broker with topics, partitions and consumer groups."""
+    """Thread-safe in-memory broker with topics, partitions and consumer groups.
 
-    def __init__(self, default_partitions: int = 4) -> None:
+    An optional :class:`repro.storage.faults.FaultInjector` exercises the
+    ``broker.publish`` / ``broker.poll`` fault sites: an armed fault raises
+    out of :meth:`produce` (before the message is appended) or :meth:`poll`
+    (before any offset moves), modelling a broker round-trip that failed
+    without side effects — callers retry or degrade.
+    """
+
+    def __init__(self, default_partitions: int = 4, fault_injector=None) -> None:
         if default_partitions < 1:
             raise StreamingError("default_partitions must be >= 1")
         self.default_partitions = default_partitions
+        self.fault_injector = fault_injector
         self._topics: dict[str, list[list[Message]]] = {}
         self._committed: dict[tuple[str, str, int], int] = {}
         #: Per-(group, topic) partition where the next poll starts its
@@ -94,6 +102,8 @@ class MessageBroker:
         timestamp: datetime | None = None,
     ) -> Message:
         """Append one message to ``topic`` and return it with its position."""
+        if self.fault_injector is not None:
+            self.fault_injector.check("broker.publish", topic)
         with self._lock:
             partitions = self._partitions_of(topic)
             partition = _partition_for(key, len(partitions))
@@ -153,6 +163,8 @@ class MessageBroker:
         """
         if max_messages < 1:
             raise StreamingError("max_messages must be >= 1")
+        if self.fault_injector is not None:
+            self.fault_injector.check("broker.poll", topic)
         with self._lock:
             partitions = self._partitions_of(topic)
             n = len(partitions)

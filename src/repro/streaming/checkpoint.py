@@ -13,10 +13,27 @@ class CheckpointStore:
 
     Purely in memory by default; when a path is given the offsets are also
     written to a JSON file after every save and reloaded on construction.
+    A corrupt checkpoint file raises :class:`StreamingError` on load — the
+    caller decides whether to clear and re-consume (offsets are recoverable
+    from the broker; idempotent consumers simply absorb the redelivery).
+
+    An optional :class:`repro.storage.faults.FaultInjector` exercises the
+    ``checkpoint.save`` site, and an optional
+    :class:`repro.storage.faults.RetryPolicy` absorbs the transient failures
+    it injects; a save that still fails raises after the in-memory offsets
+    were updated, so the worst case is a stale file → redelivery, never a
+    lost message.
     """
 
-    def __init__(self, path: Path | str | None = None) -> None:
+    def __init__(
+        self,
+        path: Path | str | None = None,
+        fault_injector=None,
+        retry_policy=None,
+    ) -> None:
         self.path = Path(path) if path is not None else None
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
         self._offsets: dict[str, dict[str, dict[str, int]]] = {}
         if self.path is not None and self.path.exists():
             self._load()
@@ -29,10 +46,22 @@ class CheckpointStore:
             raise StreamingError(f"corrupt checkpoint file {self.path}: {exc}") from exc
 
     def _persist(self) -> None:
-        if self.path is None:
+        if self.path is None and self.fault_injector is None:
             return
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text(json.dumps(self._offsets, sort_keys=True), encoding="utf-8")
+
+        def attempt() -> None:
+            if self.fault_injector is not None:
+                self.fault_injector.check("checkpoint.save", str(self.path or ""))
+            if self.path is not None:
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+                self.path.write_text(
+                    json.dumps(self._offsets, sort_keys=True), encoding="utf-8"
+                )
+
+        if self.retry_policy is None:
+            attempt()
+        else:
+            self.retry_policy.call(attempt, description="checkpoint save")
 
     def save(self, group: str, topic: str, partition: int, offset: int) -> None:
         """Record the next offset to read for ``(group, topic, partition)``."""
