@@ -12,7 +12,7 @@ class ArticlesService(MicroService):
     """Read access to stored articles and outlets.
 
     Operations: ``articles.get``, ``articles.by_url``, ``articles.list``,
-    ``articles.outlets``.
+    ``articles.search``, ``articles.outlets``.
     """
 
     name = "articles"
@@ -24,6 +24,7 @@ class ArticlesService(MicroService):
         self.register("get", self._get)
         self.register("by_url", self._by_url)
         self.register("list", self._list)
+        self.register("search", self._search)
         self.register("outlets", self._outlets)
 
     # ------------------------------------------------------------- handlers
@@ -69,6 +70,20 @@ class ArticlesService(MicroService):
             {
                 "total": len(articles),
                 "articles": [_article_payload(a) for a in articles[:limit]],
+            }
+        )
+
+    def _search(self, request: ServiceRequest) -> ServiceResponse:
+        query = request.param("query", required=True)
+        limit = int(request.param("limit", 10))
+        results = self.platform.search_articles(query, limit=limit)
+        return ServiceResponse.success(
+            {
+                "total": len(results),
+                "results": [
+                    {**_article_payload(article), "score": round(score, 6)}
+                    for article, score in results
+                ],
             }
         )
 

@@ -74,6 +74,14 @@ class StorageConfig:
     #: Quarantine a batch the warehouse keeps rejecting (commit its offsets,
     #: keep it on ``DeltaApplier.quarantined``) instead of blocking the topic.
     cdc_skip_poisoned: bool = False
+    #: Full-text search: declare the articles FTS index (planner MATCH
+    #: pushdown) and, when CDC is enabled, tail the article delta topic into
+    #: a persistent BM25 segment index serving ``search_articles``.
+    fts_enabled: bool = True
+    #: Article columns the FTS indexes cover.
+    fts_columns: tuple[str, ...] = ("title", "text")
+    #: Buffered documents that trigger an automatic FTS segment flush.
+    fts_flush_docs: int = 512
 
     def validate(self) -> None:
         if self.warehouse_replication < 1:
@@ -110,6 +118,12 @@ class StorageConfig:
             raise ConfigurationError("storage.cdc_breaker_threshold must be >= 1")
         if self.cdc_breaker_cooldown_s < 0:
             raise ConfigurationError("storage.cdc_breaker_cooldown_s must be >= 0")
+        if not self.fts_columns:
+            raise ConfigurationError(
+                "storage.fts_columns must name at least one column"
+            )
+        if self.fts_flush_docs < 1:
+            raise ConfigurationError("storage.fts_flush_docs must be >= 1")
 
 
 @dataclass(frozen=True)

@@ -23,7 +23,7 @@ from datetime import datetime
 from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ..config import PlatformConfig
-from ..errors import ArticleNotFound, CircuitOpenError
+from ..errors import ArticleNotFound, CircuitOpenError, StorageError
 from ..experts.aggregation import ReviewAggregator
 from ..experts.reviews import ReviewStore
 from ..ml.clustering import HierarchicalTopicModel
@@ -34,6 +34,7 @@ from ..models import Article, ExpertReview, Outlet, RatingClass, Reaction, React
 from ..nlp.tokenize import word_tokens
 from ..social.accounts import AccountRegistry
 from ..storage.cdc import CdcPublisher, DeltaApplier
+from ..storage.fts import FtsIndex, FtsIndexer
 from ..storage.faults import (
     CircuitBreaker,
     FaultInjector,
@@ -136,6 +137,13 @@ class SciLensPlatform:
         self.database.create_index("articles", "outlet_domain", kind="hash")
         self.database.create_index("articles", "published_at", kind="sorted")
         self.database.create_index("reviews", "article_id", kind="hash")
+        # Full-text index over the article text columns: backs the planner's
+        # ``fts_index_scan`` access path for MATCH predicates (maintained
+        # synchronously by every table write, so it is never stale).
+        if self.config.storage.fts_enabled:
+            self.database.create_fts_index(
+                "articles", self.config.storage.fts_columns
+            )
 
         self.dfs = DistributedFileSystem(
             n_nodes=3,
@@ -184,6 +192,11 @@ class SciLensPlatform:
         # bootstrap backfill and the compaction schedule.
         self.cdc_publisher: CdcPublisher | None = None
         self.cdc_applier: DeltaApplier | None = None
+        # Segment-backed search index: a second consumer group over the same
+        # CDC topics keeps the BM25 posting lists fresh incrementally — no
+        # batch rebuild, exactly-once via per-document LSN checks.
+        self.fts_index: FtsIndex | None = None
+        self.fts_indexer: FtsIndexer | None = None
         if self.config.storage.cdc_enabled and self.database.wal is not None:
             cursor_path = (
                 self.config.storage.data_dir / "cdc-cursor.json"
@@ -225,6 +238,35 @@ class SciLensPlatform:
                 ),
                 skip_poisoned=self.config.storage.cdc_skip_poisoned,
             )
+            if self.config.storage.fts_enabled:
+                fts_offsets_path = (
+                    self.config.storage.data_dir / "fts-offsets.json"
+                    if self.config.storage.data_dir is not None
+                    else None
+                )
+                self.fts_index = FtsIndex(
+                    "articles",
+                    dfs=self.dfs,
+                    flush_docs=self.config.storage.fts_flush_docs,
+                    compression_level=self.config.storage.warehouse_compression_level,
+                    health=self.health.subsystem("fts"),
+                )
+                self.fts_index.recover()
+                self.fts_indexer = FtsIndexer(
+                    self.fts_index,
+                    self.broker,
+                    table="articles",
+                    columns=self.config.storage.fts_columns,
+                    primary_key="article_id",
+                    topic_prefix=self.config.storage.cdc_topic_prefix,
+                    checkpoints=CheckpointStore(
+                        path=fts_offsets_path,
+                        fault_injector=self.fault_injector,
+                        retry_policy=self.retry_policy,
+                    ),
+                    retry_policy=self.retry_policy,
+                    health=self.health.subsystem("fts"),
+                )
             # A restart over an existing data directory leaves a durable
             # cursor (and offsets file) behind; reconcile them with the WAL
             # and broker this process actually holds before the first sync.
@@ -435,6 +477,38 @@ class SciLensPlatform:
         rows = query.order_by("published_at", descending=True).limit(limit).execute().rows
         return [_row_to_article(row) for row in rows]
 
+    def search_articles(
+        self, query: str, limit: int = 10, sync: bool = True
+    ) -> list[tuple[Article, float]]:
+        """BM25-ranked full-text search over article titles and bodies.
+
+        Served from the segment-backed FTS index when CDC is enabled
+        (``sync=True`` drains pending WAL records into the index first, so a
+        just-stored article is searchable immediately); otherwise from the
+        table-attached index the planner uses for MATCH.  Query semantics
+        match the SQL ``MATCH`` operator: every term must appear, a trailing
+        ``*`` makes the last term of that chunk a prefix.  Returns
+        ``(article, score)`` pairs, best first.
+        """
+        if self.fts_index is not None and self.fts_indexer is not None:
+            if sync and self.cdc_publisher is not None:
+                self.cdc_publisher.publish()
+                self.fts_indexer.run()
+            results: list[tuple[Article, float]] = []
+            for doc_id, score in self.fts_index.search(query, limit=limit):
+                row = self.database.get("articles", doc_id)
+                if row is not None:
+                    results.append((_row_to_article(row), score))
+            return results
+        table = self.database.table("articles")
+        fts = table.fts_index
+        if fts is None:
+            raise StorageError("full-text search is disabled (storage.fts_enabled)")
+        return [
+            (_row_to_article(table.row_by_id(row_id)), score)
+            for row_id, score in fts.search(query, limit=limit)
+        ]
+
     def posts_for_article(self, article_url: str) -> list[SocialPost]:
         rows = (
             self.database.query("posts").where(col("article_url") == article_url).execute().rows
@@ -604,6 +678,14 @@ class SciLensPlatform:
             # of republishing.  (On partial bootstraps the cursor stays put;
             # redelivery is safe because delta application is idempotent.)
             self.cdc_publisher.skip_to(bootstrap.cursor_lsn)
+            # ``skip_to`` means the copied rows never reach the CDC topics,
+            # so the search index backfills straight from the table at the
+            # bootstrap LSN (later CDC messages carry higher LSNs and win).
+            if self.fts_indexer is not None and "articles" in bootstrap.bootstrapped:
+                self.fts_indexer.bootstrap(
+                    self.database.table("articles").rows(),
+                    lsn=bootstrap.cursor_lsn,
+                )
         sync = self.process_cdc(refresh_rollups=False)
         rollups_refreshed: dict[str, int] = {}
         if refresh:
@@ -632,9 +714,15 @@ class SciLensPlatform:
         if self.cdc_publisher is None or self.cdc_applier is None:
             return {
                 "enabled": False, "published": 0, "applied_rows": 0,
-                "applied_tables": {}, "max_latency_s": 0.0,
+                "applied_tables": {}, "max_latency_s": 0.0, "fts": None,
             }
         published = self.cdc_publisher.publish()
+        # The search index drains its own consumer group first: it never
+        # shares the applier's breaker, so search freshness survives a
+        # quarantined warehouse batch.
+        fts_report: dict[str, Any] | None = None
+        if self.fts_indexer is not None:
+            fts_report = self.fts_indexer.run()
         try:
             report = self.cdc_applier.apply()
         except CircuitOpenError as exc:
@@ -645,7 +733,7 @@ class SciLensPlatform:
             self.health.subsystem("cdc-applier").degrade(exc)
             return {
                 "enabled": True, "published": published, "applied_rows": 0,
-                "applied_tables": {}, "max_latency_s": 0.0,
+                "applied_tables": {}, "max_latency_s": 0.0, "fts": fts_report,
                 "breaker_open": True,
             }
         for rdbms_table, stamp in report.synced.items():
@@ -664,6 +752,7 @@ class SciLensPlatform:
                 for table, rows in report.tables.items()
             },
             "max_latency_s": report.max_latency_s,
+            "fts": fts_report,
         }
 
     def _run_cdc_job(self, now: datetime | None = None) -> dict[str, Any]:
@@ -679,11 +768,16 @@ class SciLensPlatform:
         restoring state by hand.  Returns the publisher and applier recovery
         reports.
         """
-        report: dict[str, Any] = {"publisher": None, "applier": None}
+        report: dict[str, Any] = {"publisher": None, "applier": None, "fts": None}
         if self.cdc_publisher is not None:
             report["publisher"] = self.cdc_publisher.recover()
         if self.cdc_applier is not None:
             report["applier"] = self.cdc_applier.recover(redeliver=redeliver)
+        if self.fts_index is not None:
+            fts_report = self.fts_index.recover()
+            if self.fts_indexer is not None:
+                fts_report["indexer"] = self.fts_indexer.recover(redeliver=redeliver)
+            report["fts"] = fts_report
         return report
 
     def run_warehouse_compaction(self, now: datetime | None = None):
@@ -875,6 +969,10 @@ class SciLensPlatform:
                     "quarantined_batches": len(self.cdc_applier.quarantined),
                 }
             )
+        fts: dict[str, Any] = {"enabled": self.config.storage.fts_enabled}
+        if self.fts_index is not None and self.fts_indexer is not None:
+            fts.update(self.fts_index.stats())
+            fts["lag"] = self.fts_indexer.lag()
         return {
             "articles": self.database.table("articles").row_count(),
             "posts": self.database.table("posts").row_count(),
@@ -885,6 +983,7 @@ class SciLensPlatform:
             "warehouse_rows": self.warehouse.total_rows(),
             "warehouse_storage": warehouse_storage,
             "cdc": cdc,
+            "fts": fts,
             "health": self.health.report(),
             "warehouse_rollups": self.warehouse.rollups.overview(),
             "dfs": self.dfs.stats(),

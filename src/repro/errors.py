@@ -51,6 +51,10 @@ class WarehouseError(StorageError):
     """Raised by the distributed-storage (warehouse) layer."""
 
 
+class FtsError(StorageError):
+    """Raised by the full-text-search engine (segments, index, indexer)."""
+
+
 class TransientFaultError(StorageError):
     """A fault that may succeed on retry (injected or simulated-environmental).
 

@@ -26,6 +26,20 @@ _WORD_RE = re.compile(r"^[A-Za-z]+(?:['’-][A-Za-z]+)*$")
 
 _VOWEL_GROUP_RE = re.compile(r"[aeiouy]+")
 
+# Characters allowed to join two letters inside a single word token.
+_WORD_JOINERS = ("'", "’", "-")
+
+
+def fold_token(token: str) -> str:
+    """Case-fold ``token`` for caseless matching, stably.
+
+    ``str.casefold()`` alone is not lowercase-stable (Cherokee letters fold to
+    uppercase), which would break the invariant that folded tokens compare
+    equal to their own ``lower()``.  Folding and then lowering is idempotent:
+    ``fold_token(fold_token(t)) == fold_token(t)`` for every string.
+    """
+    return token.casefold().lower()
+
 
 def tokenize(text: str) -> list[str]:
     """Split ``text`` into word, number and punctuation tokens (order preserved)."""
@@ -38,12 +52,38 @@ def word_tokens(text: str, lowercase: bool = True) -> list[str]:
     """Return only the alphabetic word tokens of ``text``.
 
     Numbers and punctuation are dropped; hyphenated/apostrophe words are kept
-    intact.  When ``lowercase`` is true the tokens are lower-cased, which is
-    what every lexicon lookup in the library expects.
+    intact (a joiner must have a letter on both sides).  Empty and
+    punctuation-only inputs yield ``[]``.  Unlike :func:`tokenize`, which keeps
+    its ASCII-only contract for the punctuation-sensitive feature extractors,
+    word extraction is Unicode-aware: any character for which
+    ``str.isalpha()`` holds starts or extends a word, so ``café`` and
+    ``наука`` survive tokenisation instead of being shredded into symbols.
+
+    When ``lowercase`` is true each token is folded with :func:`fold_token`,
+    which is what every lexicon lookup in the library expects — folded tokens
+    always satisfy ``token == token.lower()``.
     """
-    words = [tok for tok in tokenize(text) if _WORD_RE.match(tok)]
+    if not text:
+        return []
+    words: list[str] = []
+    i, n = 0, len(text)
+    while i < n:
+        if not text[i].isalpha():
+            i += 1
+            continue
+        start = i
+        i += 1
+        while i < n:
+            ch = text[i]
+            if ch.isalpha():
+                i += 1
+            elif ch in _WORD_JOINERS and i + 1 < n and text[i + 1].isalpha():
+                i += 1
+            else:
+                break
+        words.append(text[start:i])
     if lowercase:
-        words = [w.lower() for w in words]
+        words = [fold_token(w) for w in words]
     return words
 
 

@@ -13,6 +13,9 @@ here as from-scratch substrates:
   keeping the two stores in sync without a batch copy;
 * :mod:`repro.storage.migration` — the bootstrap backfill and scheduled
   compaction that remain around the CDC stream;
+* :mod:`repro.storage.fts` — full-text search: BM25 posting-list segments
+  fed from the CDC stream, exposed through the RDBMS planner as the
+  ``fts_index_scan`` access path;
 * :mod:`repro.storage.faults` — the shared fault-injection, retry,
   circuit-breaker and health primitives the layers above wire together.
 """
@@ -35,6 +38,7 @@ from .rdbms import (
 )
 from .warehouse import DistributedFileSystem, Warehouse, WarehouseTable
 from .cdc import CdcApplyReport, CdcPublisher, DeltaApplier, TableMapping
+from .fts import FtsIndex, FtsIndexer, TableFtsIndex
 from .migration import MigrationJob, MigrationReport
 
 __all__ = [
@@ -59,4 +63,7 @@ __all__ = [
     "TableMapping",
     "MigrationJob",
     "MigrationReport",
+    "FtsIndex",
+    "FtsIndexer",
+    "TableFtsIndex",
 ]

@@ -1,0 +1,47 @@
+"""Full-text search: BM25 posting-list segments over the CDC stream.
+
+The subsystem has four layers:
+
+* :mod:`.analysis` — tokenisation (shared with ``nlp/tokenize``), MATCH
+  query parsing and the BM25 arithmetic, all specification-grade and
+  mirrored by the differential oracle in ``tests/fts_oracle.py``;
+* :mod:`.segments` — immutable typed-binary posting-list segments on the
+  warehouse format-4 wire (tombstones travel inside segments);
+* :mod:`.index` — the buffer-over-segments index with last-writer-wins LSN
+  liveness, manifest-or-rescan recovery, and segment compaction;
+* :mod:`.indexer` — the CDC consumer group that keeps a DFS-backed index
+  fresh from ``cdc.<table>`` topics, exactly-once.
+
+The planner consumes :class:`TableFtsIndex` (synchronously maintained per
+table) as the ``fts_index_scan`` access path; the platform serves
+:class:`FtsIndex` + :class:`FtsIndexer` for persistent, streamed search.
+"""
+
+from .analysis import (
+    BM25_B,
+    BM25_K1,
+    QueryTerm,
+    analyze,
+    bm25_term_score,
+    document_text,
+    parse_query,
+)
+from .index import FtsIndex, TableFtsIndex
+from .indexer import FtsIndexer
+from .segments import Segment, build_segment_from_docs, build_segment_payload
+
+__all__ = [
+    "BM25_B",
+    "BM25_K1",
+    "QueryTerm",
+    "analyze",
+    "bm25_term_score",
+    "document_text",
+    "parse_query",
+    "FtsIndex",
+    "TableFtsIndex",
+    "FtsIndexer",
+    "Segment",
+    "build_segment_from_docs",
+    "build_segment_payload",
+]

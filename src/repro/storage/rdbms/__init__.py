@@ -2,7 +2,7 @@
 
 from .types import ColumnType
 from .schema import Column, TableSchema
-from .expressions import Expression, col, extract_constraints, lit
+from .expressions import Expression, Match, col, extract_constraints, lit, match
 from .table import Table
 from .index import HashIndex, SortedIndex
 from .planner import AccessPlan, QueryPlan, plan_access
@@ -16,8 +16,10 @@ __all__ = [
     "Column",
     "TableSchema",
     "Expression",
+    "Match",
     "col",
     "lit",
+    "match",
     "extract_constraints",
     "Table",
     "HashIndex",

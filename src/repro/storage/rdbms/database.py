@@ -9,7 +9,7 @@ operational store restart durability.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from ...errors import StorageError, TableNotFound
 from .query import Query, QueryResult
@@ -76,6 +76,16 @@ class Database:
         """
         self.table(table_name).create_index(column, kind=kind)
         self._log("create_index", table_name, {"column": column, "kind": kind})
+
+    def create_fts_index(self, table_name: str, columns: Sequence[str]) -> None:
+        """Create a full-text index on ``table_name`` over ``columns``.
+
+        The index backs the planner's ``fts_index_scan`` access path for
+        MATCH predicates and is maintained synchronously by every write.
+        WAL-logged, so it is rebuilt automatically when the database reopens.
+        """
+        self.table(table_name).create_fts_index(tuple(columns))
+        self._log("create_fts_index", table_name, {"columns": list(columns)})
 
     def table(self, name: str) -> Table:
         """Return the table named ``name`` or raise :class:`TableNotFound`."""
@@ -252,6 +262,10 @@ class Database:
                         table.create_index(
                             record.payload["column"], kind=record.payload.get("kind", "hash")
                         )
+                elif record.operation == "create_fts_index":
+                    table = self._tables.get(record.table)
+                    if table is not None:
+                        table.create_fts_index(tuple(record.payload.get("columns", ())))
                 elif record.operation in ("insert", "upsert"):
                     table = self._tables.get(record.table)
                     if table is None:

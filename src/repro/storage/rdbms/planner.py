@@ -15,6 +15,8 @@ Access paths
   BETWEEN-style AND pairs).
 * ``index-union``    — union of equality lookups for an OR-of-equality or
   IN-list conjunct.
+* ``fts_index_scan`` — full-text MATCH answered from the table's FTS index
+  (posting-list intersection; prefix terms expand over the vocabulary).
 * ``index-intersect``— several of the above intersected.
 
 Ordering strategies
@@ -34,6 +36,9 @@ Known limits
 * ``index-ordered`` needs a single ORDER BY key whose sorted index covers
   every row (the index skips NULLs), and no joins or aggregation.
 * OR pushdown needs *every* branch to be an indexed equality/IN.
+* MATCH pushdown needs an FTS index covering every matched column; other
+  MATCH conjuncts fall back to predicate re-evaluation (full scan unless
+  another conjunct is indexed).
 * No LIKE-prefix pushdown and no planner statistics (histograms, join
   reordering).
 
@@ -56,6 +61,7 @@ FULL_SCAN = "full-scan"
 INDEX_EQ = "index-eq"
 INDEX_RANGE = "index-range"
 INDEX_UNION = "index-union"
+FTS_INDEX_SCAN = "fts_index_scan"
 INDEX_INTERSECT = "index-intersect"
 
 ORDER_SORT = "sort"
@@ -129,6 +135,17 @@ def plan_access(table: "Table", predicate: Any) -> AccessPlan:
         intersect(matches)
         steps.append(f"{INDEX_RANGE}({column})")
         kinds.add(INDEX_RANGE)
+
+    for match_node in constraints.matches:
+        fts = table.fts_index
+        if fts is None or not set(match_node.match_columns) <= set(fts.columns):
+            continue  # no covering FTS index — executor evaluates MATCH itself
+        # The index covers a superset of the matched columns, so its matches
+        # are a superset of the predicate's (a term found in one column is
+        # found in the concatenated document); the executor re-checks.
+        intersect(fts.match_row_ids(match_node.query))
+        steps.append(f"{FTS_INDEX_SCAN}({','.join(fts.columns)})")
+        kinds.add(FTS_INDEX_SCAN)
 
     for branches in constraints.disjunctions:
         by_column: dict[str, list[Any]] = {}

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from ...errors import SQLSyntaxError
-from .expressions import ColumnRef, Expression, col, lit
+from .expressions import ColumnRef, Expression, Match, col, lit
 from .schema import Column, TableSchema
 from .types import ColumnType
 
@@ -45,7 +45,7 @@ _TOKEN_RE = re.compile(
 _KEYWORDS = {
     "select", "from", "where", "group", "by", "order", "limit", "offset",
     "insert", "into", "values", "update", "set", "delete", "create", "table",
-    "and", "or", "not", "in", "like", "is", "null", "true", "false",
+    "and", "or", "not", "in", "like", "match", "is", "null", "true", "false",
     "asc", "desc", "as", "primary", "key", "unique", "count", "sum", "avg",
     "min", "max", "integer", "int", "float", "real", "text", "varchar",
     "boolean", "bool", "timestamp", "datetime", "json",
@@ -255,6 +255,14 @@ class _Parser:
             self.advance()
             pattern = self.literal_value()
             return left.like(str(pattern))
+        if operator_token == "match":
+            self.advance()
+            query = self.literal_value()
+            if not isinstance(query, str):
+                raise SQLSyntaxError("MATCH expects a string query literal")
+            if not isinstance(left, ColumnRef):
+                raise SQLSyntaxError("MATCH expects a column on its left side")
+            return Match((left.name,), query)
         if operator_token == "is":
             self.advance()
             negate = self.accept("not")

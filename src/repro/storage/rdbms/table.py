@@ -9,13 +9,16 @@ for index-ordered ORDER BY execution.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 
 from ...errors import ColumnNotFound, ConstraintViolation, StorageError
 from .expressions import Expression
 from .index import HashIndex, SortedIndex, build_index
 from .planner import AccessPlan, plan_access
 from .schema import TableSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..fts.index import TableFtsIndex
 
 
 class Table:
@@ -31,6 +34,7 @@ class Table:
         self._rows: dict[int, dict[str, Any]] = {}
         self._next_row_id = 1
         self._indexes: dict[str, HashIndex | SortedIndex] = {}
+        self._fts: "TableFtsIndex | None" = None
         for column in schema.unique_columns():
             self._indexes[column] = HashIndex(column)
 
@@ -64,6 +68,43 @@ class Table:
             raise StorageError(f"table {self.name!r} has no index on {column!r}")
         return self._indexes[column]
 
+    def create_fts_index(self, columns: Sequence[str]) -> None:
+        """Create (or rebuild) the table's full-text index over ``columns``.
+
+        The index is maintained synchronously by every write path, so its
+        matches are always a valid candidate superset for the planner's
+        ``fts_index_scan`` access path.
+        """
+        from ..fts.index import TableFtsIndex  # deferred: fts builds on storage
+
+        for column in columns:
+            self.schema.column(column)  # validates the column exists
+        fts = TableFtsIndex(columns)
+        for row_id, row in self._rows.items():
+            fts.add_row(row_id, row)
+        self._fts = fts
+
+    def has_fts_index(self) -> bool:
+        return self._fts is not None
+
+    @property
+    def fts_index(self) -> "TableFtsIndex | None":
+        return self._fts
+
+    def _fts_add(self, row_id: int, row: Mapping[str, Any]) -> None:
+        if self._fts is not None:
+            self._fts.add_row(row_id, row)
+
+    def _fts_update(self, row_id: int, old_row: Mapping[str, Any], new_row: Mapping[str, Any]) -> None:
+        if self._fts is not None and any(
+            old_row.get(column) != new_row.get(column) for column in self._fts.columns
+        ):
+            self._fts.add_row(row_id, new_row)
+
+    def _fts_remove(self, row_id: int) -> None:
+        if self._fts is not None:
+            self._fts.remove_row(row_id)
+
     # ---------------------------------------------------------------- writes
 
     def _check_unique(self, row: Mapping[str, Any], ignore_row_id: int | None = None) -> None:
@@ -88,6 +129,7 @@ class Table:
         self._rows[row_id] = normalized
         for column, index in self._indexes.items():
             index.add(row_id, normalized.get(column))
+        self._fts_add(row_id, normalized)
         return row_id
 
     def insert_many(self, rows: list[Mapping[str, Any]]) -> list[int]:
@@ -110,6 +152,7 @@ class Table:
                     index.remove(row_id, old_row.get(column))
                     index.add(row_id, new_row.get(column))
             self._rows[row_id] = new_row
+            self._fts_update(row_id, old_row, new_row)
             updated += 1
         return updated
 
@@ -120,6 +163,7 @@ class Table:
             row = self._rows.pop(row_id)
             for column, index in self._indexes.items():
                 index.remove(row_id, row.get(column))
+            self._fts_remove(row_id)
             deleted += 1
         return deleted
 
@@ -138,6 +182,7 @@ class Table:
                     index.remove(row_id, old_row.get(column))
                     index.add(row_id, normalized.get(column))
             self._rows[row_id] = normalized
+            self._fts_update(row_id, old_row, normalized)
             return row_id
         return self.insert(normalized)
 
@@ -146,6 +191,8 @@ class Table:
         self._rows.clear()
         for column in list(self._indexes):
             self._indexes[column] = build_index(self._indexes[column].kind, column)
+        if self._fts is not None:
+            self.create_fts_index(self._fts.columns)
 
     # ----------------------------------------------------------------- reads
 
@@ -159,6 +206,15 @@ class Table:
             return None
         (row_id,) = matches
         return dict(self._rows[row_id])
+
+    def row_by_id(self, row_id: int) -> dict[str, Any] | None:
+        """Point lookup by internal row id (``None`` when absent).
+
+        Row ids are what indexes — including the full-text index — hand back,
+        so callers ranking by index score use this to materialise the rows.
+        """
+        row = self._rows.get(row_id)
+        return dict(row) if row is not None else None
 
     def scan(self) -> Iterator[dict[str, Any]]:
         """Yield a copy of every row (insertion order)."""
@@ -286,6 +342,8 @@ class Table:
             for row_id, row in self._rows.items():
                 index.add(row_id, row.get(column))
             self._indexes[column] = index
+        if self._fts is not None:
+            self.create_fts_index(self._fts.columns)
 
 
 def _project_row(row: Mapping[str, Any], columns: Sequence[str]) -> dict[str, Any]:

@@ -352,6 +352,16 @@ def _read_segment(seg: dict[str, Any], payload: bytes, base: int) -> array:
     return out
 
 
+# The format-4 framing (wrap/split) and typed binary segments are shared wire
+# machinery: the FTS engine serialises its posting lists with the same frame,
+# header + body layout, and narrowest-fit integer segments as warehouse
+# columns.  Public aliases keep the underscore names private to this module.
+split_payload = _split_payload
+int_typecode = _int_typecode
+append_segment = _append_segment
+read_segment = _read_segment
+
+
 def _try_numeric_segment(values: list[Any], body: bytearray) -> dict[str, Any] | None:
     """Body-segment spec for an all-int or all-float column, else ``None``.
 

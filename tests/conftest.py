@@ -14,6 +14,22 @@ from repro import PlatformConfig, SciLensPlatform
 from repro.models import Article, Reaction, ReactionKind, SocialPost
 from repro.simulation import CovidScenarioConfig, generate_covid_scenario
 
+# Fixed-seed profile for CI: `pytest --hypothesis-profile=fts-ci` makes every
+# property run replay the same derandomized example stream, so a red property
+# job is reproducible locally with the same flag.
+try:
+    from hypothesis import HealthCheck
+    from hypothesis import settings as hypothesis_settings
+
+    hypothesis_settings.register_profile(
+        "fts-ci",
+        derandomize=True,
+        max_examples=50,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+except ImportError:  # pragma: no cover - hypothesis is an optional test dep
+    pass
+
 
 @pytest.fixture(scope="session")
 def small_scenario():

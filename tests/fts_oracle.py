@@ -1,0 +1,148 @@
+"""A deliberately naive, independent re-implementation of the FTS semantics.
+
+The differential oracle for ``repro.storage.fts``: its own character scanner,
+its own query parser and its own BM25 arithmetic, sharing **no code** with the
+engine.  The property suite asserts that engine and oracle agree token for
+token and score for score (floating-point ``==``, not ``approx``) on
+arbitrary unicode corpora, so any drift in either implementation fails loudly.
+
+Everything here is written for clarity over speed: documents are kept as
+plain token lists, every search walks every document, prefix terms scan the
+whole vocabulary.  That is the point — the engine's posting lists, segments
+and LSN bookkeeping must be observationally equivalent to this brute force.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Characters that join two alphabetic runs into one token (apostrophes and
+#: hyphens), mirroring the contract of ``repro.nlp.tokenize.word_tokens``.
+_JOINERS = ("'", "’", "-")
+
+K1 = 1.2
+B = 0.75
+
+
+def oracle_fold(word: str) -> str:
+    """Case-fold one token the way the engine promises to: stable under
+    repetition and always lowercase (``casefold`` alone maps Cherokee to
+    uppercase; the extra ``lower`` pins the fixpoint)."""
+    return word.casefold().lower()
+
+
+def oracle_tokens(text: str) -> list[str]:
+    """Independent tokenizer: alphabetic runs, joiners glued mid-word.
+
+    A token starts at an alphabetic character; inside a token, a joiner is
+    kept only when the character after it is alphabetic, so leading/trailing
+    joiners never attach.  Everything else is a separator.
+    """
+    tokens: list[str] = []
+    word: list[str] = []
+    n = len(text)
+    for i, ch in enumerate(text):
+        if ch.isalpha():
+            word.append(ch)
+        elif word and ch in _JOINERS and i + 1 < n and text[i + 1].isalpha():
+            word.append(ch)
+        else:
+            if word:
+                tokens.append(oracle_fold("".join(word)))
+                word = []
+    if word:
+        tokens.append(oracle_fold("".join(word)))
+    return tokens
+
+
+def oracle_query_terms(query: str) -> list[tuple[str, bool]]:
+    """Parse a MATCH query into ``(term, is_prefix)`` pairs, AND semantics.
+
+    Whitespace-split chunks; a chunk ending in ``*`` marks its final analyzed
+    token as a prefix term (earlier tokens of the same chunk stay exact).
+    Chunks that analyze to nothing contribute no terms.
+    """
+    terms: list[tuple[str, bool]] = []
+    for chunk in query.split():
+        prefix = chunk.endswith("*")
+        tokens = oracle_tokens(chunk[:-1] if prefix else chunk)
+        if not tokens:
+            continue
+        for token in tokens[:-1]:
+            terms.append((token, False))
+        terms.append((tokens[-1], prefix))
+    return terms
+
+
+class FtsOracle:
+    """Brute-force reference index: a dict of token lists, searched linearly."""
+
+    def __init__(self) -> None:
+        self.docs: dict[object, list[str]] = {}
+
+    def add(self, doc_id, text: str) -> None:
+        self.docs[doc_id] = oracle_tokens(text)
+
+    def delete(self, doc_id) -> None:
+        self.docs.pop(doc_id, None)
+
+    # ------------------------------------------------------------- matching
+
+    def _term_tf(self, term: str, prefix: bool) -> dict[object, int]:
+        """``doc_id -> tf`` for one query term; prefix tf sums expansions."""
+        out: dict[object, int] = {}
+        for doc_id, tokens in self.docs.items():
+            if prefix:
+                tf = sum(1 for token in tokens if token.startswith(term))
+            else:
+                tf = sum(1 for token in tokens if token == term)
+            if tf:
+                out[doc_id] = tf
+        return out
+
+    def match_ids(self, query: str) -> set:
+        terms = oracle_query_terms(query)
+        if not terms or not self.docs:
+            return set()
+        matched: set | None = None
+        for term, prefix in terms:
+            tf_map = self._term_tf(term, prefix)
+            matched = set(tf_map) if matched is None else matched & set(tf_map)
+            if not matched:
+                return set()
+        return matched
+
+    def search(self, query: str, limit: int | None = None) -> list[tuple[object, float]]:
+        """BM25 ranking, mirroring the engine's arithmetic *textually*.
+
+        ``avgdl``/``idf``/the term expression below must stay character-for-
+        character in sync with ``repro.storage.fts.analysis.bm25_term_score``
+        (same operand order), and scores accumulate over query terms in query
+        order — that is what makes ``==`` on floats a fair assertion.
+        """
+        terms = oracle_query_terms(query)
+        if not terms or not self.docs:
+            return []
+        tf_maps = [self._term_tf(term, prefix) for term, prefix in terms]
+        matched = set(tf_maps[0])
+        for tf_map in tf_maps[1:]:
+            matched &= set(tf_map)
+        n_docs = len(self.docs)
+        total_len = sum(len(tokens) for tokens in self.docs.values())
+        results = []
+        for doc_id in matched:
+            doc_len = len(self.docs[doc_id])
+            score = 0.0
+            for tf_map in tf_maps:
+                tf = tf_map[doc_id]
+                df = len(tf_map)
+                k1 = K1
+                b = B
+                avgdl = total_len / n_docs
+                idf = math.log(1.0 + (n_docs - df + 0.5) / (df + 0.5))
+                score += idf * (tf * (k1 + 1.0)) / (tf + k1 * (1.0 - b + b * (doc_len / avgdl)))
+            results.append((doc_id, score))
+        results.sort(key=lambda pair: (-pair[1], (isinstance(pair[0], str), pair[0])))
+        if limit is not None:
+            return results[:limit]
+        return results

@@ -7,6 +7,7 @@ from repro.nlp.tokenize import (
     count_characters,
     count_syllables,
     count_syllables_text,
+    fold_token,
     is_complex_word,
     is_word,
     tokenize,
@@ -37,6 +38,34 @@ class TestTokenize:
         assert is_word("pandemic")
         assert not is_word("123")
         assert not is_word("!")
+
+    def test_punctuation_only_text_has_no_word_tokens(self):
+        for text in ("...", "!?", "--- ---", "'' ’’", "123 456", "  \t\n"):
+            assert word_tokens(text) == []
+
+    def test_unicode_words_are_tokenized(self):
+        assert word_tokens("Café au Lait") == ["café", "au", "lait"]
+        assert word_tokens("Übermäßige Wärme") == ["übermässige", "wärme"]
+        assert word_tokens("Παλιά νέα") == ["παλιά", "νέα"]
+
+    def test_casefolding_is_stable_for_non_ascii(self):
+        # ß casefolds to "ss"; folding must be idempotent and lowercase.
+        (token,) = word_tokens("Straße")
+        assert token == "strasse"
+        assert fold_token(token) == token
+        # Cherokee casefolds *upward*; fold_token must still hit a
+        # lowercase fixpoint so the planner's token == token.lower()
+        # invariant holds for every emitted token.
+        for token in word_tokens("ꭰꮿꮩꮈ ᎠᏯᏙᎸ"):
+            assert fold_token(token) == token
+            assert token == token.lower()
+
+    def test_joiners_need_letters_on_both_sides(self):
+        assert word_tokens("state- of") == ["state", "of"]
+        assert word_tokens("-state") == ["state"]
+        assert word_tokens("rock'n'roll") == ["rock'n'roll"]
+        assert word_tokens("can’t stop") == ["can’t", "stop"]
+        assert word_tokens("x-2 axis") == ["x", "axis"]
 
 
 class TestSyllables:
