@@ -18,6 +18,7 @@ from .config import (
     ApiConfig,
     IndicatorConfig,
     PlatformConfig,
+    ServingConfig,
     StorageConfig,
     StreamingConfig,
 )
@@ -42,7 +43,7 @@ from .core.insights import DistributionComparison, InsightsEngine, NewsroomActiv
 from .core.pipeline import ArticleEvaluationPipeline
 from .core.platform import SciLensPlatform
 from .core.scoring import ArticleAssessment, fuse_scores
-from .api import ApiGateway, build_gateway
+from .api import ApiGateway, AsyncGateway, ShardedGateway, build_gateway, build_serving_tier
 from .simulation import CovidScenarioConfig, generate_covid_scenario
 
 __version__ = "1.0.0"
@@ -56,6 +57,7 @@ __all__ = [
     "AnalyticsConfig",
     "IndicatorConfig",
     "ApiConfig",
+    "ServingConfig",
     "Article",
     "ExpertReview",
     "Outlet",
@@ -77,7 +79,10 @@ __all__ = [
     "ArticleAssessment",
     "fuse_scores",
     "ApiGateway",
+    "AsyncGateway",
+    "ShardedGateway",
     "build_gateway",
+    "build_serving_tier",
     "CovidScenarioConfig",
     "generate_covid_scenario",
 ]

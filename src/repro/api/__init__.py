@@ -18,6 +18,13 @@ from .indicators_service import IndicatorsService
 from .insights_service import InsightsService
 from .monitoring_service import MonitoringService
 from .reviews_service import ReviewsService
+from .serving import (
+    AdmissionController,
+    AsyncGateway,
+    RequestCoalescer,
+    ShardedGateway,
+    build_serving_tier,
+)
 
 __all__ = [
     "MicroService",
@@ -30,6 +37,11 @@ __all__ = [
     "InsightsService",
     "MonitoringService",
     "ReviewsService",
+    "AdmissionController",
+    "AsyncGateway",
+    "RequestCoalescer",
+    "ShardedGateway",
+    "build_serving_tier",
 ]
 
 

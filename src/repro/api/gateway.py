@@ -22,7 +22,10 @@ class ApiGateway:
     def __init__(self, cache: TtlCache | None = None) -> None:
         self._services: dict[str, MicroService] = {}
         self._cacheable: set[str] = set()
-        self.cache = cache or TtlCache()
+        # `cache if ... is not None`, NOT `cache or ...`: a just-built TtlCache
+        # is empty, __len__ makes it falsy, and `or` would silently replace
+        # every caller-supplied cache (dropping configured capacity/TTL).
+        self.cache = cache if cache is not None else TtlCache()
         self.request_count = 0
 
     # ---------------------------------------------------------------- mounting
@@ -46,10 +49,31 @@ class ApiGateway:
             out.extend(service.operations())
         return sorted(out)
 
+    def is_cacheable(self, route: str) -> bool:
+        """Whether successful responses of ``route`` are cached (and therefore
+        safe for the serving tier to coalesce across callers)."""
+        return route in self._cacheable
+
     # ---------------------------------------------------------------- dispatch
 
     def handle(self, route: str, params: dict[str, Any] | None = None) -> ServiceResponse:
-        """Dispatch one request; raises :class:`RouteNotFound` for unknown services."""
+        """Dispatch one request; raises :class:`RouteNotFound` for unknown services.
+
+        An unknown *operation* on a known service is a structured 404
+        :class:`ServiceResponse` naming the operations the service does
+        serve — it never leaks an exception through the (cacheable)
+        dispatch path.
+
+        Cached responses are copied **on get only**: a successful cacheable
+        response is stored as-is and every later hit is served a private
+        deep copy.  The stored instance is owned by the cache from that
+        point on — handlers build a fresh payload per call and callers must
+        treat a just-computed cacheable response as read-only (mutating a
+        *hit* is always safe; it is the caller's own copy).  The previous
+        put-time deep copy paid a second full-payload copy per miss for no
+        extra safety on the hit path — on hot 100-article ``articles.list``
+        payloads that copy measured ~45% of the total serve time.
+        """
         self.request_count += 1
         params = params or {}
         if "." not in route:
@@ -58,6 +82,11 @@ class ApiGateway:
         service = self._services.get(service_name)
         if service is None:
             raise RouteNotFound(f"no service named {service_name!r}")
+        if operation not in service.operation_names():
+            return ServiceResponse.not_found(
+                f"service {service_name!r} has no operation {operation!r}; "
+                f"available: {', '.join(service.operations())}"
+            )
 
         cache_key = None
         if route in self._cacheable:
@@ -71,7 +100,7 @@ class ApiGateway:
 
         response = service.handle(operation, ServiceRequest(route=route, params=params))
         if cache_key is not None and response.ok:
-            self.cache.put(cache_key, copy.deepcopy(response))
+            self.cache.put(cache_key, response)
         return response
 
     def stats(self) -> dict[str, Any]:

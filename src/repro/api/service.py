@@ -31,6 +31,8 @@ class ServiceResponse:
     status: int
     payload: Any = None
     error: str | None = None
+    #: Seconds after which a throttled caller may retry (429 responses only).
+    retry_after_s: float | None = None
 
     @property
     def ok(self) -> bool:
@@ -51,6 +53,11 @@ class ServiceResponse:
     @classmethod
     def failure(cls, message: str) -> "ServiceResponse":
         return cls(status=500, error=message)
+
+    @classmethod
+    def throttled(cls, message: str, retry_after_s: float | None = None) -> "ServiceResponse":
+        """A 429-style admission-control rejection (typed, never cached)."""
+        return cls(status=429, error=message, retry_after_s=retry_after_s)
 
 
 class MicroService:
@@ -77,12 +84,17 @@ class MicroService:
         """Fully qualified route names this service serves."""
         return [f"{self.name}.{operation}" for operation in sorted(self._operations)]
 
+    def operation_names(self) -> list[str]:
+        """Bare (unqualified) operation names this service serves."""
+        return sorted(self._operations)
+
     def handle(self, operation: str, request: ServiceRequest) -> ServiceResponse:
         """Dispatch a request to one of the registered operations."""
         handler = self._operations.get(operation)
         if handler is None:
             return ServiceResponse.not_found(
-                f"service {self.name!r} has no operation {operation!r}"
+                f"service {self.name!r} has no operation {operation!r}; "
+                f"available: {', '.join(self.operations())}"
             )
         self.request_count += 1
         try:

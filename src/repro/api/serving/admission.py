@@ -1,0 +1,186 @@
+"""Admission control: per-tenant token buckets and a global concurrency cap.
+
+Two protections compose in front of the gateway shards:
+
+* **Token buckets** bound each tenant's request *rate*: a bucket holds at
+  most ``burst`` tokens, refills continuously at ``rate_per_s``, and every
+  admitted request spends one token.  An abusive tenant drains its own
+  bucket and gets typed 429s; well-behaved tenants are unaffected.
+* **The concurrency limiter** bounds how many requests are *in flight* at
+  once across every tenant and shard.  Excess load is shed immediately
+  instead of queueing, which is what keeps the p99 of admitted requests
+  bounded under overload (nobody waits behind an unbounded backlog).
+
+Both are plain-threading safe and take an injectable monotonic ``clock`` so
+refill math is testable under a fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission check."""
+
+    admitted: bool
+    #: ``None`` when admitted; otherwise ``"rate"`` or ``"concurrency"``.
+    reason: str | None = None
+    #: Seconds until the rejecting tenant's bucket holds a token again.
+    retry_after_s: float | None = None
+
+
+class TokenBucket:
+    """A continuously-refilling token bucket (rate ``rate_per_s``, cap ``burst``)."""
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate_per_s <= 0:
+            raise ValueError("rate_per_s must be > 0")
+        if burst < 1:
+            raise ValueError("burst must be >= 1")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._refilled_at)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate_per_s)
+        self._refilled_at = now
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Spend ``tokens`` if available; never blocks."""
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def available(self) -> float:
+        """Tokens currently in the bucket (after refill, read-only)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+    def seconds_until(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 when already there)."""
+        with self._lock:
+            self._refill(self._clock())
+            deficit = tokens - self._tokens
+            return max(0.0, deficit / self.rate_per_s)
+
+
+class ConcurrencyLimiter:
+    """A non-blocking in-flight cap with a high-water mark for observability."""
+
+    def __init__(self, max_concurrent: int) -> None:
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        self.max_concurrent = max_concurrent
+        self._in_flight = 0
+        self.high_water = 0
+        self._lock = threading.Lock()
+
+    def try_acquire(self) -> bool:
+        with self._lock:
+            if self._in_flight >= self.max_concurrent:
+                return False
+            self._in_flight += 1
+            self.high_water = max(self.high_water, self._in_flight)
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._in_flight <= 0:
+                raise RuntimeError("release() without a matching acquire")
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+
+class AdmissionController:
+    """Per-tenant token buckets behind one global concurrency limiter.
+
+    ``try_admit`` spends a token from the calling tenant's bucket and claims
+    a concurrency slot; the caller must :meth:`release` the slot when the
+    request finishes (only when the decision was *admitted*).  Tenant buckets
+    are created lazily on first sight.
+    """
+
+    def __init__(
+        self,
+        rate_per_s: float,
+        burst: float,
+        max_concurrent: int,
+        rate_limiting: bool = True,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.rate_limiting = rate_limiting
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._buckets_lock = threading.Lock()
+        self.limiter = ConcurrencyLimiter(max_concurrent)
+        self.admitted_total = 0
+        self.throttled_total = 0
+        self._stats_lock = threading.Lock()
+
+    def bucket(self, tenant: str) -> TokenBucket:
+        with self._buckets_lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate_per_s, self.burst, clock=self._clock)
+                self._buckets[tenant] = bucket
+            return bucket
+
+    def try_admit(self, tenant: str) -> AdmissionDecision:
+        if self.rate_limiting:
+            bucket = self.bucket(tenant)
+            if not bucket.try_acquire():
+                with self._stats_lock:
+                    self.throttled_total += 1
+                return AdmissionDecision(
+                    admitted=False, reason="rate",
+                    retry_after_s=round(bucket.seconds_until(), 6),
+                )
+        if not self.limiter.try_acquire():
+            with self._stats_lock:
+                self.throttled_total += 1
+            # The spent token is deliberately not refunded: a tenant pushing
+            # into a saturated tier is exactly who the bucket should slow.
+            return AdmissionDecision(admitted=False, reason="concurrency", retry_after_s=0.0)
+        with self._stats_lock:
+            self.admitted_total += 1
+        return AdmissionDecision(admitted=True)
+
+    def release(self) -> None:
+        """Give back the concurrency slot of an admitted request."""
+        self.limiter.release()
+
+    def stats(self) -> dict[str, float | int]:
+        with self._stats_lock:
+            admitted, throttled = self.admitted_total, self.throttled_total
+        return {
+            "admitted": admitted,
+            "throttled": throttled,
+            "tenants": len(self._buckets),
+            "in_flight": self.limiter.in_flight,
+            "concurrency_high_water": self.limiter.high_water,
+            "max_concurrency": self.limiter.max_concurrent,
+        }

@@ -1,0 +1,70 @@
+"""Asyncio front end driving the synchronous serving tier on an executor.
+
+The micro-services and storage layers are synchronous by design (plain
+Python, no event loop in the data path).  ``AsyncGateway`` exposes the same
+``handle`` contract as coroutines: each call is submitted to a bounded
+thread pool and awaited, so an asyncio application (or many thousands of
+simulated clients) can multiplex requests over ``max_workers`` OS threads
+while admission control, coalescing and sharding keep working unchanged —
+concurrent identical reads issued with ``asyncio.gather`` really are in
+flight together and coalesce into one backend execution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable
+
+from ..service import ServiceResponse
+
+
+class AsyncGateway:
+    """Async facade over a :class:`ShardedGateway` (or a plain ``ApiGateway``).
+
+    ``tenant`` is forwarded to backends that take one (the sharded front
+    door); pass ``tenant=None`` for a plain single gateway backend.
+    """
+
+    def __init__(self, backend, max_workers: int = 8) -> None:
+        self._backend = backend
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="serving"
+        )
+
+    async def handle(
+        self,
+        route: str,
+        params: dict[str, Any] | None = None,
+        tenant: str | None = "default",
+    ) -> ServiceResponse:
+        """Dispatch one request on the executor and await its response."""
+        if tenant is None:
+            call = functools.partial(self._backend.handle, route, params)
+        else:
+            call = functools.partial(self._backend.handle, route, params, tenant=tenant)
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, call)
+
+    async def handle_many(
+        self,
+        requests: Iterable[tuple[str, dict[str, Any] | None]],
+        tenant: str | None = "default",
+    ) -> list[ServiceResponse]:
+        """Dispatch a batch concurrently (ordered like the input)."""
+        return list(
+            await asyncio.gather(
+                *(self.handle(route, params, tenant=tenant) for route, params in requests)
+            )
+        )
+
+    def close(self) -> None:
+        """Shut the executor down (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+    def __enter__(self) -> "AsyncGateway":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,98 @@
+"""Single-flight request coalescing for identical in-flight cacheable reads.
+
+A hot dashboard key under concurrent load causes a thundering herd: every
+client recomputes the same expensive read because none of them sees a cache
+entry yet (or the route is freshness-pinned and never cached).  Single-flight
+collapses the herd: the first request for a key becomes the *leader* and
+executes; every request for the same key arriving while the leader is in
+flight becomes a *follower* and waits on the leader's result.  All waiters
+receive equal responses — followers get their own deep copy, so no payload
+is ever shared between callers.
+
+The gateway only routes **cacheable** operations through the coalescer:
+cacheability is the existing marker for "idempotent read whose response is
+shareable".  Writes and per-caller reads never coalesce.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+from typing import Any, Callable, Hashable
+
+
+class _Flight:
+    """One in-flight leader execution plus everyone waiting on it."""
+
+    __slots__ = ("done", "result", "error", "followers")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+        self.followers = 0
+
+
+class RequestCoalescer:
+    """Deduplicates concurrent identical calls (``execute`` is single-flight)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._inflight: dict[Hashable, _Flight] = {}
+        self.leaders_total = 0
+        self.coalesced_total = 0
+
+    def in_flight(self) -> int:
+        """Number of keys currently being computed by a leader."""
+        with self._lock:
+            return len(self._inflight)
+
+    def execute(self, key: Hashable, fn: Callable[[], Any]) -> tuple[Any, bool]:
+        """Run ``fn`` once per concurrent batch of identical ``key`` calls.
+
+        Returns ``(result, coalesced)`` — ``coalesced`` is ``True`` when this
+        call was a follower served from the leader's execution.  Followers
+        receive a deep copy of the leader's result; the leader's own return
+        value is handed back as-is (it flows through the normal gateway
+        path, which owns response-sharing rules).  A leader exception
+        propagates to the leader *and* every follower.
+        """
+        with self._lock:
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                self.leaders_total += 1
+                is_leader = True
+            else:
+                flight.followers += 1
+                self.coalesced_total += 1
+                is_leader = False
+
+        if is_leader:
+            try:
+                flight.result = fn()
+            except BaseException as exc:  # propagate to every waiter, then re-raise
+                flight.error = exc
+                raise
+            finally:
+                # Unregister *before* waking waiters: a request arriving after
+                # this point starts a fresh flight instead of reading a result
+                # that may already be going stale.
+                with self._lock:
+                    self._inflight.pop(key, None)
+                flight.done.set()
+            return flight.result, False
+
+        flight.done.wait()
+        if flight.error is not None:
+            raise flight.error
+        return copy.deepcopy(flight.result), True
+
+    def stats(self) -> dict[str, int]:
+        with self._lock:
+            return {
+                "leaders": self.leaders_total,
+                "coalesced": self.coalesced_total,
+                "in_flight_keys": len(self._inflight),
+            }

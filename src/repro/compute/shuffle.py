@@ -37,9 +37,20 @@ def canonical_key(key: Hashable) -> Hashable:
 _canonical_key = canonical_key
 
 
-def _stable_hash(key: Hashable) -> int:
+def stable_hash(key: Hashable) -> int:
+    """A process-independent 64-bit hash of ``canonical_key(key)``.
+
+    Unlike the built-in ``hash`` this is not randomised per interpreter run,
+    so it is safe to use wherever placement must be reproducible across
+    processes and restarts: shuffle partitioning here, warehouse partition
+    placement, and the serving tier's consistent-hash shard ring.
+    """
     digest = hashlib.blake2b(repr(canonical_key(key)).encode("utf-8"), digest_size=8).digest()
     return int.from_bytes(digest, "little")
+
+
+#: Backwards-compatible alias (pre-publication name).
+_stable_hash = stable_hash
 
 
 def hash_partition(

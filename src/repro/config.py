@@ -188,6 +188,54 @@ class ApiConfig:
 
 
 @dataclass(frozen=True)
+class ServingConfig:
+    """Configuration of the sharded serving tier in front of the API gateway.
+
+    The serving tier (``repro.api.serving``) layers per-tenant token-bucket
+    admission control, single-flight request coalescing and consistent-hash
+    sharding over the synchronous micro-service gateway, plus an asyncio
+    front end driving the shards on an executor.
+    """
+
+    #: Gateway shards behind the :class:`~repro.api.serving.ShardedGateway`
+    #: front door.  Each shard carries every mounted service and its own
+    #: response cache; requests route by consistent hash of their cache key.
+    shards: int = 4
+    #: Virtual nodes per shard on the consistent-hash ring.  More replicas
+    #: smooth the key distribution; adding/removing a shard still moves only
+    #: ~1/N of the keys.
+    ring_replicas: int = 64
+    #: Per-tenant token-bucket admission control.  Disabled, every request
+    #: is admitted (the global concurrency limiter still applies).
+    admission_enabled: bool = True
+    #: Steady-state tokens (requests) per second granted to each tenant.
+    admission_rate_per_s: float = 200.0
+    #: Bucket capacity: the burst a previously-idle tenant may send at once.
+    admission_burst: float = 400.0
+    #: Requests allowed in flight across all shards; excess load is shed
+    #: with a 429 instead of queueing unboundedly (bounds tail latency).
+    max_concurrency: int = 64
+    #: Single-flight coalescing of identical in-flight cacheable reads.
+    coalesce_enabled: bool = True
+    #: Executor threads the asyncio front end uses to drive sync shards.
+    async_workers: int = 8
+
+    def validate(self) -> None:
+        if self.shards < 1:
+            raise ConfigurationError("serving.shards must be >= 1")
+        if self.ring_replicas < 1:
+            raise ConfigurationError("serving.ring_replicas must be >= 1")
+        if self.admission_rate_per_s <= 0:
+            raise ConfigurationError("serving.admission_rate_per_s must be > 0")
+        if self.admission_burst < 1:
+            raise ConfigurationError("serving.admission_burst must be >= 1")
+        if self.max_concurrency < 1:
+            raise ConfigurationError("serving.max_concurrency must be >= 1")
+        if self.async_workers < 1:
+            raise ConfigurationError("serving.async_workers must be >= 1")
+
+
+@dataclass(frozen=True)
 class PlatformConfig:
     """Top-level configuration for :class:`repro.core.platform.SciLensPlatform`."""
 
@@ -196,6 +244,7 @@ class PlatformConfig:
     analytics: AnalyticsConfig = field(default_factory=AnalyticsConfig)
     indicators: IndicatorConfig = field(default_factory=IndicatorConfig)
     api: ApiConfig = field(default_factory=ApiConfig)
+    serving: ServingConfig = field(default_factory=ServingConfig)
     random_seed: int = 13
 
     def validate(self) -> "PlatformConfig":
@@ -205,6 +254,7 @@ class PlatformConfig:
         self.analytics.validate()
         self.indicators.validate()
         self.api.validate()
+        self.serving.validate()
         return self
 
 

@@ -282,6 +282,9 @@ class SciLensPlatform:
         self.jobs.register("train_models", self._run_training_job)
 
         # --- evaluation / serving --------------------------------------------
+        # The serving-tier front door (repro.api.serving.build_serving_tier)
+        # registers itself here so status() can report its counters.
+        self._serving: Any = None
         self.outlet_ratings: dict[str, RatingClass] = {}
         self.review_store = ReviewStore()
         self.review_aggregator = ReviewAggregator(
@@ -939,6 +942,15 @@ class SciLensPlatform:
     # Monitoring
     # ====================================================================== #
 
+    def attach_serving(self, serving: Any) -> None:
+        """Register the serving-tier front door (a ``ShardedGateway``).
+
+        Called by :func:`repro.api.serving.build_serving_tier`; afterwards
+        ``status()["serving"]`` carries the admitted/throttled/coalesced and
+        per-shard counters of the attached tier.
+        """
+        self._serving = serving
+
     def status(self) -> dict[str, Any]:
         """Operational snapshot: table sizes, stream lag, warehouse and job health."""
         warehouse_storage: dict[str, dict[str, Any]] = {}
@@ -984,6 +996,9 @@ class SciLensPlatform:
             "warehouse_storage": warehouse_storage,
             "cdc": cdc,
             "fts": fts,
+            "serving": (
+                self._serving.stats() if self._serving is not None else {"enabled": False}
+            ),
             "health": self.health.report(),
             "warehouse_rollups": self.warehouse.rollups.overview(),
             "dfs": self.dfs.stats(),

@@ -16,6 +16,14 @@ from .corpus import ArticleGenerator, GeneratedArticle
 from .social_activity import SocialActivityGenerator
 from .scenario import ScenarioData
 from .covid import CovidScenarioConfig, generate_covid_scenario
+from .load import (
+    LoadReport,
+    ServingLoadConfig,
+    SimulatedRequest,
+    generate_serving_workload,
+    run_serving_load,
+    zipf_weights,
+)
 
 __all__ = [
     "SeededRng",
@@ -31,4 +39,10 @@ __all__ = [
     "ScenarioData",
     "CovidScenarioConfig",
     "generate_covid_scenario",
+    "LoadReport",
+    "ServingLoadConfig",
+    "SimulatedRequest",
+    "generate_serving_workload",
+    "run_serving_load",
+    "zipf_weights",
 ]

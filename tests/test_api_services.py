@@ -100,6 +100,51 @@ class TestServiceFramework:
         with pytest.raises(RouteNotFound):
             gateway.handle("malformed-route")
 
+    def test_gateway_keeps_caller_supplied_cache(self, loaded_platform):
+        from repro.api import build_gateway
+        from repro.config import ApiConfig
+
+        # Regression: a freshly-built TtlCache is empty and therefore falsy,
+        # so `cache or TtlCache()` silently replaced every configured cache
+        # with the defaults.  The configured capacity/TTL must stick.
+        custom = TtlCache(capacity=7, ttl_seconds=9.0)
+        assert ApiGateway(cache=custom).cache is custom
+        disabled = build_gateway(loaded_platform, ApiConfig(cache_capacity=0))
+        assert disabled.cache.capacity == 0
+        disabled.handle("articles.outlets")
+        disabled.handle("articles.outlets")
+        assert disabled.cache.hits == 0  # capacity 0 really disables caching
+
+    def test_unknown_operation_on_known_service_lists_operations(self, gateway):
+        response = gateway.handle("articles.frobnicate")
+        assert response.status == 404 and not response.ok
+        # The structured 404 tells the caller what the service does serve.
+        assert "articles" in response.error and "frobnicate" in response.error
+        assert "articles.list" in response.error and "articles.get" in response.error
+
+    def test_cache_stores_response_uncopied_and_copies_on_get(self):
+        import json
+
+        class Fixed(MicroService):
+            name = "fixed"
+            cacheable = ("fetch",)
+
+            def __init__(self):
+                super().__init__()
+                self.register("fetch", lambda request: ServiceResponse.success({"x": 1}))
+
+        gateway = ApiGateway()
+        gateway.mount(Fixed())
+        miss = gateway.handle("fixed.fetch")
+        # Copy-on-get-only: the miss response is stored as-is (the cache owns
+        # the instance; no put-time deep copy) …
+        cache_key = ("fixed.fetch", json.dumps({}, sort_keys=True, default=str))
+        assert gateway.cache.get(cache_key) is miss
+        # … and every hit is a private deep copy of it.
+        hit = gateway.handle("fixed.fetch")
+        assert hit is not miss and hit.payload is not miss.payload
+        assert hit.payload == miss.payload
+
     def test_cache_hits_do_not_alias_responses(self):
         calls = {"n": 0}
 
