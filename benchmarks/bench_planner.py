@@ -22,9 +22,18 @@ import pytest
 
 from _timings import record_gate_timing
 from repro.storage.rdbms.expressions import col
-from repro.storage.rdbms.planner import FULL_SCAN, ORDER_INDEX, ORDER_TOP_K
+from repro.storage.rdbms.planner import (
+    FULL_SCAN,
+    INDEX_EQ,
+    INDEX_INTERSECT,
+    ORDER_INDEX,
+    ORDER_TOP_K,
+    STATS_COST,
+    STATS_HEURISTIC,
+)
 from repro.storage.rdbms.query import Query
 from repro.storage.rdbms.schema import Column, TableSchema
+from repro.storage.rdbms.stats import StatsPolicy
 from repro.storage.rdbms.table import Table
 from repro.storage.rdbms.types import ColumnType
 
@@ -155,6 +164,74 @@ def test_equality_plus_topk(indexed_table, plain_table):
     # ~2% of rows survive the equality, so the ceiling is lower than for the
     # range scans above; 3x leaves headroom against timer noise.
     assert speedup >= 3.0
+
+
+def _build_skewed_table(with_stats: bool) -> Table:
+    """A skewed-selectivity workload for the cost-model gate.
+
+    One rare outlet owns ~120 of 60k rows while the reactions range predicate
+    keeps ~95% of the table — exactly the shape where intersecting every
+    usable index wastes a 57k-row index sweep that the equality probe makes
+    irrelevant.  ``with_stats=False`` pins the table to the historical
+    intersect-all heuristic (no statistics, no auto-analyze).
+    """
+    schema = TableSchema(
+        name="articles",
+        primary_key="id",
+        columns=(
+            Column("id", ColumnType.INTEGER, nullable=False),
+            Column("outlet", ColumnType.TEXT, nullable=False),
+            Column("reactions", ColumnType.INTEGER, nullable=False),
+        ),
+    )
+    table = Table(schema, stats_policy=StatsPolicy(auto_analyze=with_stats))
+    rng = random.Random(777)
+    rows = [
+        {
+            "id": i,
+            "outlet": (
+                "rare-outlet.example.com"
+                if i % 500 == 0
+                else f"outlet-{rng.randrange(50)}.example.com"
+            ),
+            "reactions": rng.randrange(100_000),
+        }
+        for i in range(N_ROWS)
+    ]
+    table.insert_many(rows)
+    table.create_index("outlet", kind="hash")
+    table.create_index("reactions", kind="sorted")
+    return table
+
+
+def test_planner_cost_skewed_workload():
+    """Cost-based plan vs forced intersect-all on a skewed workload.
+
+    The selectivity estimates must recognise that the unselective reactions
+    range cannot pay for its probe, keep only the rare-outlet equality, and
+    beat the intersect-everything baseline >=5x with identical rows.
+    """
+    cost_table = _build_skewed_table(with_stats=True)
+    heuristic_table = _build_skewed_table(with_stats=False)
+    predicate = (col("outlet") == "rare-outlet.example.com") & (col("reactions") < 95_000)
+
+    cost_plan = cost_table.plan_access(predicate)
+    assert cost_plan.stats_mode == STATS_COST
+    assert cost_plan.path == INDEX_EQ  # the 95%-range probe was rejected
+    assert any(alt.path == INDEX_INTERSECT for alt in cost_plan.alternatives if not alt.chosen)
+    heuristic_plan = heuristic_table.plan_access(predicate)
+    assert heuristic_plan.stats_mode == STATS_HEURISTIC
+    assert heuristic_plan.path == INDEX_INTERSECT  # both indexes, blindly
+
+    fast_rows = Query(cost_table).where(predicate).execute().rows
+    slow_rows = Query(heuristic_table).where(predicate).execute().rows
+    oracle_rows = [r for r in cost_table.rows() if r["outlet"] == "rare-outlet.example.com" and r["reactions"] < 95_000]
+    assert fast_rows == slow_rows == oracle_rows and fast_rows  # identical, non-empty
+
+    fast = _best_seconds(lambda: Query(cost_table).where(predicate).execute())
+    slow = _best_seconds(lambda: Query(heuristic_table).where(predicate).execute())
+    speedup = _report("cost-based vs intersect-all (skewed)", slow, fast, gate="planner_cost")
+    assert speedup >= REQUIRED_SPEEDUP
 
 
 def test_randomized_equivalence(indexed_table, plain_table):

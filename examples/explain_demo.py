@@ -2,7 +2,8 @@
 
 Builds a small articles table, declares the indexes the platform uses, and
 prints ``Query.explain()`` for one query of each plan shape described in
-``docs/query-planner.md``.
+``docs/query-planner.md`` — including the cost-model outputs: estimated
+rows, plan cost, and the alternatives the planner rejected.
 
 Run with::
 
@@ -11,6 +12,7 @@ Run with::
 
 from __future__ import annotations
 
+import json
 from datetime import datetime, timedelta
 
 from repro.storage.rdbms.database import Database
@@ -35,10 +37,12 @@ def build_database(n_articles: int = 500) -> Database:
         )
     )
     # The same index kinds the platform declares: a hash index for equality
-    # lookups, sorted indexes for range scans and ordered streaming.
+    # lookups, sorted indexes for range scans, ordered streaming, and
+    # LIKE-prefix pushdown on text.
     database.create_index("articles", "outlet_domain", kind="hash")
     database.create_index("articles", "published_at", kind="sorted")
     database.create_index("articles", "reactions", kind="sorted")
+    database.create_index("articles", "title", kind="sorted")
 
     start = datetime(2020, 1, 15)
     database.insert_many(
@@ -65,6 +69,9 @@ def main() -> None:
         "full-scan (no usable index)": (
             database.query("articles").where(lambda row: "7" in row["title"])
         ),
+        "full-scan (cost model rejects an unselective index)": (
+            database.query("articles").where(col("reactions") >= 10)
+        ),
         "index-eq (hash equality)": (
             database.query("articles").where(col("outlet_domain") == "outlet-3.example.com")
         ),
@@ -73,6 +80,9 @@ def main() -> None:
                 (col("published_at") >= week[0]) & (col("published_at") <= week[1])
             )
         ),
+        "like-prefix (sorted text index)": (
+            database.query("articles").where(col("title").like("Article 4%"))
+        ),
         "index-union (IN list)": (
             database.query("articles").where(
                 col("outlet_domain").is_in(
@@ -80,10 +90,11 @@ def main() -> None:
                 )
             )
         ),
-        "index-intersect (several conjuncts)": (
+        "index-intersect (two selective conjuncts)": (
             database.query("articles").where(
                 (col("outlet_domain") == "outlet-3.example.com")
                 & (col("published_at") >= week[0])
+                & (col("published_at") <= week[1])
             )
         ),
         "index-ordered (ORDER BY + LIMIT on an indexed column)": (
@@ -114,6 +125,18 @@ def main() -> None:
         print(f"{label:<{width}}  ->  {plan.describe()}")
         rows = query.execute().rows
         print(f"{'':<{width}}      ({len(rows)} row(s) when executed)\n")
+
+    print("=== Query.explain().describe_verbose() — the rejected alternatives ===\n")
+    verbose_query = database.query("articles").where(
+        (col("outlet_domain") == "outlet-3.example.com") & (col("reactions") >= 10)
+    )
+    print(verbose_query.explain().describe_verbose())
+    print()
+
+    print("=== Database.planner_status() — plan counters + statistics health ===\n")
+    database.analyze()
+    status = database.planner_status()
+    print(json.dumps(status, indent=2, sort_keys=True, default=str))
 
 
 if __name__ == "__main__":

@@ -57,6 +57,8 @@ def build_serving_tier(platform, serving_config=None, api_config=None, attach: b
             rate_per_s=serving.admission_rate_per_s,
             burst=serving.admission_burst,
             max_concurrent=serving.max_concurrency,
+            route_costs=dict(serving.route_cost_weights),
+            default_cost=serving.default_route_cost,
         )
     front = ShardedGateway(
         shard_factory=lambda index: build_gateway(platform, api_config),

@@ -4,8 +4,11 @@ Two protections compose in front of the gateway shards:
 
 * **Token buckets** bound each tenant's request *rate*: a bucket holds at
   most ``burst`` tokens, refills continuously at ``rate_per_s``, and every
-  admitted request spends one token.  An abusive tenant drains its own
-  bucket and gets typed 429s; well-behaved tenants are unaffected.
+  admitted request spends the *cost weight* of its route (default one token;
+  heavy routes like ``insights.topic`` can be configured to spend more, so
+  the rate limit tracks the work a tenant causes rather than its request
+  count).  An abusive tenant drains its own bucket and gets typed 429s;
+  well-behaved tenants are unaffected.
 * **The concurrency limiter** bounds how many requests are *in flight* at
   once across every tenant and shard.  Excess load is shed immediately
   instead of queueing, which is what keeps the p99 of admitted requests
@@ -20,7 +23,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
 
 @dataclass(frozen=True)
@@ -116,10 +119,13 @@ class ConcurrencyLimiter:
 class AdmissionController:
     """Per-tenant token buckets behind one global concurrency limiter.
 
-    ``try_admit`` spends a token from the calling tenant's bucket and claims
-    a concurrency slot; the caller must :meth:`release` the slot when the
-    request finishes (only when the decision was *admitted*).  Tenant buckets
-    are created lazily on first sight.
+    ``try_admit`` spends the route's cost weight from the calling tenant's
+    bucket and claims a concurrency slot; the caller must :meth:`release` the
+    slot when the request finishes (only when the decision was *admitted*).
+    Tenant buckets are created lazily on first sight.  ``route_costs`` maps
+    route names to token costs (``default_cost`` for everything else), so an
+    expensive analytical route consumes a proportionally larger slice of its
+    tenant's rate budget than a cheap point read.
     """
 
     def __init__(
@@ -129,10 +135,18 @@ class AdmissionController:
         max_concurrent: int,
         rate_limiting: bool = True,
         clock: Callable[[], float] = time.monotonic,
+        route_costs: Mapping[str, float] | None = None,
+        default_cost: float = 1.0,
     ) -> None:
+        if default_cost <= 0:
+            raise ValueError("default_cost must be > 0")
+        if route_costs and any(cost <= 0 for cost in route_costs.values()):
+            raise ValueError("route costs must be > 0")
         self.rate_per_s = rate_per_s
         self.burst = burst
         self.rate_limiting = rate_limiting
+        self.route_costs: dict[str, float] = dict(route_costs or {})
+        self.default_cost = float(default_cost)
         self._clock = clock
         self._buckets: dict[str, TokenBucket] = {}
         self._buckets_lock = threading.Lock()
@@ -140,6 +154,12 @@ class AdmissionController:
         self.admitted_total = 0
         self.throttled_total = 0
         self._stats_lock = threading.Lock()
+
+    def route_cost(self, route: str | None) -> float:
+        """Tokens one request of ``route`` spends (``default_cost`` fallback)."""
+        if route is None:
+            return self.default_cost
+        return self.route_costs.get(route, self.default_cost)
 
     def bucket(self, tenant: str) -> TokenBucket:
         with self._buckets_lock:
@@ -149,15 +169,16 @@ class AdmissionController:
                 self._buckets[tenant] = bucket
             return bucket
 
-    def try_admit(self, tenant: str) -> AdmissionDecision:
+    def try_admit(self, tenant: str, route: str | None = None) -> AdmissionDecision:
         if self.rate_limiting:
+            cost = self.route_cost(route)
             bucket = self.bucket(tenant)
-            if not bucket.try_acquire():
+            if not bucket.try_acquire(cost):
                 with self._stats_lock:
                     self.throttled_total += 1
                 return AdmissionDecision(
                     admitted=False, reason="rate",
-                    retry_after_s=round(bucket.seconds_until(), 6),
+                    retry_after_s=round(bucket.seconds_until(cost), 6),
                 )
         if not self.limiter.try_acquire():
             with self._stats_lock:

@@ -179,7 +179,7 @@ class ShardedGateway:
         self.request_count += 1
         params = params or {}
         if self.admission is not None:
-            decision = self.admission.try_admit(tenant)
+            decision = self.admission.try_admit(tenant, route=route)
             if not decision.admitted:
                 return ServiceResponse.throttled(
                     f"tenant {tenant!r} throttled ({decision.reason} limit)",

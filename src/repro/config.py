@@ -82,6 +82,19 @@ class StorageConfig:
     fts_columns: tuple[str, ...] = ("title", "text")
     #: Buffered documents that trigger an automatic FTS segment flush.
     fts_flush_docs: int = 512
+    #: Cost-based planner statistics: re-analyze a table transparently at
+    #: plan time when its statistics are missing or stale.  Disabled, the
+    #: planner degrades to the heuristic intersect-every-index plan until
+    #: ``Database.analyze()`` is called explicitly.
+    rdbms_auto_analyze: bool = True
+    #: Fraction of a table's analyzed rows that may be rewritten before its
+    #: statistics count as stale (absolute floor below).
+    rdbms_stale_fraction: float = 0.2
+    #: Writes a table always absorbs before its statistics can go stale —
+    #: keeps tiny hot tables from re-analyzing on every handful of writes.
+    rdbms_min_stale_writes: int = 64
+    #: Equi-depth histogram buckets collected per analyzed column.
+    rdbms_histogram_buckets: int = 32
 
     def validate(self) -> None:
         if self.warehouse_replication < 1:
@@ -124,6 +137,12 @@ class StorageConfig:
             )
         if self.fts_flush_docs < 1:
             raise ConfigurationError("storage.fts_flush_docs must be >= 1")
+        if self.rdbms_stale_fraction <= 0:
+            raise ConfigurationError("storage.rdbms_stale_fraction must be > 0")
+        if self.rdbms_min_stale_writes < 0:
+            raise ConfigurationError("storage.rdbms_min_stale_writes must be >= 0")
+        if self.rdbms_histogram_buckets < 1:
+            raise ConfigurationError("storage.rdbms_histogram_buckets must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -219,6 +238,18 @@ class ServingConfig:
     coalesce_enabled: bool = True
     #: Executor threads the asyncio front end uses to drive sync shards.
     async_workers: int = 8
+    #: Per-route admission cost weights: how many tokens one request of a
+    #: route spends from its tenant's bucket.  Heavy analytical reads should
+    #: cost proportionally more than a point lookup so a tenant's rate limit
+    #: reflects the work it causes, not its request count.  Stored as
+    #: ``(route, weight)`` pairs (frozen dataclasses need hashable fields).
+    route_cost_weights: tuple[tuple[str, float], ...] = (
+        ("insights.topic", 8.0),
+        ("articles.search", 4.0),
+        ("articles.list", 2.0),
+    )
+    #: Tokens spent by any route not named in ``route_cost_weights``.
+    default_route_cost: float = 1.0
 
     def validate(self) -> None:
         if self.shards < 1:
@@ -233,6 +264,17 @@ class ServingConfig:
             raise ConfigurationError("serving.max_concurrency must be >= 1")
         if self.async_workers < 1:
             raise ConfigurationError("serving.async_workers must be >= 1")
+        for route, weight in self.route_cost_weights:
+            if not route:
+                raise ConfigurationError(
+                    "serving.route_cost_weights route names must be non-empty"
+                )
+            if weight <= 0:
+                raise ConfigurationError(
+                    f"serving.route_cost_weights weight for {route!r} must be > 0"
+                )
+        if self.default_route_cost <= 0:
+            raise ConfigurationError("serving.default_route_cost must be > 0")
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,7 @@ from ..storage.faults import (
 from ..storage.migration import MigrationJob, MigrationReport
 from ..storage.rdbms.database import Database
 from ..storage.rdbms.expressions import col
+from ..storage.rdbms.stats import StatsPolicy
 from ..storage.warehouse.dfs import DistributedFileSystem
 from ..storage.warehouse.warehouse import Warehouse
 from ..streaming.broker import MessageBroker
@@ -124,6 +125,12 @@ class SciLensPlatform:
             and (
                 self.config.storage.data_dir is not None
                 or self.config.storage.cdc_enabled
+            ),
+            stats_policy=StatsPolicy(
+                auto_analyze=self.config.storage.rdbms_auto_analyze,
+                stale_fraction=self.config.storage.rdbms_stale_fraction,
+                min_stale_writes=self.config.storage.rdbms_min_stale_writes,
+                histogram_buckets=self.config.storage.rdbms_histogram_buckets,
             ),
         )
         for schema in all_schemas():
@@ -996,6 +1003,7 @@ class SciLensPlatform:
             "warehouse_storage": warehouse_storage,
             "cdc": cdc,
             "fts": fts,
+            "planner": self.database.planner_status(),
             "serving": (
                 self._serving.stats() if self._serving is not None else {"enabled": False}
             ),

@@ -2,10 +2,27 @@
 
 from .types import ColumnType
 from .schema import Column, TableSchema
-from .expressions import Expression, Match, col, extract_constraints, lit, match
+from .expressions import (
+    BranchAtom,
+    Expression,
+    Match,
+    col,
+    extract_constraints,
+    like_prefix,
+    lit,
+    match,
+)
+from .stats import ColumnStats, StatsPolicy, TableStats, build_table_stats
 from .table import Table
 from .index import HashIndex, SortedIndex
-from .planner import AccessPlan, QueryPlan, plan_access
+from .planner import (
+    AccessPlan,
+    PlanAlternative,
+    PlannerMetrics,
+    QueryPlan,
+    StepEstimate,
+    plan_access,
+)
 from .query import Query, QueryResult
 from .database import Database
 from .sql import parse_sql
@@ -15,16 +32,25 @@ __all__ = [
     "ColumnType",
     "Column",
     "TableSchema",
+    "BranchAtom",
     "Expression",
     "Match",
     "col",
     "lit",
     "match",
     "extract_constraints",
+    "like_prefix",
+    "ColumnStats",
+    "StatsPolicy",
+    "TableStats",
+    "build_table_stats",
     "Table",
     "HashIndex",
     "SortedIndex",
     "AccessPlan",
+    "PlanAlternative",
+    "PlannerMetrics",
+    "StepEstimate",
     "QueryPlan",
     "plan_access",
     "Query",

@@ -12,8 +12,10 @@ from pathlib import Path
 from typing import Any, Mapping, Sequence
 
 from ...errors import StorageError, TableNotFound
+from .planner import estimation_error_summary
 from .query import Query, QueryResult
 from .schema import TableSchema
+from .stats import StatsPolicy, TableStats
 from .sql import (
     CreateTableStatement,
     DeleteStatement,
@@ -31,8 +33,14 @@ from .wal import WriteAheadLog
 class Database:
     """A collection of tables with SQL and query-builder front-ends."""
 
-    def __init__(self, data_dir: Path | str | None = None, wal_enabled: bool = True) -> None:
+    def __init__(
+        self,
+        data_dir: Path | str | None = None,
+        wal_enabled: bool = True,
+        stats_policy: StatsPolicy | None = None,
+    ) -> None:
         self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.stats_policy = stats_policy or StatsPolicy()
         self._tables: dict[str, Table] = {}
         self._active_transaction: Transaction | None = None
         self._wal: WriteAheadLog | None = None
@@ -54,7 +62,7 @@ class Database:
             if if_not_exists:
                 return self._tables[schema.name]
             raise StorageError(f"table {schema.name!r} already exists")
-        table = Table(schema)
+        table = Table(schema, stats_policy=self.stats_policy)
         self._tables[schema.name] = table
         self._log("create_table", schema.name, {"schema": _schema_to_payload(schema)})
         return table
@@ -156,6 +164,56 @@ class Database:
             self._log("delete_pk", table_name, {"primary_key": key, "row": payload})
         return deleted
 
+    # ------------------------------------------------------------- statistics
+
+    def analyze(self, table_name: str | None = None) -> dict[str, TableStats]:
+        """Collect planner statistics (ANALYZE) for one table or all of them.
+
+        Returns the fresh :class:`~.stats.TableStats` snapshots by table
+        name.  Explicit analysis is only needed when the database was built
+        with ``StatsPolicy(auto_analyze=False)`` — by default the planner
+        re-analyzes stale tables transparently at plan time.
+        """
+        names = [table_name] if table_name is not None else self.table_names()
+        return {name: self.table(name).analyze() for name in names}
+
+    def planner_status(self) -> dict[str, Any]:
+        """Aggregated planner counters across every table.
+
+        ``plans_by_path`` / ``plans_by_mode`` count every planned access,
+        ``analyze_runs`` counts statistics rebuilds, ``estimation_error``
+        summarises the estimated-vs-actual row ratios of index-backed plans
+        (1.0 = perfect), and ``tables`` reports each table's statistics
+        freshness.
+        """
+        plans_by_path: dict[str, int] = {}
+        plans_by_mode: dict[str, int] = {}
+        analyze_runs = 0
+        ratios: list[float] = []
+        tables: dict[str, dict[str, Any]] = {}
+        for name in self.table_names():
+            table = self.table(name)
+            metrics = table.planner_metrics
+            for path, count in metrics.plans_by_path.items():
+                plans_by_path[path] = plans_by_path.get(path, 0) + count
+            for mode, count in metrics.plans_by_mode.items():
+                plans_by_mode[mode] = plans_by_mode.get(mode, 0) + count
+            analyze_runs += metrics.analyze_runs
+            ratios.extend(metrics.error_ratios)
+            stats = table.statistics()
+            tables[name] = {
+                "stats_state": table.stats_state(),
+                "analyzed_rows": stats.row_count if stats is not None else None,
+                "analyzed_columns": sorted(stats.columns) if stats is not None else [],
+            }
+        return {
+            "plans_by_path": plans_by_path,
+            "plans_by_mode": plans_by_mode,
+            "analyze_runs": analyze_runs,
+            "estimation_error": estimation_error_summary(ratios),
+            "tables": tables,
+        }
+
     # ------------------------------------------------------------------ reads
 
     def query(self, table_name: str) -> Query:
@@ -253,7 +311,9 @@ class Database:
                 if record.operation == "create_table":
                     schema = _schema_from_payload(record.payload["schema"])
                     if schema.name not in self._tables:
-                        self._tables[schema.name] = Table(schema)
+                        self._tables[schema.name] = Table(
+                            schema, stats_policy=self.stats_policy
+                        )
                 elif record.operation == "drop_table":
                     self._tables.pop(record.table, None)
                 elif record.operation == "create_index":

@@ -260,7 +260,13 @@ class IsNull(Expression):
 
 
 class Like(Expression):
-    """SQL LIKE with ``%`` (any run) and ``_`` (single char) wildcards."""
+    """SQL LIKE with ``%`` (any run) and ``_`` (single char) wildcards.
+
+    Matching is case-sensitive (standard SQL LIKE semantics), which is what
+    lets the planner answer ``col LIKE 'abc%'`` from a sorted index as the
+    range ``['abc', 'abd')`` — a case-folding match would not be a subset of
+    that range.
+    """
 
     def __init__(self, operand: Expression, pattern: str) -> None:
         import re
@@ -270,7 +276,7 @@ class Like(Expression):
         # Protect the wildcards, escape everything else, then expand them.
         protected = pattern.replace("%", "\x00").replace("_", "\x01")
         escaped = re.escape(protected).replace("\x00", ".*").replace("\x01", ".")
-        self._regex = re.compile(f"^{escaped}$", re.IGNORECASE)
+        self._regex = re.compile(f"^{escaped}$")
 
     def evaluate(self, row: Mapping[str, Any]) -> bool:
         value = self.operand.evaluate(row)
@@ -380,6 +386,35 @@ class RangeConstraint:
         return self.low is not None or self.high is not None
 
 
+def like_prefix(pattern: str) -> str | None:
+    """Leading literal run of a LIKE pattern, before the first wildcard.
+
+    Every match of the pattern starts with this prefix (LIKE is
+    case-sensitive), so it is a necessary condition the planner can answer
+    from a sorted index.  ``None`` when the pattern opens with a wildcard.
+    """
+    for i, char in enumerate(pattern):
+        if char in ("%", "_"):
+            return pattern[:i] or None
+    return pattern or None
+
+
+@dataclass(frozen=True)
+class BranchAtom:
+    """One OR branch normalised to an index-answerable atom.
+
+    ``kind`` is ``"eq"`` (``value`` holds the literal), ``"in"`` (``values``
+    holds the non-NULL list members), ``"range"`` (``interval`` holds the
+    bounds) or ``"prefix"`` (``value`` holds the LIKE prefix).
+    """
+
+    kind: str
+    column: str
+    value: Any = None
+    values: tuple[Any, ...] = ()
+    interval: RangeConstraint | None = None
+
+
 @dataclass
 class PredicateConstraints:
     """Index-usable constraints extracted from the top-level AND conjuncts.
@@ -387,8 +422,10 @@ class PredicateConstraints:
     * ``equalities`` — ``column = literal`` conjuncts.
     * ``ranges`` — merged ``<``/``<=``/``>``/``>=`` bounds per column
       (a BETWEEN-style ``(col >= a) & (col <= b)`` collapses to one range).
-    * ``disjunctions`` — conjuncts that are an OR of equalities (including
-      ``is_in`` lists), each as a list of ``(column, value)`` branches.
+    * ``prefixes`` — ``column LIKE 'abc%'``-style conjuncts, reduced to the
+      longest literal prefix per column (answerable as a sorted-index range).
+    * ``disjunctions`` — OR conjuncts whose every branch normalises to a
+      :class:`BranchAtom` (equality, IN list, range or LIKE prefix).
     * ``matches`` — full-text :class:`Match` conjuncts, answerable from a
       table's FTS index when one covers the matched columns.
 
@@ -398,11 +435,18 @@ class PredicateConstraints:
 
     equalities: dict[str, Any] = field(default_factory=dict)
     ranges: dict[str, RangeConstraint] = field(default_factory=dict)
-    disjunctions: list[list[tuple[str, Any]]] = field(default_factory=list)
+    prefixes: dict[str, str] = field(default_factory=dict)
+    disjunctions: list[list[BranchAtom]] = field(default_factory=list)
     matches: list["Match"] = field(default_factory=list)
 
     def is_empty(self) -> bool:
-        return not (self.equalities or self.ranges or self.disjunctions or self.matches)
+        return not (
+            self.equalities
+            or self.ranges
+            or self.prefixes
+            or self.disjunctions
+            or self.matches
+        )
 
 
 _RANGE_SYMBOLS = {"<", "<=", ">", ">="}
@@ -419,44 +463,63 @@ def _column_literal(node: Comparison) -> tuple[str, Any, str] | None:
     return None
 
 
-def _equality_branches(node: Expression) -> list[tuple[str, Any]] | None:
-    """Flatten an OR subtree into ``(column, value)`` equality branches.
+def _branch_atoms(node: Expression) -> list[BranchAtom] | None:
+    """Flatten an OR subtree into index-answerable :class:`BranchAtom`\\ s.
 
-    Returns ``None`` when any branch is not an indexable equality, in which
-    case the disjunction cannot be answered from indexes.
+    Returns ``None`` when any branch cannot be normalised (the disjunction
+    would miss rows if answered partially from indexes).  An empty-IN branch
+    matches nothing and contributes no atom at all.
     """
     if isinstance(node, BooleanOp) and node.kind == "or":
-        branches: list[tuple[str, Any]] = []
+        atoms: list[BranchAtom] = []
         for operand in node.operands:
-            sub = _equality_branches(operand)
+            sub = _branch_atoms(operand)
             if sub is None:
                 return None
-            branches.extend(sub)
-        return branches
-    if isinstance(node, Comparison) and node.symbol == "=":
+            atoms.extend(sub)
+        return atoms
+    if isinstance(node, Comparison):
         normalized = _column_literal(node)
         if normalized is None:
             return None
-        column, value, _symbol = normalized
+        column, value, symbol = normalized
         if value is None:
             # ``col = NULL`` matches rows whose value IS NULL, and NULLs are
             # never indexed — an index union would silently drop those rows.
             return None
-        return [(column, value)]
+        if symbol == "=":
+            return [BranchAtom(kind="eq", column=column, value=value)]
+        if symbol in _RANGE_SYMBOLS:
+            interval = RangeConstraint()
+            if symbol in (">", ">="):
+                interval.tighten_low(value, symbol == ">=")
+            else:
+                interval.tighten_high(value, symbol == "<=")
+            return [BranchAtom(kind="range", column=column, interval=interval)]
+        return None
     if isinstance(node, InList) and isinstance(node.operand, ColumnRef):
         # NULL list members are inert (IN never matches through NULL), so
         # they are simply skipped rather than poisoning the whole branch.
-        return [(node.operand.name, value) for value in node.values if value is not None]
+        values = tuple(value for value in node.values if value is not None)
+        if not values:
+            return []  # IN () matches nothing — the branch adds no rows
+        return [BranchAtom(kind="in", column=node.operand.name, values=values)]
+    if isinstance(node, Like) and isinstance(node.operand, ColumnRef):
+        prefix = like_prefix(node.pattern)
+        if prefix is None:
+            return None  # leading wildcard: no index-answerable prefix
+        return [BranchAtom(kind="prefix", column=node.operand.name, value=prefix)]
     return None
 
 
 def extract_constraints(expression: Expression | None) -> PredicateConstraints:
     """Extract every index-usable constraint from a predicate.
 
-    Walks the top-level AND tree and collects equalities, range bounds and
-    OR-of-equality disjunctions; anything else (NOT, LIKE, arithmetic,
-    column-to-column comparisons …) is ignored, which is safe because the
-    executor re-evaluates the full predicate on every candidate row.
+    Walks the top-level AND tree and collects equalities, range bounds,
+    LIKE-prefix bounds and OR disjunctions (equality / IN / range / prefix
+    branches); anything else (NOT, arithmetic, column-to-column
+    comparisons …) is ignored, which is safe because the executor
+    re-evaluates the full predicate on every candidate row.
     """
     constraints = PredicateConstraints()
     if expression is None:
@@ -486,7 +549,15 @@ def extract_constraints(expression: Expression | None) -> PredicateConstraints:
                 else:
                     rng.tighten_high(value, symbol == "<=")
             return
-        branches = _equality_branches(node)
+        if isinstance(node, Like) and isinstance(node.operand, ColumnRef):
+            prefix = like_prefix(node.pattern)
+            if prefix is not None:
+                column = node.operand.name
+                # Several LIKEs on one column: the longest prefix is tightest.
+                if len(prefix) > len(constraints.prefixes.get(column, "")):
+                    constraints.prefixes[column] = prefix
+            return
+        branches = _branch_atoms(node)
         if branches:
             constraints.disjunctions.append(branches)
 

@@ -222,6 +222,11 @@ class Query:
             joined_tables=tuple(prefix for _t, _l, _r, prefix in self._joins),
             limit=self._limit,
             offset=self._offset,
+            estimated_rows=access.estimated_rows,
+            access_cost=access.cost,
+            stats_mode=access.stats_mode,
+            step_estimates=access.step_estimates,
+            alternatives=access.alternatives,
             _access=access,
         )
 
@@ -231,7 +236,11 @@ class Query:
         The returned :class:`~repro.storage.rdbms.planner.QueryPlan` names the
         access path (``full-scan`` / ``index-eq`` / ``index-range`` /
         ``index-union`` / ``index-intersect`` / ``index-ordered``) and the
-        ordering strategy (``sort`` / ``top-k`` / ``index-ordered``).
+        ordering strategy (``sort`` / ``top-k`` / ``index-ordered``).  When
+        the cost model planned the query (``stats_mode == "cost"``) it also
+        carries the estimated rows, the chosen plan's cost, per-step
+        estimates, and every considered-but-rejected alternative
+        (``QueryPlan.describe_verbose()`` renders all of it).
         """
         return self._plan()
 
@@ -265,7 +274,8 @@ class Query:
             if self._offset:
                 rows = rows[self._offset:]
         else:
-            rows = self._base_rows(plan.projection_pushdown, plan._access.row_ids)
+            candidate_ids = plan._access.row_ids if plan._access is not None else None
+            rows = self._base_rows(plan.projection_pushdown, candidate_ids)
             if aggregated:
                 rows = self._run_aggregation(rows)
             if plan.order_strategy == ORDER_TOP_K:

@@ -14,8 +14,9 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping, Sequence
 from ...errors import ColumnNotFound, ConstraintViolation, StorageError
 from .expressions import Expression
 from .index import HashIndex, SortedIndex, build_index
-from .planner import AccessPlan, plan_access
+from .planner import AccessPlan, PlannerMetrics, plan_access
 from .schema import TableSchema
+from .stats import StatsPolicy, TableStats, build_table_stats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..fts.index import TableFtsIndex
@@ -27,14 +28,24 @@ class Table:
     Rows are stored as dictionaries keyed by an internal integer row id.  The
     primary key (when declared) and every UNIQUE column are backed by a hash
     index; additional indexes can be created explicitly.
+
+    The table also owns its planner statistics (:mod:`.stats`): every write
+    bumps a staleness counter, :meth:`analyze` snapshots per-column
+    histograms/NDV over the indexed columns, and :meth:`planning_stats`
+    hands the planner a fresh snapshot (re-analyzing on demand when the
+    :class:`~.stats.StatsPolicy` allows it).
     """
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(self, schema: TableSchema, stats_policy: StatsPolicy | None = None) -> None:
         self.schema = schema
         self._rows: dict[int, dict[str, Any]] = {}
         self._next_row_id = 1
         self._indexes: dict[str, HashIndex | SortedIndex] = {}
         self._fts: "TableFtsIndex | None" = None
+        self.stats_policy = stats_policy or StatsPolicy()
+        self.planner_metrics = PlannerMetrics()
+        self._stats: TableStats | None = None
+        self._writes_since_analyze = 0
         for column in schema.unique_columns():
             self._indexes[column] = HashIndex(column)
 
@@ -59,6 +70,9 @@ class Table:
         for row_id, row in self._rows.items():
             index.add(row_id, row.get(column))
         self._indexes[column] = index
+        # Statistics cover the indexed columns; a new index needs a re-analyze
+        # before the cost model can estimate through it.
+        self.invalidate_stats()
 
     def has_index(self, column: str) -> bool:
         return column in self._indexes
@@ -130,6 +144,7 @@ class Table:
         for column, index in self._indexes.items():
             index.add(row_id, normalized.get(column))
         self._fts_add(row_id, normalized)
+        self._note_writes(1)
         return row_id
 
     def insert_many(self, rows: list[Mapping[str, Any]]) -> list[int]:
@@ -154,6 +169,7 @@ class Table:
             self._rows[row_id] = new_row
             self._fts_update(row_id, old_row, new_row)
             updated += 1
+        self._note_writes(updated)
         return updated
 
     def delete_rows(self, predicate: Expression | Callable[[dict], bool] | None) -> int:
@@ -165,6 +181,7 @@ class Table:
                 index.remove(row_id, row.get(column))
             self._fts_remove(row_id)
             deleted += 1
+        self._note_writes(deleted)
         return deleted
 
     def upsert(self, row: Mapping[str, Any]) -> int:
@@ -183,6 +200,7 @@ class Table:
                     index.add(row_id, normalized.get(column))
             self._rows[row_id] = normalized
             self._fts_update(row_id, old_row, normalized)
+            self._note_writes(1)
             return row_id
         return self.insert(normalized)
 
@@ -193,6 +211,7 @@ class Table:
             self._indexes[column] = build_index(self._indexes[column].kind, column)
         if self._fts is not None:
             self.create_fts_index(self._fts.columns)
+        self.invalidate_stats()
 
     # ----------------------------------------------------------------- reads
 
@@ -286,15 +305,65 @@ class Table:
             return len(self._rows)
         return sum(1 for _ in self._iter_matching_ids(predicate))
 
+    # ------------------------------------------------------------ statistics
+
+    def _note_writes(self, count: int) -> None:
+        if count > 0:
+            self._writes_since_analyze += count
+
+    def invalidate_stats(self) -> None:
+        """Drop the statistics snapshot (schema-level change or bulk rewrite)."""
+        self._stats = None
+        self._writes_since_analyze = 0
+
+    def analyze(self) -> TableStats:
+        """Collect planner statistics over the indexed columns (ANALYZE)."""
+        stats = build_table_stats(
+            self._rows.values(), sorted(self._indexes), self.stats_policy
+        )
+        self._stats = stats
+        self._writes_since_analyze = 0
+        self.planner_metrics.record_analyze()
+        return stats
+
+    def statistics(self) -> TableStats | None:
+        """The current statistics snapshot (possibly stale; ``None`` before
+        the first :meth:`analyze`)."""
+        return self._stats
+
+    def stats_state(self) -> str:
+        """``"missing"``, ``"fresh"`` or ``"stale"`` (per the staleness
+        threshold of the table's :class:`~.stats.StatsPolicy`)."""
+        if self._stats is None:
+            return "missing"
+        threshold = self.stats_policy.stale_threshold(self._stats.row_count)
+        return "stale" if self._writes_since_analyze > threshold else "fresh"
+
+    def planning_stats(self) -> TableStats | None:
+        """Statistics the planner may rely on right now.
+
+        Fresh snapshots are returned as-is; missing/stale ones trigger a
+        transparent re-analyze when the policy auto-analyzes, and otherwise
+        return ``None`` — degrading the planner to the heuristic plan.
+        """
+        state = self.stats_state()
+        if state == "fresh":
+            return self._stats
+        if self.stats_policy.auto_analyze:
+            return self.analyze()
+        return None
+
     # ------------------------------------------------------------- internals
 
     def plan_access(self, predicate: Expression | Callable[[dict], bool] | None) -> AccessPlan:
         """The access plan the planner chooses for ``predicate`` on this table."""
-        return plan_access(self, predicate)
+        plan = plan_access(self, predicate)
+        self.planner_metrics.record_plan(plan)
+        return plan
 
     def _candidate_ids(self, predicate: Expression | None) -> list[int] | None:
         """Use indexes to narrow the rows a predicate must examine (or ``None``)."""
-        plan = plan_access(self, predicate)
+        plan = self.plan_access(predicate)
         return sorted(plan.row_ids) if plan.row_ids is not None else None
 
     def _iter_matching_ids(
@@ -344,6 +413,7 @@ class Table:
             self._indexes[column] = index
         if self._fts is not None:
             self.create_fts_index(self._fts.columns)
+        self.invalidate_stats()
 
 
 def _project_row(row: Mapping[str, Any], columns: Sequence[str]) -> dict[str, Any]:

@@ -109,6 +109,70 @@ class TestAdmissionController:
         assert stats["in_flight"] == 2
 
 
+class TestRouteCostWeights:
+    def test_heavy_route_drains_the_bucket_faster(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            rate_per_s=1.0, burst=8.0, max_concurrent=100, clock=clock,
+            route_costs={"insights.topic": 8.0}, default_cost=1.0,
+        )
+        # One analytical request spends the whole burst …
+        assert admission.try_admit("t", route="insights.topic").admitted
+        rejected = admission.try_admit("t", route="insights.topic")
+        assert not rejected.admitted and rejected.reason == "rate"
+        assert rejected.retry_after_s == pytest.approx(8.0)
+        # … but the same budget admits eight point reads for another tenant.
+        cheap = [admission.try_admit("u", route="articles.get") for _ in range(9)]
+        assert [d.admitted for d in cheap] == [True] * 8 + [False]
+
+    def test_unknown_and_missing_routes_use_default_cost(self):
+        admission = AdmissionController(
+            rate_per_s=1.0, burst=4.0, max_concurrent=10,
+            route_costs={"insights.topic": 4.0}, default_cost=2.0,
+        )
+        assert admission.route_cost("insights.topic") == 4.0
+        assert admission.route_cost("articles.list") == 2.0
+        assert admission.route_cost(None) == 2.0
+        # A route-less try_admit (legacy call sites) spends default_cost.
+        assert admission.try_admit("t").admitted
+        assert admission.try_admit("t").admitted
+        assert not admission.try_admit("t").admitted
+
+    def test_invalid_costs_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(
+                rate_per_s=1.0, burst=1.0, max_concurrent=1, default_cost=0.0
+            )
+        with pytest.raises(ValueError):
+            AdmissionController(
+                rate_per_s=1.0, burst=1.0, max_concurrent=1,
+                route_costs={"articles.list": -1.0},
+            )
+
+    def test_front_door_charges_per_route(self):
+        clock = FakeClock()
+        admission = AdmissionController(
+            rate_per_s=1.0, burst=4.0, max_concurrent=10, clock=clock,
+            route_costs={"blocking.write": 4.0},
+        )
+        front, service = build_blocking_tier(n_shards=2, coalesce=False)
+        front.admission = admission
+        assert front.handle("blocking.write", tenant="t").ok
+        throttled = front.handle("blocking.write", tenant="t")
+        assert throttled.status == 429
+        assert throttled.retry_after_s == pytest.approx(4.0)
+        assert service.calls == 1
+
+    def test_build_serving_tier_wires_config_weights(self, loaded_platform):
+        config = ServingConfig(
+            route_cost_weights=(("insights.topic", 6.0),), default_route_cost=2.0
+        )
+        front = build_serving_tier(loaded_platform, serving_config=config, attach=False)
+        assert front.admission is not None
+        assert front.admission.route_costs == {"insights.topic": 6.0}
+        assert front.admission.route_cost("articles.list") == 2.0
+
+
 # --------------------------------------------------------------------------- #
 # Coalescing
 # --------------------------------------------------------------------------- #
@@ -358,6 +422,9 @@ class TestServingConfig:
             {"admission_burst": 0.0},
             {"max_concurrency": 0},
             {"async_workers": 0},
+            {"route_cost_weights": (("articles.list", 0.0),)},
+            {"route_cost_weights": (("", 2.0),)},
+            {"default_route_cost": 0.0},
         ],
     )
     def test_bad_knobs_rejected(self, kwargs):

@@ -43,6 +43,20 @@ def test_storage_config_rollup_knobs():
         StorageConfig(warehouse_rollup_topic="").validate()
 
 
+def test_storage_config_planner_stats_knobs():
+    config = StorageConfig()
+    config.validate()
+    assert config.rdbms_auto_analyze is True
+    assert config.rdbms_histogram_buckets >= 1
+    StorageConfig(rdbms_auto_analyze=False).validate()
+    with pytest.raises(ConfigurationError):
+        StorageConfig(rdbms_stale_fraction=0.0).validate()
+    with pytest.raises(ConfigurationError):
+        StorageConfig(rdbms_min_stale_writes=-1).validate()
+    with pytest.raises(ConfigurationError):
+        StorageConfig(rdbms_histogram_buckets=0).validate()
+
+
 def test_analytics_config_rejects_bad_values():
     with pytest.raises(ConfigurationError):
         AnalyticsConfig(migration_interval_days=0).validate()

@@ -136,6 +136,25 @@ class TestAnalyticsJobs:
             empty.topic_insights()
 
 
+class TestPlannerStatus:
+    def test_status_surfaces_planner_counters(self, loaded_platform):
+        # Force at least one index-backed plan through the operational store.
+        domains = {article.outlet_domain for article in loaded_platform.articles()}
+        assert loaded_platform.count_articles(outlet_domain=next(iter(domains))) >= 1
+        planner = loaded_platform.status()["planner"]
+        assert set(planner) == {
+            "plans_by_path",
+            "plans_by_mode",
+            "analyze_runs",
+            "estimation_error",
+            "tables",
+        }
+        assert sum(planner["plans_by_mode"].values()) >= 1
+        assert "articles" in planner["tables"]
+        for table_report in planner["tables"].values():
+            assert table_report["stats_state"] in {"fresh", "stale", "missing"}
+
+
 class TestOutletRegistration:
     def test_register_outlet_is_idempotent(self, loaded_platform, small_scenario):
         outlet = small_scenario.outlets.outlets()[0]

@@ -1,0 +1,214 @@
+"""Property-based differential tests for the cost-based query planner.
+
+Three tables hold identical rows and differ only in how the planner may
+touch them:
+
+* **plain** — no secondary indexes: every query is a forced full scan, the
+  executor evaluates the predicate row by row.  This is the oracle.
+* **cost** — indexed, with fresh statistics (``auto_analyze`` on): the
+  planner estimates selectivities and picks the cheapest access path.
+* **heuristic** — indexed, statistics disabled (``auto_analyze`` off): the
+  planner degrades to the historical intersect-every-index plan.
+
+Whatever access path the cost model picks — an index probe, a union, a
+LIKE-prefix range, or rejecting every index — the rows returned must be
+*identical* to the forced full scan, because candidates are only ever a
+superset and the executor re-evaluates the predicate.  The properties
+generate arbitrary tables and predicate trees and assert exactly that, for
+results, counts, and order-by/limit pipelines.
+
+Run with ``--hypothesis-profile=fts-ci`` for the derandomized CI stream.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.storage.rdbms.expressions import col
+from repro.storage.rdbms.planner import STATS_COST, STATS_HEURISTIC
+from repro.storage.rdbms.query import Query
+from repro.storage.rdbms.schema import Column, TableSchema
+from repro.storage.rdbms.stats import StatsPolicy
+from repro.storage.rdbms.table import Table
+from repro.storage.rdbms.types import ColumnType
+
+relaxed = settings(suppress_health_check=[HealthCheck.too_slow], deadline=None)
+
+CATEGORIES = ["a", "b", "c", "d"]
+DOMAIN_STEMS = ["news", "blog", "science", "sci"]
+
+SCHEMA = TableSchema(
+    name="events",
+    primary_key="id",
+    columns=(
+        Column("id", ColumnType.INTEGER, nullable=False),
+        Column("category", ColumnType.TEXT),
+        Column("domain", ColumnType.TEXT),
+        Column("score", ColumnType.FLOAT),
+        Column("reactions", ColumnType.INTEGER, default=0),
+    ),
+)
+
+
+def build_tables(rows):
+    """(plain, cost, heuristic) tables holding identical ``rows``."""
+    plain = Table(SCHEMA)
+    cost = Table(SCHEMA, stats_policy=StatsPolicy(auto_analyze=True, min_stale_writes=8))
+    heuristic = Table(SCHEMA, stats_policy=StatsPolicy(auto_analyze=False))
+    for table in (plain, cost, heuristic):
+        for row in rows:
+            table.insert(dict(row))
+    for table in (cost, heuristic):
+        table.create_index("category", kind="hash")
+        table.create_index("reactions", kind="sorted")
+        table.create_index("domain", kind="sorted")
+        table.create_index("score", kind="sorted")
+    return plain, cost, heuristic
+
+
+# --------------------------------------------------------------- strategies
+
+row_strategy = st.builds(
+    lambda category, stem, suffix, score, reactions: {
+        "category": category,
+        "domain": f"{stem}-{suffix:02d}.example",
+        "score": score,
+        "reactions": reactions,
+    },
+    category=st.sampled_from(CATEGORIES),
+    stem=st.sampled_from(DOMAIN_STEMS),
+    suffix=st.integers(min_value=0, max_value=30),
+    score=st.one_of(st.none(), st.floats(min_value=0.0, max_value=1.0, width=32)),
+    reactions=st.integers(min_value=0, max_value=999),
+)
+
+
+def rows_strategy(max_rows=40):
+    def number(rows):
+        return [dict(row, id=i) for i, row in enumerate(rows)]
+
+    return st.lists(row_strategy, min_size=0, max_size=max_rows).map(number)
+
+
+@st.composite
+def atom_strategy(draw):
+    kind = draw(
+        st.sampled_from(["cat-eq", "cat-in", "prefix", "react-cmp", "react-between", "score"])
+    )
+    if kind == "cat-eq":
+        return col("category") == draw(st.sampled_from(CATEGORIES))
+    if kind == "cat-in":
+        members = draw(st.lists(st.sampled_from(CATEGORIES + [None]), max_size=3))
+        return col("category").is_in(members)
+    if kind == "prefix":
+        stem = draw(st.sampled_from(["n", "b", "sci", "blog-0", "zzz", ""]))
+        return col("domain").like(f"{stem}%")
+    if kind == "react-cmp":
+        bound = draw(st.integers(min_value=0, max_value=999))
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "=="]))
+        column = col("reactions")
+        return {
+            "<": column < bound, "<=": column <= bound,
+            ">": column > bound, ">=": column >= bound,
+            "==": column == bound,
+        }[op]
+    if kind == "react-between":
+        low = draw(st.integers(min_value=0, max_value=900))
+        return (col("reactions") >= low) & (col("reactions") < low + draw(st.integers(1, 300)))
+    return col("score") > draw(st.floats(min_value=0.0, max_value=1.0))
+
+
+@st.composite
+def predicate_strategy(draw, depth=2):
+    if depth == 0 or draw(st.booleans()):
+        return draw(atom_strategy())
+    left = draw(predicate_strategy(depth=depth - 1))
+    right = draw(predicate_strategy(depth=depth - 1))
+    return (left & right) if draw(st.booleans()) else (left | right)
+
+
+# --------------------------------------------------------------- properties
+
+
+class TestCostPlanEquivalence:
+    @relaxed
+    @given(rows=rows_strategy(), predicate=predicate_strategy())
+    def test_any_plan_matches_forced_full_scan(self, rows, predicate):
+        plain, cost, heuristic = build_tables(rows)
+        oracle = sorted(r["id"] for r in plain.select(predicate))
+        assert sorted(r["id"] for r in cost.select(predicate)) == oracle
+        assert sorted(r["id"] for r in heuristic.select(predicate)) == oracle
+        assert Query(cost).where(predicate).count() == len(oracle)
+
+    @relaxed
+    @given(rows=rows_strategy(), predicate=predicate_strategy())
+    def test_ordered_limited_pipeline_matches(self, rows, predicate):
+        plain, cost, _ = build_tables(rows)
+        slow = Query(plain).where(predicate).order_by("reactions").limit(7).execute().rows
+        fast = Query(cost).where(predicate).order_by("reactions").limit(7).execute().rows
+        assert fast == slow
+
+    @relaxed
+    @given(rows=rows_strategy(max_rows=25), predicate=predicate_strategy(depth=1))
+    def test_with_and_without_statistics_agree(self, rows, predicate):
+        _, cost, heuristic = build_tables(rows)
+        with_stats = sorted(r["id"] for r in cost.select(predicate))
+        without = sorted(r["id"] for r in heuristic.select(predicate))
+        assert with_stats == without
+        if rows:
+            # Auto-analyze means the indexed-with-stats table never degrades.
+            assert cost.plan_access(predicate).stats_mode != STATS_HEURISTIC
+
+
+class TestStaleStatisticsDegradation:
+    """Stale or absent statistics must never change results, only plans."""
+
+    def make_rows(self, n):
+        return [
+            {
+                "id": i,
+                "category": CATEGORIES[i % 4],
+                "domain": f"{DOMAIN_STEMS[i % 3]}-{i % 20:02d}.example",
+                "score": None if i % 2 else i / n,
+                "reactions": (i * 37) % 1000,
+            }
+            for i in range(n)
+        ]
+
+    def test_stale_stats_fall_back_to_heuristic_plan(self):
+        rows = self.make_rows(120)
+        plain, _, stale = build_tables(rows)
+        stale.analyze()
+        for i in range(120, 200):  # 80 writes > max(64, 0.2 * 120): stale
+            stale.insert(
+                {"id": i, "category": "a", "domain": "zzz.example", "score": None, "reactions": 1}
+            )
+            plain.insert(
+                {"id": i, "category": "a", "domain": "zzz.example", "score": None, "reactions": 1}
+            )
+        assert stale.stats_state() == "stale"
+        predicate = (col("category") == "a") & (col("reactions") < 500)
+        plan = stale.plan_access(predicate)
+        assert plan.stats_mode == STATS_HEURISTIC  # auto_analyze off: no refresh
+        assert sorted(r["id"] for r in stale.select(predicate)) == sorted(
+            r["id"] for r in plain.select(predicate)
+        )
+
+    def test_auto_analyze_refreshes_instead_of_degrading(self):
+        rows = self.make_rows(120)
+        _, fresh, _ = build_tables(rows)
+        fresh.analyze()
+        for i in range(120, 200):
+            fresh.insert(
+                {"id": i, "category": "a", "domain": "zzz.example", "score": None, "reactions": 1}
+            )
+        plan = fresh.plan_access(col("category") == "a")
+        assert plan.stats_mode == STATS_COST
+        assert fresh.stats_state() == "fresh"
+
+    def test_empty_table_stats_are_harmless(self):
+        plain, cost, heuristic = build_tables([])
+        predicate = (col("category") == "a") | (col("reactions") > 10)
+        for table in (cost, heuristic):
+            assert table.select(predicate) == plain.select(predicate) == []

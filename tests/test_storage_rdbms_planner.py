@@ -14,10 +14,14 @@ from repro.storage.rdbms.planner import (
     INDEX_INTERSECT,
     INDEX_RANGE,
     INDEX_UNION,
+    LIKE_PREFIX,
     ORDER_INDEX,
     ORDER_SORT,
     ORDER_TOP_K,
+    STATS_COST,
+    STATS_HEURISTIC,
 )
+from repro.storage.rdbms.stats import StatsPolicy
 from repro.storage.rdbms.query import Query
 from repro.storage.rdbms.schema import Column, TableSchema
 from repro.storage.rdbms.table import Table
@@ -76,12 +80,31 @@ class TestConstraintExtraction:
             col("reactions") > 5
         )
         constraints = extract_constraints(predicate)
-        assert constraints.disjunctions == [[("category", "a"), ("category", "b")]]
+        [branch] = constraints.disjunctions
+        assert [(atom.kind, atom.column, atom.value) for atom in branch] == [
+            ("eq", "category", "a"),
+            ("eq", "category", "b"),
+        ]
         in_list = extract_constraints(col("category").is_in(["a", "c"]))
-        assert in_list.disjunctions == [[("category", "a"), ("category", "c")]]
+        [[atom]] = in_list.disjunctions
+        assert (atom.kind, atom.column, atom.values) == ("in", "category", ("a", "c"))
+
+    def test_or_branches_may_mix_ranges_and_prefixes(self):
+        predicate = (col("category") == "a") | (col("reactions") > 900)
+        [branch] = extract_constraints(predicate).disjunctions
+        assert [(atom.kind, atom.column) for atom in branch] == [
+            ("eq", "category"),
+            ("range", "reactions"),
+        ]
+        assert branch[1].interval.low == 900 and not branch[1].interval.include_low
+        liked = extract_constraints((col("category") == "a") | col("category").like("bio%"))
+        [branch] = liked.disjunctions
+        assert (branch[1].kind, branch[1].value) == ("prefix", "bio")
 
     def test_non_extractable_or_branch_is_dropped(self):
-        predicate = (col("category") == "a") | (col("score") > 0.5)
+        # A leading-wildcard LIKE has no index-answerable form, so the whole
+        # disjunction must be abandoned (a partial union would drop rows).
+        predicate = (col("category") == "a") | col("category").like("%z")
         assert extract_constraints(predicate).is_empty()
 
     def test_null_equality_or_branch_disables_index_union(self):
@@ -98,7 +121,8 @@ class TestConstraintExtraction:
 
     def test_null_in_list_members_are_inert(self):
         constraints = extract_constraints(col("category").is_in(["a", None]))
-        assert constraints.disjunctions == [[("category", "a")]]
+        [[atom]] = constraints.disjunctions
+        assert (atom.kind, atom.column, atom.values) == ("in", "category", ("a",))
         table = build_table()
         table.insert({"id": 9999, "category": None, "reactions": 1})
         fast = table.select(col("category").is_in(["a", None]))
@@ -133,7 +157,7 @@ class TestAccessPathSelection:
         table = build_table()
         plan = (
             Query(table)
-            .where((col("category") == "a") & (col("reactions") < 100))
+            .where((col("category") == "a") & (col("reactions") < 250))
             .explain()
         )
         assert plan.access_path == INDEX_INTERSECT
@@ -174,6 +198,141 @@ class TestAccessPathSelection:
         direct = table.select(predicate)
         reused = table.select(predicate, candidate_ids=plan.row_ids)
         assert direct == reused
+
+
+class TestCostBasedSelection:
+    """Statistics-driven plan choice: estimates, alternatives, pushdowns."""
+
+    def test_explain_reports_costs_and_alternatives(self):
+        table = build_table()
+        plan = Query(table).where(col("category") == "a").explain()
+        assert plan.stats_mode == STATS_COST
+        assert plan.estimated_rows is not None and plan.estimated_rows > 0
+        assert plan.access_cost is not None and plan.access_cost > 0
+        chosen = [alt for alt in plan.alternatives if alt.chosen]
+        assert len(chosen) == 1 and chosen[0].path == INDEX_EQ
+        rejected = [alt for alt in plan.alternatives if not alt.chosen]
+        assert any(alt.path == FULL_SCAN for alt in rejected)
+        description = plan.describe()
+        assert "est=" in description and "cost=" in description and "rejected=" in description
+        verbose = plan.describe_verbose()
+        assert FULL_SCAN in verbose and "* index-eq" in verbose
+
+    def test_cost_model_skips_unselective_index(self):
+        # reactions < 900 keeps ~90% of rows: probing that index cannot pay
+        # for itself, so only the selective category probe survives.
+        table = build_table()
+        plan = (
+            Query(table)
+            .where((col("category") == "a") & (col("reactions") < 900))
+            .explain()
+        )
+        assert plan.access_path == INDEX_EQ
+        assert plan.access_steps == ("index-eq(category)",)
+        fast = table.select((col("category") == "a") & (col("reactions") < 900))
+        slow = [r for r in table.rows() if r["category"] == "a" and r["reactions"] < 900]
+        assert sorted(r["id"] for r in fast) == sorted(r["id"] for r in slow)
+
+    def test_unselective_lone_range_prefers_full_scan(self):
+        table = build_table()
+        plan = Query(table).where(col("reactions") >= 10).explain()
+        assert plan.access_path == FULL_SCAN
+        assert plan.stats_mode == STATS_COST
+        assert plan.candidate_rows is None
+        assert any(alt.path == INDEX_RANGE for alt in plan.alternatives if not alt.chosen)
+
+    def test_missing_stats_degrade_to_heuristic_intersect(self):
+        schema = TableSchema(
+            name="events",
+            primary_key="id",
+            columns=(
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("category", ColumnType.TEXT),
+                Column("reactions", ColumnType.INTEGER, default=0),
+            ),
+        )
+        table = Table(schema, stats_policy=StatsPolicy(auto_analyze=False))
+        rng = random.Random(7)
+        for i in range(100):
+            table.insert({"id": i, "category": rng.choice("ab"), "reactions": i})
+        table.create_index("category", kind="hash")
+        table.create_index("reactions", kind="sorted")
+        plan = (
+            Query(table)
+            .where((col("category") == "a") & (col("reactions") < 95))
+            .explain()
+        )
+        assert plan.stats_mode == STATS_HEURISTIC
+        assert plan.access_path == INDEX_INTERSECT
+        table.analyze()
+        plan = (
+            Query(table)
+            .where((col("category") == "a") & (col("reactions") < 95))
+            .explain()
+        )
+        assert plan.stats_mode == STATS_COST
+
+    def test_like_prefix_uses_sorted_text_index(self):
+        schema = TableSchema(
+            name="outlets",
+            primary_key="id",
+            columns=(
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("domain", ColumnType.TEXT),
+            ),
+        )
+        table = Table(schema)
+        for i in range(120):
+            table.insert({"id": i, "domain": f"news-{i:03d}.example"})
+        for i in range(120, 126):
+            table.insert({"id": i, "domain": f"blog-{i:03d}.example"})
+        table.create_index("domain", kind="sorted")
+        plan = Query(table).where(col("domain").like("blog%")).explain()
+        assert plan.access_path == LIKE_PREFIX
+        assert plan.access_steps == ("like-prefix(domain)",)
+        assert plan.candidate_rows == 6
+        rows = Query(table).where(col("domain").like("blog%")).execute().rows
+        assert sorted(r["id"] for r in rows) == list(range(120, 126))
+
+    def test_like_prefix_executor_recheck_filters_suffix(self):
+        # The range probe is only a superset: ``blog%e`` needs the executor's
+        # re-evaluation to keep the trailing-literal part of the pattern.
+        schema = TableSchema(
+            name="outlets",
+            primary_key="id",
+            columns=(
+                Column("id", ColumnType.INTEGER, nullable=False),
+                Column("domain", ColumnType.TEXT),
+            ),
+        )
+        table = Table(schema)
+        table.insert({"id": 0, "domain": "blog-alpha.example"})
+        table.insert({"id": 1, "domain": "blog-beta.example"})
+        table.insert({"id": 2, "domain": "blog-beta.net"})
+        for i in range(3, 80):
+            table.insert({"id": i, "domain": f"news-{i:03d}.example"})
+        table.create_index("domain", kind="sorted")
+        predicate = col("domain").like("blog%.example")
+        fast = Query(table).where(predicate).execute().rows
+        assert sorted(r["id"] for r in fast) == [0, 1]
+        slow = [r for r in table.rows() if r["domain"].startswith("blog") and r["domain"].endswith(".example")]
+        assert sorted(r["id"] for r in fast) == sorted(r["id"] for r in slow)
+
+    def test_like_on_unindexed_or_hash_column_falls_back(self):
+        table = build_table()  # category has only a hash index
+        plan = Query(table).where(col("category").like("a%")).explain()
+        assert plan.access_path == FULL_SCAN
+        rows = Query(table).where(col("category").like("a%")).execute().rows
+        assert rows == [r for r in table.rows() if r["category"].startswith("a")]
+
+    def test_planner_metrics_record_plans_and_analyze(self):
+        table = build_table()
+        Query(table).where(col("category") == "a").execute()
+        Query(table).where(col("reactions") >= 10).execute()
+        snapshot = table.planner_metrics.snapshot()
+        assert snapshot["analyze_runs"] >= 1
+        assert sum(snapshot["plans_by_path"].values()) >= 2
+        assert snapshot["plans_by_mode"].get(STATS_COST, 0) >= 2
 
 
 class TestOrderStrategies:
@@ -365,7 +524,7 @@ class TestAggregateProjection:
 class TestFtsAccessPath:
     """MATCH predicates served from the table-attached FTS index."""
 
-    def build_docs(self, with_fts: bool = True) -> Table:
+    def build_docs(self, with_fts: bool = True, auto_analyze: bool = True) -> Table:
         schema = TableSchema(
             name="docs",
             primary_key="id",
@@ -376,7 +535,7 @@ class TestFtsAccessPath:
                 Column("rank", ColumnType.INTEGER, default=0),
             ),
         )
-        table = Table(schema)
+        table = Table(schema, stats_policy=StatsPolicy(auto_analyze=auto_analyze))
         corpus = [
             ("measles vaccine trial", "efficacy results published"),
             ("quantum computing advance", "qubits entangled"),
@@ -398,10 +557,13 @@ class TestFtsAccessPath:
         assert plan.candidate_rows == 2
 
     def test_fts_composes_with_range_index(self):
-        table = self.build_docs()
+        # On a 4-row table the cost model rightly decides one probe is enough;
+        # heuristic mode (no statistics) still intersects every usable index.
+        table = self.build_docs(auto_analyze=False)
         predicate = match(("title", "body"), "vaccine") & (col("rank") >= 20)
         plan = Query(table).where(predicate).explain()
         assert plan.access_path == INDEX_INTERSECT
+        assert plan.stats_mode == STATS_HEURISTIC
         assert "fts_index_scan(title,body)" in plan.access_steps
         assert "index-range(rank)" in plan.access_steps
         rows = Query(table).where(predicate).execute().rows
